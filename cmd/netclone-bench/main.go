@@ -1,0 +1,160 @@
+// Command netclone-bench regenerates the paper's evaluation: every table
+// and figure has a named experiment (fig7a..fig16, table1, table2, plus
+// ablations). Results print as aligned text or CSV.
+//
+// Usage:
+//
+//	netclone-bench -list
+//	netclone-bench -run fig7a
+//	netclone-bench -run all -quick
+//	netclone-bench -run fig11a -format csv -o fig11a.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"netclone"
+	"netclone/internal/plot"
+)
+
+// renderPlot draws figure reports as ASCII charts (falls back to text
+// for table reports).
+func renderPlot(w io.Writer, report netclone.Report) error {
+	if len(report.Series) == 0 {
+		return netclone.RenderText(w, report)
+	}
+	var series []plot.Series
+	for _, s := range report.Series {
+		ps := plot.Series{Label: s.Label}
+		for _, p := range s.Points {
+			ps.X = append(ps.X, p.X)
+			ps.Y = append(ps.Y, p.Y)
+		}
+		series = append(series, ps)
+	}
+	logY := strings.Contains(report.YLabel, "latency")
+	return plot.Render(w, series, plot.Options{
+		Title:  report.ID + ": " + report.Title,
+		XLabel: report.XLabel,
+		YLabel: report.YLabel,
+		LogY:   logY,
+	})
+}
+
+func main() {
+	var (
+		runID    = flag.String("run", "", "experiment ID to run, or 'all'")
+		list     = flag.Bool("list", false, "list available experiments")
+		format   = flag.String("format", "text", "output format: text, csv, or plot")
+		out      = flag.String("o", "", "output file (default stdout)")
+		quick    = flag.Bool("quick", false, "reduced fidelity (seconds instead of minutes)")
+		duration = flag.Duration("duration", 0, "per-point measurement window (e.g. 200ms)")
+		warmup   = flag.Duration("warmup", 0, "per-point warmup (e.g. 50ms)")
+		seed     = flag.Uint64("seed", 0, "simulation seed (0 = default)")
+		loads    = flag.String("loads", "", "comma-separated load fractions, e.g. 0.1,0.5,0.9")
+		repeats  = flag.Int("repeats", 0, "runs per point for averaged experiments")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("Available experiments (netclone-bench -run <id>):")
+		for _, e := range netclone.Experiments() {
+			fmt.Printf("  %-16s %-45s [%s]\n", e.ID, e.Title, e.Paper)
+		}
+		return
+	}
+	if *runID == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	opts := netclone.DefaultOptions()
+	if *quick {
+		opts = netclone.QuickOptions()
+	}
+	if *duration > 0 {
+		opts.DurationNS = duration.Nanoseconds()
+	}
+	if *warmup > 0 {
+		opts.WarmupNS = warmup.Nanoseconds()
+	}
+	if *seed != 0 {
+		opts.Seed = *seed
+	}
+	if *repeats > 0 {
+		opts.Repeats = *repeats
+	}
+	if *loads != "" {
+		fracs, err := parseLoads(*loads)
+		if err != nil {
+			fatal(err)
+		}
+		opts.LoadFracs = fracs
+	}
+
+	w := io.Writer(os.Stdout)
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+
+	ids := []string{*runID}
+	if *runID == "all" {
+		ids = ids[:0]
+		for _, e := range netclone.Experiments() {
+			ids = append(ids, e.ID)
+		}
+	}
+
+	for _, id := range ids {
+		start := time.Now()
+		report, err := netclone.RunExperiment(id, opts)
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", id, err))
+		}
+		switch *format {
+		case "csv":
+			err = netclone.RenderCSV(w, report)
+		case "plot":
+			err = renderPlot(w, report)
+		case "text":
+			err = netclone.RenderText(w, report)
+			fmt.Fprintf(os.Stderr, "%s finished in %v\n", id, time.Since(start).Round(time.Millisecond))
+		default:
+			err = fmt.Errorf("unknown format %q", *format)
+		}
+		if err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func parseLoads(s string) ([]float64, error) {
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		f, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad load fraction %q: %w", part, err)
+		}
+		if f <= 0 {
+			return nil, fmt.Errorf("load fraction %v must be positive", f)
+		}
+		out = append(out, f)
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "netclone-bench:", err)
+	os.Exit(1)
+}

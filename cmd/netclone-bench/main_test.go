@@ -1,0 +1,54 @@
+package main
+
+import (
+	"bytes"
+	"testing"
+
+	"netclone"
+)
+
+func TestParseLoads(t *testing.T) {
+	got, err := parseLoads("0.1, 0.5,0.9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0] != 0.1 || got[1] != 0.5 || got[2] != 0.9 {
+		t.Fatalf("parseLoads = %v", got)
+	}
+	for _, bad := range []string{"", "abc", "0.5,-1", "0"} {
+		if _, err := parseLoads(bad); err == nil {
+			t.Errorf("parseLoads(%q) accepted", bad)
+		}
+	}
+}
+
+func TestRenderPlotFigure(t *testing.T) {
+	report := netclone.Report{
+		ID: "demo", Title: "demo", XLabel: "Throughput (MRPS)", YLabel: "99% latency (us)",
+		Series: []netclone.ReportSeries{{
+			Label:  "NetClone",
+			Points: []netclone.ReportPoint{{X: 1, Y: 100}, {X: 2, Y: 200}},
+		}},
+	}
+	var buf bytes.Buffer
+	if err := renderPlot(&buf, report); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(buf.Bytes(), []byte("NetClone")) {
+		t.Errorf("plot missing series label:\n%s", buf.String())
+	}
+	if !bytes.Contains(buf.Bytes(), []byte("log scale")) {
+		t.Error("latency y-axis should be log scale")
+	}
+}
+
+func TestRenderPlotTableFallsBackToText(t *testing.T) {
+	report := netclone.Report{ID: "t", Title: "t", Table: [][]string{{"a"}, {"1"}}}
+	var buf bytes.Buffer
+	if err := renderPlot(&buf, report); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(buf.Bytes(), []byte("a")) {
+		t.Error("table fallback missing content")
+	}
+}

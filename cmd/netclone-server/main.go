@@ -1,0 +1,69 @@
+// Command netclone-server runs one NetClone worker server over UDP: a
+// dispatcher feeding a FCFS queue drained by worker goroutines, backed by
+// the in-memory key-value store, with queue-state piggybacking and the
+// cloned-request drop guard (§3.4, §4.2).
+//
+//	netclone-server -listen 127.0.0.1:9101 -switch 127.0.0.1:9000 -sid 0
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"netclone/internal/kvstore"
+	"netclone/internal/udpemu"
+)
+
+func main() {
+	var (
+		listen  = flag.String("listen", "127.0.0.1:9101", "server UDP listen address")
+		swAddr  = flag.String("switch", "127.0.0.1:9000", "switch address")
+		sid     = flag.Uint("sid", 0, "NetClone server ID")
+		workers = flag.Int("workers", 8, "worker goroutines (paper: 8-16 threads)")
+		objects = flag.Int("objects", kvstore.DefaultObjects, "key-value store size")
+		extra   = flag.Duration("extra-service", 0, "added busy time per request")
+	)
+	flag.Parse()
+
+	sw, err := net.ResolveUDPAddr("udp", *swAddr)
+	if err != nil {
+		fatal(err)
+	}
+	srv, err := udpemu.NewServer(*listen, sw, udpemu.ServerConfig{
+		SID:              uint16(*sid),
+		Workers:          *workers,
+		Store:            kvstore.NewStore(*objects),
+		ExtraServiceTime: *extra,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("netclone-server sid=%d on %s -> switch %s (%d workers, %d objects)\n",
+		*sid, srv.Addr(), sw, *workers, *objects)
+
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve() }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case <-sig:
+	case err := <-done:
+		if err != nil {
+			fatal(err)
+		}
+	}
+	srv.Close()
+	time.Sleep(50 * time.Millisecond) // let workers drain
+	fmt.Printf("processed=%d cloneDrops=%d\n", srv.Processed(), srv.CloneDrops())
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "netclone-server:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,107 @@
+// Command netclone-switch runs the NetClone ToR switch emulator over UDP:
+// the in-switch request cloning, response filtering, and state tracking
+// of the paper, applied to real datagrams.
+//
+// Workers are registered statically:
+//
+//	netclone-switch -listen 127.0.0.1:9000 \
+//	    -server 0=127.0.0.1:9101 -server 1=127.0.0.1:9102
+//
+// Pair it with netclone-server and netclone-client.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+
+	"netclone/internal/dataplane"
+	"netclone/internal/udpemu"
+)
+
+// serverFlags collects repeated -server sid=host:port flags.
+type serverFlags map[uint16]string
+
+func (f serverFlags) String() string { return fmt.Sprint(map[uint16]string(f)) }
+
+func (f serverFlags) Set(v string) error {
+	sid, addr, ok := strings.Cut(v, "=")
+	if !ok {
+		return fmt.Errorf("want sid=host:port, got %q", v)
+	}
+	id, err := strconv.ParseUint(sid, 10, 16)
+	if err != nil {
+		return fmt.Errorf("bad server ID %q: %w", sid, err)
+	}
+	f[uint16(id)] = addr
+	return nil
+}
+
+func main() {
+	var (
+		listen       = flag.String("listen", "127.0.0.1:9000", "switch UDP listen address")
+		filterTables = flag.Int("filter-tables", 2, "number of response filter tables")
+		filterSlots  = flag.Int("filter-slots", 1<<17, "hash slots per filter table (power of two)")
+		maxServers   = flag.Int("max-servers", 64, "server ID space (table capacity)")
+		switchID     = flag.Uint("switch-id", 0, "multi-rack switch ID (0 = single rack)")
+		noCloning    = flag.Bool("no-cloning", false, "disable request cloning (plain forwarding)")
+		noFiltering  = flag.Bool("no-filtering", false, "disable response filtering (Fig 15 ablation)")
+		racksched    = flag.Bool("racksched", false, "enable the RackSched JSQ fallback (§3.7)")
+	)
+	servers := serverFlags{}
+	flag.Var(servers, "server", "worker registration sid=host:port (repeatable)")
+	flag.Parse()
+
+	cfg := dataplane.Config{
+		SwitchID:        uint16(*switchID),
+		MaxServers:      *maxServers,
+		FilterTables:    *filterTables,
+		FilterSlots:     *filterSlots,
+		EnableCloning:   !*noCloning,
+		EnableFiltering: !*noFiltering,
+		RackSched:       *racksched,
+	}
+	sw, err := udpemu.NewSwitch(*listen, cfg)
+	if err != nil {
+		fatal(err)
+	}
+	for sid, addr := range servers {
+		udpAddr, err := net.ResolveUDPAddr("udp", addr)
+		if err != nil {
+			fatal(fmt.Errorf("server %d: %w", sid, err))
+		}
+		if err := sw.AddServer(sid, udpAddr); err != nil {
+			fatal(err)
+		}
+	}
+
+	fmt.Printf("netclone-switch listening on %s (%d servers, %d groups, cloning=%v filtering=%v racksched=%v)\n",
+		sw.Addr(), len(servers), sw.NumGroups(), cfg.EnableCloning, cfg.EnableFiltering, cfg.RackSched)
+
+	done := make(chan error, 1)
+	go func() { done <- sw.Serve() }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case <-sig:
+	case err := <-done:
+		if err != nil {
+			fatal(err)
+		}
+	}
+	sw.Close()
+	st := sw.Stats()
+	fmt.Printf("requests=%d cloned=%d recirculated=%d responses=%d filtered=%d\n",
+		st.Requests, st.Cloned, st.Recirculated, st.Responses, st.FilterDrops)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "netclone-switch:", err)
+	os.Exit(1)
+}

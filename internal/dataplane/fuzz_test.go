@@ -1,0 +1,63 @@
+package dataplane
+
+import (
+	"testing"
+
+	"netclone/internal/wire"
+)
+
+// FuzzProcess drives the switch with arbitrary header field combinations
+// and checks the hard safety invariants: no panic, state/shadow equality,
+// CLO never exceeds its domain, and emitted clones always carry the
+// original's request ID.
+func FuzzProcess(f *testing.F) {
+	f.Add(uint8(1), uint32(1), uint16(0), uint16(0), uint16(0), uint8(0), uint8(0), uint16(0))
+	f.Add(uint8(2), uint32(7), uint16(3), uint16(1), uint16(2), uint8(1), uint8(1), uint16(0))
+	f.Add(uint8(1), uint32(0), uint16(65535), uint16(9999), uint16(5), uint8(2), uint8(255), uint16(9))
+
+	f.Fuzz(func(t *testing.T, typ uint8, reqID uint32, grp, sid, state uint16, clo, idx uint8, swid uint16) {
+		cfg := Config{
+			MaxServers:      8,
+			FilterTables:    2,
+			FilterSlots:     1 << 8,
+			EnableCloning:   true,
+			EnableFiltering: true,
+		}
+		s, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 4; i++ {
+			if err := s.AddServer(uint16(i), uint32(100+i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		h := wire.Header{
+			Type: wire.MsgType(typ), ReqID: reqID, Group: grp, SID: sid,
+			State: state, Clo: wire.CloState(clo), Idx: idx, SwitchID: swid,
+			PktTotal: 1,
+		}
+		res := s.Process(&h)
+
+		if res.Act == ActCloneAndForward {
+			if res.Clone.ReqID != h.ReqID {
+				t.Fatalf("clone request ID %d != original %d", res.Clone.ReqID, h.ReqID)
+			}
+			if res.Clone.Clo != wire.CloClone {
+				t.Fatalf("clone CLO = %v", res.Clone.Clo)
+			}
+			clone := res.Clone
+			s.Process(&clone) // recirculation must not panic either
+		}
+		// Accepted packets (anything the switch forwarded) must leave with
+		// a valid CLO; dropped/passed packets keep their input garbage.
+		if res.Act != ActDrop && res.Act != ActPassL3 && h.Clo > wire.CloClone {
+			t.Fatalf("forwarded packet's CLO escaped its domain: %d", h.Clo)
+		}
+		for i := 0; i < 4; i++ {
+			if s.stateT.vals[i] != s.shadowT.vals[i] {
+				t.Fatalf("state/shadow diverged at server %d", i)
+			}
+		}
+	})
+}

@@ -1,0 +1,120 @@
+package dataplane
+
+import (
+	"testing"
+	"testing/quick"
+
+	"netclone/internal/wire"
+)
+
+func newLamportSwitch(t *testing.T, n int) *Switch {
+	t.Helper()
+	cfg := testConfig()
+	cfg.ClientGeneratedIDs = true
+	return newTestSwitch(t, cfg, n)
+}
+
+// lamportReq builds a client request carrying a Lamport identifier.
+func lamportReq(cid uint16, cseq uint32, grp uint16) *wire.Header {
+	return &wire.Header{
+		Type: wire.TypeReq, Group: grp, ClientID: cid, ClientSeq: cseq, PktTotal: 1,
+	}
+}
+
+func TestLamportIDStableAcrossRetransmission(t *testing.T) {
+	s := newLamportSwitch(t, 2)
+	h1 := lamportReq(3, 100, 0)
+	s.Process(h1)
+	// Retransmission of the same request: identical (ClientID, ClientSeq).
+	h2 := lamportReq(3, 100, 0)
+	s.Process(h2)
+	if h1.ReqID != h2.ReqID {
+		t.Fatalf("retransmission changed ReqID: %d vs %d (must be stable, §3.7)", h1.ReqID, h2.ReqID)
+	}
+	if h1.ReqID == 0 {
+		t.Fatal("Lamport-mode ReqID must not be the reserved value 0")
+	}
+}
+
+func TestLamportIDDistinctAcrossRequests(t *testing.T) {
+	s := newLamportSwitch(t, 2)
+	seen := map[uint32]bool{}
+	for seq := uint32(0); seq < 1000; seq++ {
+		h := lamportReq(1, seq, 0)
+		s.Process(h)
+		if seen[h.ReqID] {
+			t.Fatalf("ReqID collision within 1000 sequential client requests (seq %d)", seq)
+		}
+		seen[h.ReqID] = true
+	}
+}
+
+func TestLamportIDNeverZero(t *testing.T) {
+	f := func(cid uint16, cseq uint32) bool {
+		return foldLamport(uint64(cid)<<32|uint64(cseq)) != 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLamportModeSkipsSequencer(t *testing.T) {
+	s := newLamportSwitch(t, 2)
+	for i := uint32(0); i < 10; i++ {
+		s.Process(lamportReq(1, i, 0))
+	}
+	if got := s.seqReg.vals[0]; got != 0 {
+		t.Fatalf("sequencer advanced to %d in Lamport mode", got)
+	}
+}
+
+func TestLamportFilteringStillExactlyOnce(t *testing.T) {
+	// The full request/response cycle works identically with
+	// client-generated IDs: one response forwarded, one filtered.
+	s := newLamportSwitch(t, 2)
+	a, b, _ := s.Group(0)
+	h := lamportReq(1, 7, 0)
+	res := s.Process(h)
+	if res.Act != ActCloneAndForward {
+		t.Fatal("expected cloning")
+	}
+	r1 := resp(h, a, 0)
+	clone := res.Clone
+	r2 := resp(&clone, b, 0)
+	fwd := 0
+	if s.Process(r1).Act == ActForwardClient {
+		fwd++
+	}
+	if s.Process(r2).Act == ActForwardClient {
+		fwd++
+	}
+	if fwd != 1 {
+		t.Fatalf("%d responses forwarded, want exactly 1", fwd)
+	}
+}
+
+func TestLamportRetransmitAfterResponseRefilters(t *testing.T) {
+	// A retransmitted request whose original already completed reuses
+	// the same fingerprint slot without corrupting it permanently: both
+	// of the retransmission's responses resolve to exactly one delivery.
+	s := newLamportSwitch(t, 2)
+	a, b, _ := s.Group(0)
+	for round := 0; round < 3; round++ {
+		h := lamportReq(2, 42, 0) // same request every round
+		res := s.Process(h)
+		if res.Act != ActCloneAndForward {
+			t.Fatalf("round %d: expected cloning", round)
+		}
+		clone := res.Clone
+		fwd := 0
+		if s.Process(resp(h, a, 0)).Act == ActForwardClient {
+			fwd++
+		}
+		if s.Process(resp(&clone, b, 0)).Act == ActForwardClient {
+			fwd++
+		}
+		if fwd != 1 {
+			t.Fatalf("round %d: %d responses forwarded, want 1", round, fwd)
+		}
+	}
+}

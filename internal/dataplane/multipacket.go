@@ -1,0 +1,142 @@
+package dataplane
+
+import "netclone/internal/wire"
+
+// Multi-packet message support (§3.7). Microsecond-scale RPCs are
+// single-packet in the common case, so the base Switch treats every
+// packet independently. For multi-packet requests the paper sketches two
+// additions, implemented here as an opt-in wrapper:
+//
+//  1. A cloned-request table storing the IDs of cloned-but-unfinished
+//     requests, so that *every* packet of a cloned request is cloned
+//     regardless of tracked server state (request affinity is already
+//     preserved by the client-chosen group ID).
+//  2. Ordered filter tables for multi-packet responses: the server
+//     assigns filter-table index PktSeq to the k-th response packet, so
+//     each packet of the response is filtered independently in its own
+//     table.
+//
+// Requests are identified by the client-generated Lamport ID
+// (ClientID, ClientSeq) rather than the switch sequencer, because the
+// switch would assign different REQ_IDs to packets of one message.
+
+// MultiPacketSwitch wraps a Switch with the cloned-request table. It
+// shares the inner switch's tables and counters.
+type MultiPacketSwitch struct {
+	*Switch
+	// clonedReq is a hash-indexed register pair (key, server) recording
+	// in-flight cloned multi-packet requests. Stored out-of-band of the
+	// stage model: the paper places it in spare stages; we keep the
+	// single-access discipline by accessing it once per packet.
+	clonedKey []uint64
+	clonedSrv []uint16
+	mask      uint32
+}
+
+// NewMultiPacket builds a multi-packet-capable switch. slots must be a
+// power of two and bounds the number of concurrently tracked cloned
+// multi-packet requests.
+func NewMultiPacket(cfg Config, slots int) (*MultiPacketSwitch, error) {
+	inner, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if slots < 2 || slots&(slots-1) != 0 {
+		return nil, ErrBadFilterSlots
+	}
+	return &MultiPacketSwitch{
+		Switch:    inner,
+		clonedKey: make([]uint64, slots),
+		clonedSrv: make([]uint16, slots),
+		mask:      uint32(slots - 1),
+	}, nil
+}
+
+func (m *MultiPacketSwitch) slotOf(lamport uint64) int {
+	x := uint32(lamport) ^ uint32(lamport>>32)
+	x *= 2654435761
+	x ^= x >> 16
+	return int(x & m.mask)
+}
+
+// Process handles one packet of a (possibly multi-packet) message.
+// Single-packet messages (PktTotal <= 1) take the base path unchanged.
+func (m *MultiPacketSwitch) Process(h *wire.Header) Result {
+	if h.PktTotal <= 1 {
+		return m.Switch.Process(h)
+	}
+	switch {
+	case h.Type == wire.TypeReq && h.Clo == wire.CloNone:
+		return m.processMultiRequest(h)
+	case h.Type == wire.TypeResp:
+		// Ordered filter tables: the server assigned Idx = PktSeq, so the
+		// base response path already spreads packets across tables. After
+		// the last response packet clears, forget the cloned request.
+		res := m.Switch.Process(h)
+		if h.Clo != wire.CloNone && h.PktSeq == h.PktTotal-1 {
+			slot := m.slotOf(h.LamportID())
+			if m.clonedKey[slot] == h.LamportID() {
+				m.clonedKey[slot] = 0
+				m.clonedSrv[slot] = 0
+			}
+		}
+		return res
+	default:
+		return m.Switch.Process(h)
+	}
+}
+
+// processMultiRequest clones follow-on packets of an already-cloned
+// request regardless of tracked state, per §3.7.
+func (m *MultiPacketSwitch) processMultiRequest(h *wire.Header) Result {
+	lamport := h.LamportID()
+	slot := m.slotOf(lamport)
+
+	if h.PktSeq == 0 {
+		// First packet: ordinary cloning decision.
+		res := m.Switch.Process(h)
+		if res.Act == ActCloneAndForward {
+			m.clonedKey[slot] = lamport
+			m.clonedSrv[slot] = res.Clone.SID
+		}
+		return res
+	}
+
+	// Follow-on packet of an untracked (never-cloned) request: cloning a
+	// message from its k-th packet onward is useless (the second server
+	// never saw packets 0..k-1), so suppress any load-dependent clone the
+	// base pipeline would produce.
+	if m.clonedKey[slot] != lamport {
+		res := m.Switch.Process(h)
+		if res.Act == ActCloneAndForward {
+			m.stats.Cloned--
+			m.stats.ForwardedPlain++
+			h.Clo = wire.CloNone
+			h.SID = 0
+			res = Result{Act: ActForwardServer, DstSID: res.DstSID, DstAddr: res.DstAddr}
+		}
+		return res
+	}
+	srv2 := m.clonedSrv[slot]
+
+	// Run the base path for forwarding/sequencing, then force the clone
+	// to the recorded second server if the load-dependent decision did
+	// not already produce one.
+	res := m.Switch.Process(h)
+	switch res.Act {
+	case ActCloneAndForward:
+		// Retarget the clone at the recorded server to preserve affinity.
+		res.Clone.SID = srv2
+		h.SID = srv2
+		return res
+	case ActForwardServer:
+		m.stats.Cloned++
+		h.Clo = wire.CloOriginal
+		h.SID = srv2
+		cl := *h
+		cl.Clo = wire.CloClone
+		return Result{Act: ActCloneAndForward, DstSID: res.DstSID, DstAddr: res.DstAddr, Clone: cl}
+	default:
+		return res
+	}
+}

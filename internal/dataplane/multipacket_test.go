@@ -1,0 +1,163 @@
+package dataplane
+
+import (
+	"testing"
+
+	"netclone/internal/wire"
+)
+
+func newTestMPSwitch(t *testing.T, n int) *MultiPacketSwitch {
+	t.Helper()
+	m, err := NewMultiPacket(testConfig(), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if err := m.AddServer(uint16(i), uint32(100+i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return m
+}
+
+// mpReq builds packet pktSeq of a total-packet multi-packet request from
+// client cid with client-local sequence cseq.
+func mpReq(cid uint16, cseq uint32, pktSeq, total uint8) *wire.Header {
+	return &wire.Header{
+		Type: wire.TypeReq, Group: 0, ClientID: cid, ClientSeq: cseq,
+		PktSeq: pktSeq, PktTotal: total,
+	}
+}
+
+func TestNewMultiPacketValidation(t *testing.T) {
+	if _, err := NewMultiPacket(testConfig(), 63); err != ErrBadFilterSlots {
+		t.Fatalf("err = %v, want ErrBadFilterSlots for non-pow2 slots", err)
+	}
+	bad := testConfig()
+	bad.FilterTables = 0
+	if _, err := NewMultiPacket(bad, 64); err == nil {
+		t.Fatal("invalid inner config must fail")
+	}
+}
+
+func TestSinglePacketPassesThrough(t *testing.T) {
+	m := newTestMPSwitch(t, 2)
+	h := req(0, 0) // PktTotal == 1
+	if res := m.Process(h); res.Act != ActCloneAndForward {
+		t.Fatalf("single-packet path broken: %v", res.Act)
+	}
+}
+
+func TestMultiPacketAllPacketsCloned(t *testing.T) {
+	m := newTestMPSwitch(t, 2)
+	_, b, _ := m.Group(0)
+
+	// First packet cloned (both idle).
+	p0 := mpReq(1, 50, 0, 3)
+	res0 := m.Process(p0)
+	if res0.Act != ActCloneAndForward {
+		t.Fatal("first packet not cloned")
+	}
+
+	// Make server b busy: a plain single-packet decision would now skip
+	// cloning, but follow-on packets of the cloned request must still be
+	// cloned to preserve affinity (§3.7).
+	m.Process(&wire.Header{Type: wire.TypeResp, SID: b, State: 4, ReqID: 999})
+
+	for seq := uint8(1); seq < 3; seq++ {
+		p := mpReq(1, 50, seq, 3)
+		res := m.Process(p)
+		if res.Act != ActCloneAndForward {
+			t.Fatalf("packet %d of cloned request not cloned (act %v)", seq, res.Act)
+		}
+		if res.Clone.SID != b {
+			t.Fatalf("packet %d clone target = %d, want %d", seq, res.Clone.SID, b)
+		}
+	}
+}
+
+func TestMultiPacketNotCloned(t *testing.T) {
+	m := newTestMPSwitch(t, 2)
+	_, b, _ := m.Group(0)
+	// Busy second candidate: first packet not cloned.
+	m.Process(&wire.Header{Type: wire.TypeResp, SID: b, State: 4, ReqID: 999})
+
+	p0 := mpReq(2, 7, 0, 2)
+	if res := m.Process(p0); res.Act != ActForwardServer {
+		t.Fatalf("first packet act = %v, want plain forward", res.Act)
+	}
+	// Follow-on packet of a non-cloned request: also plain, even though
+	// the servers went idle in between.
+	m.Process(&wire.Header{Type: wire.TypeResp, SID: b, State: 0, ReqID: 999})
+	p1 := mpReq(2, 7, 1, 2)
+	if res := m.Process(p1); res.Act != ActForwardServer {
+		t.Fatalf("follow-on act = %v, want plain forward (request was never cloned)", res.Act)
+	}
+}
+
+func TestMultiPacketResponseClearsTracking(t *testing.T) {
+	m := newTestMPSwitch(t, 2)
+	a, _, _ := m.Group(0)
+
+	p0 := mpReq(3, 11, 0, 2)
+	res0 := m.Process(p0)
+	if res0.Act != ActCloneAndForward {
+		t.Fatal("first packet not cloned")
+	}
+	p1 := mpReq(3, 11, 1, 2)
+	if res := m.Process(p1); res.Act != ActCloneAndForward {
+		t.Fatal("second packet not cloned")
+	}
+
+	// Server a answers with a 2-packet response; the last packet clears
+	// the cloned-request tracking entry.
+	for seq := uint8(0); seq < 2; seq++ {
+		r := &wire.Header{
+			Type: wire.TypeResp, SID: a, State: 0, ReqID: p0.ReqID,
+			Clo: wire.CloOriginal, Idx: seq, ClientID: 3, ClientSeq: 11,
+			PktSeq: seq, PktTotal: 2,
+		}
+		if got := m.Process(r); got.Act != ActForwardClient {
+			t.Fatalf("response packet %d act = %v, want forward", seq, got.Act)
+		}
+	}
+	slot := m.slotOf(p0.LamportID())
+	if m.clonedKey[slot] != 0 {
+		t.Fatal("cloned-request tracking entry not cleared after final response packet")
+	}
+}
+
+func TestMultiPacketOrderedFilterTables(t *testing.T) {
+	// Each packet of a cloned multi-packet response is filtered in its
+	// own (PktSeq-indexed) filter table: for every packet index, exactly
+	// one of the two server responses reaches the client.
+	m := newTestMPSwitch(t, 2)
+	a, b, _ := m.Group(0)
+
+	p0 := mpReq(4, 21, 0, 2)
+	res0 := m.Process(p0)
+	if res0.Act != ActCloneAndForward {
+		t.Fatal("first packet not cloned")
+	}
+
+	mkResp := func(sid uint16, clo wire.CloState, seq uint8) *wire.Header {
+		return &wire.Header{
+			Type: wire.TypeResp, SID: sid, ReqID: p0.ReqID, Clo: clo,
+			Idx: seq, ClientID: 4, ClientSeq: 21, PktSeq: seq, PktTotal: 2,
+		}
+	}
+	for seq := uint8(0); seq < 2; seq++ {
+		first := m.Process(mkResp(a, wire.CloOriginal, seq))
+		second := m.Process(mkResp(b, wire.CloClone, seq))
+		got := 0
+		if first.Act == ActForwardClient {
+			got++
+		}
+		if second.Act == ActForwardClient {
+			got++
+		}
+		if got != 1 {
+			t.Fatalf("packet %d: %d responses forwarded, want exactly 1", seq, got)
+		}
+	}
+}

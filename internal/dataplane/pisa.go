@@ -1,0 +1,130 @@
+// Package dataplane implements the NetClone switch data plane — the
+// paper's primary contribution (§3) — as a deterministic, testable state
+// machine.
+//
+// The package models a PISA-style programmable switch ASIC (Tofino):
+// packets traverse a fixed sequence of match-action stages; every table
+// and register array is statically pinned to one stage at "compile" time;
+// and a packet may access each stateful object at most once per pass. The
+// shadow state table, the recirculation of clones, and the hash-indexed
+// filter tables all exist *because* of these constraints (§3.4–3.5), so
+// the model enforces them: violating code panics, exactly as a P4 program
+// violating them would fail to compile.
+//
+// The Switch type is not safe for concurrent use; callers that share a
+// Switch across goroutines (e.g. the UDP emulator) must serialize access,
+// mirroring the ASIC's one-packet-per-stage-per-cycle discipline.
+package dataplane
+
+import "fmt"
+
+// pass tracks one packet's traversal through the pipeline. Stages must be
+// visited in non-decreasing order and each stateful object at most once.
+type pass struct {
+	id    uint64
+	stage int
+}
+
+// object is the common bookkeeping for stage-pinned stateful objects.
+type object struct {
+	name     string
+	stage    int
+	lastPass uint64 // pass id of the most recent access
+}
+
+// touch asserts the PISA constraints for an access by p and records it.
+func (o *object) touch(p *pass) {
+	if p.id == o.lastPass {
+		panic(fmt.Sprintf("dataplane: %s accessed twice in one pass (PISA allows one access per stage object)", o.name))
+	}
+	if o.stage < p.stage {
+		panic(fmt.Sprintf("dataplane: %s is in stage %d but packet already reached stage %d (stages are traversed once, in order)", o.name, o.stage, p.stage))
+	}
+	o.lastPass = p.id
+	p.stage = o.stage
+}
+
+// regArray is a register array: per-slot 32-bit state updated at line rate
+// by the data plane (Tofino RegisterAction). One read-modify-write per
+// packet per array.
+type regArray struct {
+	object
+	vals []uint32
+}
+
+func newRegArray(name string, stage, slots int) *regArray {
+	return &regArray{object: object{name: name, stage: stage}, vals: make([]uint32, slots)}
+}
+
+// access performs the array's single allowed operation for this pass: a
+// read-modify-write of slot idx through fn. fn receives the current value
+// and returns the new value; access returns the old value.
+func (r *regArray) access(p *pass, idx int, fn func(old uint32) uint32) uint32 {
+	r.touch(p)
+	old := r.vals[idx]
+	r.vals[idx] = fn(old)
+	return old
+}
+
+// read is a read-only register access (still consumes the pass budget).
+func (r *regArray) read(p *pass, idx int) uint32 {
+	return r.access(p, idx, func(old uint32) uint32 { return old })
+}
+
+// reset zeroes the array. Models power-cycle soft-state loss (§3.6) and
+// is a control-plane operation, not a data-plane access.
+func (r *regArray) reset() {
+	for i := range r.vals {
+		r.vals[i] = 0
+	}
+}
+
+// matchTable is an exact-match match-action table. Entries are installed
+// by the control plane; the data plane only reads them (one lookup per
+// pass).
+type matchTable[V any] struct {
+	object
+	entries []V
+	valid   []bool
+}
+
+func newMatchTable[V any](name string, stage, capacity int) *matchTable[V] {
+	return &matchTable[V]{
+		object:  object{name: name, stage: stage},
+		entries: make([]V, capacity),
+		valid:   make([]bool, capacity),
+	}
+}
+
+// lookup reads the entry for key, if installed.
+func (t *matchTable[V]) lookup(p *pass, key int) (V, bool) {
+	t.touch(p)
+	var zero V
+	if key < 0 || key >= len(t.entries) || !t.valid[key] {
+		return zero, false
+	}
+	return t.entries[key], true
+}
+
+// install writes an entry from the control plane (no pass needed; control
+// plane updates are out-of-band and slow, §3.8).
+func (t *matchTable[V]) install(key int, v V) {
+	if key < 0 || key >= len(t.entries) {
+		panic(fmt.Sprintf("dataplane: %s install out of range: %d", t.name, key))
+	}
+	t.entries[key] = v
+	t.valid[key] = true
+}
+
+// remove deletes an entry from the control plane.
+func (t *matchTable[V]) remove(key int) {
+	if key < 0 || key >= len(t.entries) {
+		return
+	}
+	var zero V
+	t.entries[key] = zero
+	t.valid[key] = false
+}
+
+// size returns the table capacity.
+func (t *matchTable[V]) size() int { return len(t.entries) }

@@ -1,0 +1,102 @@
+package dataplane
+
+import "testing"
+
+func mustPanic(t *testing.T, name string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("%s: expected panic", name)
+		}
+	}()
+	fn()
+}
+
+func TestRegArrayDoubleAccessPanics(t *testing.T) {
+	r := newRegArray("r", 2, 4)
+	p := &pass{id: 1}
+	r.read(p, 0)
+	mustPanic(t, "double access", func() { r.read(p, 1) })
+}
+
+func TestRegArrayNewPassAllowsAccess(t *testing.T) {
+	r := newRegArray("r", 2, 4)
+	r.read(&pass{id: 1}, 0)
+	r.read(&pass{id: 2}, 0) // must not panic
+}
+
+func TestStageOrderEnforced(t *testing.T) {
+	early := newRegArray("early", 1, 4)
+	late := newRegArray("late", 3, 4)
+	p := &pass{id: 1}
+	late.read(p, 0)
+	mustPanic(t, "backward stage", func() { early.read(p, 0) })
+}
+
+func TestStateTableCannotBeReadTwice(t *testing.T) {
+	// The exact constraint that motivates the shadow table (§3.4): one
+	// packet cannot read the state table for both candidate servers.
+	s := newTestSwitch(t, testConfig(), 2)
+	p := &pass{id: s.nextPass()}
+	s.stateT.read(p, 0)
+	mustPanic(t, "state table re-read", func() { s.stateT.read(p, 1) })
+}
+
+func TestRegArrayAccessReturnsOldWritesNew(t *testing.T) {
+	r := newRegArray("r", 0, 2)
+	old := r.access(&pass{id: 1}, 0, func(uint32) uint32 { return 7 })
+	if old != 0 {
+		t.Fatalf("old = %d, want 0", old)
+	}
+	if got := r.read(&pass{id: 2}, 0); got != 7 {
+		t.Fatalf("value = %d, want 7", got)
+	}
+}
+
+func TestRegArrayReset(t *testing.T) {
+	r := newRegArray("r", 0, 3)
+	r.access(&pass{id: 1}, 2, func(uint32) uint32 { return 9 })
+	r.reset()
+	if got := r.read(&pass{id: 2}, 2); got != 0 {
+		t.Fatalf("after reset value = %d, want 0", got)
+	}
+}
+
+func TestMatchTableLookupInstallRemove(t *testing.T) {
+	mt := newMatchTable[uint32]("mt", 1, 4)
+	if _, ok := mt.lookup(&pass{id: 1}, 2); ok {
+		t.Fatal("lookup of uninstalled entry succeeded")
+	}
+	mt.install(2, 42)
+	v, ok := mt.lookup(&pass{id: 2}, 2)
+	if !ok || v != 42 {
+		t.Fatalf("lookup = (%d,%v), want (42,true)", v, ok)
+	}
+	mt.remove(2)
+	if _, ok := mt.lookup(&pass{id: 3}, 2); ok {
+		t.Fatal("lookup of removed entry succeeded")
+	}
+	if _, ok := mt.lookup(&pass{id: 4}, -1); ok {
+		t.Fatal("negative key lookup succeeded")
+	}
+	if _, ok := mt.lookup(&pass{id: 5}, 99); ok {
+		t.Fatal("out-of-range key lookup succeeded")
+	}
+	if mt.size() != 4 {
+		t.Fatalf("size = %d, want 4", mt.size())
+	}
+}
+
+func TestMatchTableInstallOutOfRangePanics(t *testing.T) {
+	mt := newMatchTable[uint32]("mt", 1, 4)
+	mustPanic(t, "install out of range", func() { mt.install(4, 1) })
+	mt.remove(99) // out-of-range remove is a no-op, not a panic
+}
+
+func TestMatchTableDoubleLookupPanics(t *testing.T) {
+	mt := newMatchTable[uint32]("mt", 1, 4)
+	mt.install(0, 1)
+	p := &pass{id: 1}
+	mt.lookup(p, 0)
+	mustPanic(t, "double lookup", func() { mt.lookup(p, 0) })
+}

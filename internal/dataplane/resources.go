@@ -1,0 +1,61 @@
+package dataplane
+
+// Resource accounting for the switch program (§4.1). The paper reports,
+// for the two-filter-table prototype on a 6.5 Tbps Tofino:
+//
+//	7 match-action stages, 18.04% SRAM, 12.28% match input crossbar,
+//	26.79% hash unit, 21.43% ALUs; filter tables of 2^17 32-bit slots
+//	use ~1.05 MB, 4.77% of switch memory; with an average request
+//	latency of 50us each slot sustains 20 KRPS, so 2^18 slots support
+//	roughly 5.24 BRPS.
+//
+// Usage reproduces those back-of-the-envelope numbers from a Config so
+// that the `table2` experiment can print them and tests can pin them.
+
+// TofinoSRAMBytes is the switch memory base used for the paper's "4.77%
+// of the switch memory" figure: 1.048576 MB / 0.0477 ≈ 22 MB (decimal).
+const TofinoSRAMBytes = 22 * 1000 * 1000
+
+// FilterSlotBytes is the size of one filter-table slot: a 32-bit request
+// ID fingerprint.
+const FilterSlotBytes = 4
+
+// Usage describes the pipeline resources a Config consumes.
+type Usage struct {
+	// Stages is the number of match-action stages occupied: sequencer,
+	// group, state, shadow, address, plus one per filter table.
+	Stages int
+	// FilterSlotsTotal is the total fingerprint slots across all filter
+	// tables.
+	FilterSlotsTotal int
+	// FilterBytes is the SRAM consumed by the filter tables.
+	FilterBytes int
+	// StateBytes is the SRAM consumed by the state + shadow tables.
+	StateBytes int
+	// MemFraction is filter+state SRAM as a fraction of TofinoSRAMBytes.
+	MemFraction float64
+	// SupportedRPS estimates sustainable request throughput from slot
+	// turnover at the given average request latency (§4.1: each slot is
+	// reusable once its request completes).
+	SupportedRPS float64
+}
+
+// ComputeUsage derives resource usage for cfg assuming the given average
+// request latency in nanoseconds (the paper uses 50us).
+func ComputeUsage(cfg Config, avgLatencyNS float64) Usage {
+	slots := cfg.FilterTables * cfg.FilterSlots
+	filterBytes := slots * FilterSlotBytes
+	stateBytes := 2 * cfg.MaxServers * FilterSlotBytes // state + shadow, 32-bit each
+	u := Usage{
+		Stages:           stageFilter + cfg.FilterTables,
+		FilterSlotsTotal: slots,
+		FilterBytes:      filterBytes,
+		StateBytes:       stateBytes,
+		MemFraction:      float64(filterBytes+stateBytes) / float64(TofinoSRAMBytes),
+	}
+	if avgLatencyNS > 0 {
+		perSlotRPS := 1e9 / avgLatencyNS
+		u.SupportedRPS = float64(slots) * perSlotRPS
+	}
+	return u
+}

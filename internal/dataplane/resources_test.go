@@ -1,0 +1,57 @@
+package dataplane
+
+import (
+	"math"
+	"testing"
+)
+
+// TestUsageMatchesPaper pins the resource model to the §4.1 prototype
+// numbers: 7 stages, ~1.05 MB of filter memory (2 tables x 2^17 x 4 B),
+// ~4.77% of switch SRAM, and ~5.24 BRPS supported at 50us average
+// latency.
+func TestUsageMatchesPaper(t *testing.T) {
+	u := ComputeUsage(DefaultConfig(), 50_000)
+	if u.Stages != 7 {
+		t.Errorf("Stages = %d, want 7", u.Stages)
+	}
+	if u.FilterSlotsTotal != 1<<18 {
+		t.Errorf("FilterSlotsTotal = %d, want 2^18", u.FilterSlotsTotal)
+	}
+	if u.FilterBytes != 1<<20 {
+		t.Errorf("FilterBytes = %d, want 1 MiB", u.FilterBytes)
+	}
+	if math.Abs(u.MemFraction-0.0477) > 0.002 {
+		t.Errorf("MemFraction = %.4f, want ~0.0477", u.MemFraction)
+	}
+	if math.Abs(u.SupportedRPS-5.24e9)/5.24e9 > 0.01 {
+		t.Errorf("SupportedRPS = %.3g, want ~5.24e9", u.SupportedRPS)
+	}
+}
+
+func TestUsageScalesWithFilterTables(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.FilterTables = 4
+	u := ComputeUsage(cfg, 50_000)
+	if u.Stages != 9 {
+		t.Errorf("Stages = %d, want 9 with four filter tables", u.Stages)
+	}
+	if u.FilterBytes != 2<<20 {
+		t.Errorf("FilterBytes = %d, want 2 MiB", u.FilterBytes)
+	}
+}
+
+func TestUsageZeroLatency(t *testing.T) {
+	u := ComputeUsage(DefaultConfig(), 0)
+	if u.SupportedRPS != 0 {
+		t.Errorf("SupportedRPS = %v, want 0 for unknown latency", u.SupportedRPS)
+	}
+}
+
+func TestStateBytes(t *testing.T) {
+	cfg := DefaultConfig()
+	u := ComputeUsage(cfg, 50_000)
+	want := 2 * cfg.MaxServers * FilterSlotBytes
+	if u.StateBytes != want {
+		t.Errorf("StateBytes = %d, want %d", u.StateBytes, want)
+	}
+}

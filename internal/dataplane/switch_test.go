@@ -1,0 +1,611 @@
+package dataplane
+
+import (
+	"testing"
+
+	"netclone/internal/wire"
+)
+
+// testConfig returns a small, test-friendly configuration.
+func testConfig() Config {
+	return Config{
+		MaxServers:      8,
+		FilterTables:    2,
+		FilterSlots:     1 << 10,
+		EnableCloning:   true,
+		EnableFiltering: true,
+	}
+}
+
+// newTestSwitch builds a switch with n servers installed as IDs 0..n-1
+// and addresses 100+sid.
+func newTestSwitch(t *testing.T, cfg Config, n int) *Switch {
+	t.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if err := s.AddServer(uint16(i), uint32(100+i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return s
+}
+
+func req(group uint16, idx uint8) *wire.Header {
+	return &wire.Header{Type: wire.TypeReq, Group: group, Idx: idx, PktTotal: 1}
+}
+
+// resp builds the response a server would send for the given processed
+// request: SID = serving server, State = queue length at response time.
+func resp(h *wire.Header, sid uint16, qlen uint16) *wire.Header {
+	r := *h
+	r.Type = wire.TypeResp
+	r.SID = sid
+	r.State = qlen
+	return &r
+}
+
+func TestNewValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Config)
+		want error
+	}{
+		{"slots not pow2", func(c *Config) { c.FilterSlots = 1000 }, ErrBadFilterSlots},
+		{"slots too small", func(c *Config) { c.FilterSlots = 1 }, ErrBadFilterSlots},
+		{"zero tables", func(c *Config) { c.FilterTables = 0 }, ErrBadFilterTables},
+		{"too many tables", func(c *Config) { c.FilterTables = 257 }, ErrBadFilterTables},
+		{"one server", func(c *Config) { c.MaxServers = 1 }, ErrBadMaxServers},
+		{"huge servers", func(c *Config) { c.MaxServers = 70000 }, ErrBadMaxServers},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			cfg := testConfig()
+			c.mut(&cfg)
+			if _, err := New(cfg); err != c.want {
+				t.Fatalf("err = %v, want %v", err, c.want)
+			}
+		})
+	}
+	if _, err := New(DefaultConfig()); err != nil {
+		t.Fatalf("DefaultConfig must be valid: %v", err)
+	}
+}
+
+func TestGroupTableEnumeratesOrderedPairs(t *testing.T) {
+	s := newTestSwitch(t, testConfig(), 4)
+	n := 4
+	if got := s.NumGroups(); got != n*(n-1) {
+		t.Fatalf("NumGroups = %d, want %d", got, n*(n-1))
+	}
+	seen := map[[2]uint16]bool{}
+	for g := 0; g < s.NumGroups(); g++ {
+		a, b, ok := s.Group(g)
+		if !ok {
+			t.Fatalf("group %d missing", g)
+		}
+		if a == b {
+			t.Fatalf("group %d has identical candidates %d", g, a)
+		}
+		if seen[[2]uint16{a, b}] {
+			t.Fatalf("duplicate ordered pair (%d,%d)", a, b)
+		}
+		seen[[2]uint16{a, b}] = true
+	}
+	if _, _, ok := s.Group(-1); ok {
+		t.Error("Group(-1) should not exist")
+	}
+	if _, _, ok := s.Group(s.NumGroups()); ok {
+		t.Error("Group(NumGroups) should not exist")
+	}
+}
+
+func TestGroupsWithFirst(t *testing.T) {
+	s := newTestSwitch(t, testConfig(), 4)
+	for i := 0; i < 4; i++ {
+		lo, hi := s.GroupsWithFirst(i)
+		if hi-lo != 3 {
+			t.Fatalf("server %d group range size = %d, want 3", i, hi-lo)
+		}
+		for g := lo; g < hi; g++ {
+			a, _, ok := s.Group(g)
+			if !ok || int(a) != i {
+				t.Fatalf("group %d first = %d, want %d", g, a, i)
+			}
+		}
+	}
+	if lo, hi := s.GroupsWithFirst(-1); lo != 0 || hi != 0 {
+		t.Error("invalid index must return empty range")
+	}
+}
+
+func TestBothIdleClones(t *testing.T) {
+	s := newTestSwitch(t, testConfig(), 2)
+	h := req(0, 0)
+	res := s.Process(h)
+	if res.Act != ActCloneAndForward {
+		t.Fatalf("act = %v, want clone-and-forward", res.Act)
+	}
+	if h.Clo != wire.CloOriginal {
+		t.Errorf("original CLO = %v, want original", h.Clo)
+	}
+	if res.Clone.Clo != wire.CloClone {
+		t.Errorf("clone CLO = %v, want clone", res.Clone.Clo)
+	}
+	if res.Clone.ReqID != h.ReqID {
+		t.Errorf("clone shares request ID: clone=%d orig=%d", res.Clone.ReqID, h.ReqID)
+	}
+	a, b, _ := s.Group(0)
+	if res.DstSID != a {
+		t.Errorf("original dst = %d, want first candidate %d", res.DstSID, a)
+	}
+	if h.SID != b || res.Clone.SID != b {
+		t.Errorf("SID (clone target) = %d/%d, want second candidate %d", h.SID, res.Clone.SID, b)
+	}
+	if res.DstAddr != 100+uint32(a) {
+		t.Errorf("dst addr = %d, want %d", res.DstAddr, 100+uint32(a))
+	}
+	if s.Stats().Cloned != 1 {
+		t.Errorf("Cloned stat = %d, want 1", s.Stats().Cloned)
+	}
+}
+
+func TestCloneRecirculation(t *testing.T) {
+	s := newTestSwitch(t, testConfig(), 2)
+	h := req(0, 0)
+	res := s.Process(h)
+	if res.Act != ActCloneAndForward {
+		t.Fatal("expected cloning")
+	}
+	clone := res.Clone
+	res2 := s.Process(&clone)
+	if res2.Act != ActForwardServer {
+		t.Fatalf("recirculated clone act = %v, want forward-server", res2.Act)
+	}
+	if res2.DstSID != clone.SID {
+		t.Errorf("clone dst = %d, want %d", res2.DstSID, clone.SID)
+	}
+	if res2.DstAddr != 100+uint32(clone.SID) {
+		t.Errorf("clone addr = %d, want %d", res2.DstAddr, 100+uint32(clone.SID))
+	}
+	if s.Stats().Recirculated != 1 {
+		t.Errorf("Recirculated = %d, want 1", s.Stats().Recirculated)
+	}
+}
+
+func TestBusyCandidateSkipsCloning(t *testing.T) {
+	s := newTestSwitch(t, testConfig(), 2)
+	a, b, _ := s.Group(0)
+
+	// Mark server b busy via a piggybacked response state.
+	h0 := req(0, 0)
+	s.Process(h0)
+	r := resp(h0, b, 3) // queue length 3
+	s.Process(r)
+
+	h := req(0, 0)
+	res := s.Process(h)
+	if res.Act != ActForwardServer {
+		t.Fatalf("act = %v, want plain forward when candidate busy", res.Act)
+	}
+	if res.DstSID != a {
+		t.Errorf("dst = %d, want first candidate %d", res.DstSID, a)
+	}
+	if h.Clo != wire.CloNone {
+		t.Errorf("CLO = %v, want none", h.Clo)
+	}
+}
+
+func TestFirstCandidateBusyAlsoSkips(t *testing.T) {
+	s := newTestSwitch(t, testConfig(), 2)
+	a, _, _ := s.Group(0)
+	h0 := req(0, 0)
+	s.Process(h0)
+	s.Process(resp(h0, a, 1))
+
+	h := req(0, 0)
+	res := s.Process(h)
+	if res.Act != ActForwardServer || res.DstSID != a {
+		t.Fatalf("got act=%v dst=%d, want plain forward to %d", res.Act, res.DstSID, a)
+	}
+}
+
+func TestIdleAgainAfterStateClears(t *testing.T) {
+	s := newTestSwitch(t, testConfig(), 2)
+	_, b, _ := s.Group(0)
+	h0 := req(0, 0)
+	s.Process(h0)
+	s.Process(resp(h0, b, 5)) // busy
+	s.Process(resp(h0, b, 0)) // idle again
+
+	h := req(0, 0)
+	if res := s.Process(h); res.Act != ActCloneAndForward {
+		t.Fatalf("act = %v, want cloning after state cleared", res.Act)
+	}
+}
+
+func TestRackSchedJSQ(t *testing.T) {
+	cfg := testConfig()
+	cfg.RackSched = true
+	s := newTestSwitch(t, cfg, 2)
+	a, b, _ := s.Group(0)
+
+	// qlen(a)=4, qlen(b)=2 -> JSQ must pick b.
+	h0 := req(0, 0)
+	s.Process(h0)
+	s.Process(resp(h0, a, 4))
+	s.Process(resp(h0, b, 2))
+
+	h := req(0, 0)
+	res := s.Process(h)
+	if res.Act != ActForwardServer || res.DstSID != b {
+		t.Fatalf("JSQ picked %d (act %v), want %d", res.DstSID, res.Act, b)
+	}
+	if s.Stats().JSQFallback == 0 {
+		t.Error("JSQFallback stat not incremented")
+	}
+
+	// Tie goes to the first candidate.
+	s.Process(resp(h0, a, 2))
+	h2 := req(0, 0)
+	if res := s.Process(h2); res.DstSID != a {
+		t.Fatalf("JSQ tie picked %d, want first candidate %d", res.DstSID, a)
+	}
+}
+
+func TestRackSchedStillClonesWhenBothIdle(t *testing.T) {
+	cfg := testConfig()
+	cfg.RackSched = true
+	s := newTestSwitch(t, cfg, 2)
+	h := req(0, 0)
+	if res := s.Process(h); res.Act != ActCloneAndForward {
+		t.Fatalf("act = %v, want cloning when both idle (§3.7)", res.Act)
+	}
+}
+
+func TestCloningDisabled(t *testing.T) {
+	cfg := testConfig()
+	cfg.EnableCloning = false
+	s := newTestSwitch(t, cfg, 2)
+	h := req(0, 0)
+	res := s.Process(h)
+	if res.Act != ActForwardServer {
+		t.Fatalf("act = %v, want plain forward with cloning disabled", res.Act)
+	}
+	if s.Stats().Cloned != 0 {
+		t.Error("cloning happened despite being disabled")
+	}
+}
+
+func TestFilterDropsSlowerResponse(t *testing.T) {
+	s := newTestSwitch(t, testConfig(), 2)
+	h := req(0, 1)
+	res := s.Process(h)
+	if res.Act != ActCloneAndForward {
+		t.Fatal("expected cloning")
+	}
+	a, b, _ := s.Group(0)
+
+	faster := resp(h, a, 0)
+	if got := s.Process(faster); got.Act != ActForwardClient {
+		t.Fatalf("faster response act = %v, want forward-client", got.Act)
+	}
+	clone := res.Clone
+	slower := resp(&clone, b, 0)
+	if got := s.Process(slower); got.Act != ActDrop {
+		t.Fatalf("slower response act = %v, want drop", got.Act)
+	}
+	st := s.Stats()
+	if st.FilterInserts != 1 || st.FilterDrops != 1 {
+		t.Errorf("filter stats inserts=%d drops=%d, want 1/1", st.FilterInserts, st.FilterDrops)
+	}
+}
+
+func TestFilterSlotReusableAfterDrop(t *testing.T) {
+	// After the pair completes, the same slot must accept a new request.
+	s := newTestSwitch(t, testConfig(), 2)
+	for i := 0; i < 10; i++ {
+		h := req(0, 0)
+		res := s.Process(h)
+		if res.Act != ActCloneAndForward {
+			t.Fatalf("iteration %d: expected cloning", i)
+		}
+		a, b, _ := s.Group(0)
+		if got := s.Process(resp(h, a, 0)); got.Act != ActForwardClient {
+			t.Fatalf("iteration %d: faster dropped", i)
+		}
+		clone := res.Clone
+		if got := s.Process(resp(&clone, b, 0)); got.Act != ActDrop {
+			t.Fatalf("iteration %d: slower not dropped", i)
+		}
+	}
+}
+
+func TestFilterOverwriteOnLoss(t *testing.T) {
+	// If a slower response is lost, its fingerprint lingers; a later
+	// request hashing to the same slot must overwrite it (§3.5/§3.6).
+	cfg := testConfig()
+	cfg.FilterSlots = 2 // force collisions quickly
+	cfg.FilterTables = 1
+	s := newTestSwitch(t, cfg, 2)
+	a, _, _ := s.Group(0)
+
+	// First cloned request: only the faster response arrives (slower
+	// lost) -> fingerprint stays in the table.
+	h1 := req(0, 0)
+	res1 := s.Process(h1)
+	if res1.Act != ActCloneAndForward {
+		t.Fatal("expected cloning")
+	}
+	s.Process(resp(h1, a, 0))
+
+	// Drive more cloned requests; with 2 slots a collision with h1's
+	// lingering fingerprint happens almost immediately. All faster
+	// responses must still be forwarded thanks to overwrite-on-insert.
+	overwrites := false
+	for i := 0; i < 8; i++ {
+		h := req(0, 0)
+		res := s.Process(h)
+		if res.Act != ActCloneAndForward {
+			t.Fatalf("iteration %d: expected cloning", i)
+		}
+		if got := s.Process(resp(h, a, 0)); got.Act != ActForwardClient {
+			t.Fatalf("iteration %d: faster response was dropped (stuck slot)", i)
+		}
+		if s.Stats().FilterOverwrites > 0 {
+			overwrites = true
+		}
+	}
+	if !overwrites {
+		t.Error("expected at least one fingerprint overwrite")
+	}
+}
+
+func TestFilteringDisabled(t *testing.T) {
+	cfg := testConfig()
+	cfg.EnableFiltering = false
+	s := newTestSwitch(t, cfg, 2)
+	h := req(0, 0)
+	res := s.Process(h)
+	a, b, _ := s.Group(0)
+	if got := s.Process(resp(h, a, 0)); got.Act != ActForwardClient {
+		t.Fatal("faster response must forward")
+	}
+	clone := res.Clone
+	if got := s.Process(resp(&clone, b, 0)); got.Act != ActForwardClient {
+		t.Fatalf("without filtering the slower response must reach the client, got %v", got.Act)
+	}
+	if s.Stats().FilterDrops != 0 {
+		t.Error("filter dropped despite being disabled")
+	}
+}
+
+func TestNonClonedResponseSkipsFilter(t *testing.T) {
+	s := newTestSwitch(t, testConfig(), 2)
+	_, b, _ := s.Group(0)
+	// A standalone non-cloned response marks b busy without touching the
+	// filter tables.
+	s.Process(&wire.Header{Type: wire.TypeResp, SID: b, State: 9, ReqID: 7})
+
+	h := req(0, 0)
+	if res := s.Process(h); res.Act != ActForwardServer {
+		t.Fatal("setup: expected plain forward")
+	}
+	a, _, _ := s.Group(0)
+	r := resp(h, a, 0)
+	if got := s.Process(r); got.Act != ActForwardClient {
+		t.Fatalf("non-cloned response act = %v, want forward", got.Act)
+	}
+	if s.Stats().FilterInserts != 0 {
+		t.Error("non-cloned response touched the filter table")
+	}
+}
+
+func TestSequencerMonotonicAndSkipsZero(t *testing.T) {
+	s := newTestSwitch(t, testConfig(), 2)
+	var prev uint32
+	for i := 0; i < 100; i++ {
+		h := req(uint16(i%s.NumGroups()), 0)
+		s.Process(h)
+		if h.ReqID == 0 {
+			t.Fatal("request ID 0 assigned (reserved for empty filter slots)")
+		}
+		if i > 0 && h.ReqID <= prev {
+			t.Fatalf("request IDs not strictly increasing: %d after %d", h.ReqID, prev)
+		}
+		prev = h.ReqID
+	}
+}
+
+func TestSequencerWrap(t *testing.T) {
+	s := newTestSwitch(t, testConfig(), 2)
+	s.seqReg.vals[0] = ^uint32(0) // poke: next assignment wraps
+	h := req(0, 0)
+	s.Process(h)
+	if h.ReqID == 0 {
+		t.Fatal("wrapped sequencer assigned ID 0")
+	}
+}
+
+func TestForeignSwitchIDPassthrough(t *testing.T) {
+	cfg := testConfig()
+	cfg.SwitchID = 5
+	s := newTestSwitch(t, cfg, 2)
+
+	h := req(0, 0)
+	h.SwitchID = 9 // already processed by another ToR
+	if res := s.Process(h); res.Act != ActPassL3 {
+		t.Fatalf("foreign request act = %v, want pass-l3", res.Act)
+	}
+	if h.ReqID != 0 {
+		t.Error("foreign packet must not be sequenced")
+	}
+
+	// SwitchID 0 -> ours to process, and stamped with our ID.
+	h2 := req(0, 0)
+	if res := s.Process(h2); res.Act == ActPassL3 {
+		t.Fatal("unowned request must be processed")
+	}
+	if h2.SwitchID != 5 {
+		t.Errorf("request not stamped: SwitchID = %d, want 5", h2.SwitchID)
+	}
+
+	// Matching non-zero ID -> also processed.
+	h3 := req(0, 0)
+	h3.SwitchID = 5
+	if res := s.Process(h3); res.Act == ActPassL3 {
+		t.Fatal("own-ID request must be processed")
+	}
+	if s.Stats().PassL3 != 1 {
+		t.Errorf("PassL3 = %d, want 1", s.Stats().PassL3)
+	}
+}
+
+func TestMalformedRequestDropped(t *testing.T) {
+	s := newTestSwitch(t, testConfig(), 2)
+	h := req(0, 0)
+	h.Clo = wire.CloOriginal // clients may not claim cloned-original
+	if res := s.Process(h); res.Act != ActDrop {
+		t.Fatalf("act = %v, want drop", res.Act)
+	}
+	if s.Stats().MalformedDrops != 1 {
+		t.Error("MalformedDrops not counted")
+	}
+}
+
+func TestResponseSIDOutOfRange(t *testing.T) {
+	s := newTestSwitch(t, testConfig(), 2)
+	r := &wire.Header{Type: wire.TypeResp, SID: 9999, ReqID: 1}
+	if res := s.Process(r); res.Act != ActDrop {
+		t.Fatalf("act = %v, want drop for out-of-range SID", res.Act)
+	}
+}
+
+func TestNoServersDropsRequests(t *testing.T) {
+	s, err := New(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := req(0, 0)
+	if res := s.Process(h); res.Act != ActDrop {
+		t.Fatalf("act = %v, want drop with no servers", res.Act)
+	}
+	if s.Stats().DropsNoRoute != 1 {
+		t.Error("DropsNoRoute not counted")
+	}
+}
+
+func TestRemoveServerRebuildsGroups(t *testing.T) {
+	s := newTestSwitch(t, testConfig(), 3)
+	if s.NumGroups() != 6 {
+		t.Fatalf("NumGroups = %d, want 6", s.NumGroups())
+	}
+	s.RemoveServer(1)
+	if s.NumGroups() != 2 {
+		t.Fatalf("NumGroups after removal = %d, want 2", s.NumGroups())
+	}
+	for g := 0; g < s.NumGroups(); g++ {
+		a, b, _ := s.Group(g)
+		if a == 1 || b == 1 {
+			t.Fatalf("group %d still references removed server", g)
+		}
+	}
+	got := s.Servers()
+	if len(got) != 2 || got[0] != 0 || got[1] != 2 {
+		t.Fatalf("Servers = %v, want [0 2]", got)
+	}
+	// Requests now route only to surviving servers.
+	for i := 0; i < 10; i++ {
+		h := req(uint16(i), 0)
+		res := s.Process(h)
+		if res.Act == ActDrop {
+			t.Fatal("request dropped after removal")
+		}
+		if res.DstSID == 1 {
+			t.Fatal("routed to removed server")
+		}
+	}
+}
+
+func TestRemoveCloneTargetDropsRecirculatedClone(t *testing.T) {
+	s := newTestSwitch(t, testConfig(), 2)
+	h := req(0, 0)
+	res := s.Process(h)
+	if res.Act != ActCloneAndForward {
+		t.Fatal("expected cloning")
+	}
+	s.RemoveServer(res.Clone.SID)
+	clone := res.Clone
+	if got := s.Process(&clone); got.Act != ActDrop {
+		t.Fatalf("recirculated clone to removed server act = %v, want drop", got.Act)
+	}
+}
+
+func TestResetClearsSoftState(t *testing.T) {
+	s := newTestSwitch(t, testConfig(), 2)
+	_, b, _ := s.Group(0)
+	h := req(0, 0)
+	res := s.Process(h)
+	if res.Act != ActCloneAndForward {
+		t.Fatal("expected cloning")
+	}
+	s.Process(resp(h, b, 7)) // b busy; also inserts a fingerprint
+
+	s.Reset()
+
+	// After reset all states read idle -> cloning resumes; the
+	// sequencer restarts (§3.6: no fatal outcome).
+	h2 := req(0, 0)
+	res2 := s.Process(h2)
+	if res2.Act != ActCloneAndForward {
+		t.Fatalf("act after reset = %v, want cloning (states cleared)", res2.Act)
+	}
+	if h2.ReqID != 1 {
+		t.Errorf("sequencer after reset assigned %d, want 1", h2.ReqID)
+	}
+	// Group/address tables survive (control-plane state).
+	if s.NumGroups() != 2 {
+		t.Error("match-action tables must survive a reset")
+	}
+}
+
+func TestAddServerErrors(t *testing.T) {
+	s, err := New(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddServer(9999, 1); err == nil {
+		t.Fatal("AddServer beyond MaxServers must fail")
+	}
+	// Idempotent re-add updates the address without duplicating groups.
+	if err := s.AddServer(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddServer(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddServer(0, 42); err != nil {
+		t.Fatal(err)
+	}
+	if s.NumGroups() != 2 {
+		t.Fatalf("NumGroups = %d, want 2 after duplicate add", s.NumGroups())
+	}
+	h := req(0, 0)
+	res := s.Process(h)
+	if res.DstAddr != 42 && res.DstAddr != 2 {
+		t.Fatalf("unexpected addr %d", res.DstAddr)
+	}
+}
+
+func TestActionStrings(t *testing.T) {
+	for a := ActForwardServer; a <= ActPassL3; a++ {
+		if a.String() == "" {
+			t.Errorf("Action(%d) has empty string", a)
+		}
+	}
+	if Action(99).String() == "" {
+		t.Error("unknown action must stringify")
+	}
+}

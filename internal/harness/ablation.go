@@ -1,0 +1,285 @@
+package harness
+
+import (
+	"fmt"
+
+	"netclone/internal/simcluster"
+	"netclone/internal/workload"
+)
+
+// Ablation experiments for the design choices DESIGN.md calls out. These
+// go beyond the paper's figures: each isolates one mechanism of the
+// NetClone design and measures what it buys.
+
+func registerAblations() {
+	registerAblCloneDrop()
+	registerAblGroupOrder()
+	registerAblFilterTables()
+	registerAblCoordCost()
+	registerAblMultiCoord()
+}
+
+// abl-clonedrop: the server-side stale-state guard (§3.4). Without it,
+// clones admitted to busy servers add real load at high utilization.
+func registerAblCloneDrop() {
+	register(&Experiment{
+		ID:    "abl-clonedrop",
+		Title: "Ablation: server-side clone drop guard",
+		Paper: "design choice §3.4",
+		Run: func(opts Options) (Report, error) {
+			opts = opts.withDefaults()
+			dist := workload.WithJitter(workload.Exp(25), highVariability)
+			base := synthetic(dist, homWorkers(defaultServers, synthThreads))
+			cap := capacityRPS(base.Workers, dist.Mean())
+			var series []Series
+			for _, v := range []struct {
+				label   string
+				disable bool
+			}{{"NetClone (guard on)", false}, {"NetClone (guard off)", true}} {
+				s := Series{Label: v.label}
+				for li, frac := range opts.LoadFracs {
+					cfg := base
+					cfg.Scheme = simcluster.NetClone
+					cfg.DisableServerCloneDrop = v.disable
+					cfg.OfferedRPS = frac * cap
+					cfg.WarmupNS = opts.WarmupNS
+					cfg.DurationNS = opts.DurationNS
+					cfg.Seed = opts.Seed + uint64(li)
+					res, err := simcluster.Run(cfg)
+					if err != nil {
+						return Report{}, err
+					}
+					s.Points = append(s.Points, Point{
+						X: res.ThroughputRPS / 1e6,
+						Y: float64(res.Latency.P99) / 1e3,
+					})
+				}
+				series = append(series, s)
+			}
+			return Report{
+				ID: "abl-clonedrop", Title: "Server-side clone drop guard (stale tracked state)",
+				XLabel: "Throughput (MRPS)", YLabel: "99% latency (us)",
+				Series: series,
+				Notes: []string{
+					"Without the guard, clones admitted to actually-busy servers consume",
+					"worker time; the penalty grows with load (§3.4, §5.3.2).",
+				},
+			}, nil
+		},
+	})
+}
+
+// abl-grouporder: the "2 * C(n,2) ordered pairs" group table design
+// (§3.3). Restricting clients to one ordering herds non-cloned requests
+// onto low-ID servers.
+func registerAblGroupOrder() {
+	register(&Experiment{
+		ID:    "abl-grouporder",
+		Title: "Ablation: ordered-pair group table",
+		Paper: "design choice §3.3",
+		Run: func(opts Options) (Report, error) {
+			opts = opts.withDefaults()
+			dist := workload.WithJitter(workload.Exp(25), highVariability)
+			base := synthetic(dist, homWorkers(defaultServers, synthThreads))
+			cap := capacityRPS(base.Workers, dist.Mean())
+			var series []Series
+			for _, v := range []struct {
+				label  string
+				single bool
+			}{{"ordered pairs (paper)", false}, {"single ordering", true}} {
+				s := Series{Label: v.label}
+				for li, frac := range opts.LoadFracs {
+					cfg := base
+					cfg.Scheme = simcluster.NetClone
+					cfg.SingleOrderingGroups = v.single
+					cfg.OfferedRPS = frac * cap
+					cfg.WarmupNS = opts.WarmupNS
+					cfg.DurationNS = opts.DurationNS
+					cfg.Seed = opts.Seed + uint64(li)
+					res, err := simcluster.Run(cfg)
+					if err != nil {
+						return Report{}, err
+					}
+					s.Points = append(s.Points, Point{
+						X: res.ThroughputRPS / 1e6,
+						Y: float64(res.Latency.P99) / 1e3,
+					})
+				}
+				series = append(series, s)
+			}
+			return Report{
+				ID: "abl-grouporder", Title: "Ordered-pair groups vs single ordering",
+				XLabel: "Throughput (MRPS)", YLabel: "99% latency (us)",
+				Series: series,
+				Notes: []string{
+					"With a single ordering, every non-cloned request goes to the pair's",
+					"first (lower-ID) server, halving the effective random-placement set",
+					"once queues build (§3.3's rationale for 2*C(n,2) groups).",
+				},
+			}, nil
+		},
+	})
+}
+
+// abl-filtertables: the multi-table collision design (§3.5). Measured
+// with deliberately small tables so collisions are visible.
+func registerAblFilterTables() {
+	register(&Experiment{
+		ID:    "abl-filtertables",
+		Title: "Ablation: number of filter tables",
+		Paper: "design choice §3.5",
+		Run: func(opts Options) (Report, error) {
+			opts = opts.withDefaults()
+			dist := workload.WithJitter(workload.Exp(25), highVariability)
+			base := synthetic(dist, homWorkers(defaultServers, synthThreads))
+			cap := capacityRPS(base.Workers, dist.Mean())
+			table := [][]string{{"Filter tables", "Slots/table", "Redundant leaked per 1M completed", "Filter overwrites per 1M responses"}}
+			for _, tables := range []int{1, 2, 4} {
+				cfg := base
+				cfg.Scheme = simcluster.NetClone
+				cfg.FilterTables = tables
+				cfg.FilterSlots = 1 << 8 // small on purpose: make collisions observable
+				cfg.OfferedRPS = 0.45 * cap
+				cfg.WarmupNS = opts.WarmupNS
+				cfg.DurationNS = opts.DurationNS
+				cfg.Seed = opts.Seed
+				res, err := simcluster.Run(cfg)
+				if err != nil {
+					return Report{}, err
+				}
+				leak := float64(res.RedundantAtClient) / float64(maxI64(res.Completed, 1)) * 1e6
+				ow := float64(res.Switch.FilterOverwrites) / float64(maxI64(res.Switch.Responses, 1)) * 1e6
+				table = append(table, []string{
+					fmt.Sprintf("%d", tables), "256",
+					fmt.Sprintf("%.0f", leak),
+					fmt.Sprintf("%.0f", ow),
+				})
+			}
+			return Report{
+				ID: "abl-filtertables", Title: "Hash-collision tolerance vs number of filter tables",
+				Table: table,
+				Notes: []string{
+					"Tables shrunk to 2^8 slots (prototype: 2^17) to surface collisions.",
+					"More tables with client-randomized indices cut same-slot collisions,",
+					"so fewer slower responses leak to the client (§3.5).",
+				},
+			}, nil
+		},
+	})
+}
+
+// abl-coordcost: what a faster coordinator CPU would buy LÆDGE — the
+// motivation for moving the cloning decision into the switch (§2.3).
+func registerAblCoordCost() {
+	register(&Experiment{
+		ID:    "abl-coordcost",
+		Title: "Ablation: LAEDGE coordinator CPU cost",
+		Paper: "motivation §2.2-2.3",
+		Run: func(opts Options) (Report, error) {
+			opts = opts.withDefaults()
+			dist := workload.WithJitter(workload.Exp(25), highVariability)
+			workers := homWorkers(5, synthThreads)
+			cap := capacityRPS(workers, dist.Mean())
+			table := [][]string{{"Coordinator cost/pkt", "Achieved MRPS at 90% offered", "NetClone MRPS (same offered)"}}
+			for _, cost := range []int64{100, 200, 400, 800} {
+				cal := simcluster.DefaultCalibration()
+				cal.CoordPktCostNS = cost
+				cfg := simcluster.Config{
+					Scheme: simcluster.LAEDGE, Workers: workers, Service: dist,
+					OfferedRPS: 0.9 * cap, WarmupNS: opts.WarmupNS,
+					DurationNS: opts.DurationNS, Seed: opts.Seed, Cal: cal,
+				}
+				la, err := simcluster.Run(cfg)
+				if err != nil {
+					return Report{}, err
+				}
+				cfg.Scheme = simcluster.NetClone
+				nc, err := simcluster.Run(cfg)
+				if err != nil {
+					return Report{}, err
+				}
+				table = append(table, []string{
+					fmt.Sprintf("%d ns", cost),
+					fmt.Sprintf("%.2f", la.ThroughputRPS/1e6),
+					fmt.Sprintf("%.2f", nc.ThroughputRPS/1e6),
+				})
+			}
+			return Report{
+				ID: "abl-coordcost", Title: "Coordinator CPU cost vs achievable throughput",
+				Table: table,
+				Notes: []string{
+					"Even a 4x faster coordinator stays far from switch line rate: the",
+					"CPU is the wrong vantage point for nanosecond-scale cloning (§2.3).",
+				},
+			}, nil
+		},
+	})
+}
+
+// abl-multicoord: scaling out the LÆDGE coordinator tier (§2.2). Each
+// coordinator costs a dedicated machine, so its workers come out of the
+// serving pool — the "burdensome costs to build and maintain a tier of
+// coordinators" that in-network cloning avoids.
+func registerAblMultiCoord() {
+	register(&Experiment{
+		ID:    "abl-multicoord",
+		Title: "Ablation: LAEDGE coordinator scale-out",
+		Paper: "motivation §2.2",
+		Run: func(opts Options) (Report, error) {
+			opts = opts.withDefaults()
+			dist := workload.WithJitter(workload.Exp(25), highVariability)
+			const totalMachines = 7 // 6 workers + 1 coordinator in the Fig 8 setup
+			capFull := capacityRPS(homWorkers(totalMachines-1, synthThreads), dist.Mean())
+			offered := 0.9 * capFull
+			table := [][]string{{"Scheme", "Machines as workers", "Achieved MRPS", "p99 (us)"}}
+			for _, k := range []int{1, 2, 3} {
+				workers := homWorkers(totalMachines-k, synthThreads)
+				cfg := simcluster.Config{
+					Scheme: simcluster.LAEDGE, Workers: workers, Service: dist,
+					NumCoordinators: k, OfferedRPS: offered,
+					WarmupNS: opts.WarmupNS, DurationNS: opts.DurationNS, Seed: opts.Seed,
+				}
+				res, err := simcluster.Run(cfg)
+				if err != nil {
+					return Report{}, err
+				}
+				table = append(table, []string{
+					fmt.Sprintf("LAEDGE x%d coordinators", k),
+					fmt.Sprintf("%d", totalMachines-k),
+					fmt.Sprintf("%.2f", res.ThroughputRPS/1e6),
+					fmt.Sprintf("%.0f", float64(res.Latency.P99)/1e3),
+				})
+			}
+			nc := simcluster.Config{
+				Scheme: simcluster.NetClone, Workers: homWorkers(totalMachines-1, synthThreads),
+				Service: dist, OfferedRPS: offered,
+				WarmupNS: opts.WarmupNS, DurationNS: opts.DurationNS, Seed: opts.Seed,
+			}
+			res, err := simcluster.Run(nc)
+			if err != nil {
+				return Report{}, err
+			}
+			table = append(table, []string{
+				"NetClone (in-switch)",
+				fmt.Sprintf("%d", totalMachines-1),
+				fmt.Sprintf("%.2f", res.ThroughputRPS/1e6),
+				fmt.Sprintf("%.0f", float64(res.Latency.P99)/1e3),
+			})
+			return Report{
+				ID: "abl-multicoord", Title: "Scaling out the LAEDGE coordinator tier",
+				Table: table,
+				Notes: []string{
+					"Every extra coordinator is a machine removed from the worker pool;",
+					"NetClone gets cloning for free in the ToR switch (§2.2-2.3).",
+				},
+			}, nil
+		},
+	})
+}
+
+func maxI64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,501 @@
+package harness
+
+import (
+	"fmt"
+
+	"netclone/internal/dataplane"
+	"netclone/internal/kvstore"
+	"netclone/internal/simcluster"
+	"netclone/internal/workload"
+)
+
+// Paper defaults (§5.1): 6 worker servers, 2 clients; synthetic
+// workloads run 16 worker threads per server, the RackSched experiments
+// 15 (+1 dispatcher), the key-value experiments 8.
+const (
+	defaultServers   = 6
+	synthThreads     = 16
+	rackschedThreads = 15
+	rackschedSlowThr = 8
+	kvThreads        = 8
+	highVariability  = 0.01  // jitter p for the default workloads
+	lowVariability   = 0.001 // Fig 14
+)
+
+// synthetic builds the standard synthetic-workload base config.
+func synthetic(dist workload.Dist, workers []int) simcluster.Config {
+	return simcluster.Config{Workers: workers, Service: dist}
+}
+
+func init() {
+	registerTable1()
+	registerTable2()
+	registerFig7()
+	registerFig8()
+	registerFig9()
+	registerFig10()
+	registerFig11and12()
+	registerFig13()
+	registerFig14()
+	registerFig15()
+	registerFig16()
+	registerAblations()
+}
+
+// ---------------------------------------------------------------------
+// Table 1 — qualitative comparison
+
+func registerTable1() {
+	register(&Experiment{
+		ID:    "table1",
+		Title: "Comparison to existing works",
+		Paper: "Table 1",
+		Run: func(opts Options) (Report, error) {
+			return Report{
+				ID:    "table1",
+				Title: "Comparison to existing works (Table 1)",
+				Table: [][]string{
+					{"Property", "C-Clone", "LAEDGE", "NetClone"},
+					{"Cloning point", "Client", "Coordinator", "Switch"},
+					{"Dynamic cloning", "no", "yes", "yes"},
+					{"Scalability", "yes", "no", "yes"},
+					{"High throughput", "no", "no", "yes"},
+					{"Low latency overhead", "yes", "no", "yes"},
+				},
+				Notes: []string{
+					"Measured evidence: fig8a/fig8b (throughput and scalability),",
+					"fig7a-d (dynamic cloning vs C-Clone's static cloning),",
+					"fig15 (client overhead without response filtering).",
+				},
+			}, nil
+		},
+	})
+}
+
+// ---------------------------------------------------------------------
+// Table 2 — §4.1 resource usage
+
+func registerTable2() {
+	register(&Experiment{
+		ID:    "table2",
+		Title: "Switch resource usage",
+		Paper: "§4.1 prototype resource report",
+		Run: func(opts Options) (Report, error) {
+			u := dataplane.ComputeUsage(dataplane.DefaultConfig(), 50_000)
+			return Report{
+				ID:    "table2",
+				Title: "Switch resource usage (§4.1, 2 filter tables x 2^17 slots)",
+				Table: [][]string{
+					{"Resource", "Model", "Paper"},
+					{"Match-action stages", fmt.Sprintf("%d", u.Stages), "7"},
+					{"Filter slots", fmt.Sprintf("2^18 (%d)", u.FilterSlotsTotal), "2^18"},
+					{"Filter memory", fmt.Sprintf("%.2f MB", float64(u.FilterBytes)/1e6), "~1.05 MB"},
+					{"Switch SRAM share", fmt.Sprintf("%.2f%%", u.MemFraction*100), "4.77%"},
+					{"Supported throughput @50us", fmt.Sprintf("%.2f BRPS", u.SupportedRPS/1e9), "~5.24 BRPS"},
+				},
+			}, nil
+		},
+	})
+}
+
+// ---------------------------------------------------------------------
+// Fig 7 — synthetic workloads, Baseline vs C-Clone vs NetClone
+
+func registerFig7() {
+	variants := []struct {
+		id   string
+		dist workload.Dist
+	}{
+		{"fig7a", workload.Exp(25)},
+		{"fig7b", workload.Bimodal9010(25, 250)},
+		{"fig7c", workload.Exp(50)},
+		{"fig7d", workload.Bimodal9010(50, 500)},
+	}
+	for _, v := range variants {
+		v := v
+		dist := workload.WithJitter(v.dist, highVariability)
+		register(&Experiment{
+			ID:    v.id,
+			Title: "Synthetic workload " + v.dist.Name(),
+			Paper: "Fig 7 (" + v.id[len(v.id)-1:] + ")",
+			Run: func(opts Options) (Report, error) {
+				opts = opts.withDefaults()
+				base := synthetic(dist, homWorkers(defaultServers, synthThreads))
+				cap := capacityRPS(base.Workers, dist.Mean())
+				series, err := sweep(base,
+					[]simcluster.Scheme{simcluster.Baseline, simcluster.CClone, simcluster.NetClone},
+					cap, opts)
+				if err != nil {
+					return Report{}, err
+				}
+				return Report{
+					ID: v.id, Title: "99% latency vs throughput, " + dist.Name(),
+					XLabel: "Throughput (MRPS)", YLabel: "99% latency (us)",
+					Series: series,
+				}, nil
+			},
+		})
+	}
+}
+
+// ---------------------------------------------------------------------
+// Fig 8 — comparison with C-Clone and LÆDGE (5 workers, one host is the
+// coordinator)
+
+func registerFig8() {
+	variants := []struct {
+		id   string
+		dist workload.Dist
+	}{
+		{"fig8a", workload.Exp(25)},
+		{"fig8b", workload.Bimodal9010(25, 250)},
+	}
+	for _, v := range variants {
+		v := v
+		dist := workload.WithJitter(v.dist, highVariability)
+		register(&Experiment{
+			ID:    v.id,
+			Title: "Scalability comparison, " + v.dist.Name(),
+			Paper: "Fig 8",
+			Run: func(opts Options) (Report, error) {
+				opts = opts.withDefaults()
+				base := synthetic(dist, homWorkers(5, synthThreads))
+				cap := capacityRPS(base.Workers, dist.Mean())
+				series, err := sweep(base,
+					[]simcluster.Scheme{simcluster.CClone, simcluster.LAEDGE, simcluster.NetClone},
+					cap, opts)
+				if err != nil {
+					return Report{}, err
+				}
+				return Report{
+					ID: v.id, Title: "Comparison with existing solutions, " + dist.Name(),
+					XLabel: "Throughput (MRPS)", YLabel: "99% latency (us)",
+					Series: series,
+					Notes: []string{
+						"5 worker servers: in the paper one machine is dedicated to the LAEDGE coordinator.",
+					},
+				}, nil
+			},
+		})
+	}
+}
+
+// ---------------------------------------------------------------------
+// Fig 9 — impact of the number of servers
+
+func registerFig9() {
+	register(&Experiment{
+		ID:    "fig9",
+		Title: "Impact of the number of servers",
+		Paper: "Fig 9",
+		Run: func(opts Options) (Report, error) {
+			opts = opts.withDefaults()
+			dist := workload.WithJitter(workload.Exp(25), highVariability)
+			var series []Series
+			for _, n := range []int{2, 4, 6} {
+				base := synthetic(dist, homWorkers(n, synthThreads))
+				cap := capacityRPS(base.Workers, dist.Mean())
+				ss, err := sweep(base,
+					[]simcluster.Scheme{simcluster.Baseline, simcluster.NetClone}, cap, opts)
+				if err != nil {
+					return Report{}, err
+				}
+				for i := range ss {
+					ss[i].Label = fmt.Sprintf("%s(%d)", ss[i].Label, n)
+				}
+				series = append(series, ss...)
+			}
+			return Report{
+				ID: "fig9", Title: "Impact of the number of servers, Exp(25)",
+				XLabel: "Throughput (MRPS)", YLabel: "99% latency (us)",
+				Series: series,
+			}, nil
+		},
+	})
+}
+
+// ---------------------------------------------------------------------
+// Fig 10 — performance with RackSched, homogeneous and heterogeneous
+
+func registerFig10() {
+	variants := []struct {
+		id     string
+		dist   workload.Dist
+		het    bool
+		suffix string
+	}{
+		{"fig10a", workload.Exp(25), false, "Exp-Homogeneous"},
+		{"fig10b", workload.Exp(25), true, "Exp-Heterogeneous"},
+		{"fig10c", workload.Bimodal9010(25, 250), false, "Bimodal-Homogeneous"},
+		{"fig10d", workload.Bimodal9010(25, 250), true, "Bimodal-Heterogeneous"},
+	}
+	for _, v := range variants {
+		v := v
+		dist := workload.WithJitter(v.dist, highVariability)
+		register(&Experiment{
+			ID:    v.id,
+			Title: "RackSched integration, " + v.suffix,
+			Paper: "Fig 10",
+			Run: func(opts Options) (Report, error) {
+				opts = opts.withDefaults()
+				workers := homWorkers(defaultServers, rackschedThreads)
+				if v.het {
+					workers = []int{rackschedThreads, rackschedThreads, rackschedThreads,
+						rackschedSlowThr, rackschedSlowThr, rackschedSlowThr}
+				}
+				base := synthetic(dist, workers)
+				cap := capacityRPS(workers, dist.Mean())
+				series, err := sweep(base,
+					[]simcluster.Scheme{simcluster.Baseline, simcluster.NetClone, simcluster.NetCloneRackSched},
+					cap, opts)
+				if err != nil {
+					return Report{}, err
+				}
+				return Report{
+					ID: v.id, Title: "Performance with RackSched, " + v.suffix,
+					XLabel: "Throughput (MRPS)", YLabel: "99% latency (us)",
+					Series: series,
+				}, nil
+			},
+		})
+	}
+}
+
+// ---------------------------------------------------------------------
+// Fig 11 / Fig 12 — Redis-like and Memcached-like application workloads
+
+func registerFig11and12() {
+	variants := []struct {
+		id    string
+		model kvstore.CostModel
+		pGet  float64
+		pScan float64
+		label string
+	}{
+		{"fig11a", kvstore.Redis(), 0.99, 0.01, "Redis 99%-GET,1%-SCAN"},
+		{"fig11b", kvstore.Redis(), 0.90, 0.10, "Redis 90%-GET,10%-SCAN"},
+		{"fig12a", kvstore.Memcached(), 0.99, 0.01, "Memcached 99%-GET,1%-SCAN"},
+		{"fig12b", kvstore.Memcached(), 0.90, 0.10, "Memcached 90%-GET,10%-SCAN"},
+	}
+	for _, v := range variants {
+		v := v
+		register(&Experiment{
+			ID:    v.id,
+			Title: v.label,
+			Paper: "Fig 11/12",
+			Run: func(opts Options) (Report, error) {
+				opts = opts.withDefaults()
+				mix := workload.NewKVMix(v.pGet, v.pScan, kvstore.DefaultObjects, 0.99)
+				base := simcluster.Config{
+					Workers: homWorkers(defaultServers, kvThreads),
+					Mix:     mix,
+					Cost:    v.model,
+				}
+				cap := capacityRPS(base.Workers, v.model.MixMean(mix))
+				series, err := sweep(base,
+					[]simcluster.Scheme{simcluster.Baseline, simcluster.CClone, simcluster.NetClone},
+					cap, opts)
+				if err != nil {
+					return Report{}, err
+				}
+				return Report{
+					ID: v.id, Title: v.label + " (Zipf-0.99, 1M objects)",
+					XLabel: "Throughput (MRPS)", YLabel: "99% latency (us)",
+					Series: series,
+				}, nil
+			},
+		})
+	}
+}
+
+// ---------------------------------------------------------------------
+// Fig 13 — confidence of state signals
+
+func registerFig13() {
+	register(&Experiment{
+		ID:    "fig13a",
+		Title: "Portion of empty queues vs offered load",
+		Paper: "Fig 13(a)",
+		Run: func(opts Options) (Report, error) {
+			opts = opts.withDefaults()
+			dist := workload.WithJitter(workload.Exp(25), highVariability)
+			base := synthetic(dist, homWorkers(defaultServers, synthThreads))
+			cap := capacityRPS(base.Workers, dist.Mean())
+			s := Series{Label: "NetClone"}
+			for i := 1; i <= 10; i++ {
+				frac := float64(i) / 10
+				cfg := base
+				cfg.Scheme = simcluster.NetClone
+				cfg.OfferedRPS = frac * cap
+				cfg.WarmupNS = opts.WarmupNS
+				cfg.DurationNS = opts.DurationNS
+				cfg.Seed = opts.Seed + uint64(i)
+				res, err := simcluster.Run(cfg)
+				if err != nil {
+					return Report{}, err
+				}
+				s.Points = append(s.Points, Point{X: frac * 100, Y: res.EmptyQueueFrac * 100})
+			}
+			return Report{
+				ID: "fig13a", Title: "Confidence of the empty queue for state signaling",
+				XLabel: "Offered load (%)", YLabel: "Portion of zeros (%)",
+				Series: []Series{s},
+			}, nil
+		},
+	})
+
+	register(&Experiment{
+		ID:    "fig13b",
+		Title: "Latency at 90% load over repeated runs",
+		Paper: "Fig 13(b)",
+		Run: func(opts Options) (Report, error) {
+			opts = opts.withDefaults()
+			dist := workload.WithJitter(workload.Exp(25), highVariability)
+			base := synthetic(dist, homWorkers(defaultServers, synthThreads))
+			cap := capacityRPS(base.Workers, dist.Mean())
+			var series []Series
+			for _, scheme := range []simcluster.Scheme{simcluster.Baseline, simcluster.NetClone} {
+				cfg := base
+				cfg.Scheme = scheme
+				cfg.OfferedRPS = 0.9 * cap
+				cfg.WarmupNS = opts.WarmupNS
+				cfg.DurationNS = opts.DurationNS
+				mean, std, err := meanStdOfRuns(cfg, opts)
+				if err != nil {
+					return Report{}, err
+				}
+				series = append(series, Series{
+					Label:  scheme.String(),
+					Points: []Point{{X: 90, Y: mean, Err: std}},
+				})
+			}
+			return Report{
+				ID: "fig13b", Title: fmt.Sprintf("p99 at 90%% load, mean +/- std over %d runs", opts.Repeats),
+				XLabel: "Offered load (%)", YLabel: "99% latency (us)",
+				Series: series,
+			}, nil
+		},
+	})
+}
+
+// ---------------------------------------------------------------------
+// Fig 14 — low service-time variability (p = 0.001)
+
+func registerFig14() {
+	variants := []struct {
+		id   string
+		dist workload.Dist
+	}{
+		{"fig14a", workload.Exp(25)},
+		{"fig14b", workload.Bimodal9010(25, 250)},
+	}
+	for _, v := range variants {
+		v := v
+		dist := workload.WithJitter(v.dist, lowVariability)
+		register(&Experiment{
+			ID:    v.id,
+			Title: "Low variability, " + v.dist.Name(),
+			Paper: "Fig 14",
+			Run: func(opts Options) (Report, error) {
+				opts = opts.withDefaults()
+				base := synthetic(dist, homWorkers(defaultServers, synthThreads))
+				cap := capacityRPS(base.Workers, dist.Mean())
+				series, err := sweep(base,
+					[]simcluster.Scheme{simcluster.Baseline, simcluster.CClone, simcluster.NetClone},
+					cap, opts)
+				if err != nil {
+					return Report{}, err
+				}
+				return Report{
+					ID: v.id, Title: "Low service-time variability (p=0.001), " + dist.Name(),
+					XLabel: "Throughput (MRPS)", YLabel: "99% latency (us)",
+					Series: series,
+				}, nil
+			},
+		})
+	}
+}
+
+// ---------------------------------------------------------------------
+// Fig 15 — impact of redundant response filtering
+
+func registerFig15() {
+	register(&Experiment{
+		ID:    "fig15",
+		Title: "Impact of redundant response filtering",
+		Paper: "Fig 15",
+		Run: func(opts Options) (Report, error) {
+			opts = opts.withDefaults()
+			dist := workload.WithJitter(workload.Exp(25), highVariability)
+			base := synthetic(dist, homWorkers(defaultServers, synthThreads))
+			cap := capacityRPS(base.Workers, dist.Mean())
+			series, err := sweep(base,
+				[]simcluster.Scheme{simcluster.Baseline, simcluster.NetCloneNoFilter, simcluster.NetClone},
+				cap, opts)
+			if err != nil {
+				return Report{}, err
+			}
+			return Report{
+				ID: "fig15", Title: "Impact of redundant response filtering, Exp(25)",
+				XLabel: "Throughput (MRPS)", YLabel: "99% latency (us)",
+				Series: series,
+			}, nil
+		},
+	})
+}
+
+// ---------------------------------------------------------------------
+// Fig 16 — performance under switch failures
+
+func registerFig16() {
+	register(&Experiment{
+		ID:    "fig16",
+		Title: "Performance under switch failures",
+		Paper: "Fig 16",
+		Run: func(opts Options) (Report, error) {
+			opts = opts.withDefaults()
+			dist := workload.WithJitter(workload.Exp(25), highVariability)
+			workers := homWorkers(defaultServers, synthThreads)
+			cap := capacityRPS(workers, dist.Mean())
+			// Time scale derives from the per-point duration so Quick()
+			// options shrink the whole timeline proportionally. Defaults:
+			// 12s run, failure at 5s, recovery at 7s, 1s bins — the
+			// paper's schedule (its x-axis runs to 25s; recovery behaviour
+			// is identical from 12s on).
+			unit := opts.DurationNS
+			cfg := simcluster.Config{
+				Scheme:            simcluster.NetClone,
+				Workers:           workers,
+				Service:           dist,
+				OfferedRPS:        0.27 * cap, // ~0.9 MRPS at full scale, as in the paper
+				WarmupNS:          0,
+				DurationNS:        60 * unit,
+				Seed:              opts.Seed,
+				SwitchFailAtNS:    25 * unit,
+				SwitchRecoverAtNS: 35 * unit,
+				TimelineBinNS:     5 * unit,
+			}
+			res, err := simcluster.Run(cfg)
+			if err != nil {
+				return Report{}, err
+			}
+			s := Series{Label: "NetClone"}
+			for i, r := range res.Timeline.Rate() {
+				t := float64(i) * float64(cfg.TimelineBinNS) / 1e9
+				s.Points = append(s.Points, Point{X: t, Y: r / 1e6})
+			}
+			return Report{
+				ID: "fig16", Title: "Throughput under a switch stop/reactivate cycle",
+				XLabel: "Time (s)", YLabel: "Throughput (MRPS)",
+				Series: []Series{s},
+				Notes: []string{
+					"Switch stopped at bin 5 and reactivated at bin 7 (scaled by options).",
+					"The paper observes ~10s of downtime dominated by switch reboot time;",
+					"the simulated switch recovers instantly, so the dip spans exactly the",
+					"configured failure window. Soft state (sequencer, states, filters) is",
+					"lost and rebuilt from live traffic, with no permanent misbehavior (§3.6).",
+				},
+			}, nil
+		},
+	})
+}

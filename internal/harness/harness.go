@@ -1,0 +1,219 @@
+// Package harness defines one runnable experiment per table and figure of
+// the paper's evaluation (§5), plus ablation experiments for the design
+// choices called out in DESIGN.md. Each experiment produces the same rows
+// or series the paper plots, at a configurable fidelity, so the whole
+// evaluation can be regenerated with `netclone-bench -run all`.
+package harness
+
+import (
+	"fmt"
+	"sort"
+
+	"netclone/internal/simcluster"
+	"netclone/internal/stats"
+)
+
+// Point is one datum of a series: X is the figure's x-axis value
+// (measured throughput in MRPS, offered load fraction, or seconds), Y the
+// y-axis value (99th-percentile latency in microseconds unless the
+// experiment says otherwise). Err is a +/- error bar where the paper
+// reports one (Fig 13b).
+type Point struct {
+	X   float64
+	Y   float64
+	Err float64
+}
+
+// Series is one labelled curve of a figure.
+type Series struct {
+	Label  string
+	Points []Point
+}
+
+// Report is the output of one experiment: figures fill Series, tables
+// fill Table (first row is the header). Notes carry caveats and
+// calibration remarks that belong next to the numbers.
+type Report struct {
+	ID     string
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+	Table  [][]string
+	Notes  []string
+}
+
+// Options scale experiment fidelity. The zero value is filled with
+// Default(); benchmarks use Quick() to keep iterations short.
+type Options struct {
+	// DurationNS is the per-point measurement window.
+	DurationNS int64
+	// WarmupNS precedes every measurement window.
+	WarmupNS int64
+	// Seed drives every simulation; experiments derive per-point seeds
+	// from it deterministically.
+	Seed uint64
+	// LoadFracs is the offered-load grid as fractions of estimated
+	// cluster capacity.
+	LoadFracs []float64
+	// Repeats is the number of runs per point for experiments that
+	// average over runs (Fig 13b).
+	Repeats int
+}
+
+// Default returns full-fidelity options (minutes of wall time for the
+// whole suite).
+func Default() Options {
+	return Options{
+		DurationNS: 200e6,
+		WarmupNS:   50e6,
+		Seed:       1,
+		LoadFracs:  []float64{0.05, 0.15, 0.30, 0.45, 0.60, 0.75, 0.90, 1.00},
+		Repeats:    10,
+	}
+}
+
+// Quick returns reduced-fidelity options for tests and testing.B
+// benchmarks (seconds for the whole suite).
+func Quick() Options {
+	return Options{
+		DurationNS: 30e6,
+		WarmupNS:   10e6,
+		Seed:       1,
+		LoadFracs:  []float64{0.15, 0.45, 0.75},
+		Repeats:    3,
+	}
+}
+
+// withDefaults fills zero fields from Default().
+func (o Options) withDefaults() Options {
+	d := Default()
+	if o.DurationNS <= 0 {
+		o.DurationNS = d.DurationNS
+	}
+	if o.WarmupNS < 0 {
+		o.WarmupNS = d.WarmupNS
+	}
+	if o.Seed == 0 {
+		o.Seed = d.Seed
+	}
+	if len(o.LoadFracs) == 0 {
+		o.LoadFracs = d.LoadFracs
+	}
+	if o.Repeats <= 0 {
+		o.Repeats = d.Repeats
+	}
+	return o
+}
+
+// Experiment is one reproducible table or figure.
+type Experiment struct {
+	ID    string
+	Title string
+	// Paper says which artifact this regenerates.
+	Paper string
+	Run   func(Options) (Report, error)
+}
+
+var registry = map[string]*Experiment{}
+var order []string
+
+// register adds an experiment at package init.
+func register(e *Experiment) {
+	if _, dup := registry[e.ID]; dup {
+		panic("harness: duplicate experiment " + e.ID)
+	}
+	registry[e.ID] = e
+	order = append(order, e.ID)
+}
+
+// Lookup returns the experiment with the given ID.
+func Lookup(id string) (*Experiment, bool) {
+	e, ok := registry[id]
+	return e, ok
+}
+
+// All returns every experiment in registration (paper) order.
+func All() []*Experiment {
+	out := make([]*Experiment, 0, len(order))
+	for _, id := range order {
+		out = append(out, registry[id])
+	}
+	return out
+}
+
+// IDs returns the sorted experiment IDs.
+func IDs() []string {
+	ids := make([]string, 0, len(registry))
+	for id := range registry {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// ---------------------------------------------------------------------
+// Shared sweep machinery
+
+// capacityRPS estimates the cluster's saturation throughput: total worker
+// threads divided by mean service time.
+func capacityRPS(workers []int, meanServiceNS float64) float64 {
+	total := 0
+	for _, w := range workers {
+		total += w
+	}
+	return float64(total) / (meanServiceNS / 1e9)
+}
+
+// sweep runs cfg at every load fraction for every scheme and returns one
+// latency-vs-throughput series per scheme (the paper's standard plot
+// shape).
+func sweep(base simcluster.Config, schemes []simcluster.Scheme, capRPS float64, opts Options) ([]Series, error) {
+	out := make([]Series, 0, len(schemes))
+	for si, scheme := range schemes {
+		s := Series{Label: scheme.String()}
+		for li, frac := range opts.LoadFracs {
+			cfg := base
+			cfg.Scheme = scheme
+			cfg.OfferedRPS = frac * capRPS
+			cfg.WarmupNS = opts.WarmupNS
+			cfg.DurationNS = opts.DurationNS
+			cfg.Seed = opts.Seed + uint64(si*1000+li)
+			res, err := simcluster.Run(cfg)
+			if err != nil {
+				return nil, fmt.Errorf("%s at %.0f%%: %w", scheme, frac*100, err)
+			}
+			s.Points = append(s.Points, Point{
+				X: res.ThroughputRPS / 1e6,
+				Y: float64(res.Latency.P99) / 1e3,
+			})
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// homWorkers returns n servers with w worker threads each.
+func homWorkers(n, w int) []int {
+	ws := make([]int, n)
+	for i := range ws {
+		ws[i] = w
+	}
+	return ws
+}
+
+// meanStdOfRuns repeats one configuration with varied seeds and returns
+// the mean and standard deviation of the p99 latency in microseconds.
+func meanStdOfRuns(cfg simcluster.Config, opts Options) (mean, std float64, err error) {
+	var p99s []float64
+	for r := 0; r < opts.Repeats; r++ {
+		cfg.Seed = opts.Seed + uint64(r)*7919
+		res, e := simcluster.Run(cfg)
+		if e != nil {
+			return 0, 0, e
+		}
+		p99s = append(p99s, float64(res.Latency.P99)/1e3)
+	}
+	mean, std = stats.MeanStd(p99s)
+	return mean, std, nil
+}

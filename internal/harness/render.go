@@ -1,0 +1,125 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// RenderText writes a human-readable rendering of the report: aligned
+// columns for tables, one block per series for figures.
+func RenderText(w io.Writer, r Report) error {
+	if _, err := fmt.Fprintf(w, "=== %s: %s\n", r.ID, r.Title); err != nil {
+		return err
+	}
+	if len(r.Table) > 0 {
+		if err := renderTable(w, r.Table); err != nil {
+			return err
+		}
+	}
+	for _, s := range r.Series {
+		if _, err := fmt.Fprintf(w, "-- %s\n", s.Label); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "   %14s %14s\n", r.XLabel, r.YLabel); err != nil {
+			return err
+		}
+		for _, p := range s.Points {
+			line := fmt.Sprintf("   %14.3f %14.1f", p.X, p.Y)
+			if p.Err != 0 {
+				line += fmt.Sprintf(" +/- %.1f", p.Err)
+			}
+			if _, err := fmt.Fprintln(w, line); err != nil {
+				return err
+			}
+		}
+	}
+	for _, n := range r.Notes {
+		if _, err := fmt.Fprintf(w, "note: %s\n", n); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+// renderTable prints rows with columns aligned to the widest cell.
+func renderTable(w io.Writer, rows [][]string) error {
+	if len(rows) == 0 {
+		return nil
+	}
+	widths := make([]int, 0)
+	for _, row := range rows {
+		for i, cell := range row {
+			if i >= len(widths) {
+				widths = append(widths, 0)
+			}
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	for ri, row := range rows {
+		var b strings.Builder
+		for i, cell := range row {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(cell)
+			b.WriteString(strings.Repeat(" ", widths[i]-len(cell)))
+		}
+		if _, err := fmt.Fprintln(w, strings.TrimRight(b.String(), " ")); err != nil {
+			return err
+		}
+		if ri == 0 {
+			total := 0
+			for _, wd := range widths {
+				total += wd + 2
+			}
+			if _, err := fmt.Fprintln(w, strings.Repeat("-", total-2)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// RenderCSV writes the report as CSV: figures become
+// (series,x,y,err) rows, tables are emitted verbatim.
+func RenderCSV(w io.Writer, r Report) error {
+	if len(r.Table) > 0 {
+		for _, row := range r.Table {
+			if _, err := fmt.Fprintln(w, strings.Join(csvEscape(row), ",")); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if _, err := fmt.Fprintf(w, "series,%s,%s,err\n", csvField(r.XLabel), csvField(r.YLabel)); err != nil {
+		return err
+	}
+	for _, s := range r.Series {
+		for _, p := range s.Points {
+			if _, err := fmt.Fprintf(w, "%s,%g,%g,%g\n", csvField(s.Label), p.X, p.Y, p.Err); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func csvEscape(row []string) []string {
+	out := make([]string, len(row))
+	for i, c := range row {
+		out[i] = csvField(c)
+	}
+	return out
+}
+
+// csvField quotes a field if it contains separators or quotes.
+func csvField(s string) string {
+	if strings.ContainsAny(s, ",\"\n") {
+		return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+	}
+	return s
+}

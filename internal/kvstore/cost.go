@@ -1,0 +1,118 @@
+package kvstore
+
+import (
+	"math/rand/v2"
+
+	"netclone/internal/workload"
+)
+
+// CostModel supplies per-operation service times for the simulated
+// key-value servers. The constants are calibrated so that the simulated
+// cluster's throughput envelope matches the paper's Redis and Memcached
+// figures (Fig 11/12); see EXPERIMENTS.md §Calibration for the
+// derivation.
+//
+// Service times are drawn as: base cost plus an exponential noise
+// component (NoiseFrac of the base), optionally inflated x15 with
+// probability JitterP — the same variability model as the synthetic
+// workloads (§5.1.2).
+type CostModel struct {
+	Name string
+	// GetNS is the base cost of a single-object GET.
+	GetNS int64
+	// ScanPerObjNS is the per-additional-object cost of a SCAN; a SCAN of
+	// workload.ScanSpan objects costs GetNS + (span-1)*ScanPerObjNS.
+	ScanPerObjNS int64
+	// SetNS is the base cost of a SET.
+	SetNS int64
+	// NoiseFrac scales the exponential noise component.
+	NoiseFrac float64
+	// JitterP is the probability of a x15 service-time jitter event.
+	JitterP float64
+}
+
+// Redis returns the Redis-like cost model.
+func Redis() CostModel {
+	return CostModel{
+		Name:         "redis",
+		GetNS:        40 * workload.Microsecond,
+		ScanPerObjNS: 27 * workload.Microsecond,
+		SetNS:        42 * workload.Microsecond,
+		NoiseFrac:    0.25,
+		JitterP:      0.01,
+	}
+}
+
+// Memcached returns the Memcached-like cost model (slightly faster than
+// Redis, as in Fig 12 vs Fig 11).
+func Memcached() CostModel {
+	return CostModel{
+		Name:         "memcached",
+		GetNS:        38 * workload.Microsecond,
+		ScanPerObjNS: 25 * workload.Microsecond,
+		SetNS:        40 * workload.Microsecond,
+		NoiseFrac:    0.25,
+		JitterP:      0.01,
+	}
+}
+
+// base returns the deterministic cost of op.
+func (m CostModel) base(op workload.OpKind) int64 {
+	switch op {
+	case workload.OpGet:
+		return m.GetNS
+	case workload.OpScan:
+		return m.GetNS + int64(workload.ScanSpan-1)*m.ScanPerObjNS
+	case workload.OpSet:
+		return m.SetNS
+	default:
+		return m.GetNS
+	}
+}
+
+// Sample draws a service time for op.
+func (m CostModel) Sample(op workload.OpKind, rng *rand.Rand) int64 {
+	b := m.base(op)
+	v := b
+	if m.NoiseFrac > 0 {
+		v += int64(rng.ExpFloat64() * m.NoiseFrac * float64(b))
+	}
+	if m.JitterP > 0 && rng.Float64() < m.JitterP {
+		v *= workload.JitterFactor
+	}
+	if v < 1 {
+		v = 1
+	}
+	return v
+}
+
+// Mean returns the theoretical mean service time of op under the model.
+func (m CostModel) Mean(op workload.OpKind) float64 {
+	b := float64(m.base(op))
+	return b * (1 + m.NoiseFrac) * (1 + m.JitterP*(workload.JitterFactor-1))
+}
+
+// MixMean returns the theoretical mean service time of a GET/SCAN/SET
+// mix, used to size load sweeps.
+func (m CostModel) MixMean(mix *workload.KVMix) float64 {
+	pSet := 1 - mix.PGet - mix.PScan
+	return mix.PGet*m.Mean(workload.OpGet) +
+		mix.PScan*m.Mean(workload.OpScan) +
+		pSet*m.Mean(workload.OpSet)
+}
+
+// Dist adapts one operation kind to the workload.Dist interface so KV
+// service times can drive the same server model as synthetic workloads.
+type opDist struct {
+	m  CostModel
+	op workload.OpKind
+}
+
+// DistFor returns a workload.Dist drawing service times for op.
+func (m CostModel) DistFor(op workload.OpKind) workload.Dist {
+	return opDist{m: m, op: op}
+}
+
+func (d opDist) Sample(rng *rand.Rand) int64 { return d.m.Sample(d.op, rng) }
+func (d opDist) Mean() float64               { return d.m.Mean(d.op) }
+func (d opDist) Name() string                { return d.m.Name + "/" + d.op.String() }

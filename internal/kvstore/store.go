@@ -1,0 +1,115 @@
+// Package kvstore implements the in-memory key-value substrate used by
+// the paper's application experiments (§5.5): 1 million objects with
+// 16-byte keys and 64-byte values, GET/SCAN/SET operations, and
+// Redis-like / Memcached-like service-cost models.
+//
+// The Store holds real data and is used directly by the UDP emulation
+// servers; the CostModel supplies calibrated service-time distributions
+// to the discrete-event simulation (see EXPERIMENTS.md for the
+// calibration).
+package kvstore
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+)
+
+// Paper §5.5 workload dimensions.
+const (
+	DefaultObjects = 1_000_000 // "1 million objects"
+	KeySize        = 16        // "16-byte keys"
+	ValueSize      = 64        // "64-byte values"
+)
+
+// Store is an in-memory object store addressed by key rank. Keys are the
+// canonical 16-byte encoding of the rank (see KeyForRank); values are
+// ValueSize-byte blobs. Store is safe for concurrent use.
+type Store struct {
+	mu   sync.RWMutex
+	vals []byte // n * ValueSize, contiguous
+	n    int
+}
+
+// NewStore builds a store with n objects, each initialized to a
+// deterministic value derived from its rank.
+func NewStore(n int) *Store {
+	s := &Store{vals: make([]byte, n*ValueSize), n: n}
+	for i := 0; i < n; i++ {
+		v := s.vals[i*ValueSize : (i+1)*ValueSize]
+		binary.BigEndian.PutUint64(v, uint64(i))
+		for j := 8; j < ValueSize; j++ {
+			v[j] = byte(i + j)
+		}
+	}
+	return s
+}
+
+// Len returns the number of objects.
+func (s *Store) Len() int { return s.n }
+
+// KeyForRank encodes rank as the canonical 16-byte key.
+func KeyForRank(rank uint64) [KeySize]byte {
+	var k [KeySize]byte
+	binary.BigEndian.PutUint64(k[0:8], rank)
+	binary.BigEndian.PutUint64(k[8:16], ^rank)
+	return k
+}
+
+// RankForKey decodes a canonical key back to its rank, validating the
+// redundancy in the second half.
+func RankForKey(k [KeySize]byte) (uint64, error) {
+	r := binary.BigEndian.Uint64(k[0:8])
+	if binary.BigEndian.Uint64(k[8:16]) != ^r {
+		return 0, fmt.Errorf("kvstore: malformed key %x", k)
+	}
+	return r, nil
+}
+
+// Get copies the value for rank into dst (which must have room for
+// ValueSize bytes) and returns the number of bytes written. It returns 0
+// for out-of-range ranks.
+func (s *Store) Get(rank uint64, dst []byte) int {
+	if rank >= uint64(s.n) {
+		return 0
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return copy(dst, s.vals[rank*ValueSize:(rank+1)*ValueSize])
+}
+
+// Scan reads span consecutive objects starting at rank (wrapping at the
+// end of the keyspace, so a scan near the boundary still reads span
+// objects) and returns a rolling checksum of the data plus the number of
+// objects read. The checksum forces the read to actually happen.
+func (s *Store) Scan(rank uint64, span int) (sum uint64, read int) {
+	if s.n == 0 || span <= 0 {
+		return 0, 0
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for i := 0; i < span; i++ {
+		r := (rank + uint64(i)) % uint64(s.n)
+		v := s.vals[r*ValueSize : (r+1)*ValueSize]
+		sum = sum*1099511628211 + binary.BigEndian.Uint64(v)
+		read++
+	}
+	return sum, read
+}
+
+// Set overwrites the value at rank. Values longer than ValueSize are
+// truncated; shorter values are zero-padded. Returns false for
+// out-of-range ranks.
+func (s *Store) Set(rank uint64, val []byte) bool {
+	if rank >= uint64(s.n) {
+		return false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	dst := s.vals[rank*ValueSize : (rank+1)*ValueSize]
+	n := copy(dst, val)
+	for i := n; i < ValueSize; i++ {
+		dst[i] = 0
+	}
+	return true
+}

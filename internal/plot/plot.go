@@ -1,0 +1,160 @@
+// Package plot renders experiment series as ASCII line charts in the
+// spirit of the paper's figures: latency-vs-throughput curves with an
+// optionally logarithmic y-axis, drawn with per-series glyphs. It keeps
+// `netclone-bench -plot` self-contained on any terminal.
+package plot
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Options control chart geometry and scaling.
+type Options struct {
+	// Width and Height are the plot area size in characters (excluding
+	// axes and labels). Zero values default to 72x20.
+	Width  int
+	Height int
+	// LogY uses a log10 y-axis, as the paper's latency plots do.
+	LogY bool
+	// XLabel and YLabel annotate the axes.
+	XLabel string
+	YLabel string
+	// Title is printed above the chart.
+	Title string
+}
+
+// Series is one labelled curve.
+type Series struct {
+	Label string
+	X     []float64
+	Y     []float64
+}
+
+// glyphs assigns one mark per series, cycling if needed.
+var glyphs = []byte{'*', 'o', '+', 'x', '#', '@', '%', '&'}
+
+// Render draws the chart to w.
+func Render(w io.Writer, series []Series, opts Options) error {
+	if opts.Width <= 0 {
+		opts.Width = 72
+	}
+	if opts.Height <= 0 {
+		opts.Height = 20
+	}
+	xmin, xmax, ymin, ymax, any := bounds(series)
+	if !any {
+		_, err := fmt.Fprintln(w, "(no data)")
+		return err
+	}
+	if opts.LogY {
+		if ymin <= 0 {
+			ymin = 0.1
+		}
+		ymin, ymax = math.Log10(ymin), math.Log10(ymax)
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+
+	grid := make([][]byte, opts.Height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", opts.Width))
+	}
+	for si, s := range series {
+		g := glyphs[si%len(glyphs)]
+		for i := range s.X {
+			y := s.Y[i]
+			if opts.LogY {
+				if y <= 0 {
+					continue
+				}
+				y = math.Log10(y)
+			}
+			col := int(math.Round((s.X[i] - xmin) / (xmax - xmin) * float64(opts.Width-1)))
+			row := opts.Height - 1 - int(math.Round((y-ymin)/(ymax-ymin)*float64(opts.Height-1)))
+			if col >= 0 && col < opts.Width && row >= 0 && row < opts.Height {
+				grid[row][col] = g
+			}
+		}
+	}
+
+	if opts.Title != "" {
+		if _, err := fmt.Fprintln(w, opts.Title); err != nil {
+			return err
+		}
+	}
+	// Legend.
+	var legend []string
+	for si, s := range series {
+		legend = append(legend, fmt.Sprintf("%c=%s", glyphs[si%len(glyphs)], s.Label))
+	}
+	if _, err := fmt.Fprintln(w, strings.Join(legend, "  ")); err != nil {
+		return err
+	}
+
+	// Rows with y-axis ticks on the left.
+	for r, line := range grid {
+		frac := float64(opts.Height-1-r) / float64(opts.Height-1)
+		yv := ymin + frac*(ymax-ymin)
+		if opts.LogY {
+			yv = math.Pow(10, yv)
+		}
+		tick := "          "
+		// Tick every 4 rows and on the extremes.
+		if r == 0 || r == opts.Height-1 || r%4 == 0 {
+			tick = fmt.Sprintf("%9.4g ", yv)
+		}
+		if _, err := fmt.Fprintf(w, "%s|%s\n", tick, string(line)); err != nil {
+			return err
+		}
+	}
+	// X axis.
+	if _, err := fmt.Fprintf(w, "%s+%s\n", strings.Repeat(" ", 10), strings.Repeat("-", opts.Width)); err != nil {
+		return err
+	}
+	lo := fmt.Sprintf("%.4g", xmin)
+	hi := fmt.Sprintf("%.4g", xmax)
+	pad := opts.Width - len(lo) - len(hi)
+	if pad < 1 {
+		pad = 1
+	}
+	if _, err := fmt.Fprintf(w, "%s%s%s%s\n", strings.Repeat(" ", 11), lo, strings.Repeat(" ", pad), hi); err != nil {
+		return err
+	}
+	label := opts.XLabel
+	if opts.YLabel != "" {
+		label += "   (y: " + opts.YLabel
+		if opts.LogY {
+			label += ", log scale"
+		}
+		label += ")"
+	}
+	if label != "" {
+		if _, err := fmt.Fprintf(w, "%s%s\n", strings.Repeat(" ", 11), label); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// bounds computes the data extents across all series.
+func bounds(series []Series) (xmin, xmax, ymin, ymax float64, any bool) {
+	xmin, ymin = math.Inf(1), math.Inf(1)
+	xmax, ymax = math.Inf(-1), math.Inf(-1)
+	for _, s := range series {
+		for i := range s.X {
+			any = true
+			xmin = math.Min(xmin, s.X[i])
+			xmax = math.Max(xmax, s.X[i])
+			ymin = math.Min(ymin, s.Y[i])
+			ymax = math.Max(ymax, s.Y[i])
+		}
+	}
+	return xmin, xmax, ymin, ymax, any
+}

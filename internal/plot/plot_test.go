@@ -1,0 +1,117 @@
+package plot
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func twoSeries() []Series {
+	return []Series{
+		{Label: "Baseline", X: []float64{0.5, 1, 2, 3}, Y: []float64{150, 150, 160, 240}},
+		{Label: "NetClone", X: []float64{0.5, 1, 2, 3}, Y: []float64{65, 70, 120, 260}},
+	}
+}
+
+func TestRenderBasic(t *testing.T) {
+	var buf bytes.Buffer
+	err := Render(&buf, twoSeries(), Options{
+		Title: "fig7a", XLabel: "MRPS", YLabel: "p99 us", LogY: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"fig7a", "*=Baseline", "o=NetClone", "MRPS", "log scale"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Error("series glyphs not drawn")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) < 20 {
+		t.Errorf("chart too short: %d lines", len(lines))
+	}
+}
+
+func TestRenderEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Render(&buf, nil, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "no data") {
+		t.Errorf("empty render = %q", buf.String())
+	}
+}
+
+func TestRenderSinglePoint(t *testing.T) {
+	var buf bytes.Buffer
+	s := []Series{{Label: "one", X: []float64{1}, Y: []float64{5}}}
+	if err := Render(&buf, s, Options{Width: 20, Height: 5}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "*") {
+		t.Error("single point not drawn")
+	}
+}
+
+func TestRenderLogYIgnoresNonPositive(t *testing.T) {
+	var buf bytes.Buffer
+	s := []Series{{Label: "s", X: []float64{1, 2}, Y: []float64{0, 100}}}
+	if err := Render(&buf, s, Options{LogY: true}); err != nil {
+		t.Fatal(err)
+	}
+	// Must not panic or emit NaN/Inf.
+	if strings.Contains(buf.String(), "NaN") || strings.Contains(buf.String(), "Inf") {
+		t.Errorf("log render produced NaN/Inf:\n%s", buf.String())
+	}
+}
+
+func TestRenderManySeriesCycleGlyphs(t *testing.T) {
+	var series []Series
+	for i := 0; i < 10; i++ {
+		series = append(series, Series{
+			Label: strings.Repeat("s", i+1),
+			X:     []float64{float64(i)},
+			Y:     []float64{float64(i + 1)},
+		})
+	}
+	var buf bytes.Buffer
+	if err := Render(&buf, series, Options{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBounds(t *testing.T) {
+	xmin, xmax, ymin, ymax, any := bounds(twoSeries())
+	if !any {
+		t.Fatal("bounds found no data")
+	}
+	if xmin != 0.5 || xmax != 3 || ymin != 65 || ymax != 260 {
+		t.Errorf("bounds = %v %v %v %v", xmin, xmax, ymin, ymax)
+	}
+	_, _, _, _, any = bounds(nil)
+	if any {
+		t.Error("bounds of nil reported data")
+	}
+}
+
+func TestRenderAllPointsWithinGrid(t *testing.T) {
+	// Degenerate equal values must not index out of range.
+	s := []Series{{Label: "flat", X: []float64{1, 1, 1}, Y: []float64{7, 7, 7}}}
+	var buf bytes.Buffer
+	if err := Render(&buf, s, Options{Width: 10, Height: 4, LogY: true}); err != nil {
+		t.Fatal(err)
+	}
+	// And extreme spreads render finite ticks.
+	s2 := []Series{{Label: "wide", X: []float64{0, 1e9}, Y: []float64{1e-3, 1e9}}}
+	buf.Reset()
+	if err := Render(&buf, s2, Options{LogY: true}); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "NaN") {
+		t.Error("wide render produced NaN")
+	}
+}

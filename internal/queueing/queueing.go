@@ -1,0 +1,190 @@
+// Package queueing provides closed-form queueing-theory results used to
+// validate the discrete-event simulator: M/M/c waiting-time formulas
+// (Erlang C), tail quantiles of exponential and min-of-two-exponential
+// service, and the classic redundancy-d analysis that underpins request
+// cloning (Gardner et al., cited as [17, 18] in the paper).
+//
+// The simulator's correctness argument in EXPERIMENTS.md leans on these:
+// at configurations with known closed forms, simulated means and tails
+// must match theory within sampling error (see queueing_test.go and the
+// cross-validation tests in simcluster).
+package queueing
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrUnstable reports an offered load at or beyond the service capacity.
+var ErrUnstable = errors.New("queueing: utilization must be < 1")
+
+// ErlangC returns the probability that an arriving job waits in an
+// M/M/c queue with arrival rate lambda and per-server service rate mu
+// (the Erlang C formula).
+func ErlangC(c int, lambda, mu float64) (float64, error) {
+	if c < 1 || lambda <= 0 || mu <= 0 {
+		return 0, errors.New("queueing: c, lambda, mu must be positive")
+	}
+	a := lambda / mu // offered load in Erlangs
+	rho := a / float64(c)
+	if rho >= 1 {
+		return 0, ErrUnstable
+	}
+	// Sum_{k=0}^{c-1} a^k/k! and a^c/c! computed iteratively to avoid
+	// overflow.
+	term := 1.0 // a^0/0!
+	sum := 1.0
+	for k := 1; k < c; k++ {
+		term *= a / float64(k)
+		sum += term
+	}
+	top := term * a / float64(c) // a^c/c!
+	pw := top / (1 - rho) / (sum + top/(1-rho))
+	return pw, nil
+}
+
+// MMcMeanWait returns the mean queueing delay (excluding service) of an
+// M/M/c system.
+func MMcMeanWait(c int, lambda, mu float64) (float64, error) {
+	pw, err := ErlangC(c, lambda, mu)
+	if err != nil {
+		return 0, err
+	}
+	return pw / (float64(c)*mu - lambda), nil
+}
+
+// MMcMeanSojourn returns the mean time in system (wait + service).
+func MMcMeanSojourn(c int, lambda, mu float64) (float64, error) {
+	w, err := MMcMeanWait(c, lambda, mu)
+	if err != nil {
+		return 0, err
+	}
+	return w + 1/mu, nil
+}
+
+// MMcWaitQuantile returns the q-quantile of the waiting time of an
+// M/M/c queue. The waiting time is 0 with probability 1-Pw and
+// exponential with rate c*mu - lambda conditional on waiting.
+func MMcWaitQuantile(c int, lambda, mu, q float64) (float64, error) {
+	if q < 0 || q >= 1 {
+		return 0, errors.New("queueing: quantile must be in [0,1)")
+	}
+	pw, err := ErlangC(c, lambda, mu)
+	if err != nil {
+		return 0, err
+	}
+	if q <= 1-pw {
+		return 0, nil
+	}
+	// P(W > t) = Pw * exp(-(c mu - lambda) t); solve for t.
+	rate := float64(c)*mu - lambda
+	return -math.Log((1-q)/pw) / rate, nil
+}
+
+// ExpQuantile returns the q-quantile of an exponential distribution with
+// the given mean.
+func ExpQuantile(mean, q float64) float64 {
+	if q <= 0 {
+		return 0
+	}
+	if q >= 1 {
+		return math.Inf(1)
+	}
+	return -mean * math.Log(1-q)
+}
+
+// MinExpMean returns the mean of min(X1, X2) for independent
+// exponentials with the given means — the service time a cloned request
+// observes when both replicas start immediately (d=2 redundancy).
+func MinExpMean(mean1, mean2 float64) float64 {
+	r1, r2 := 1/mean1, 1/mean2
+	return 1 / (r1 + r2)
+}
+
+// MinExpQuantile returns the q-quantile of min(X1, X2) for independent
+// exponentials.
+func MinExpQuantile(mean1, mean2, q float64) float64 {
+	return ExpQuantile(MinExpMean(mean1, mean2), q)
+}
+
+// JitterTailMean returns the mean of a service time with base mean m
+// that is inflated by factor f with probability p — the paper's jitter
+// model (§5.1.2).
+func JitterTailMean(m float64, p float64, f float64) float64 {
+	return m * (1 + p*(f-1))
+}
+
+// ClonedJitterQuantile returns the q-quantile of min(X1, X2) where each
+// Xi is exponential with mean m inflated x f with independent
+// probability p. This is the theoretical tail of a cloned request on the
+// paper's default workload, used to sanity-check Fig 7's low-load gap.
+//
+// P(min > t) = s(t)^2 with s(t) = (1-p) e^{-t/m} + p e^{-t/(fm)};
+// the quantile is found by bisection.
+func ClonedJitterQuantile(m, p, f, q float64) float64 {
+	if q <= 0 {
+		return 0
+	}
+	surv := func(t float64) float64 {
+		s := (1-p)*math.Exp(-t/m) + p*math.Exp(-t/(f*m))
+		return s * s
+	}
+	target := 1 - q
+	lo, hi := 0.0, m
+	for surv(hi) > target {
+		hi *= 2
+		if hi > 1e12 {
+			break
+		}
+	}
+	for i := 0; i < 200; i++ {
+		mid := (lo + hi) / 2
+		if surv(mid) > target {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2
+}
+
+// SingleJitterQuantile is the q-quantile of one jittered exponential
+// (the baseline's service tail).
+func SingleJitterQuantile(m, p, f, q float64) float64 {
+	if q <= 0 {
+		return 0
+	}
+	surv := func(t float64) float64 {
+		return (1-p)*math.Exp(-t/m) + p*math.Exp(-t/(f*m))
+	}
+	target := 1 - q
+	lo, hi := 0.0, m
+	for surv(hi) > target {
+		hi *= 2
+		if hi > 1e12 {
+			break
+		}
+	}
+	for i := 0; i < 200; i++ {
+		mid := (lo + hi) / 2
+		if surv(mid) > target {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2
+}
+
+// CCloneStabilityBound returns the maximum sustainable arrival rate of
+// static d=2 cloning on n servers with c threads each and mean service m:
+// every request consumes two servers' time, so capacity halves.
+func CCloneStabilityBound(n, c int, m float64) float64 {
+	return float64(n*c) / m / 2
+}
+
+// BaselineStabilityBound returns the maximum sustainable arrival rate
+// without cloning.
+func BaselineStabilityBound(n, c int, m float64) float64 {
+	return float64(n*c) / m
+}

@@ -1,0 +1,144 @@
+package queueing
+
+import (
+	"math"
+	"testing"
+)
+
+func almost(t *testing.T, name string, got, want, tol float64) {
+	t.Helper()
+	if math.Abs(got-want) > tol {
+		t.Errorf("%s = %v, want %v (+/- %v)", name, got, want, tol)
+	}
+}
+
+func TestErlangCKnownValues(t *testing.T) {
+	// M/M/1: Pw = rho.
+	pw, err := ErlangC(1, 0.5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	almost(t, "M/M/1 Pw", pw, 0.5, 1e-12)
+
+	// M/M/2 with a=1 (rho=0.5): Pw = a^2/2 / ((1-rho)(1 + a + a^2/(2(1-rho))))
+	// = 0.5/(0.5*(1+1+1)) = 1/3.
+	pw, err = ErlangC(2, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	almost(t, "M/M/2 Pw", pw, 1.0/3.0, 1e-12)
+}
+
+func TestErlangCErrors(t *testing.T) {
+	if _, err := ErlangC(1, 1, 1); err != ErrUnstable {
+		t.Errorf("rho=1 err = %v, want ErrUnstable", err)
+	}
+	if _, err := ErlangC(0, 1, 1); err == nil {
+		t.Error("c=0 accepted")
+	}
+	if _, err := ErlangC(1, -1, 1); err == nil {
+		t.Error("negative lambda accepted")
+	}
+}
+
+func TestMMcMeanWait(t *testing.T) {
+	// M/M/1: W = rho/(mu - lambda) ... mean wait = rho/(mu-lambda).
+	w, err := MMcMeanWait(1, 0.5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	almost(t, "M/M/1 wait", w, 1.0, 1e-12) // 0.5/(1-0.5) = 1
+
+	s, err := MMcMeanSojourn(1, 0.5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	almost(t, "M/M/1 sojourn", s, 2.0, 1e-12)
+}
+
+func TestMMcWaitQuantile(t *testing.T) {
+	// Below the no-wait mass the quantile is zero.
+	q0, err := MMcWaitQuantile(2, 1, 1, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q0 != 0 {
+		t.Errorf("q50 wait = %v, want 0 (Pw = 1/3)", q0)
+	}
+	// Deep tail is positive and grows with q.
+	q99, err := MMcWaitQuantile(2, 1, 1, 0.99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q999, err := MMcWaitQuantile(2, 1, 1, 0.999)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(q999 > q99 && q99 > 0) {
+		t.Errorf("tail quantiles not increasing: q99=%v q999=%v", q99, q999)
+	}
+	if _, err := MMcWaitQuantile(2, 1, 1, 1); err == nil {
+		t.Error("q=1 accepted")
+	}
+}
+
+func TestExpQuantile(t *testing.T) {
+	almost(t, "exp median", ExpQuantile(1, 0.5), math.Ln2, 1e-12)
+	if ExpQuantile(1, 0) != 0 {
+		t.Error("q0 != 0")
+	}
+	if !math.IsInf(ExpQuantile(1, 1), 1) {
+		t.Error("q1 not infinite")
+	}
+}
+
+func TestMinExp(t *testing.T) {
+	almost(t, "min mean equal", MinExpMean(2, 2), 1, 1e-12)
+	almost(t, "min mean mixed", MinExpMean(1, 3), 0.75, 1e-12)
+	// Median of min of two exp(1): mean 0.5 -> 0.5*ln2.
+	almost(t, "min median", MinExpQuantile(1, 1, 0.5), 0.5*math.Ln2, 1e-12)
+}
+
+func TestJitterTailMean(t *testing.T) {
+	almost(t, "jitter mean", JitterTailMean(25, 0.01, 15), 25*1.14, 1e-9)
+	almost(t, "no jitter", JitterTailMean(25, 0, 15), 25, 1e-12)
+}
+
+func TestClonedJitterQuantileOrdering(t *testing.T) {
+	const m, p, f = 25.0, 0.01, 15.0
+	single := SingleJitterQuantile(m, p, f, 0.99)
+	cloned := ClonedJitterQuantile(m, p, f, 0.99)
+	if cloned >= single {
+		t.Errorf("cloned p99 %v >= single p99 %v: cloning must cut the tail", cloned, single)
+	}
+	// With p=0.01, the single p99 is dominated by the jitter mode and
+	// lands far above the exponential p99.
+	if single < ExpQuantile(m, 0.99) {
+		t.Errorf("single jittered p99 %v below plain exp p99 %v", single, ExpQuantile(m, 0.99))
+	}
+	// Cloned p99: both replicas jittered has probability 1e-4 << 1%, so
+	// the cloned tail must be near the min-exp p99 scale, not the jitter
+	// scale.
+	if cloned > 3*MinExpQuantile(m, m, 0.99) {
+		t.Errorf("cloned p99 %v too heavy (min-exp p99 %v)", cloned, MinExpQuantile(m, m, 0.99))
+	}
+}
+
+func TestClonedJitterQuantileEdge(t *testing.T) {
+	if ClonedJitterQuantile(25, 0.01, 15, 0) != 0 {
+		t.Error("q0 != 0")
+	}
+	if SingleJitterQuantile(25, 0.01, 15, 0) != 0 {
+		t.Error("q0 != 0")
+	}
+	// p=0 degenerates to plain exponential.
+	almost(t, "p=0 single", SingleJitterQuantile(10, 0, 15, 0.9), ExpQuantile(10, 0.9), 1e-6)
+	almost(t, "p=0 cloned", ClonedJitterQuantile(10, 0, 15, 0.9), MinExpQuantile(10, 10, 0.9), 1e-6)
+}
+
+func TestStabilityBounds(t *testing.T) {
+	base := BaselineStabilityBound(6, 16, 25e-6)
+	cc := CCloneStabilityBound(6, 16, 25e-6)
+	almost(t, "baseline capacity", base, 3.84e6, 1)
+	almost(t, "cclone capacity", cc, 1.92e6, 1)
+}

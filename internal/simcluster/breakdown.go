@@ -1,0 +1,85 @@
+package simcluster
+
+import (
+	"fmt"
+
+	"netclone/internal/stats"
+)
+
+// Breakdown decomposes request latency into its phases, sampled over
+// completed requests. It answers the paper's motivating question
+// concretely: how much of the tail is queueing + service variability
+// (what cloning can mask) versus fixed network/CPU path cost (what it
+// cannot).
+type Breakdown struct {
+	// QueueWait is time spent in the server's FCFS queue before a worker
+	// picked the request up (the winning copy for cloned requests).
+	QueueWait stats.Summary
+	// Service is the worker execution time of the winning copy.
+	Service stats.Summary
+	// Path is everything else: links, switch passes, client TX/RX, and
+	// RX queueing (latency - queueWait - service).
+	Path stats.Summary
+	// WonByClone counts sampled completions where the clone (CLO=2), not
+	// the original, delivered the first response.
+	WonByClone int64
+	// Sampled is the number of requests in the sample.
+	Sampled int64
+}
+
+// String summarizes the decomposition.
+func (b Breakdown) String() string {
+	return fmt.Sprintf("sampled=%d queueWait(p99)=%.1fus service(p99)=%.1fus path(p99)=%.1fus cloneWins=%d",
+		b.Sampled, float64(b.QueueWait.P99)/1e3, float64(b.Service.P99)/1e3,
+		float64(b.Path.P99)/1e3, b.WonByClone)
+}
+
+// breakdownAgg accumulates the sampled phases during a run.
+type breakdownAgg struct {
+	queue   stats.Histogram
+	service stats.Histogram
+	path    stats.Histogram
+	wins    int64
+	n       int64
+}
+
+// reqTrace rides along a sampled request's packets. The original and the
+// clone carry the same pointer; the first response to complete fills the
+// winner fields.
+type reqTrace struct {
+	enqueuedAt   int64 // arrival at the serving server (winning copy)
+	serviceStart int64
+	serviceEnd   int64
+	isClone      bool
+	settled      bool
+}
+
+func (a *breakdownAgg) record(t *reqTrace, totalLatency int64) {
+	if t == nil || t.settled || t.serviceEnd == 0 {
+		return
+	}
+	t.settled = true
+	wait := t.serviceStart - t.enqueuedAt
+	svc := t.serviceEnd - t.serviceStart
+	path := totalLatency - wait - svc
+	if path < 0 {
+		path = 0
+	}
+	a.queue.Record(wait)
+	a.service.Record(svc)
+	a.path.Record(path)
+	if t.isClone {
+		a.wins++
+	}
+	a.n++
+}
+
+func (a *breakdownAgg) summarize() Breakdown {
+	return Breakdown{
+		QueueWait:  a.queue.Summarize(),
+		Service:    a.service.Summarize(),
+		Path:       a.path.Summarize(),
+		WonByClone: a.wins,
+		Sampled:    a.n,
+	}
+}

@@ -1,0 +1,87 @@
+package simcluster
+
+import "testing"
+
+func TestBreakdownDisabledByDefault(t *testing.T) {
+	res := mustRun(t, fastConfig(NetClone))
+	if res.Breakdown != nil {
+		t.Fatal("breakdown present without sampling enabled")
+	}
+}
+
+func TestBreakdownSamples(t *testing.T) {
+	cfg := fastConfig(NetClone)
+	cfg.SampleEvery = 10
+	res := mustRun(t, cfg)
+	b := res.Breakdown
+	if b == nil {
+		t.Fatal("no breakdown despite SampleEvery")
+	}
+	if b.Sampled == 0 {
+		t.Fatal("breakdown sampled nothing")
+	}
+	// Roughly one in ten requests sampled.
+	want := res.Completed / 10
+	if b.Sampled < want/2 || b.Sampled > want*2 {
+		t.Errorf("sampled %d of %d completed (every 10th)", b.Sampled, res.Completed)
+	}
+	if b.String() == "" {
+		t.Error("breakdown String empty")
+	}
+}
+
+func TestBreakdownPhasesAreConsistent(t *testing.T) {
+	cfg := fastConfig(NetClone)
+	cfg.SampleEvery = 5
+	res := mustRun(t, cfg)
+	b := res.Breakdown
+
+	// Service p50 must be on the order of the Exp(25) distribution (the
+	// winner of two clones: between min-exp ~12.5us and the single mean).
+	if b.Service.P50 < 2_000 || b.Service.P50 > 40_000 {
+		t.Errorf("service p50 = %dns, outside plausible Exp(25) clone-winner range", b.Service.P50)
+	}
+	// Path cost must be at least the fixed network floor and far below
+	// the service time at low load.
+	if b.Path.P50 < 5_000 {
+		t.Errorf("path p50 = %dns, below the physical floor", b.Path.P50)
+	}
+	// At ~36%% load on 4x4 workers, queueing exists but is not dominant.
+	if b.QueueWait.P50 > b.Service.P99 {
+		t.Errorf("median queue wait %dns exceeds p99 service %dns at low load",
+			b.QueueWait.P50, b.Service.P99)
+	}
+	// Phases must not exceed the total latency.
+	total := res.Latency.P50
+	if b.Service.P50 > 3*total {
+		t.Errorf("service p50 %d vs total p50 %d: phase accounting broken", b.Service.P50, total)
+	}
+}
+
+func TestBreakdownCloneWins(t *testing.T) {
+	// At very low load everything is cloned; the clone should win a
+	// substantial fraction of races (it starts ~0.8us later but its
+	// service time is an independent draw).
+	cfg := fastConfig(NetClone)
+	cfg.OfferedRPS = 50_000
+	cfg.SampleEvery = 2
+	cfg.DurationNS = 80e6
+	res := mustRun(t, cfg)
+	b := res.Breakdown
+	if b.Sampled < 100 {
+		t.Fatalf("too few samples: %d", b.Sampled)
+	}
+	frac := float64(b.WonByClone) / float64(b.Sampled)
+	if frac < 0.25 || frac > 0.60 {
+		t.Errorf("clone win fraction %.2f, want roughly fair races (0.25-0.60)", frac)
+	}
+}
+
+func TestBreakdownWorksForCClone(t *testing.T) {
+	cfg := fastConfig(CClone)
+	cfg.SampleEvery = 7
+	res := mustRun(t, cfg)
+	if res.Breakdown == nil || res.Breakdown.Sampled == 0 {
+		t.Fatal("C-Clone breakdown missing")
+	}
+}

@@ -1,0 +1,702 @@
+package simcluster
+
+import (
+	"math/rand/v2"
+
+	"netclone/internal/dataplane"
+	"netclone/internal/simnet"
+	"netclone/internal/stats"
+	"netclone/internal/wire"
+	"netclone/internal/workload"
+)
+
+// packet is one message in flight inside the simulation. The header is
+// the same struct the real wire format encodes, so the simulated switch
+// exercises the identical data-plane code as the UDP emulator.
+type packet struct {
+	hdr     wire.Header
+	op      workload.OpKind
+	sentAt  int64 // request creation time at the client
+	direct  bool  // bypass NetClone processing (write requests, §5.5)
+	coordID int   // owning LÆDGE coordinator (multi-coordinator scale-out)
+	trace   *reqTrace
+}
+
+// cluster wires the simulated nodes together.
+type cluster struct {
+	cfg Config
+	eng *simnet.Engine
+
+	sw       *switchNode    // client-side ToR: all NetClone processing
+	remoteSw *switchNode    // server-side ToR (multi-rack only)
+	coords   []*coordinator // LÆDGE only
+	clients  []*client
+	servers  []*server
+
+	endGen int64 // stop generating requests at this time
+
+	hist      *stats.Histogram
+	timeline  *stats.TimeSeries
+	generated int64
+	completed int64
+
+	lossRNG *rand.Rand
+	lost    int64
+
+	breakdown *breakdownAgg
+}
+
+// maybeLose returns true (and counts) when a link traversal drops the
+// packet under the configured loss probability.
+func (c *cluster) maybeLose() bool {
+	if c.cfg.LossProb <= 0 {
+		return false
+	}
+	if c.lossRNG.Float64() < c.cfg.LossProb {
+		c.lost++
+		return true
+	}
+	return false
+}
+
+// Run executes one experiment point.
+func Run(cfg Config) (Result, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return Result{}, err
+	}
+	c := &cluster{
+		cfg:     cfg,
+		eng:     simnet.NewEngine(),
+		hist:    stats.NewHistogram(),
+		endGen:  cfg.WarmupNS + cfg.DurationNS,
+		lossRNG: simnet.NewRNG(cfg.Seed, 400),
+	}
+	if cfg.TimelineBinNS > 0 {
+		c.timeline = stats.NewTimeSeries(cfg.TimelineBinNS)
+	}
+	if cfg.SampleEvery > 0 {
+		c.breakdown = &breakdownAgg{}
+	}
+
+	if err := c.buildSwitch(); err != nil {
+		return Result{}, err
+	}
+	c.buildServers()
+	c.buildClients()
+	if cfg.Scheme == LAEDGE {
+		k := cfg.NumCoordinators
+		if k < 1 {
+			k = 1
+		}
+		for i := 0; i < k; i++ {
+			c.coords = append(c.coords, newCoordinator(c, i, k))
+		}
+	}
+
+	// Fault injection (Fig 16).
+	if cfg.SwitchFailAtNS > 0 && cfg.SwitchRecoverAtNS > cfg.SwitchFailAtNS {
+		c.eng.At(cfg.SwitchFailAtNS, func() { c.sw.fail() })
+		c.eng.At(cfg.SwitchRecoverAtNS, func() { c.sw.recover() })
+	}
+
+	for _, cl := range c.clients {
+		cl.start()
+	}
+	// Drain slack: let in-flight requests complete so tail completions
+	// inside the window are observed even when they finish processing
+	// slightly after endGen. Latency recording is still window-gated.
+	c.eng.RunUntil(c.endGen + cfg.DurationNS)
+
+	return c.result(), nil
+}
+
+func (c *cluster) buildSwitch() error {
+	dcfg := dataplane.Config{
+		MaxServers:   maxInt(len(c.cfg.Workers), 2),
+		FilterTables: c.cfg.FilterTables,
+		FilterSlots:  c.cfg.FilterSlots,
+	}
+	switch c.cfg.Scheme {
+	case NetClone:
+		dcfg.EnableCloning, dcfg.EnableFiltering = true, true
+	case NetCloneRackSched:
+		dcfg.EnableCloning, dcfg.EnableFiltering, dcfg.RackSched = true, true, true
+	case NetCloneNoFilter:
+		dcfg.EnableCloning = true
+	default: // Baseline, CClone, LAEDGE: plain forwarding only
+	}
+	if c.cfg.MultiRack {
+		dcfg.SwitchID = 1
+	}
+	dp, err := dataplane.New(dcfg)
+	if err != nil {
+		return err
+	}
+	for sid := range c.cfg.Workers {
+		if err := dp.AddServer(uint16(sid), uint32(sid)); err != nil {
+			return err
+		}
+	}
+	c.sw = &switchNode{cl: c, dp: dp}
+	if c.cfg.MultiRack {
+		// The server-side ToR runs the same NetClone program (same
+		// tables, its own switch ID); the switch-ID ownership rule is
+		// what keeps it from re-processing stamped packets (§3.7).
+		rcfg := dcfg
+		rcfg.SwitchID = 2
+		rdp, err := dataplane.New(rcfg)
+		if err != nil {
+			return err
+		}
+		for sid := range c.cfg.Workers {
+			if err := rdp.AddServer(uint16(sid), uint32(sid)); err != nil {
+				return err
+			}
+		}
+		c.remoteSw = &switchNode{cl: c, dp: rdp}
+	}
+	return nil
+}
+
+func (c *cluster) buildServers() {
+	c.servers = make([]*server, len(c.cfg.Workers))
+	for sid, w := range c.cfg.Workers {
+		c.servers[sid] = &server{
+			cl:      c,
+			sid:     uint16(sid),
+			workers: w,
+			rng:     simnet.NewRNG(c.cfg.Seed, 200+uint64(sid)),
+		}
+	}
+}
+
+func (c *cluster) buildClients() {
+	c.clients = make([]*client, c.cfg.NumClients)
+	perClient := c.cfg.OfferedRPS / float64(c.cfg.NumClients)
+	for i := range c.clients {
+		c.clients[i] = &client{
+			cl:      c,
+			id:      uint16(i),
+			rng:     simnet.NewRNG(c.cfg.Seed, 100+uint64(i)),
+			arrival: workload.Poisson{RatePerSec: perClient},
+			pending: make(map[uint32]pendingReq),
+		}
+	}
+}
+
+// recordCompletion registers a finished request completing at time t.
+func (c *cluster) recordCompletion(t, latency int64) {
+	c.completed++
+	if c.timeline != nil {
+		c.timeline.Add(t, 1)
+	}
+	if t >= c.cfg.WarmupNS && t < c.cfg.WarmupNS+c.cfg.DurationNS {
+		c.hist.Record(latency)
+	}
+}
+
+func (c *cluster) result() Result {
+	res := Result{
+		Scheme:     c.cfg.Scheme,
+		OfferedRPS: c.cfg.OfferedRPS,
+		Latency:    c.hist.Summarize(),
+		Hist:       c.hist,
+		Generated:  c.generated,
+		Completed:  c.completed,
+		Timeline:   c.timeline,
+	}
+	// Throughput over the measurement window.
+	var inWindow int64 = c.hist.Count()
+	res.ThroughputRPS = float64(inWindow) / (float64(c.cfg.DurationNS) / 1e9)
+	if c.sw != nil {
+		res.Switch = c.sw.dp.Stats()
+	}
+	var emptyQ, total int64
+	for _, s := range c.servers {
+		res.CloneDropsAtServer += s.cloneDrops
+		emptyQ += s.respEmptyQ
+		total += s.respTotal
+	}
+	if total > 0 {
+		res.EmptyQueueFrac = float64(emptyQ) / float64(total)
+	}
+	for _, cl := range c.clients {
+		res.RedundantAtClient += cl.redundant
+	}
+	for _, co := range c.coords {
+		if co.queueMax > res.CoordQueueMax {
+			res.CoordQueueMax = co.queueMax
+		}
+	}
+	res.LostPackets = c.lost
+	if c.remoteSw != nil {
+		res.RemoteSwitch = c.remoteSw.dp.Stats()
+	}
+	if c.breakdown != nil {
+		b := c.breakdown.summarize()
+		res.Breakdown = &b
+	}
+	return res
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// ---------------------------------------------------------------------
+// Switch node
+
+// switchNode wraps the data plane with the simulated forwarding fabric
+// and the failure model.
+type switchNode struct {
+	cl   *cluster
+	dp   *dataplane.Switch
+	down bool
+}
+
+func (s *switchNode) fail() {
+	s.down = true
+	// Soft state is lost on failure; match-action tables are restored by
+	// the control plane during recovery (§3.6).
+	s.dp.Reset()
+}
+
+func (s *switchNode) recover() { s.down = false }
+
+// fromClient receives a request packet one link-delay after the client
+// NIC transmitted it.
+func (s *switchNode) fromClient(p *packet) {
+	if s.down || s.cl.maybeLose() {
+		return
+	}
+	cal := s.cl.cfg.Cal
+	if s.cl.cfg.Scheme == LAEDGE {
+		// Plain L3 hop to the owning coordinator.
+		co := s.cl.coords[p.coordID%len(s.cl.coords)]
+		s.cl.eng.After(cal.SwitchDelayNS+cal.LinkDelayNS, func() { co.onRequest(p) })
+		return
+	}
+	if p.direct {
+		// Write requests take the normal (non-NetClone) path: plain
+		// forwarding to the group's first candidate (§5.5).
+		sid1, _, ok := s.dp.Group(int(p.hdr.Group) % maxInt(s.dp.NumGroups(), 1))
+		if !ok {
+			return
+		}
+		s.cl.eng.After(cal.SwitchDelayNS+cal.LinkDelayNS, func() { s.cl.servers[sid1].onRequest(p) })
+		return
+	}
+	res := s.dp.Process(&p.hdr)
+	switch res.Act {
+	case dataplane.ActForwardServer:
+		s.toServer(p, int(res.DstSID))
+	case dataplane.ActCloneAndForward:
+		s.toServer(p, int(res.DstSID))
+		clone := &packet{hdr: res.Clone, op: p.op, sentAt: p.sentAt}
+		if p.trace != nil {
+			clone.trace = &reqTrace{isClone: true}
+		}
+		s.cl.eng.After(cal.SwitchDelayNS+cal.RecircDelayNS, func() { s.recirculate(clone) })
+	case dataplane.ActDrop, dataplane.ActPassL3:
+		// Dropped (no route) or not ours; nothing further in this model.
+	}
+}
+
+// toServer delivers a request over the switch->server link; in
+// multi-rack mode it transits the aggregation layer and the server-side
+// ToR first.
+func (s *switchNode) toServer(p *packet, dst int) {
+	if s.cl.maybeLose() {
+		return
+	}
+	cal := s.cl.cfg.Cal
+	if remote := s.cl.remoteSw; remote != nil && s != remote {
+		s.cl.eng.After(cal.SwitchDelayNS+s.cl.cfg.AggDelayNS, func() { remote.transitRequest(p, dst) })
+		return
+	}
+	s.cl.eng.After(cal.SwitchDelayNS+cal.LinkDelayNS, func() { s.cl.servers[dst].onRequest(p) })
+}
+
+// transitRequest is the server-side ToR's handling of a stamped request:
+// its NetClone program runs, sees a foreign switch ID, and falls through
+// to plain L3 forwarding (§3.7).
+func (s *switchNode) transitRequest(p *packet, dst int) {
+	if s.down || s.cl.maybeLose() {
+		return
+	}
+	cal := s.cl.cfg.Cal
+	if !p.direct {
+		res := s.dp.Process(&p.hdr)
+		if res.Act != dataplane.ActPassL3 {
+			// The ownership rule failed — this would be double cloning.
+			// Follow the (incorrect) decision so tests can detect it.
+			if res.Act == dataplane.ActForwardServer || res.Act == dataplane.ActCloneAndForward {
+				dst = int(res.DstSID)
+			} else {
+				return
+			}
+		}
+	}
+	s.cl.eng.After(cal.SwitchDelayNS+cal.LinkDelayNS, func() { s.cl.servers[dst].onRequest(p) })
+}
+
+// transitResponse is the server-side ToR's handling of a response headed
+// for the client rack: pass-through, then the aggregation hop to the
+// client-side ToR, where the real NetClone response processing happens.
+func (s *switchNode) transitResponse(p *packet) {
+	if s.down || s.cl.maybeLose() {
+		return
+	}
+	cal := s.cl.cfg.Cal
+	if !p.direct {
+		res := s.dp.Process(&p.hdr)
+		if res.Act != dataplane.ActPassL3 && res.Act != dataplane.ActForwardClient {
+			return
+		}
+	}
+	s.cl.eng.After(cal.SwitchDelayNS+s.cl.cfg.AggDelayNS, func() { s.cl.sw.fromServer(p) })
+}
+
+// toClient delivers a response over the switch->client link.
+func (s *switchNode) toClient(p *packet, dst int) {
+	if s.cl.maybeLose() {
+		return
+	}
+	cal := s.cl.cfg.Cal
+	s.cl.eng.After(cal.SwitchDelayNS+cal.LinkDelayNS, func() { s.cl.clients[dst].onResponse(p) })
+}
+
+// recirculate re-injects a clone into the ingress pipeline.
+func (s *switchNode) recirculate(p *packet) {
+	if s.down {
+		return
+	}
+	res := s.dp.Process(&p.hdr)
+	if res.Act != dataplane.ActForwardServer {
+		return
+	}
+	s.toServer(p, int(res.DstSID))
+}
+
+// fromServer receives a response packet from a worker server.
+func (s *switchNode) fromServer(p *packet) {
+	if s.down || s.cl.maybeLose() {
+		return
+	}
+	cal := s.cl.cfg.Cal
+	if s.cl.cfg.Scheme == LAEDGE {
+		co := s.cl.coords[p.coordID%len(s.cl.coords)]
+		s.cl.eng.After(cal.SwitchDelayNS+cal.LinkDelayNS, func() { co.onResponse(p) })
+		return
+	}
+	if p.direct {
+		s.toClient(p, int(p.hdr.ClientID))
+		return
+	}
+	res := s.dp.Process(&p.hdr)
+	switch res.Act {
+	case dataplane.ActForwardClient:
+		s.toClient(p, int(p.hdr.ClientID))
+	case dataplane.ActDrop:
+		// Filtered redundant response.
+	}
+}
+
+// fromCoordinator forwards a coordinator-emitted packet (dispatch to a
+// server or final response to a client) through the plain L3 path.
+func (s *switchNode) fromCoordinator(p *packet, toServer bool, dst int) {
+	if s.down {
+		return
+	}
+	cal := s.cl.cfg.Cal
+	if toServer {
+		s.cl.eng.After(cal.SwitchDelayNS+cal.LinkDelayNS, func() { s.cl.servers[dst].onRequest(p) })
+	} else {
+		s.cl.eng.After(cal.SwitchDelayNS+cal.LinkDelayNS, func() { s.cl.clients[dst].onResponse(p) })
+	}
+}
+
+// ---------------------------------------------------------------------
+// Server node
+
+// server models a worker server: a dispatcher feeding a FCFS request
+// queue drained by worker threads (§4.2).
+type server struct {
+	cl      *cluster
+	sid     uint16
+	workers int
+	rng     *rand.Rand
+
+	queue []*packet
+	busy  int
+
+	cloneDrops int64
+	respEmptyQ int64
+	respTotal  int64
+}
+
+// onRequest handles a request arriving at the server NIC.
+func (s *server) onRequest(p *packet) {
+	// Server-side guard (§3.4): a cloned request that finds a non-empty
+	// queue is dropped — the tracked "idle" state was stale.
+	if p.hdr.Clo == wire.CloClone && len(s.queue) > 0 && !s.cl.cfg.DisableServerCloneDrop {
+		s.cloneDrops++
+		return
+	}
+	if p.trace != nil {
+		p.trace.enqueuedAt = s.cl.eng.Now()
+	}
+	// Dispatcher cost, then enqueue or start service.
+	s.cl.eng.After(s.cl.cfg.Cal.DispatcherCostNS, func() {
+		if s.busy < s.workers {
+			s.busy++
+			s.startService(p)
+		} else {
+			s.queue = append(s.queue, p)
+		}
+	})
+}
+
+// startService begins executing p on a free worker thread.
+func (s *server) startService(p *packet) {
+	svc := s.serviceTime(p.op)
+	if p.trace != nil {
+		p.trace.serviceStart = s.cl.eng.Now()
+		p.trace.serviceEnd = s.cl.eng.Now() + svc
+	}
+	s.cl.eng.After(svc, func() { s.finish(p) })
+}
+
+func (s *server) serviceTime(op workload.OpKind) int64 {
+	if s.cl.cfg.Mix != nil {
+		return s.cl.cfg.Cost.Sample(op, s.rng)
+	}
+	return s.cl.cfg.Service.Sample(s.rng)
+}
+
+// finish completes p, emits the response, and pulls the next queued
+// request.
+func (s *server) finish(p *packet) {
+	qlen := len(s.queue)
+	s.respTotal++
+	if qlen == 0 {
+		s.respEmptyQ++
+	}
+
+	// Build the response: the server fills SID and piggybacks its queue
+	// state (§3.3 "Response packets").
+	r := &packet{hdr: p.hdr, op: p.op, sentAt: p.sentAt, direct: p.direct, coordID: p.coordID, trace: p.trace}
+	r.hdr.Type = wire.TypeResp
+	r.hdr.SID = s.sid
+	if qlen > 65535 {
+		qlen = 65535
+	}
+	r.hdr.State = uint16(qlen)
+	if remote := s.cl.remoteSw; remote != nil {
+		// Multi-rack: the response first hits the servers' own ToR,
+		// which passes it through to the clients' ToR (§3.7).
+		s.cl.eng.After(s.cl.cfg.Cal.LinkDelayNS, func() { remote.transitResponse(r) })
+	} else {
+		s.cl.eng.After(s.cl.cfg.Cal.LinkDelayNS, func() { s.cl.sw.fromServer(r) })
+	}
+
+	// Pull the next request.
+	if len(s.queue) > 0 {
+		next := s.queue[0]
+		s.queue = s.queue[1:]
+		s.startService(next)
+	} else {
+		s.busy--
+	}
+}
+
+// ---------------------------------------------------------------------
+// Client node
+
+// pendingReq tracks an outstanding request at the client.
+type pendingReq struct {
+	sentAt int64
+	op     workload.OpKind
+}
+
+// client is an open-loop load generator with a sender and a receiver
+// thread (§4.2), each modelled as a FIFO resource with a per-packet cost.
+type client struct {
+	cl      *cluster
+	id      uint16
+	rng     *rand.Rand
+	arrival workload.Poisson
+
+	nextSeq     uint32
+	pending     map[uint32]pendingReq
+	txBusyUntil int64
+	rxQueue     []*packet
+	rxBusy      bool
+	redundant   int64
+}
+
+// start schedules the first generation event.
+func (c *client) start() {
+	c.cl.eng.After(c.arrival.NextGap(c.rng), c.generate)
+}
+
+// generate creates one request (two packets under C-Clone) and schedules
+// the next arrival.
+func (c *client) generate() {
+	now := c.cl.eng.Now()
+	if now >= c.cl.endGen {
+		return
+	}
+	c.cl.generated++
+
+	op := workload.OpGet
+	var key uint64
+	if c.cl.cfg.Mix != nil {
+		op, key = c.cl.cfg.Mix.Next(c.rng)
+	}
+	_ = key // the simulated server does not need the key, only the op kind
+
+	seq := c.nextSeq
+	c.nextSeq++
+	c.pending[seq] = pendingReq{sentAt: now, op: op}
+
+	sampled := c.cl.breakdown != nil && c.cl.cfg.SampleEvery > 0 &&
+		c.cl.generated%int64(c.cl.cfg.SampleEvery) == 0
+
+	switch c.cl.cfg.Scheme {
+	case CClone:
+		// Duplicate to two distinct random servers; both plain requests.
+		n := len(c.cl.servers)
+		s1 := c.rng.IntN(n)
+		s2 := c.rng.IntN(n - 1)
+		if s2 >= s1 {
+			s2++
+		}
+		p1 := c.makeRequest(seq, op, c.groupWithFirst(s1), false)
+		p2 := c.makeRequest(seq, op, c.groupWithFirst(s2), false)
+		if sampled {
+			p1.trace = &reqTrace{}
+			p2.trace = &reqTrace{isClone: true}
+		}
+		c.sendPacket(p1, now)
+		c.sendPacket(p2, now)
+	default:
+		grp := c.pickGroup()
+		direct := op == workload.OpSet // writes are never cloned (§5.5)
+		p := c.makeRequest(seq, op, grp, direct)
+		if sampled {
+			p.trace = &reqTrace{}
+		}
+		if len(c.cl.coords) > 0 {
+			p.coordID = c.rng.IntN(len(c.cl.coords))
+		}
+		c.sendPacket(p, now)
+	}
+
+	c.cl.eng.After(c.arrival.NextGap(c.rng), c.generate)
+}
+
+// pickGroup selects the client's random group ID. In normal operation it
+// is uniform over all ordered pairs; under the SingleOrderingGroups
+// ablation only pairs with sid1 < sid2 are used.
+func (c *client) pickGroup() uint16 {
+	n := maxInt(c.cl.sw.dp.NumGroups(), 1)
+	for {
+		g := uint16(c.rng.IntN(n))
+		if !c.cl.cfg.SingleOrderingGroups {
+			return g
+		}
+		s1, s2, ok := c.cl.sw.dp.Group(int(g))
+		if ok && s1 < s2 {
+			return g
+		}
+	}
+}
+
+// groupWithFirst picks a random group whose first candidate is server i,
+// so the plain-forwarding switch delivers the packet to that server.
+func (c *client) groupWithFirst(i int) uint16 {
+	lo, hi := c.cl.sw.dp.GroupsWithFirst(i)
+	if hi <= lo {
+		return 0
+	}
+	return uint16(lo + c.rng.IntN(hi-lo))
+}
+
+func (c *client) makeRequest(seq uint32, op workload.OpKind, grp uint16, direct bool) *packet {
+	return &packet{
+		hdr: wire.Header{
+			Type:      wire.TypeReq,
+			Group:     grp,
+			Idx:       uint8(c.rng.IntN(c.cl.cfg.FilterTables)),
+			ClientID:  c.id,
+			ClientSeq: seq,
+			PktTotal:  1,
+		},
+		op:     op,
+		sentAt: c.cl.eng.Now(),
+		direct: direct,
+	}
+}
+
+// sendPacket charges the sender thread and puts the packet on the wire.
+func (c *client) sendPacket(p *packet, now int64) {
+	start := now
+	if c.txBusyUntil > start {
+		start = c.txBusyUntil
+	}
+	done := start + c.cl.cfg.Cal.ClientPktCostNS
+	c.txBusyUntil = done
+	c.cl.eng.At(done+c.cl.cfg.Cal.LinkDelayNS, func() { c.cl.sw.fromClient(p) })
+}
+
+// onResponse handles a response arriving at the client NIC: it joins the
+// receiver thread's FIFO queue. The receiver processes one packet at a
+// time; a response whose request already completed takes the slower
+// dedup-miss path (ClientPktCostNS + DedupMissCostNS) and is discarded —
+// the client-side overhead that response filtering exists to remove
+// (§3.5, Fig 15).
+func (c *client) onResponse(p *packet) {
+	c.rxQueue = append(c.rxQueue, p)
+	if !c.rxBusy {
+		c.rxBusy = true
+		c.rxServeNext()
+	}
+}
+
+// rxServeNext processes the receiver queue head.
+func (c *client) rxServeNext() {
+	if len(c.rxQueue) == 0 {
+		c.rxBusy = false
+		return
+	}
+	p := c.rxQueue[0]
+	c.rxQueue = c.rxQueue[1:]
+
+	req, ok := c.pending[p.hdr.ClientSeq]
+	cost := c.cl.cfg.Cal.ClientPktCostNS
+	if !ok {
+		cost += c.cl.cfg.Cal.DedupMissCostNS
+	}
+	if ok {
+		// Claim the request now so a twin already queued behind us takes
+		// the miss path.
+		delete(c.pending, p.hdr.ClientSeq)
+	}
+	c.cl.eng.After(cost, func() {
+		if !ok {
+			c.redundant++
+		} else {
+			now := c.cl.eng.Now()
+			c.cl.recordCompletion(now, now-req.sentAt)
+			if c.cl.breakdown != nil && p.trace != nil {
+				c.cl.breakdown.record(p.trace, now-req.sentAt)
+			}
+		}
+		c.rxServeNext()
+	})
+}

@@ -1,0 +1,307 @@
+// Package simcluster assembles the simulated testbed that reproduces the
+// paper's evaluation cluster (§5.1.1): open-loop clients, a NetClone ToR
+// switch, worker servers with dispatcher/worker threads, and — for the
+// LÆDGE baseline — a CPU-bound cloning coordinator. It is built on the
+// deterministic event engine in internal/simnet and the switch data plane
+// in internal/dataplane.
+package simcluster
+
+import (
+	"errors"
+	"fmt"
+
+	"netclone/internal/dataplane"
+	"netclone/internal/kvstore"
+	"netclone/internal/stats"
+	"netclone/internal/workload"
+)
+
+// Scheme selects the request-dispatching scheme under test (§5.1.3).
+type Scheme int
+
+// Schemes compared in the paper.
+const (
+	// Baseline sends requests to workers uniformly at random, no cloning.
+	Baseline Scheme = iota
+	// CClone is client-based static cloning: every request is duplicated
+	// to two random workers and the client takes the faster response.
+	CClone
+	// LAEDGE is coordinator-based dynamic cloning (Primorac et al.,
+	// NSDI'21): a CPU-bound coordinator clones when >= 2 servers are
+	// idle and queues requests when none are.
+	LAEDGE
+	// NetClone is in-switch dynamic cloning with response filtering (the
+	// paper's system).
+	NetClone
+	// NetCloneRackSched is NetClone integrated with the RackSched
+	// in-switch JSQ scheduler (§3.7).
+	NetCloneRackSched
+	// NetCloneNoFilter is NetClone with response filtering disabled (the
+	// Fig 15 ablation).
+	NetCloneNoFilter
+)
+
+// String returns the scheme label used in experiment output.
+func (s Scheme) String() string {
+	switch s {
+	case Baseline:
+		return "Baseline"
+	case CClone:
+		return "C-Clone"
+	case LAEDGE:
+		return "LAEDGE"
+	case NetClone:
+		return "NetClone"
+	case NetCloneRackSched:
+		return "NetClone+RackSched"
+	case NetCloneNoFilter:
+		return "NetClone-w/o-Filtering"
+	default:
+		return fmt.Sprintf("Scheme(%d)", int(s))
+	}
+}
+
+// Calibration holds the latency cost constants of the simulated testbed.
+// Values are nanoseconds; defaults are chosen so absolute latencies land
+// near the paper's testbed (see EXPERIMENTS.md §Calibration).
+type Calibration struct {
+	// LinkDelayNS is one network hop (propagation + serialization) between
+	// any host NIC and the ToR switch.
+	LinkDelayNS int64
+	// SwitchDelayNS is one pass through the switch pipeline ("hundreds of
+	// nanoseconds", §2.3).
+	SwitchDelayNS int64
+	// RecircDelayNS is the extra loopback-port latency a clone pays before
+	// re-entering the ingress pipeline (§3.4).
+	RecircDelayNS int64
+	// ClientPktCostNS is the client CPU cost to send or receive one packet
+	// (VMA kernel-bypass path, §4.2). Charged per packet on the client's
+	// TX and RX threads; this is what makes C-Clone's redundant responses
+	// hurt (§2.2).
+	ClientPktCostNS int64
+	// DispatcherCostNS is the server dispatcher's per-request cost before
+	// a request reaches the worker queue (§4.2).
+	DispatcherCostNS int64
+	// CoordPktCostNS is the LÆDGE coordinator's CPU cost per packet
+	// handled; it is the coordinator's scalability bottleneck (§2.2).
+	CoordPktCostNS int64
+	// DedupMissCostNS is the extra client CPU cost to process a response
+	// whose request already completed (the slow dedup-miss path: a failed
+	// pending-table lookup and cleanup). It is why unfiltered redundant
+	// responses "reduce the performance gain by causing unnecessary
+	// packet processing in the client" (§3.5, Fig 15).
+	DedupMissCostNS int64
+}
+
+// DefaultCalibration returns the constants documented in DESIGN.md §5.
+func DefaultCalibration() Calibration {
+	return Calibration{
+		LinkDelayNS:      1000,
+		SwitchDelayNS:    400,
+		RecircDelayNS:    400,
+		ClientPktCostNS:  600,
+		DispatcherCostNS: 150,
+		CoordPktCostNS:   400,
+		DedupMissCostNS:  200,
+	}
+}
+
+// Config describes one simulated experiment point.
+type Config struct {
+	Scheme Scheme
+
+	// NumClients is the number of open-loop client machines (the paper
+	// uses 2). The offered load is split evenly across them.
+	NumClients int
+
+	// Workers holds the worker-thread count of each worker server; its
+	// length is the number of servers. E.g. 6 homogeneous servers with 16
+	// threads: [16,16,16,16,16,16]; Fig 10 heterogeneous: 3x15 + 3x8.
+	Workers []int
+
+	// Service is the synthetic service-time distribution (§5.1.2). Used
+	// when Mix is nil.
+	Service workload.Dist
+
+	// Mix, when non-nil, switches to the key-value workload (§5.5): ops
+	// are drawn from the mix and service times from Cost.
+	Mix  *workload.KVMix
+	Cost kvstore.CostModel
+
+	// OfferedRPS is the aggregate open-loop request rate.
+	OfferedRPS float64
+
+	// WarmupNS and DurationNS bound the measurement window: requests
+	// completing in [WarmupNS, WarmupNS+DurationNS) are recorded.
+	WarmupNS   int64
+	DurationNS int64
+
+	// Seed makes the run reproducible.
+	Seed uint64
+
+	// Cal holds the testbed latency constants; zero value means defaults.
+	Cal Calibration
+
+	// FilterTables and FilterSlots size the switch filter tables; zero
+	// means the prototype defaults (2 tables, 2^17 slots).
+	FilterTables int
+	FilterSlots  int
+
+	// SwitchFailAtNS/SwitchRecoverAtNS, when both positive, stop the
+	// switch (dropping all packets and its soft state) during
+	// [SwitchFailAtNS, SwitchRecoverAtNS) — the Fig 16 experiment.
+	SwitchFailAtNS    int64
+	SwitchRecoverAtNS int64
+
+	// TimelineBinNS, when positive, records completed requests into
+	// per-bin counts over the whole run (Fig 16's throughput-vs-time).
+	TimelineBinNS int64
+
+	// DisableServerCloneDrop removes the server-side stale-state guard
+	// (§3.4: drop cloned requests that find a non-empty queue). Ablation
+	// only — quantifies how much the guard protects high-load latency.
+	DisableServerCloneDrop bool
+
+	// SingleOrderingGroups restricts clients to groups whose first
+	// candidate has the lower server ID, ablating the paper's "multiply
+	// by two to sustain the randomness of server selection" design
+	// (§3.3): non-cloned requests then herd onto low-ID servers.
+	SingleOrderingGroups bool
+
+	// NumCoordinators scales out the LÆDGE coordinator tier (§2.2 "It is
+	// possible to use multiple coordinators to scale out. However, this
+	// causes burdensome costs..."). Workers are partitioned round-robin
+	// across coordinators and each client request is routed to a uniform
+	// random coordinator. 0 or 1 means a single coordinator. Only
+	// meaningful for Scheme == LAEDGE.
+	NumCoordinators int
+
+	// LossProb drops each link traversal independently with this
+	// probability — the §3.6 "Dropped messages" failure model. Lost
+	// slower responses leave fingerprints in the filter tables; the
+	// overwrite-on-insert rule keeps those slots usable.
+	LossProb float64
+
+	// MultiRack places the workers behind a second ToR switch reached
+	// through an aggregation layer (§3.7 "Multi-rack deployment"). The
+	// client-side ToR (switch ID 1) performs all NetClone processing and
+	// stamps packets; the server-side ToR (switch ID 2) runs the same
+	// program but passes stamped packets through untouched — the
+	// switch-ID ownership rule. Not supported for Scheme == LAEDGE.
+	MultiRack bool
+
+	// AggDelayNS is the extra one-way delay through the aggregation
+	// layer between the two ToRs (default 2000 ns).
+	AggDelayNS int64
+
+	// SampleEvery enables the latency breakdown: every N-th generated
+	// request is traced through queueing, service, and path phases
+	// (Result.Breakdown). 0 disables sampling.
+	SampleEvery int
+}
+
+// Result is the outcome of one experiment point.
+type Result struct {
+	Scheme     Scheme
+	OfferedRPS float64
+
+	// ThroughputRPS is completed requests in the measurement window
+	// divided by the window length.
+	ThroughputRPS float64
+
+	// Latency summarizes request latencies (client request creation to
+	// client RX completion of the first response) within the window.
+	Latency stats.Summary
+
+	// Hist is the full latency histogram for callers that need more than
+	// the summary (e.g. merging repeat runs).
+	Hist *stats.Histogram
+
+	// Switch is the data-plane counter snapshot (zero for LÆDGE).
+	Switch dataplane.Stats
+
+	// Generated and Completed count requests over the whole run.
+	Generated int64
+	Completed int64
+
+	// CloneDropsAtServer counts NetClone clones dropped because the
+	// actual server queue was non-empty (§3.4 server-side mechanism).
+	CloneDropsAtServer int64
+
+	// RedundantAtClient counts responses the client discarded as
+	// duplicates (C-Clone dedup, or unfiltered slower responses).
+	RedundantAtClient int64
+
+	// EmptyQueueFrac is the fraction of responses sent with an empty
+	// request queue (Fig 13a's state-signal confidence metric).
+	EmptyQueueFrac float64
+
+	// CoordQueueMax is the LÆDGE coordinator's maximum internal queue
+	// length (0 for other schemes).
+	CoordQueueMax int
+
+	// LostPackets counts link traversals dropped by the loss model.
+	LostPackets int64
+
+	// RemoteSwitch is the server-side ToR's counter snapshot in
+	// multi-rack runs: its PassL3 count proves the switch-ID rule
+	// prevented double NetClone processing.
+	RemoteSwitch dataplane.Stats
+
+	// Breakdown decomposes sampled request latencies; nil unless
+	// Config.SampleEvery > 0.
+	Breakdown *Breakdown
+
+	// Timeline holds per-bin completion counts when requested.
+	Timeline *stats.TimeSeries
+}
+
+// Configuration errors.
+var (
+	ErrNoServers  = errors.New("simcluster: at least two servers required")
+	ErrNoWorkload = errors.New("simcluster: Service distribution or Mix required")
+	ErrBadRate    = errors.New("simcluster: OfferedRPS must be positive")
+	ErrBadWindow  = errors.New("simcluster: DurationNS must be positive")
+)
+
+// withDefaults validates cfg and fills zero values.
+func (cfg Config) withDefaults() (Config, error) {
+	if len(cfg.Workers) < 2 {
+		return cfg, ErrNoServers
+	}
+	for _, w := range cfg.Workers {
+		if w < 1 {
+			return cfg, fmt.Errorf("simcluster: worker counts must be >= 1, got %v", cfg.Workers)
+		}
+	}
+	if cfg.Service == nil && cfg.Mix == nil {
+		return cfg, ErrNoWorkload
+	}
+	if cfg.OfferedRPS <= 0 {
+		return cfg, ErrBadRate
+	}
+	if cfg.DurationNS <= 0 {
+		return cfg, ErrBadWindow
+	}
+	if cfg.NumClients <= 0 {
+		cfg.NumClients = 2
+	}
+	if cfg.Cal == (Calibration{}) {
+		cfg.Cal = DefaultCalibration()
+	}
+	if cfg.FilterTables <= 0 {
+		cfg.FilterTables = 2
+	}
+	if cfg.FilterSlots <= 0 {
+		cfg.FilterSlots = 1 << 17
+	}
+	if cfg.MultiRack {
+		if cfg.Scheme == LAEDGE {
+			return cfg, errors.New("simcluster: multi-rack deployment is not modelled for LAEDGE")
+		}
+		if cfg.AggDelayNS <= 0 {
+			cfg.AggDelayNS = 2000
+		}
+	}
+	return cfg, nil
+}

@@ -1,0 +1,163 @@
+package simcluster
+
+import (
+	"math/rand/v2"
+
+	"netclone/internal/simnet"
+)
+
+// coordinator models the LÆDGE cloning coordinator (§2.2): a dedicated
+// server between clients and workers that
+//
+//   - clones a request to two idle workers when at least two are idle,
+//   - forwards it to a single idle worker when exactly one is idle,
+//   - queues it when no worker is idle, dispatching on the next response,
+//   - deduplicates responses and forwards the first one to the client.
+//
+// Every packet it touches costs CoordPktCostNS on a single CPU pipeline,
+// which is its throughput bottleneck — "the coordinator relies on the CPU
+// to handle requests" and "should process redundant slower responses to
+// dispatch another request, making throughput worse".
+//
+// A worker is "idle" when its outstanding-dispatch count is below its
+// worker-thread capacity, the natural generalization of LÆDGE's
+// one-request-at-a-time idleness to multi-threaded workers.
+type coordinator struct {
+	cl  *cluster
+	id  int
+	rng *rand.Rand
+
+	cpuBusyUntil int64
+
+	owned       []int // server IDs this coordinator dispatches to
+	outstanding []int // per-server dispatched-but-unanswered requests
+	capacity    []int
+
+	queue    []*packet // requests waiting for an idle server
+	queueMax int
+
+	// pendingPair tracks cloned requests by client (ClientID, ClientSeq)
+	// so the slower response can be discarded.
+	pendingPair map[uint64]bool // true once the first response forwarded
+}
+
+// newCoordinator builds coordinator id of k, owning the workers whose
+// server ID is congruent to id mod k (round-robin partition).
+func newCoordinator(c *cluster, id, k int) *coordinator {
+	co := &coordinator{
+		cl:          c,
+		id:          id,
+		rng:         simnet.NewRNG(c.cfg.Seed, 300+uint64(id)),
+		outstanding: make([]int, len(c.cfg.Workers)),
+		capacity:    append([]int(nil), c.cfg.Workers...),
+		pendingPair: make(map[uint64]bool),
+	}
+	for s := range c.cfg.Workers {
+		if s%k == id {
+			co.owned = append(co.owned, s)
+		}
+	}
+	return co
+}
+
+// cpu charges one packet-processing slot on the coordinator CPU and runs
+// fn when the slot completes.
+func (co *coordinator) cpu(fn func()) {
+	now := co.cl.eng.Now()
+	start := now
+	if co.cpuBusyUntil > start {
+		start = co.cpuBusyUntil
+	}
+	done := start + co.cl.cfg.Cal.CoordPktCostNS
+	co.cpuBusyUntil = done
+	co.cl.eng.At(done, fn)
+}
+
+// onRequest handles a client request arriving at the coordinator NIC.
+func (co *coordinator) onRequest(p *packet) {
+	co.cpu(func() { co.dispatch(p) })
+}
+
+// dispatch routes p to idle workers, cloning when two are idle;
+// requests finding no idle worker are queued and re-dispatched from
+// onResponse.
+func (co *coordinator) dispatch(p *packet) {
+	idle := co.idleServers()
+	switch {
+	case len(idle) >= 2:
+		// Clone to two random idle servers (§2.2).
+		i := co.rng.IntN(len(idle))
+		j := co.rng.IntN(len(idle) - 1)
+		if j >= i {
+			j++
+		}
+		co.sendToServer(p, idle[i])
+		dup := &packet{hdr: p.hdr, op: p.op, sentAt: p.sentAt}
+		co.sendToServer(dup, idle[j])
+		co.pendingPair[p.hdr.LamportID()] = false
+	case len(idle) == 1:
+		co.sendToServer(p, idle[0])
+	default:
+		co.queue = append(co.queue, p)
+		if len(co.queue) > co.queueMax {
+			co.queueMax = len(co.queue)
+		}
+	}
+}
+
+func (co *coordinator) idleServers() []int {
+	var idle []int
+	for _, s := range co.owned {
+		if co.outstanding[s] < co.capacity[s] {
+			idle = append(idle, s)
+		}
+	}
+	return idle
+}
+
+// sendToServer charges the TX packet cost and forwards via the switch.
+func (co *coordinator) sendToServer(p *packet, sid int) {
+	co.outstanding[sid]++
+	co.cpu(func() {
+		co.cl.eng.After(co.cl.cfg.Cal.LinkDelayNS, func() {
+			co.cl.sw.fromCoordinator(p, true, sid)
+		})
+	})
+}
+
+// onResponse handles a worker response arriving at the coordinator NIC.
+func (co *coordinator) onResponse(p *packet) {
+	co.cpu(func() {
+		sid := int(p.hdr.SID)
+		if sid < len(co.outstanding) && co.outstanding[sid] > 0 {
+			co.outstanding[sid]--
+		}
+
+		key := p.hdr.LamportID()
+		forwarded, isPair := co.pendingPair[key]
+		if isPair && forwarded {
+			// Redundant slower response: processed (CPU already charged)
+			// and discarded.
+			delete(co.pendingPair, key)
+		} else {
+			if isPair {
+				co.pendingPair[key] = true
+			}
+			dst := int(p.hdr.ClientID)
+			co.cpu(func() {
+				co.cl.eng.After(co.cl.cfg.Cal.LinkDelayNS, func() {
+					co.cl.sw.fromCoordinator(p, false, dst)
+				})
+			})
+		}
+
+		// A response frees capacity: dispatch the queue head (§2.2 "The
+		// buffered request is dispatched to a server upon receiving a
+		// response").
+		if len(co.queue) > 0 && len(co.idleServers()) > 0 {
+			next := co.queue[0]
+			co.queue = co.queue[1:]
+			co.dispatch(next)
+		}
+	})
+}

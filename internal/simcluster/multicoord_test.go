@@ -1,0 +1,45 @@
+package simcluster
+
+import "testing"
+
+func TestMultiCoordinatorConservation(t *testing.T) {
+	cfg := fastConfig(LAEDGE)
+	cfg.NumCoordinators = 3
+	res := mustRun(t, cfg)
+	if res.Completed != res.Generated {
+		t.Fatalf("multi-coordinator lost requests: %d/%d", res.Completed, res.Generated)
+	}
+	if res.RedundantAtClient != 0 {
+		t.Errorf("coordinators leaked %d redundant responses", res.RedundantAtClient)
+	}
+}
+
+func TestMultiCoordinatorScalesThroughput(t *testing.T) {
+	// At a rate that melts one coordinator, three coordinators (each
+	// owning a third of the workers) sustain clearly more. Worker
+	// capacity (6x16 threads ~ 3.4 MRPS) is sized so the coordinator CPU,
+	// not the partitions, is the binding constraint.
+	cfg := fastConfig(LAEDGE)
+	cfg.Workers = []int{16, 16, 16, 16, 16, 16}
+	cfg.OfferedRPS = 1_500_000
+	cfg.DurationNS = 60e6
+
+	cfg.NumCoordinators = 1
+	one := mustRun(t, cfg)
+	cfg.NumCoordinators = 3
+	three := mustRun(t, cfg)
+	if three.ThroughputRPS < 1.5*one.ThroughputRPS {
+		t.Errorf("3 coordinators %.0f RPS, 1 coordinator %.0f RPS: expected >1.5x scaling",
+			three.ThroughputRPS, one.ThroughputRPS)
+	}
+}
+
+func TestMultiCoordinatorDeterminism(t *testing.T) {
+	cfg := fastConfig(LAEDGE)
+	cfg.NumCoordinators = 2
+	a := mustRun(t, cfg)
+	b := mustRun(t, cfg)
+	if a.Latency != b.Latency || a.Completed != b.Completed {
+		t.Error("multi-coordinator runs not deterministic")
+	}
+}

@@ -1,0 +1,167 @@
+package simcluster
+
+import (
+	"math"
+	"testing"
+
+	"netclone/internal/queueing"
+	"netclone/internal/workload"
+)
+
+// fixedPathNS is the deterministic per-request path cost outside
+// service and queueing: client TX + 4 link hops + 2 switch passes +
+// dispatcher + client RX, with the default calibration.
+func fixedPathNS() float64 {
+	cal := DefaultCalibration()
+	return float64(2*cal.ClientPktCostNS + 4*cal.LinkDelayNS + 2*cal.SwitchDelayNS + cal.DispatcherCostNS)
+}
+
+// TestBaselineMatchesMMc cross-validates the simulator against M/M/c:
+// with Poisson arrivals split uniformly over n servers, exponential
+// service and no cloning, each server is an independent M/M/c queue, so
+// the simulated mean latency must equal the Erlang-C mean sojourn plus
+// the fixed path cost within sampling error.
+func TestBaselineMatchesMMc(t *testing.T) {
+	const (
+		servers = 4
+		threads = 4
+		meanUS  = 25.0
+	)
+	for _, util := range []float64{0.3, 0.6} {
+		lambdaTotal := util * float64(servers*threads) / (meanUS * 1e-6)
+		cfg := Config{
+			Scheme:     Baseline,
+			Workers:    homWorkersTest(servers, threads),
+			Service:    workload.Exp(meanUS), // no jitter: pure M/M/c
+			OfferedRPS: lambdaTotal,
+			WarmupNS:   50e6,
+			DurationNS: 400e6,
+			Seed:       11,
+		}
+		res := mustRun(t, cfg)
+
+		perServer := lambdaTotal / servers
+		mu := 1 / (meanUS * 1e-6)
+		sojourn, err := queueing.MMcMeanSojourn(threads, perServer, mu)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantNS := sojourn*1e9 + fixedPathNS()
+		gotNS := res.Latency.Mean
+		relErr := math.Abs(gotNS-wantNS) / wantNS
+		if relErr > 0.05 {
+			t.Errorf("util %.0f%%: simulated mean %.1fus vs M/M/c %.1fus (rel err %.3f)",
+				util*100, gotNS/1e3, wantNS/1e3, relErr)
+		}
+	}
+}
+
+// TestNetCloneLowLoadMatchesMinExp: at very low load everything is
+// cloned, so the service tail seen by the client is min(Exp, Exp) — the
+// p50 and p99 must track the closed form (shifted by the fixed path and
+// the clone's recirculation lag).
+func TestNetCloneLowLoadMatchesMinExp(t *testing.T) {
+	const meanUS = 25.0
+	cfg := Config{
+		Scheme:     NetClone,
+		Workers:    homWorkersTest(4, 8),
+		Service:    workload.Exp(meanUS),
+		OfferedRPS: 40_000, // ~3% load: queueing negligible
+		WarmupNS:   50e6,
+		DurationNS: 400e6,
+		Seed:       12,
+	}
+	res := mustRun(t, cfg)
+	if frac := float64(res.Switch.Cloned) / float64(res.Generated); frac < 0.99 {
+		t.Fatalf("setup: clone fraction %.3f, want ~1 at 3%% load", frac)
+	}
+
+	meanNS := meanUS * 1e3
+	for _, c := range []struct {
+		name string
+		q    float64
+		got  int64
+	}{
+		{"p50", 0.50, res.Latency.P50},
+		{"p99", 0.99, res.Latency.P99},
+	} {
+		// The clone reaches its server about (recirc + switch) later than
+		// the original; bound the theory between the pure min (clone lag
+		// 0) and min with the original alone (no clone at all).
+		minQ := queueing.MinExpQuantile(meanNS, meanNS, c.q) + fixedPathNS()
+		maxQ := queueing.ExpQuantile(meanNS, c.q) + fixedPathNS()
+		got := float64(c.got)
+		if got < 0.9*minQ || got > 1.05*maxQ {
+			t.Errorf("%s = %.1fus outside [%.1f, %.1f]us theory band",
+				c.name, got/1e3, 0.9*minQ/1e3, 1.05*maxQ/1e3)
+		}
+		// And it should sit near the min-exp end of the band, not the
+		// single-server end.
+		if got > (minQ+maxQ)/2 {
+			t.Errorf("%s = %.1fus closer to uncloned theory (%.1fus) than cloned (%.1fus)",
+				c.name, got/1e3, maxQ/1e3, minQ/1e3)
+		}
+	}
+}
+
+// TestCCloneSaturatesAtHalfTheoreticalCapacity pins the C-Clone
+// stability bound of the redundancy-d literature.
+func TestCCloneSaturatesAtHalfTheoreticalCapacity(t *testing.T) {
+	const servers, threads, meanUS = 2, 4, 25.0
+	bound := queueing.CCloneStabilityBound(servers, threads, meanUS*1e-6)
+	cfg := Config{
+		Scheme:     CClone,
+		Workers:    homWorkersTest(servers, threads),
+		Service:    workload.Exp(meanUS),
+		OfferedRPS: 1.5 * bound, // 50% above the cloned capacity
+		WarmupNS:   50e6,
+		DurationNS: 300e6,
+		Seed:       13,
+	}
+	res := mustRun(t, cfg)
+	// Achieved throughput must be pinned near the bound, well below the
+	// offered rate.
+	if res.ThroughputRPS > 1.15*bound {
+		t.Errorf("C-Clone throughput %.0f exceeds theoretical bound %.0f", res.ThroughputRPS, bound)
+	}
+	if res.ThroughputRPS < 0.75*bound {
+		t.Errorf("C-Clone throughput %.0f far below bound %.0f", res.ThroughputRPS, bound)
+	}
+}
+
+// TestClonedTailBeatsSingleTailUnderJitter validates the Fig 7 low-load
+// mechanism quantitatively: with the paper's jitter model, the measured
+// NetClone p99 must approach the closed-form cloned tail, far below the
+// single-server tail.
+func TestClonedTailBeatsSingleTailUnderJitter(t *testing.T) {
+	const meanUS, p, f = 25.0, 0.01, 15.0
+	cfg := Config{
+		Scheme:     NetClone,
+		Workers:    homWorkersTest(4, 8),
+		Service:    workload.WithJitter(workload.Exp(meanUS), p),
+		OfferedRPS: 40_000,
+		WarmupNS:   50e6,
+		DurationNS: 400e6,
+		Seed:       14,
+	}
+	res := mustRun(t, cfg)
+	singleP99 := queueing.SingleJitterQuantile(meanUS*1e3, p, f, 0.99) + fixedPathNS()
+	clonedP99 := queueing.ClonedJitterQuantile(meanUS*1e3, p, f, 0.99) + fixedPathNS()
+	got := float64(res.Latency.P99)
+	if got > 0.7*singleP99 {
+		t.Errorf("NetClone p99 %.1fus not well below single-server theory %.1fus",
+			got/1e3, singleP99/1e3)
+	}
+	if got > 1.5*clonedP99 {
+		t.Errorf("NetClone p99 %.1fus too far above cloned theory %.1fus",
+			got/1e3, clonedP99/1e3)
+	}
+}
+
+func homWorkersTest(n, w int) []int {
+	ws := make([]int, n)
+	for i := range ws {
+		ws[i] = w
+	}
+	return ws
+}

@@ -1,0 +1,114 @@
+// Package simnet is a minimal deterministic discrete-event engine with
+// nanosecond virtual time. It is the substrate under the cluster
+// simulation that reproduces the paper's testbed (DESIGN.md §1): events
+// fire in non-decreasing time order, ties break in scheduling order
+// (FIFO), and identical seeds produce identical runs.
+package simnet
+
+import (
+	"container/heap"
+	"math/rand/v2"
+)
+
+// Time is virtual time in nanoseconds since the start of the run.
+type Time = int64
+
+// event is one scheduled callback.
+type event struct {
+	at  Time
+	seq uint64 // tie-breaker: FIFO among equal times
+	fn  func()
+}
+
+// eventHeap is a min-heap ordered by (at, seq).
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is a single-threaded discrete-event scheduler. The zero value is
+// ready to use at time 0.
+type Engine struct {
+	now  Time
+	heap eventHeap
+	seq  uint64
+}
+
+// NewEngine returns an engine at virtual time 0.
+func NewEngine() *Engine { return &Engine{} }
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Pending returns the number of scheduled events.
+func (e *Engine) Pending() int { return len(e.heap) }
+
+// At schedules fn to run at absolute time t. Scheduling in the past (or
+// present) runs at the current time, after already-queued events for that
+// time.
+func (e *Engine) At(t Time, fn func()) {
+	if t < e.now {
+		t = e.now
+	}
+	e.seq++
+	heap.Push(&e.heap, event{at: t, seq: e.seq, fn: fn})
+}
+
+// After schedules fn to run d nanoseconds from now. Non-positive delays
+// run at the current time.
+func (e *Engine) After(d int64, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	e.At(e.now+d, fn)
+}
+
+// Step runs the earliest pending event and returns true, or returns false
+// if none remain.
+func (e *Engine) Step() bool {
+	if len(e.heap) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.heap).(event)
+	e.now = ev.at
+	ev.fn()
+	return true
+}
+
+// RunUntil processes events until the queue is empty or the next event is
+// later than deadline. The clock ends at min(deadline, last event time);
+// events after deadline stay queued.
+func (e *Engine) RunUntil(deadline Time) {
+	for len(e.heap) > 0 && e.heap[0].at <= deadline {
+		e.Step()
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+}
+
+// Run processes all events to exhaustion.
+func (e *Engine) Run() {
+	for e.Step() {
+	}
+}
+
+// NewRNG derives a deterministic RNG for a component: same (seed, stream)
+// always yields the same sequence, and distinct streams are independent.
+func NewRNG(seed, stream uint64) *rand.Rand {
+	return rand.New(rand.NewPCG(seed, stream*0x9E3779B97F4A7C15+0xD1B54A32D192ED03))
+}

@@ -1,0 +1,184 @@
+package udpemu
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"netclone/internal/stats"
+	"netclone/internal/wire"
+	"netclone/internal/workload"
+)
+
+// ClientConfig parameterizes a measuring UDP client.
+type ClientConfig struct {
+	// ClientID identifies this client in the NetClone header.
+	ClientID uint16
+	// FilterTables is the switch's filter-table count; the client
+	// randomizes the IDX field over it (§3.5).
+	FilterTables int
+	// Timeout bounds the wait for each response.
+	Timeout time.Duration
+	// Seed drives group and IDX randomization.
+	Seed uint64
+}
+
+// Client issues NetClone requests through a switch and records response
+// latencies. It is safe for use by one goroutine issuing requests while a
+// background receiver handles responses.
+type Client struct {
+	cfg    ClientConfig
+	conn   *net.UDPConn
+	swAddr *net.UDPAddr
+	rng    *rand.Rand
+
+	mu          sync.Mutex
+	pending     map[uint32]chan []byte
+	openPending map[uint32]time.Time
+	nextSeq     uint32
+	redundant   int64
+	openDone    atomic.Int64
+
+	hist      *stats.Histogram
+	closed    chan struct{}
+	closeOnce sync.Once
+	wg        sync.WaitGroup
+}
+
+// NewClient creates a client bound to an ephemeral port, targeting the
+// switch at swAddr.
+func NewClient(swAddr *net.UDPAddr, cfg ClientConfig) (*Client, error) {
+	conn, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		return nil, err
+	}
+	if cfg.FilterTables <= 0 {
+		cfg.FilterTables = 2
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 2 * time.Second
+	}
+	c := &Client{
+		cfg:         cfg,
+		conn:        conn,
+		swAddr:      swAddr,
+		rng:         rand.New(rand.NewPCG(cfg.Seed, 0xC11E47)),
+		pending:     make(map[uint32]chan []byte),
+		openPending: make(map[uint32]time.Time),
+		hist:        stats.NewHistogram(),
+		closed:      make(chan struct{}),
+	}
+	c.wg.Add(1)
+	go c.receiver()
+	return c, nil
+}
+
+// receiver drains responses, settling pending requests and counting
+// redundant (unfiltered duplicate) responses.
+func (c *Client) receiver() {
+	defer c.wg.Done()
+	buf := make([]byte, maxDatagram)
+	for {
+		n, _, err := c.conn.ReadFromUDP(buf)
+		if err != nil {
+			return
+		}
+		var h wire.Header
+		if _, err := h.Unmarshal(buf[:n]); err != nil || h.Type != wire.TypeResp {
+			continue
+		}
+		payload := make([]byte, n-wire.HeaderLen)
+		copy(payload, buf[wire.HeaderLen:n])
+
+		c.mu.Lock()
+		ch, ok := c.pending[h.ClientSeq]
+		if ok {
+			delete(c.pending, h.ClientSeq)
+		} else if !c.settleOpenLoop(h.ClientSeq) {
+			c.redundant++
+		}
+		c.mu.Unlock()
+		if ok {
+			ch <- payload
+		}
+	}
+}
+
+// Do issues one operation with a random group and waits for the first
+// response. It returns the response payload.
+func (c *Client) Do(numGroups int, op workload.OpKind, rank uint64, span uint16, value []byte) ([]byte, error) {
+	c.mu.Lock()
+	seq := c.nextSeq
+	c.nextSeq++
+	ch := make(chan []byte, 1)
+	c.pending[seq] = ch
+	c.mu.Unlock()
+
+	h := wire.Header{
+		Type:      wire.TypeReq,
+		Group:     uint16(c.rng.IntN(maxIntU(numGroups, 1))),
+		Idx:       uint8(c.rng.IntN(c.cfg.FilterTables)),
+		ClientID:  c.cfg.ClientID,
+		ClientSeq: seq,
+		PktTotal:  1,
+	}
+	out := make([]byte, 0, wire.HeaderLen+wire.OpHeaderLen+len(value))
+	out = h.AppendTo(out)
+	out = wire.AppendOp(out, uint8(op), rank, span, value)
+
+	start := time.Now()
+	if _, err := c.conn.WriteToUDP(out, c.swAddr); err != nil {
+		c.abandon(seq)
+		return nil, err
+	}
+	select {
+	case payload := <-ch:
+		c.hist.Record(time.Since(start).Nanoseconds())
+		return payload, nil
+	case <-time.After(c.cfg.Timeout):
+		c.abandon(seq)
+		return nil, fmt.Errorf("udpemu: request %d timed out after %v", seq, c.cfg.Timeout)
+	case <-c.closed:
+		c.abandon(seq)
+		return nil, errClosed
+	}
+}
+
+// abandon drops a pending entry (timeout or error path).
+func (c *Client) abandon(seq uint32) {
+	c.mu.Lock()
+	delete(c.pending, seq)
+	c.mu.Unlock()
+}
+
+// Latency summarizes the latencies of completed requests.
+func (c *Client) Latency() stats.Summary { return c.hist.Summarize() }
+
+// Redundant returns the count of duplicate responses that reached this
+// client (0 when switch filtering is on and effective).
+func (c *Client) Redundant() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.redundant
+}
+
+// Close releases the socket and stops the receiver. It is idempotent.
+func (c *Client) Close() error {
+	var err error
+	c.closeOnce.Do(func() {
+		close(c.closed)
+		err = c.conn.Close()
+	})
+	c.wg.Wait()
+	return err
+}
+
+func maxIntU(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,136 @@
+package udpemu
+
+import (
+	"time"
+
+	"netclone/internal/simnet"
+	"netclone/internal/wire"
+	"netclone/internal/workload"
+)
+
+// OpenLoopConfig parameterizes an open-loop run (§4.2: the paper's client
+// "measures the throughput and latency by generating requests at a given
+// target sending rate" with exponentially distributed inter-arrivals).
+type OpenLoopConfig struct {
+	// NumGroups is the switch's group count.
+	NumGroups int
+	// RatePerSec is the target request rate.
+	RatePerSec float64
+	// Requests is the total number of requests to send.
+	Requests int
+	// Mix generates operations; nil means all GETs over Keyspace keys.
+	Mix *workload.KVMix
+	// Keyspace bounds GET keys when Mix is nil (default 1024).
+	Keyspace uint64
+	// Drain is how long to wait for stragglers after the last send.
+	Drain time.Duration
+}
+
+// OpenLoopResult reports an open-loop run.
+type OpenLoopResult struct {
+	Sent      int
+	Completed int64
+	Elapsed   time.Duration
+	// AchievedRPS is completions divided by elapsed send time.
+	AchievedRPS float64
+}
+
+// RunOpenLoop sends requests at the target rate without waiting for
+// responses; the background receiver matches responses to send
+// timestamps and records latencies into the client histogram.
+func (c *Client) RunOpenLoop(cfg OpenLoopConfig) (OpenLoopResult, error) {
+	if cfg.RatePerSec <= 0 || cfg.Requests <= 0 {
+		return OpenLoopResult{}, errBadOpenLoop
+	}
+	if cfg.Keyspace == 0 {
+		cfg.Keyspace = 1024
+	}
+	if cfg.Drain <= 0 {
+		cfg.Drain = 200 * time.Millisecond
+	}
+	arrival := workload.Poisson{RatePerSec: cfg.RatePerSec}
+	rng := simnet.NewRNG(c.cfg.Seed, 0x0197)
+
+	buf := make([]byte, 0, wire.HeaderLen+wire.OpHeaderLen)
+	start := time.Now()
+	next := start
+	for i := 0; i < cfg.Requests; i++ {
+		// Pace against absolute target times so scheduling jitter does
+		// not accumulate into rate drift.
+		next = next.Add(time.Duration(arrival.NextGap(rng)))
+		if d := time.Until(next); d > 0 {
+			time.Sleep(d)
+		}
+
+		op := workload.OpGet
+		var rank uint64
+		if cfg.Mix != nil {
+			op, rank = cfg.Mix.Next(rng)
+		} else {
+			rank = rng.Uint64N(cfg.Keyspace)
+		}
+		span := uint16(0)
+		if op == workload.OpScan {
+			span = workload.ScanSpan
+		}
+
+		c.mu.Lock()
+		seq := c.nextSeq
+		c.nextSeq++
+		c.openPending[seq] = time.Now()
+		c.mu.Unlock()
+
+		h := wire.Header{
+			Type:      wire.TypeReq,
+			Group:     uint16(rng.IntN(maxIntU(cfg.NumGroups, 1))),
+			Idx:       uint8(rng.IntN(c.cfg.FilterTables)),
+			ClientID:  c.cfg.ClientID,
+			ClientSeq: seq,
+			PktTotal:  1,
+		}
+		buf = buf[:0]
+		buf = h.AppendTo(buf)
+		buf = wire.AppendOp(buf, uint8(op), rank, span, nil)
+		if _, err := c.conn.WriteToUDP(buf, c.swAddr); err != nil {
+			return OpenLoopResult{}, err
+		}
+	}
+	elapsed := time.Since(start)
+	time.Sleep(cfg.Drain)
+
+	// Abandon stragglers so a subsequent run starts clean.
+	c.mu.Lock()
+	c.openPending = make(map[uint32]time.Time)
+	c.mu.Unlock()
+
+	completed := c.openDone.Load()
+	c.openDone.Store(0)
+	return OpenLoopResult{
+		Sent:        cfg.Requests,
+		Completed:   completed,
+		Elapsed:     elapsed,
+		AchievedRPS: float64(completed) / elapsed.Seconds(),
+	}, nil
+}
+
+// settleOpenLoop is called by the receiver for responses that do not
+// match a closed-loop pending channel. It returns true if the response
+// settled an open-loop request.
+func (c *Client) settleOpenLoop(seq uint32) bool {
+	// Caller holds c.mu.
+	sentAt, ok := c.openPending[seq]
+	if !ok {
+		return false
+	}
+	delete(c.openPending, seq)
+	c.hist.Record(time.Since(sentAt).Nanoseconds())
+	c.openDone.Add(1)
+	return true
+}
+
+// errBadOpenLoop reports an invalid open-loop configuration.
+var errBadOpenLoop = errInvalid("udpemu: open loop needs positive rate and request count")
+
+type errInvalid string
+
+func (e errInvalid) Error() string { return string(e) }

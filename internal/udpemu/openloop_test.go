@@ -1,0 +1,93 @@
+package udpemu
+
+import (
+	"testing"
+	"time"
+
+	"netclone/internal/workload"
+)
+
+func TestOpenLoopRun(t *testing.T) {
+	tc := startCluster(t, 3, defaultDcfg())
+	res, err := tc.client.RunOpenLoop(OpenLoopConfig{
+		NumGroups:  tc.sw.NumGroups(),
+		RatePerSec: 5000,
+		Requests:   500,
+		Keyspace:   100,
+		Drain:      300 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sent != 500 {
+		t.Fatalf("sent %d, want 500", res.Sent)
+	}
+	// Loopback with idle servers: essentially everything completes.
+	if res.Completed < 490 {
+		t.Errorf("completed %d of 500", res.Completed)
+	}
+	if res.AchievedRPS < 3500 || res.AchievedRPS > 6500 {
+		t.Errorf("achieved %.0f RPS, target 5000", res.AchievedRPS)
+	}
+	if tc.client.Latency().Count < 490 {
+		t.Errorf("histogram has %d samples", tc.client.Latency().Count)
+	}
+}
+
+func TestOpenLoopWithMix(t *testing.T) {
+	tc := startCluster(t, 2, defaultDcfg())
+	mix := workload.NewKVMix(0.95, 0.05, 1000, 0.99)
+	res, err := tc.client.RunOpenLoop(OpenLoopConfig{
+		NumGroups:  tc.sw.NumGroups(),
+		RatePerSec: 3000,
+		Requests:   300,
+		Mix:        mix,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed < 280 {
+		t.Errorf("completed %d of 300", res.Completed)
+	}
+}
+
+func TestOpenLoopValidation(t *testing.T) {
+	tc := startCluster(t, 2, defaultDcfg())
+	if _, err := tc.client.RunOpenLoop(OpenLoopConfig{NumGroups: 2, RatePerSec: 0, Requests: 10}); err == nil {
+		t.Error("zero rate accepted")
+	}
+	if _, err := tc.client.RunOpenLoop(OpenLoopConfig{NumGroups: 2, RatePerSec: 100, Requests: 0}); err == nil {
+		t.Error("zero requests accepted")
+	}
+}
+
+func TestOpenLoopBackToBackRuns(t *testing.T) {
+	// State (openPending, counters) must reset between runs.
+	tc := startCluster(t, 2, defaultDcfg())
+	for i := 0; i < 2; i++ {
+		res, err := tc.client.RunOpenLoop(OpenLoopConfig{
+			NumGroups:  tc.sw.NumGroups(),
+			RatePerSec: 4000,
+			Requests:   200,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Completed < 190 || res.Completed > 200 {
+			t.Errorf("run %d: completed %d of 200", i, res.Completed)
+		}
+	}
+}
+
+func TestOpenLoopMixedWithClosedLoop(t *testing.T) {
+	// Closed-loop Do still works after an open-loop run.
+	tc := startCluster(t, 2, defaultDcfg())
+	if _, err := tc.client.RunOpenLoop(OpenLoopConfig{
+		NumGroups: tc.sw.NumGroups(), RatePerSec: 4000, Requests: 100,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tc.client.Do(tc.sw.NumGroups(), workload.OpGet, 1, 0, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,197 @@
+package udpemu
+
+import (
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"netclone/internal/kvstore"
+	"netclone/internal/wire"
+	"netclone/internal/workload"
+)
+
+// ServerConfig parameterizes a UDP worker server.
+type ServerConfig struct {
+	// SID is the server's NetClone ID, registered at the switch.
+	SID uint16
+	// Workers is the number of worker goroutines draining the request
+	// queue (§4.2's worker threads).
+	Workers int
+	// QueueCap bounds the dispatcher's FCFS queue.
+	QueueCap int
+	// Store backs GET/SCAN/SET operations. Nil means a small default
+	// store.
+	Store *kvstore.Store
+	// ExtraServiceTime, when positive, adds busy time per request to
+	// emulate heavier application work in examples.
+	ExtraServiceTime time.Duration
+}
+
+// Server is a UDP worker server: a dispatcher goroutine feeding a FCFS
+// queue drained by worker goroutines, with NetClone state piggybacking
+// and the cloned-request drop guard (§3.4, §4.2).
+type Server struct {
+	cfg    ServerConfig
+	conn   *net.UDPConn
+	swAddr *net.UDPAddr
+	store  *kvstore.Store
+
+	queue     chan serverJob
+	wg        sync.WaitGroup
+	closed    chan struct{}
+	closeOnce sync.Once
+
+	processed  atomic.Int64
+	cloneDrops atomic.Int64
+}
+
+type serverJob struct {
+	hdr     wire.Header
+	payload []byte
+}
+
+// NewServer binds a worker server to addr and targets the given switch.
+func NewServer(addr string, swAddr *net.UDPAddr, cfg ServerConfig) (*Server, error) {
+	udpAddr, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, err
+	}
+	conn, err := net.ListenUDP("udp", udpAddr)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 4
+	}
+	if cfg.QueueCap <= 0 {
+		cfg.QueueCap = 1024
+	}
+	store := cfg.Store
+	if store == nil {
+		store = kvstore.NewStore(1024)
+	}
+	return &Server{
+		cfg:    cfg,
+		conn:   conn,
+		swAddr: swAddr,
+		store:  store,
+		queue:  make(chan serverJob, cfg.QueueCap),
+		closed: make(chan struct{}),
+	}, nil
+}
+
+// Addr returns the server's bound address for switch registration.
+func (s *Server) Addr() *net.UDPAddr { return s.conn.LocalAddr().(*net.UDPAddr) }
+
+// Processed returns the number of requests served.
+func (s *Server) Processed() int64 { return s.processed.Load() }
+
+// CloneDrops returns the number of cloned requests dropped by the
+// stale-state guard.
+func (s *Server) CloneDrops() int64 { return s.cloneDrops.Load() }
+
+// Serve starts the workers and the dispatcher loop; it returns after
+// Close.
+func (s *Server) Serve() error {
+	for i := 0; i < s.cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	buf := make([]byte, maxDatagram)
+	for {
+		n, _, err := s.conn.ReadFromUDP(buf)
+		if err != nil {
+			close(s.queue)
+			s.wg.Wait()
+			select {
+			case <-s.closed:
+				return nil
+			default:
+				return err
+			}
+		}
+		s.dispatch(buf[:n])
+	}
+}
+
+// dispatch is the dispatcher thread: validate, apply the clone guard,
+// enqueue.
+func (s *Server) dispatch(pkt []byte) {
+	var h wire.Header
+	if _, err := h.Unmarshal(pkt); err != nil || h.Type != wire.TypeReq {
+		return
+	}
+	// §3.4: drop cloned requests when the queue is non-empty — the
+	// tracked idle state was stale.
+	if h.Clo == wire.CloClone && len(s.queue) > 0 {
+		s.cloneDrops.Add(1)
+		return
+	}
+	payload := make([]byte, len(pkt)-wire.HeaderLen)
+	copy(payload, pkt[wire.HeaderLen:])
+	select {
+	case s.queue <- serverJob{hdr: h, payload: payload}:
+	default:
+		// Queue overflow: drop, as a real server NIC queue would.
+	}
+}
+
+// worker drains the queue, executes operations against the store, and
+// responds through the switch with piggybacked queue state.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	out := make([]byte, 0, maxDatagram)
+	var value [kvstore.ValueSize]byte
+	for job := range s.queue {
+		var respPayload []byte
+		op, rank, span, val, err := wire.DecodeOp(job.payload)
+		if err == nil {
+			switch workload.OpKind(op) {
+			case workload.OpGet:
+				n := s.store.Get(rank, value[:])
+				respPayload = value[:n]
+			case workload.OpScan:
+				if span == 0 {
+					span = workload.ScanSpan
+				}
+				sum, _ := s.store.Scan(rank, int(span))
+				value[0] = byte(sum >> 56) // surface the checksum so the read is not elided
+				respPayload = value[:8]
+			case workload.OpSet:
+				s.store.Set(rank, val)
+			}
+		}
+		if s.cfg.ExtraServiceTime > 0 {
+			time.Sleep(s.cfg.ExtraServiceTime)
+		}
+
+		h := job.hdr
+		h.Type = wire.TypeResp
+		h.SID = s.cfg.SID
+		qlen := len(s.queue)
+		if qlen > 65535 {
+			qlen = 65535
+		}
+		h.State = uint16(qlen)
+		h.PayloadLen = uint16(len(respPayload))
+
+		out = out[:0]
+		out = h.AppendTo(out)
+		out = append(out, respPayload...)
+		if _, err := s.conn.WriteToUDP(out, s.swAddr); err == nil {
+			s.processed.Add(1)
+		}
+	}
+}
+
+// Close stops the server and waits for workers to drain. It is
+// idempotent.
+func (s *Server) Close() error {
+	var err error
+	s.closeOnce.Do(func() {
+		close(s.closed)
+		err = s.conn.Close()
+	})
+	return err
+}

@@ -1,0 +1,212 @@
+// Package udpemu runs the NetClone data plane over real UDP sockets: a
+// switch emulator, a kvstore-backed worker server, and a measuring
+// client. It exercises the identical pipeline code (internal/dataplane)
+// and wire format (internal/wire) as the discrete-event simulation, but
+// over the kernel network stack — the substrate for the runnable examples
+// and the loopback integration tests.
+//
+// It is an emulator, not a performance testbed: localhost RTT jitter is
+// far larger than the microsecond effects the paper measures, so all
+// latency figures come from the simulator (see DESIGN.md §1).
+package udpemu
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"netclone/internal/dataplane"
+	"netclone/internal/wire"
+)
+
+// maxDatagram bounds receive buffers; NetClone messages are single small
+// packets (§3.7).
+const maxDatagram = 2048
+
+// Switch is a UDP NetClone switch emulator. Clients and servers exchange
+// all traffic through its single socket, as through a ToR.
+type Switch struct {
+	conn *net.UDPConn
+
+	mu      sync.Mutex
+	dp      *dataplane.Switch
+	servers map[uint16]*net.UDPAddr
+	clients map[uint16]*net.UDPAddr
+
+	wg        sync.WaitGroup
+	closed    chan struct{}
+	closeOnce sync.Once
+}
+
+// NewSwitch binds a switch emulator to addr (e.g. "127.0.0.1:0") with the
+// given data-plane configuration.
+func NewSwitch(addr string, cfg dataplane.Config) (*Switch, error) {
+	udpAddr, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, err
+	}
+	conn, err := net.ListenUDP("udp", udpAddr)
+	if err != nil {
+		return nil, err
+	}
+	dp, err := dataplane.New(cfg)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return &Switch{
+		conn:    conn,
+		dp:      dp,
+		servers: make(map[uint16]*net.UDPAddr),
+		clients: make(map[uint16]*net.UDPAddr),
+		closed:  make(chan struct{}),
+	}, nil
+}
+
+// Addr returns the switch socket address clients and servers dial.
+func (s *Switch) Addr() *net.UDPAddr { return s.conn.LocalAddr().(*net.UDPAddr) }
+
+// AddServer registers a worker server with the control plane. The
+// address-table entry is the server's UDP port.
+func (s *Switch) AddServer(sid uint16, addr *net.UDPAddr) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.dp.AddServer(sid, uint32(addr.Port)); err != nil {
+		return err
+	}
+	s.servers[sid] = addr
+	return nil
+}
+
+// RemoveServer removes a failed server (§3.6).
+func (s *Switch) RemoveServer(sid uint16) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.dp.RemoveServer(sid)
+	delete(s.servers, sid)
+}
+
+// NumGroups exposes the group-table size for clients picking group IDs.
+func (s *Switch) NumGroups() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.dp.NumGroups()
+}
+
+// Stats snapshots the data-plane counters.
+func (s *Switch) Stats() dataplane.Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.dp.Stats()
+}
+
+// Serve processes packets until Close. It is typically run in a
+// goroutine; it returns after Close.
+func (s *Switch) Serve() error {
+	s.wg.Add(1)
+	defer s.wg.Done()
+	buf := make([]byte, maxDatagram)
+	for {
+		n, from, err := s.conn.ReadFromUDP(buf)
+		if err != nil {
+			select {
+			case <-s.closed:
+				return nil
+			default:
+				return err
+			}
+		}
+		s.handlePacket(buf[:n], from)
+	}
+}
+
+// handlePacket decodes, runs the pipeline, and forwards.
+func (s *Switch) handlePacket(pkt []byte, from *net.UDPAddr) {
+	if !wire.IsNetClone(pkt) {
+		return // non-NetClone traffic would take the plain L2/L3 path
+	}
+	var h wire.Header
+	if _, err := h.Unmarshal(pkt); err != nil {
+		return
+	}
+	payload := pkt[wire.HeaderLen:]
+
+	s.mu.Lock()
+	// Learn the client's address from its requests so responses can be
+	// routed back (the emulator's stand-in for L3 routing state).
+	if h.Type == wire.TypeReq && h.Clo == wire.CloNone {
+		if known, ok := s.clients[h.ClientID]; !ok || !udpAddrEqual(known, from) {
+			s.clients[h.ClientID] = cloneUDPAddr(from)
+		}
+	}
+	res := s.dp.Process(&h)
+
+	// Recirculate clones immediately: the loopback port of the ASIC is a
+	// second pipeline pass (§3.4).
+	var cloneRes dataplane.Result
+	var cloneHdr wire.Header
+	hasClone := false
+	if res.Act == dataplane.ActCloneAndForward {
+		cloneHdr = res.Clone
+		cloneRes = s.dp.Process(&cloneHdr)
+		hasClone = cloneRes.Act == dataplane.ActForwardServer
+	}
+	dstServer := s.servers[res.DstSID]
+	cloneServer := s.servers[cloneRes.DstSID]
+	dstClient := s.clients[h.ClientID]
+	s.mu.Unlock()
+
+	switch res.Act {
+	case dataplane.ActForwardServer, dataplane.ActCloneAndForward:
+		if dstServer != nil {
+			s.send(&h, payload, dstServer)
+		}
+		if hasClone && cloneServer != nil {
+			s.send(&cloneHdr, payload, cloneServer)
+		}
+	case dataplane.ActForwardClient:
+		if dstClient != nil {
+			s.send(&h, payload, dstClient)
+		}
+	case dataplane.ActDrop, dataplane.ActPassL3:
+	}
+}
+
+// send re-encodes the (possibly rewritten) header and transmits.
+func (s *Switch) send(h *wire.Header, payload []byte, to *net.UDPAddr) {
+	out := make([]byte, 0, wire.HeaderLen+len(payload))
+	out = h.AppendTo(out)
+	out = append(out, payload...)
+	_, _ = s.conn.WriteToUDP(out, to)
+}
+
+// Close shuts the switch down and waits for Serve to return. It is
+// idempotent.
+func (s *Switch) Close() error {
+	var err error
+	s.closeOnce.Do(func() {
+		close(s.closed)
+		err = s.conn.Close()
+	})
+	s.wg.Wait()
+	return err
+}
+
+func cloneUDPAddr(a *net.UDPAddr) *net.UDPAddr {
+	ip := make(net.IP, len(a.IP))
+	copy(ip, a.IP)
+	return &net.UDPAddr{IP: ip, Port: a.Port, Zone: a.Zone}
+}
+
+func udpAddrEqual(a, b *net.UDPAddr) bool {
+	return a.Port == b.Port && a.IP.Equal(b.IP)
+}
+
+// errClosed reports use after Close.
+var errClosed = errors.New("udpemu: closed")
+
+// String describes the switch for logs.
+func (s *Switch) String() string {
+	return fmt.Sprintf("netclone-switch(%s)", s.Addr())
+}

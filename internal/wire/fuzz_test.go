@@ -1,0 +1,62 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzUnmarshal feeds arbitrary bytes to the header decoder. Seeds run on
+// every `go test`; `go test -fuzz=FuzzUnmarshal ./internal/wire` explores
+// further. The decoder must never panic, and any buffer it accepts must
+// re-encode to an identical prefix (decode-encode identity).
+func FuzzUnmarshal(f *testing.F) {
+	h := Header{
+		Type: TypeReq, ReqID: 1, Group: 2, SID: 3, State: 4,
+		Clo: CloOriginal, Idx: 1, SwitchID: 5, ClientID: 6, ClientSeq: 7,
+		PktSeq: 0, PktTotal: 1, PayloadLen: 8,
+	}
+	var valid [HeaderLen]byte
+	_, _ = h.MarshalTo(valid[:])
+	f.Add(valid[:])
+	f.Add([]byte{})
+	f.Add([]byte{0x4E, 0x43})
+	f.Add(bytes.Repeat([]byte{0xFF}, HeaderLen))
+	f.Add(bytes.Repeat([]byte{0x00}, HeaderLen+10))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var got Header
+		n, err := got.Unmarshal(data)
+		if err != nil {
+			return
+		}
+		if n != HeaderLen {
+			t.Fatalf("accepted decode consumed %d bytes, want %d", n, HeaderLen)
+		}
+		var out [HeaderLen]byte
+		if _, err := got.MarshalTo(out[:]); err != nil {
+			t.Fatalf("re-encode of accepted header failed: %v", err)
+		}
+		if !bytes.Equal(out[:], data[:HeaderLen]) {
+			t.Fatalf("decode-encode not identity:\n in %x\nout %x", data[:HeaderLen], out[:])
+		}
+	})
+}
+
+// FuzzDecodeOp checks the op payload codec never panics and accepted
+// payloads round-trip.
+func FuzzDecodeOp(f *testing.F) {
+	f.Add(AppendOp(nil, 1, 42, 100, []byte("v")))
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0xAA}, OpHeaderLen))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		op, rank, span, value, err := DecodeOp(data)
+		if err != nil {
+			return
+		}
+		re := AppendOp(nil, op, rank, span, value)
+		if !bytes.Equal(re, data) {
+			t.Fatalf("op decode-encode not identity:\n in %x\nout %x", data, re)
+		}
+	})
+}

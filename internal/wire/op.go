@@ -1,0 +1,40 @@
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+)
+
+// RPC payload codec for the key-value operations the examples and the UDP
+// emulation exchange. The payload sits after the NetClone header:
+//
+//	0 op     uint8  (Get/Scan/Set from the workload package's numbering)
+//	1 rank   uint64 key rank
+//	9 span   uint16 objects to read (SCAN) or value length (SET)
+//	11 value ...    (SET only)
+const OpHeaderLen = 11
+
+// ErrOpTooShort reports a truncated op payload.
+var ErrOpTooShort = errors.New("wire: op payload too short")
+
+// AppendOp appends an encoded operation to buf.
+func AppendOp(buf []byte, op uint8, rank uint64, span uint16, value []byte) []byte {
+	var tmp [OpHeaderLen]byte
+	tmp[0] = op
+	binary.BigEndian.PutUint64(tmp[1:9], rank)
+	binary.BigEndian.PutUint16(tmp[9:11], span)
+	buf = append(buf, tmp[:]...)
+	return append(buf, value...)
+}
+
+// DecodeOp parses an operation payload. value aliases buf and must not be
+// retained past buf's lifetime.
+func DecodeOp(buf []byte) (op uint8, rank uint64, span uint16, value []byte, err error) {
+	if len(buf) < OpHeaderLen {
+		return 0, 0, 0, nil, ErrOpTooShort
+	}
+	op = buf[0]
+	rank = binary.BigEndian.Uint64(buf[1:9])
+	span = binary.BigEndian.Uint16(buf[9:11])
+	return op, rank, span, buf[OpHeaderLen:], nil
+}

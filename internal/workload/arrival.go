@@ -1,0 +1,47 @@
+package workload
+
+import "math/rand/v2"
+
+// Arrival generates request inter-arrival gaps for an open-loop client.
+type Arrival interface {
+	// NextGap returns the time in nanoseconds until the next request.
+	NextGap(rng *rand.Rand) int64
+}
+
+// Poisson produces exponentially distributed inter-arrival times, the
+// paper's open-loop client model (§4.2: "The inter-arrival time between
+// two consecutive requests is exponentially distributed").
+type Poisson struct {
+	// RatePerSec is the target request rate in requests per second.
+	RatePerSec float64
+}
+
+// NextGap draws an exponential gap with mean 1/RatePerSec.
+func (p Poisson) NextGap(rng *rand.Rand) int64 {
+	if p.RatePerSec <= 0 {
+		return 1 << 62 // effectively never
+	}
+	gap := int64(rng.ExpFloat64() * 1e9 / p.RatePerSec)
+	if gap < 1 {
+		gap = 1
+	}
+	return gap
+}
+
+// Uniform produces fixed inter-arrival times (a paced sender). Used in
+// tests and for deterministic microbenchmarks.
+type Uniform struct {
+	RatePerSec float64
+}
+
+// NextGap returns the constant gap 1/RatePerSec.
+func (u Uniform) NextGap(_ *rand.Rand) int64 {
+	if u.RatePerSec <= 0 {
+		return 1 << 62
+	}
+	gap := int64(1e9 / u.RatePerSec)
+	if gap < 1 {
+		gap = 1
+	}
+	return gap
+}

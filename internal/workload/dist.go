@@ -1,0 +1,150 @@
+// Package workload implements the service-time distributions, arrival
+// processes, and key-popularity generators used by the NetClone evaluation
+// (paper §5.1.2).
+//
+// All generators are deterministic given a seed, so that every experiment
+// run is reproducible. Durations are expressed in nanoseconds as int64,
+// matching the rest of the repository.
+package workload
+
+import (
+	"fmt"
+	"math/rand/v2"
+)
+
+// Microsecond is one microsecond in nanoseconds, the natural unit of the
+// paper's workloads.
+const Microsecond = 1000
+
+// JitterFactor is the paper's service-time inflation under an unexpected
+// jitter event: "the runtime of an RPC experiencing the unexpected jitter
+// can take 15 times more than the normal case" (§5.1.2).
+const JitterFactor = 15
+
+// Dist generates service times. Implementations must be deterministic
+// functions of the provided RNG.
+type Dist interface {
+	// Sample draws one service time in nanoseconds.
+	Sample(rng *rand.Rand) int64
+	// Mean returns the distribution's theoretical mean in nanoseconds.
+	Mean() float64
+	// Name returns a short label used in experiment output.
+	Name() string
+}
+
+// Exponential is an exponential service-time distribution, the paper's
+// default model for "common short-lasting RPCs".
+type Exponential struct {
+	MeanNS float64
+}
+
+// Exp returns an exponential distribution with the given mean in
+// microseconds, e.g. Exp(25) for the paper's Exp(25) workload.
+func Exp(meanUS float64) Exponential {
+	return Exponential{MeanNS: meanUS * Microsecond}
+}
+
+// Sample draws an exponentially distributed service time.
+func (e Exponential) Sample(rng *rand.Rand) int64 {
+	v := int64(rng.ExpFloat64() * e.MeanNS)
+	if v < 1 {
+		v = 1
+	}
+	return v
+}
+
+// Mean returns the configured mean in nanoseconds.
+func (e Exponential) Mean() float64 { return e.MeanNS }
+
+// Name implements Dist.
+func (e Exponential) Name() string {
+	return fmt.Sprintf("Exp(%g)", e.MeanNS/Microsecond)
+}
+
+// Bimodal mixes two exponential modes, representing "a mix of simple and
+// complex RPCs" (§5.1.2): with probability PShort the service time is
+// drawn with mean ShortNS, otherwise with mean LongNS.
+type Bimodal struct {
+	PShort  float64
+	ShortNS float64
+	LongNS  float64
+}
+
+// Bimodal9010 returns the paper's 90%/10% bimodal distribution with the
+// given short and long means in microseconds, e.g. Bimodal9010(25, 250).
+func Bimodal9010(shortUS, longUS float64) Bimodal {
+	return Bimodal{PShort: 0.9, ShortNS: shortUS * Microsecond, LongNS: longUS * Microsecond}
+}
+
+// Sample draws a bimodal service time.
+func (b Bimodal) Sample(rng *rand.Rand) int64 {
+	mean := b.LongNS
+	if rng.Float64() < b.PShort {
+		mean = b.ShortNS
+	}
+	v := int64(rng.ExpFloat64() * mean)
+	if v < 1 {
+		v = 1
+	}
+	return v
+}
+
+// Mean returns the mixture mean in nanoseconds.
+func (b Bimodal) Mean() float64 {
+	return b.PShort*b.ShortNS + (1-b.PShort)*b.LongNS
+}
+
+// Name implements Dist.
+func (b Bimodal) Name() string {
+	return fmt.Sprintf("Bimodal(%.0f%%-%g,%.0f%%-%g)",
+		b.PShort*100, b.ShortNS/Microsecond, (1-b.PShort)*100, b.LongNS/Microsecond)
+}
+
+// Jitter wraps another distribution and, with probability P, multiplies
+// the drawn service time by JitterFactor. This models the paper's
+// service-time variability knob: p=0.01 is "high variability", p=0.001 is
+// "low variability" (§5.1.2, Fig 14).
+type Jitter struct {
+	Base Dist
+	P    float64
+}
+
+// WithJitter wraps base with jitter probability p.
+func WithJitter(base Dist, p float64) Jitter {
+	return Jitter{Base: base, P: p}
+}
+
+// Sample draws from the base distribution and applies the x15 inflation
+// with probability P.
+func (j Jitter) Sample(rng *rand.Rand) int64 {
+	v := j.Base.Sample(rng)
+	if j.P > 0 && rng.Float64() < j.P {
+		v *= JitterFactor
+	}
+	return v
+}
+
+// Mean returns the jitter-inflated mean.
+func (j Jitter) Mean() float64 {
+	return j.Base.Mean() * (1 + j.P*(JitterFactor-1))
+}
+
+// Name implements Dist.
+func (j Jitter) Name() string {
+	return fmt.Sprintf("%s+jitter(p=%g)", j.Base.Name(), j.P)
+}
+
+// Fixed is a deterministic service time, useful in tests and for modelling
+// per-packet CPU costs.
+type Fixed struct {
+	NS int64
+}
+
+// Sample returns the fixed duration.
+func (f Fixed) Sample(_ *rand.Rand) int64 { return f.NS }
+
+// Mean returns the fixed duration.
+func (f Fixed) Mean() float64 { return float64(f.NS) }
+
+// Name implements Dist.
+func (f Fixed) Name() string { return fmt.Sprintf("Fixed(%dns)", f.NS) }

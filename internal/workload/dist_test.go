@@ -1,0 +1,197 @@
+package workload
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func newRNG() *rand.Rand { return rand.New(rand.NewPCG(42, 1)) }
+
+func sampleMean(d Dist, n int, rng *rand.Rand) float64 {
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += float64(d.Sample(rng))
+	}
+	return sum / float64(n)
+}
+
+func TestExpMean(t *testing.T) {
+	d := Exp(25)
+	if d.Mean() != 25_000 {
+		t.Fatalf("Mean = %v, want 25000", d.Mean())
+	}
+	got := sampleMean(d, 200_000, newRNG())
+	if math.Abs(got-25_000)/25_000 > 0.02 {
+		t.Errorf("empirical mean %v, want ~25000", got)
+	}
+}
+
+func TestExpPositive(t *testing.T) {
+	d := Exp(0.001) // tiny mean -> exercises the clamp to >= 1ns
+	rng := newRNG()
+	for i := 0; i < 1000; i++ {
+		if v := d.Sample(rng); v < 1 {
+			t.Fatalf("sample %d < 1ns", v)
+		}
+	}
+}
+
+func TestBimodalMean(t *testing.T) {
+	d := Bimodal9010(25, 250)
+	want := 0.9*25_000 + 0.1*250_000
+	if math.Abs(d.Mean()-want) > 1e-6 {
+		t.Fatalf("Mean = %v, want %v", d.Mean(), want)
+	}
+	got := sampleMean(d, 300_000, newRNG())
+	if math.Abs(got-want)/want > 0.03 {
+		t.Errorf("empirical mean %v, want ~%v", got, want)
+	}
+}
+
+func TestBimodalModeSplit(t *testing.T) {
+	// With very distinct modes, roughly 90% of samples should be "short".
+	// Threshold at 1000us: short mode Exp(1us) is essentially always below
+	// it; long mode Exp(100000us) is below it with prob 1-e^-0.01 ~ 1%.
+	d := Bimodal9010(1, 100_000)
+	rng := newRNG()
+	short := 0
+	const n = 100_000
+	for i := 0; i < n; i++ {
+		if d.Sample(rng) < 1000*Microsecond {
+			short++
+		}
+	}
+	frac := float64(short) / n
+	if frac < 0.87 || frac > 0.93 {
+		t.Errorf("short fraction = %v, want ~0.90", frac)
+	}
+}
+
+func TestJitterMean(t *testing.T) {
+	base := Exp(25)
+	j := WithJitter(base, 0.01)
+	want := 25_000 * (1 + 0.01*14)
+	if math.Abs(j.Mean()-want) > 1e-6 {
+		t.Fatalf("Mean = %v, want %v", j.Mean(), want)
+	}
+	got := sampleMean(j, 400_000, newRNG())
+	if math.Abs(got-want)/want > 0.03 {
+		t.Errorf("empirical mean %v, want ~%v", got, want)
+	}
+}
+
+func TestJitterZeroP(t *testing.T) {
+	// p=0 must behave exactly like the base distribution.
+	base := Fixed{NS: 100}
+	j := WithJitter(base, 0)
+	rng := newRNG()
+	for i := 0; i < 100; i++ {
+		if v := j.Sample(rng); v != 100 {
+			t.Fatalf("jitter(p=0) altered sample: %d", v)
+		}
+	}
+}
+
+func TestJitterInflation(t *testing.T) {
+	// p=1 must always inflate by exactly JitterFactor.
+	j := WithJitter(Fixed{NS: 10}, 1)
+	rng := newRNG()
+	for i := 0; i < 10; i++ {
+		if v := j.Sample(rng); v != 10*JitterFactor {
+			t.Fatalf("jitter(p=1) sample = %d, want %d", v, 10*JitterFactor)
+		}
+	}
+}
+
+func TestFixed(t *testing.T) {
+	f := Fixed{NS: 777}
+	if f.Sample(nil) != 777 || f.Mean() != 777 {
+		t.Fatal("Fixed must return its value")
+	}
+}
+
+func TestDistNames(t *testing.T) {
+	cases := []struct {
+		d    Dist
+		want string
+	}{
+		{Exp(25), "Exp(25)"},
+		{Bimodal9010(25, 250), "Bimodal(90%-25,10%-250)"},
+		{WithJitter(Exp(50), 0.001), "Exp(50)+jitter(p=0.001)"},
+		{Fixed{NS: 5}, "Fixed(5ns)"},
+	}
+	for _, c := range cases {
+		if got := c.d.Name(); got != c.want {
+			t.Errorf("Name() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestSamplesAlwaysPositive(t *testing.T) {
+	// Property: every distribution sample is >= 1ns.
+	dists := []Dist{Exp(25), Exp(50), Bimodal9010(25, 250), WithJitter(Exp(25), 0.01)}
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 7))
+		for _, d := range dists {
+			for i := 0; i < 64; i++ {
+				if d.Sample(rng) < 1 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	// Same seed must produce identical sample streams.
+	d := WithJitter(Bimodal9010(25, 250), 0.01)
+	a := rand.New(rand.NewPCG(9, 9))
+	b := rand.New(rand.NewPCG(9, 9))
+	for i := 0; i < 1000; i++ {
+		if d.Sample(a) != d.Sample(b) {
+			t.Fatal("distribution is not deterministic under equal seeds")
+		}
+	}
+}
+
+func TestPoissonArrival(t *testing.T) {
+	p := Poisson{RatePerSec: 1_000_000} // 1 MRPS -> mean gap 1000ns
+	rng := newRNG()
+	var sum float64
+	const n = 200_000
+	for i := 0; i < n; i++ {
+		g := p.NextGap(rng)
+		if g < 1 {
+			t.Fatalf("gap %d < 1", g)
+		}
+		sum += float64(g)
+	}
+	mean := sum / n
+	if math.Abs(mean-1000)/1000 > 0.02 {
+		t.Errorf("mean gap %v, want ~1000ns", mean)
+	}
+}
+
+func TestPoissonZeroRate(t *testing.T) {
+	p := Poisson{RatePerSec: 0}
+	if g := p.NextGap(newRNG()); g < 1<<61 {
+		t.Fatalf("zero-rate gap %d should be effectively infinite", g)
+	}
+}
+
+func TestUniformArrival(t *testing.T) {
+	u := Uniform{RatePerSec: 500_000}
+	if g := u.NextGap(nil); g != 2000 {
+		t.Fatalf("gap = %d, want 2000", g)
+	}
+	u0 := Uniform{RatePerSec: 0}
+	if g := u0.NextGap(nil); g < 1<<61 {
+		t.Fatalf("zero-rate gap %d should be effectively infinite", g)
+	}
+}

@@ -1,0 +1,157 @@
+package workload
+
+import (
+	"math"
+	"math/rand/v2"
+)
+
+// Zipf draws ranks in [0, N) with probability proportional to
+// 1/(rank+1)^S. The paper's key-value experiments use "a skewed key
+// access pattern with Zipf-0.99" over 1 million objects (§5.5).
+//
+// The implementation uses the rejection-inversion sampler of Hörmann and
+// Derflinger (the same algorithm as math/rand.Zipf), restated here for
+// math/rand/v2 which does not ship a Zipf generator.
+type Zipf struct {
+	n               float64
+	s               float64
+	oneMinusS       float64
+	oneOverOneMinus float64
+	hIntegralX1     float64
+	hIntegralN      float64
+	sDiv            float64
+}
+
+// NewZipf returns a Zipf generator over [0, n) with skew s. It panics if
+// n < 1 or s <= 0 or s == 1 (use a value like 0.99 or 1.01; the paper uses
+// 0.99).
+func NewZipf(n uint64, s float64) *Zipf {
+	if n < 1 {
+		panic("workload: Zipf n must be >= 1")
+	}
+	if s <= 0 || s == 1 {
+		panic("workload: Zipf skew must be positive and != 1")
+	}
+	z := &Zipf{
+		n:               float64(n),
+		s:               s,
+		oneMinusS:       1 - s,
+		oneOverOneMinus: 1 / (1 - s),
+	}
+	z.hIntegralX1 = z.hIntegral(1.5) - 1
+	z.hIntegralN = z.hIntegral(z.n + 0.5)
+	z.sDiv = 2 - z.hIntegralInv(z.hIntegral(2.5)-z.h(2))
+	return z
+}
+
+// hIntegral is the antiderivative of h(x) = x^-s.
+func (z *Zipf) hIntegral(x float64) float64 {
+	logX := math.Log(x)
+	return helper2(z.oneMinusS*logX) * logX
+}
+
+func (z *Zipf) h(x float64) float64 {
+	return math.Exp(-z.s * math.Log(x))
+}
+
+func (z *Zipf) hIntegralInv(x float64) float64 {
+	t := x * z.oneMinusS
+	if t < -1 {
+		t = -1
+	}
+	return math.Exp(helper1(t) * x)
+}
+
+// helper1 computes log1p(x)/x with a stable series for small x.
+func helper1(x float64) float64 {
+	if math.Abs(x) > 1e-8 {
+		return math.Log1p(x) / x
+	}
+	return 1 - x*(0.5-x*(1.0/3.0-0.25*x))
+}
+
+// helper2 computes expm1(x)/x with a stable series for small x.
+func helper2(x float64) float64 {
+	if math.Abs(x) > 1e-8 {
+		return math.Expm1(x) / x
+	}
+	return 1 + x*0.5*(1+x*(1.0/3.0)*(1+0.25*x))
+}
+
+// Rank draws one Zipf-distributed rank in [0, N). Rank 0 is the most
+// popular key.
+func (z *Zipf) Rank(rng *rand.Rand) uint64 {
+	for {
+		u := z.hIntegralN + rng.Float64()*(z.hIntegralX1-z.hIntegralN)
+		x := z.hIntegralInv(u)
+		k := math.Floor(x + 0.5)
+		if k < 1 {
+			k = 1
+		} else if k > z.n {
+			k = z.n
+		}
+		if k-x <= z.sDiv || u >= z.hIntegral(k+0.5)-z.h(k) {
+			return uint64(k - 1)
+		}
+	}
+}
+
+// OpKind identifies a key-value operation in the paper's application
+// workloads (§5.5).
+type OpKind uint8
+
+// Key-value operation kinds.
+const (
+	OpGet  OpKind = iota // read a single object
+	OpScan               // read ScanSpan consecutive objects
+	OpSet                // write a single object (never cloned, §5.5)
+)
+
+// ScanSpan is the number of objects a SCAN reads: "SCAN reads 100
+// objects" (§5.5).
+const ScanSpan = 100
+
+// String returns the operation mnemonic.
+func (k OpKind) String() string {
+	switch k {
+	case OpGet:
+		return "GET"
+	case OpScan:
+		return "SCAN"
+	case OpSet:
+		return "SET"
+	default:
+		return "UNKNOWN"
+	}
+}
+
+// KVMix generates key-value operations with a configured GET/SCAN/SET
+// ratio and Zipf-skewed key popularity.
+type KVMix struct {
+	PGet  float64
+	PScan float64 // PSet is the remainder
+	Keys  *Zipf
+}
+
+// NewKVMix returns a mix with the given GET and SCAN probabilities over n
+// keys with Zipf skew s.
+func NewKVMix(pGet, pScan float64, n uint64, s float64) *KVMix {
+	if pGet < 0 || pScan < 0 || pGet+pScan > 1+1e-9 {
+		panic("workload: invalid KV mix probabilities")
+	}
+	return &KVMix{PGet: pGet, PScan: pScan, Keys: NewZipf(n, s)}
+}
+
+// Next draws the next operation kind and key rank.
+func (m *KVMix) Next(rng *rand.Rand) (OpKind, uint64) {
+	r := rng.Float64()
+	key := m.Keys.Rank(rng)
+	switch {
+	case r < m.PGet:
+		return OpGet, key
+	case r < m.PGet+m.PScan:
+		return OpScan, key
+	default:
+		return OpSet, key
+	}
+}

@@ -1,0 +1,164 @@
+// Package netclone is a faithful software reproduction of "NetClone:
+// Fast, Scalable, and Dynamic Request Cloning for Microsecond-Scale
+// RPCs" (Gyuyeong Kim, ACM SIGCOMM 2023).
+//
+// NetClone reduces RPC tail latency by cloning requests in the
+// Top-of-Rack switch: a request is replicated to a second server only
+// when both candidate servers are tracked as idle, and the slower of the
+// two responses is filtered in the switch data plane using request-ID
+// fingerprints. This package is the public facade over the internal
+// implementation:
+//
+//   - the PISA-constrained switch data plane (the paper's contribution),
+//   - a deterministic discrete-event cluster simulation reproducing the
+//     paper's testbed and every figure of its evaluation,
+//   - a real-UDP emulation of the switch, servers, and clients,
+//   - workload generators (synthetic service-time distributions and
+//     Zipf-skewed key-value mixes).
+//
+// # Quick start
+//
+// Run one experiment point — NetClone on the paper's default Exp(25)
+// workload at 1 MRPS over six 16-thread servers:
+//
+//	res, err := netclone.Run(netclone.Config{
+//		Scheme:     netclone.NetClone,
+//		Workers:    []int{16, 16, 16, 16, 16, 16},
+//		Service:    netclone.WithJitter(netclone.Exp(25), 0.01),
+//		OfferedRPS: 1e6,
+//		WarmupNS:   50e6,
+//		DurationNS: 200e6,
+//		Seed:       1,
+//	})
+//	fmt.Println(res.Latency) // p50/p99/... in nanoseconds
+//
+// Reproduce a full paper figure:
+//
+//	report, err := netclone.RunExperiment("fig7a", netclone.DefaultOptions())
+//	netclone.RenderText(os.Stdout, report)
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// paper-vs-measured comparison of every table and figure.
+package netclone
+
+import (
+	"fmt"
+	"io"
+
+	"netclone/internal/harness"
+	"netclone/internal/kvstore"
+	"netclone/internal/simcluster"
+	"netclone/internal/workload"
+)
+
+// Schemes compared in the paper's evaluation (§5.1.3).
+const (
+	// Baseline forwards each request to a uniformly random worker.
+	Baseline = simcluster.Baseline
+	// CClone is traditional client-based static cloning.
+	CClone = simcluster.CClone
+	// LAEDGE is coordinator-based dynamic cloning (NSDI'21).
+	LAEDGE = simcluster.LAEDGE
+	// NetClone is in-switch dynamic cloning with response filtering.
+	NetClone = simcluster.NetClone
+	// NetCloneRackSched integrates NetClone with the RackSched JSQ
+	// scheduler (§3.7).
+	NetCloneRackSched = simcluster.NetCloneRackSched
+	// NetCloneNoFilter disables response filtering (Fig 15 ablation).
+	NetCloneNoFilter = simcluster.NetCloneNoFilter
+)
+
+// Scheme selects the request-dispatching scheme of a simulated run.
+type Scheme = simcluster.Scheme
+
+// Config describes one simulated experiment point; see the field docs in
+// the simcluster package.
+type Config = simcluster.Config
+
+// Calibration holds the simulated testbed's latency constants.
+type Calibration = simcluster.Calibration
+
+// Result is the outcome of one simulated run.
+type Result = simcluster.Result
+
+// Run executes one simulated experiment point.
+func Run(cfg Config) (Result, error) { return simcluster.Run(cfg) }
+
+// DefaultCalibration returns the calibration constants documented in
+// DESIGN.md §5.
+func DefaultCalibration() Calibration { return simcluster.DefaultCalibration() }
+
+// Dist is a service-time distribution.
+type Dist = workload.Dist
+
+// Exp returns an exponential service-time distribution with the given
+// mean in microseconds (the paper's Exp(25) / Exp(50) workloads).
+func Exp(meanUS float64) Dist { return workload.Exp(meanUS) }
+
+// Bimodal9010 returns the paper's 90%/10% bimodal distribution with means
+// in microseconds.
+func Bimodal9010(shortUS, longUS float64) Dist { return workload.Bimodal9010(shortUS, longUS) }
+
+// WithJitter wraps a distribution with the paper's x15 jitter at
+// probability p (p=0.01 high variability, p=0.001 low).
+func WithJitter(base Dist, p float64) Dist { return workload.WithJitter(base, p) }
+
+// KVMix draws GET/SCAN/SET operations with Zipf-skewed keys (§5.5).
+type KVMix = workload.KVMix
+
+// NewKVMix builds an operation mix over n keys with Zipf skew s.
+func NewKVMix(pGet, pScan float64, n uint64, s float64) *KVMix {
+	return workload.NewKVMix(pGet, pScan, n, s)
+}
+
+// CostModel supplies per-operation service times for key-value servers.
+type CostModel = kvstore.CostModel
+
+// RedisModel returns the Redis-calibrated cost model (Fig 11).
+func RedisModel() CostModel { return kvstore.Redis() }
+
+// MemcachedModel returns the Memcached-calibrated cost model (Fig 12).
+func MemcachedModel() CostModel { return kvstore.Memcached() }
+
+// Options scale experiment fidelity for RunExperiment.
+type Options = harness.Options
+
+// Report is a rendered-ready experiment result.
+type Report = harness.Report
+
+// ReportSeries is one labelled curve of a figure report.
+type ReportSeries = harness.Series
+
+// ReportPoint is one datum of a report series.
+type ReportPoint = harness.Point
+
+// Experiment is one reproducible table or figure of the paper.
+type Experiment = harness.Experiment
+
+// DefaultOptions returns full-fidelity experiment options.
+func DefaultOptions() Options { return harness.Default() }
+
+// QuickOptions returns reduced-fidelity options for fast iteration.
+func QuickOptions() Options { return harness.Quick() }
+
+// Experiments lists every reproducible table and figure in paper order.
+func Experiments() []*Experiment { return harness.All() }
+
+// ExperimentIDs returns the sorted experiment identifiers (fig7a...,
+// table1, table2, abl-...).
+func ExperimentIDs() []string { return harness.IDs() }
+
+// RunExperiment reproduces one paper table or figure by ID.
+func RunExperiment(id string, opts Options) (Report, error) {
+	e, ok := harness.Lookup(id)
+	if !ok {
+		return Report{}, fmt.Errorf("netclone: unknown experiment %q (see ExperimentIDs)", id)
+	}
+	return e.Run(opts)
+}
+
+// RenderText writes a human-readable rendering of a report.
+func RenderText(w io.Writer, r Report) error { return harness.RenderText(w, r) }
+
+// RenderCSV writes a report as CSV.
+func RenderCSV(w io.Writer, r Report) error { return harness.RenderCSV(w, r) }
