@@ -31,11 +31,19 @@ func benchOpts() netclone.Options {
 	}
 }
 
-// benchExperiment runs one named experiment per iteration and reports
-// the p99 of its last series' last point when the result is a figure.
+// benchExperiment runs one named experiment per iteration — points
+// sequential, isolating per-point simulation cost — and reports the p99
+// of its last series' last point when the result is a figure.
 func benchExperiment(b *testing.B, id string) {
 	b.Helper()
 	opts := benchOpts()
+	opts.Parallelism = 1
+	benchExperimentOpts(b, id, opts)
+}
+
+// benchExperimentOpts is benchExperiment with explicit options.
+func benchExperimentOpts(b *testing.B, id string, opts netclone.Options) {
+	b.Helper()
 	var lastP99 float64
 	for i := 0; i < b.N; i++ {
 		report, err := netclone.RunExperiment(id, opts)
@@ -62,6 +70,16 @@ func BenchmarkTable2(b *testing.B) { benchExperiment(b, "table2") }
 // --- Fig 7: synthetic workloads ---
 
 func BenchmarkFig7a(b *testing.B) { benchExperiment(b, "fig7a") }
+
+// BenchmarkFig7aParallel is BenchmarkFig7a with the worker pool sized to
+// the machine (Parallelism 0 = GOMAXPROCS). Comparing the two shows the
+// wall-time win of the parallel experiment-execution layer; the reports
+// themselves are byte-identical.
+func BenchmarkFig7aParallel(b *testing.B) {
+	opts := benchOpts()
+	opts.Parallelism = 0
+	benchExperimentOpts(b, "fig7a", opts)
+}
 func BenchmarkFig7b(b *testing.B) { benchExperiment(b, "fig7b") }
 func BenchmarkFig7c(b *testing.B) { benchExperiment(b, "fig7c") }
 func BenchmarkFig7d(b *testing.B) { benchExperiment(b, "fig7d") }

@@ -8,6 +8,11 @@
 //	netclone-bench -run fig7a
 //	netclone-bench -run all -quick
 //	netclone-bench -run fig11a -format csv -o fig11a.csv
+//	netclone-bench -run all -parallel 8
+//
+// Each experiment's simulation points execute on a bounded worker pool:
+// -parallel bounds the pool size (default 0 = one worker per CPU, 1 =
+// sequential). Results are byte-identical at every parallelism level.
 package main
 
 import (
@@ -59,6 +64,8 @@ func main() {
 		seed     = flag.Uint64("seed", 0, "simulation seed (0 = default)")
 		loads    = flag.String("loads", "", "comma-separated load fractions, e.g. 0.1,0.5,0.9")
 		repeats  = flag.Int("repeats", 0, "runs per point for averaged experiments")
+		parallel = flag.Int("parallel", 0, "max concurrent simulation points (0 = one per CPU, 1 = sequential)")
+		progress = flag.Bool("progress", false, "print per-point progress to stderr")
 	)
 	flag.Parse()
 
@@ -90,6 +97,7 @@ func main() {
 	if *repeats > 0 {
 		opts.Repeats = *repeats
 	}
+	opts.Parallelism = *parallel
 	if *loads != "" {
 		fracs, err := parseLoads(*loads)
 		if err != nil {
@@ -117,6 +125,14 @@ func main() {
 	}
 
 	for _, id := range ids {
+		if *progress {
+			opts.Progress = func(done, total int) {
+				fmt.Fprintf(os.Stderr, "\r%s: %d/%d points", id, done, total)
+				if done == total {
+					fmt.Fprintln(os.Stderr)
+				}
+			}
+		}
 		start := time.Now()
 		report, err := netclone.RunExperiment(id, opts)
 		if err != nil {

@@ -1,0 +1,3 @@
+module netclone
+
+go 1.24

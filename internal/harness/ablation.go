@@ -9,7 +9,9 @@ import (
 
 // Ablation experiments for the design choices DESIGN.md calls out. These
 // go beyond the paper's figures: each isolates one mechanism of the
-// NetClone design and measures what it buys.
+// NetClone design and measures what it buys. Like the standard figures,
+// every ablation describes its grid of simulation points up front and
+// hands it to the runner.
 
 func registerAblations() {
 	registerAblCloneDrop()
@@ -17,6 +19,12 @@ func registerAblations() {
 	registerAblFilterTables()
 	registerAblCoordCost()
 	registerAblMultiCoord()
+}
+
+// ablBase returns the default synthetic cluster the ablations perturb.
+func ablBase() simcluster.Config {
+	dist := workload.WithJitter(workload.Exp(25), highVariability)
+	return synthetic(dist, homWorkers(defaultServers, synthThreads))
 }
 
 // abl-clonedrop: the server-side stale-state guard (§3.4). Without it,
@@ -28,33 +36,18 @@ func registerAblCloneDrop() {
 		Paper: "design choice §3.4",
 		Run: func(opts Options) (Report, error) {
 			opts = opts.withDefaults()
-			dist := workload.WithJitter(workload.Exp(25), highVariability)
-			base := synthetic(dist, homWorkers(defaultServers, synthThreads))
-			cap := capacityRPS(base.Workers, dist.Mean())
-			var series []Series
-			for _, v := range []struct {
-				label   string
-				disable bool
-			}{{"NetClone (guard on)", false}, {"NetClone (guard off)", true}} {
-				s := Series{Label: v.label}
-				for li, frac := range opts.LoadFracs {
-					cfg := base
-					cfg.Scheme = simcluster.NetClone
-					cfg.DisableServerCloneDrop = v.disable
-					cfg.OfferedRPS = frac * cap
-					cfg.WarmupNS = opts.WarmupNS
-					cfg.DurationNS = opts.DurationNS
-					cfg.Seed = opts.Seed + uint64(li)
-					res, err := simcluster.Run(cfg)
-					if err != nil {
-						return Report{}, err
-					}
-					s.Points = append(s.Points, Point{
-						X: res.ThroughputRPS / 1e6,
-						Y: float64(res.Latency.P99) / 1e3,
-					})
-				}
-				series = append(series, s)
+			base := ablBase()
+			series, err := pairedSweepPlan(base, []seriesSpec{
+				{Label: "NetClone (guard on)", Set: func(c *simcluster.Config) {
+					c.Scheme = simcluster.NetClone
+				}},
+				{Label: "NetClone (guard off)", Set: func(c *simcluster.Config) {
+					c.Scheme = simcluster.NetClone
+					c.DisableServerCloneDrop = true
+				}},
+			}, capacityOf(base), opts).run(opts)
+			if err != nil {
+				return Report{}, err
 			}
 			return Report{
 				ID: "abl-clonedrop", Title: "Server-side clone drop guard (stale tracked state)",
@@ -79,33 +72,18 @@ func registerAblGroupOrder() {
 		Paper: "design choice §3.3",
 		Run: func(opts Options) (Report, error) {
 			opts = opts.withDefaults()
-			dist := workload.WithJitter(workload.Exp(25), highVariability)
-			base := synthetic(dist, homWorkers(defaultServers, synthThreads))
-			cap := capacityRPS(base.Workers, dist.Mean())
-			var series []Series
-			for _, v := range []struct {
-				label  string
-				single bool
-			}{{"ordered pairs (paper)", false}, {"single ordering", true}} {
-				s := Series{Label: v.label}
-				for li, frac := range opts.LoadFracs {
-					cfg := base
-					cfg.Scheme = simcluster.NetClone
-					cfg.SingleOrderingGroups = v.single
-					cfg.OfferedRPS = frac * cap
-					cfg.WarmupNS = opts.WarmupNS
-					cfg.DurationNS = opts.DurationNS
-					cfg.Seed = opts.Seed + uint64(li)
-					res, err := simcluster.Run(cfg)
-					if err != nil {
-						return Report{}, err
-					}
-					s.Points = append(s.Points, Point{
-						X: res.ThroughputRPS / 1e6,
-						Y: float64(res.Latency.P99) / 1e3,
-					})
-				}
-				series = append(series, s)
+			base := ablBase()
+			series, err := pairedSweepPlan(base, []seriesSpec{
+				{Label: "ordered pairs (paper)", Set: func(c *simcluster.Config) {
+					c.Scheme = simcluster.NetClone
+				}},
+				{Label: "single ordering", Set: func(c *simcluster.Config) {
+					c.Scheme = simcluster.NetClone
+					c.SingleOrderingGroups = true
+				}},
+			}, capacityOf(base), opts).run(opts)
+			if err != nil {
+				return Report{}, err
 			}
 			return Report{
 				ID: "abl-grouporder", Title: "Ordered-pair groups vs single ordering",
@@ -130,11 +108,11 @@ func registerAblFilterTables() {
 		Paper: "design choice §3.5",
 		Run: func(opts Options) (Report, error) {
 			opts = opts.withDefaults()
-			dist := workload.WithJitter(workload.Exp(25), highVariability)
-			base := synthetic(dist, homWorkers(defaultServers, synthThreads))
-			cap := capacityRPS(base.Workers, dist.Mean())
-			table := [][]string{{"Filter tables", "Slots/table", "Redundant leaked per 1M completed", "Filter overwrites per 1M responses"}}
-			for _, tables := range []int{1, 2, 4} {
+			base := ablBase()
+			cap := capacityOf(base)
+			tableCounts := []int{1, 2, 4}
+			specs := make([]RunSpec, len(tableCounts))
+			for i, tables := range tableCounts {
 				cfg := base
 				cfg.Scheme = simcluster.NetClone
 				cfg.FilterTables = tables
@@ -143,14 +121,18 @@ func registerAblFilterTables() {
 				cfg.WarmupNS = opts.WarmupNS
 				cfg.DurationNS = opts.DurationNS
 				cfg.Seed = opts.Seed
-				res, err := simcluster.Run(cfg)
-				if err != nil {
-					return Report{}, err
-				}
+				specs[i] = RunSpec{Label: fmt.Sprintf("%d filter tables", tables), Config: cfg}
+			}
+			results, err := runSpecs(specs, opts)
+			if err != nil {
+				return Report{}, err
+			}
+			table := [][]string{{"Filter tables", "Slots/table", "Redundant leaked per 1M completed", "Filter overwrites per 1M responses"}}
+			for i, res := range results {
 				leak := float64(res.RedundantAtClient) / float64(maxI64(res.Completed, 1)) * 1e6
 				ow := float64(res.Switch.FilterOverwrites) / float64(maxI64(res.Switch.Responses, 1)) * 1e6
 				table = append(table, []string{
-					fmt.Sprintf("%d", tables), "256",
+					fmt.Sprintf("%d", tableCounts[i]), "256",
 					fmt.Sprintf("%.0f", leak),
 					fmt.Sprintf("%.0f", ow),
 				})
@@ -180,8 +162,11 @@ func registerAblCoordCost() {
 			dist := workload.WithJitter(workload.Exp(25), highVariability)
 			workers := homWorkers(5, synthThreads)
 			cap := capacityRPS(workers, dist.Mean())
-			table := [][]string{{"Coordinator cost/pkt", "Achieved MRPS at 90% offered", "NetClone MRPS (same offered)"}}
-			for _, cost := range []int64{100, 200, 400, 800} {
+			costs := []int64{100, 200, 400, 800}
+			// Two points per row: LÆDGE with the scaled coordinator cost,
+			// then NetClone at the same offered load.
+			var specs []RunSpec
+			for _, cost := range costs {
 				cal := simcluster.DefaultCalibration()
 				cal.CoordPktCostNS = cost
 				cfg := simcluster.Config{
@@ -189,15 +174,17 @@ func registerAblCoordCost() {
 					OfferedRPS: 0.9 * cap, WarmupNS: opts.WarmupNS,
 					DurationNS: opts.DurationNS, Seed: opts.Seed, Cal: cal,
 				}
-				la, err := simcluster.Run(cfg)
-				if err != nil {
-					return Report{}, err
-				}
+				specs = append(specs, RunSpec{Label: fmt.Sprintf("LAEDGE at %d ns/pkt", cost), Config: cfg})
 				cfg.Scheme = simcluster.NetClone
-				nc, err := simcluster.Run(cfg)
-				if err != nil {
-					return Report{}, err
-				}
+				specs = append(specs, RunSpec{Label: fmt.Sprintf("NetClone at %d ns/pkt", cost), Config: cfg})
+			}
+			results, err := runSpecs(specs, opts)
+			if err != nil {
+				return Report{}, err
+			}
+			table := [][]string{{"Coordinator cost/pkt", "Achieved MRPS at 90% offered", "NetClone MRPS (same offered)"}}
+			for i, cost := range costs {
+				la, nc := results[2*i], results[2*i+1]
 				table = append(table, []string{
 					fmt.Sprintf("%d ns", cost),
 					fmt.Sprintf("%.2f", la.ThroughputRPS/1e6),
@@ -231,40 +218,43 @@ func registerAblMultiCoord() {
 			const totalMachines = 7 // 6 workers + 1 coordinator in the Fig 8 setup
 			capFull := capacityRPS(homWorkers(totalMachines-1, synthThreads), dist.Mean())
 			offered := 0.9 * capFull
-			table := [][]string{{"Scheme", "Machines as workers", "Achieved MRPS", "p99 (us)"}}
-			for _, k := range []int{1, 2, 3} {
-				workers := homWorkers(totalMachines-k, synthThreads)
-				cfg := simcluster.Config{
-					Scheme: simcluster.LAEDGE, Workers: workers, Service: dist,
-					NumCoordinators: k, OfferedRPS: offered,
+			coordCounts := []int{1, 2, 3}
+			var specs []RunSpec
+			for _, k := range coordCounts {
+				specs = append(specs, RunSpec{
+					Label: fmt.Sprintf("LAEDGE x%d coordinators", k),
+					Config: simcluster.Config{
+						Scheme: simcluster.LAEDGE, Workers: homWorkers(totalMachines-k, synthThreads),
+						Service: dist, NumCoordinators: k, OfferedRPS: offered,
+						WarmupNS: opts.WarmupNS, DurationNS: opts.DurationNS, Seed: opts.Seed,
+					},
+				})
+			}
+			specs = append(specs, RunSpec{
+				Label: "NetClone (in-switch)",
+				Config: simcluster.Config{
+					Scheme: simcluster.NetClone, Workers: homWorkers(totalMachines-1, synthThreads),
+					Service: dist, OfferedRPS: offered,
 					WarmupNS: opts.WarmupNS, DurationNS: opts.DurationNS, Seed: opts.Seed,
-				}
-				res, err := simcluster.Run(cfg)
-				if err != nil {
-					return Report{}, err
+				},
+			})
+			results, err := runSpecs(specs, opts)
+			if err != nil {
+				return Report{}, err
+			}
+			table := [][]string{{"Scheme", "Machines as workers", "Achieved MRPS", "p99 (us)"}}
+			for i, res := range results {
+				workersLeft := totalMachines - 1
+				if i < len(coordCounts) {
+					workersLeft = totalMachines - coordCounts[i]
 				}
 				table = append(table, []string{
-					fmt.Sprintf("LAEDGE x%d coordinators", k),
-					fmt.Sprintf("%d", totalMachines-k),
+					specs[i].Label,
+					fmt.Sprintf("%d", workersLeft),
 					fmt.Sprintf("%.2f", res.ThroughputRPS/1e6),
 					fmt.Sprintf("%.0f", float64(res.Latency.P99)/1e3),
 				})
 			}
-			nc := simcluster.Config{
-				Scheme: simcluster.NetClone, Workers: homWorkers(totalMachines-1, synthThreads),
-				Service: dist, OfferedRPS: offered,
-				WarmupNS: opts.WarmupNS, DurationNS: opts.DurationNS, Seed: opts.Seed,
-			}
-			res, err := simcluster.Run(nc)
-			if err != nil {
-				return Report{}, err
-			}
-			table = append(table, []string{
-				"NetClone (in-switch)",
-				fmt.Sprintf("%d", totalMachines-1),
-				fmt.Sprintf("%.2f", res.ThroughputRPS/1e6),
-				fmt.Sprintf("%.0f", float64(res.Latency.P99)/1e3),
-			})
 			return Report{
 				ID: "abl-multicoord", Title: "Scaling out the LAEDGE coordinator tier",
 				Table: table,

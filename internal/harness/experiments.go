@@ -27,19 +27,244 @@ func synthetic(dist workload.Dist, workers []int) simcluster.Config {
 	return simcluster.Config{Workers: workers, Service: dist}
 }
 
+// capacityOf estimates the saturation throughput of a base config from
+// its worker pool and mean service time.
+func capacityOf(cfg simcluster.Config) float64 {
+	mean := 0.0
+	if cfg.Mix != nil {
+		mean = cfg.Cost.MixMean(cfg.Mix)
+	} else {
+		mean = cfg.Service.Mean()
+	}
+	return capacityRPS(cfg.Workers, mean)
+}
+
 func init() {
 	registerTable1()
 	registerTable2()
-	registerFig7()
-	registerFig8()
+	registerSweepFigs(fig7Figs())
+	registerSweepFigs(fig8Figs())
 	registerFig9()
-	registerFig10()
-	registerFig11and12()
+	registerSweepFigs(fig10Figs())
+	registerSweepFigs(fig1112Figs())
 	registerFig13()
-	registerFig14()
-	registerFig15()
+	registerSweepFigs(fig14Figs())
+	registerSweepFigs(fig15Figs())
 	registerFig16()
 	registerAblations()
+}
+
+// ---------------------------------------------------------------------
+// Standard sweep figures
+//
+// Most of the paper's figures share one shape: a latency-vs-throughput
+// sweep of a few schemes over one base cluster. sweepFig declares that
+// shape, so Figs 7, 8, 10, 11/12, and 14 — formerly five near-identical
+// registration loops — are rows of one table and a single registration
+// path.
+
+// sweepFig declares one standard latency-vs-throughput figure.
+type sweepFig struct {
+	id      string
+	title   string // Experiment.Title
+	report  string // Report.Title
+	paper   string
+	base    simcluster.Config // workers + workload; schemes applied per series
+	notes   []string
+	schemes []simcluster.Scheme
+}
+
+// Scheme sets compared by the standard figures (§5.1.3).
+var (
+	vsCClone    = []simcluster.Scheme{simcluster.Baseline, simcluster.CClone, simcluster.NetClone}
+	vsExisting  = []simcluster.Scheme{simcluster.CClone, simcluster.LAEDGE, simcluster.NetClone}
+	vsRackSched = []simcluster.Scheme{simcluster.Baseline, simcluster.NetClone, simcluster.NetCloneRackSched}
+)
+
+// fig7Figs declares Fig 7 — synthetic workloads, Baseline vs C-Clone vs
+// NetClone.
+func fig7Figs() []sweepFig {
+	var figs []sweepFig
+	for _, v := range []struct {
+		id   string
+		dist workload.Dist
+	}{
+		{"fig7a", workload.Exp(25)},
+		{"fig7b", workload.Bimodal9010(25, 250)},
+		{"fig7c", workload.Exp(50)},
+		{"fig7d", workload.Bimodal9010(50, 500)},
+	} {
+		dist := workload.WithJitter(v.dist, highVariability)
+		figs = append(figs, sweepFig{
+			id:      v.id,
+			title:   "Synthetic workload " + v.dist.Name(),
+			report:  "99% latency vs throughput, " + dist.Name(),
+			paper:   "Fig 7 (" + v.id[len(v.id)-1:] + ")",
+			base:    synthetic(dist, homWorkers(defaultServers, synthThreads)),
+			schemes: vsCClone,
+		})
+	}
+	return figs
+}
+
+// fig8Figs declares Fig 8 — comparison with C-Clone and LÆDGE (5
+// workers, one host is the coordinator).
+func fig8Figs() []sweepFig {
+	var figs []sweepFig
+	for _, v := range []struct {
+		id   string
+		dist workload.Dist
+	}{
+		{"fig8a", workload.Exp(25)},
+		{"fig8b", workload.Bimodal9010(25, 250)},
+	} {
+		dist := workload.WithJitter(v.dist, highVariability)
+		figs = append(figs, sweepFig{
+			id:      v.id,
+			title:   "Scalability comparison, " + v.dist.Name(),
+			report:  "Comparison with existing solutions, " + dist.Name(),
+			paper:   "Fig 8",
+			base:    synthetic(dist, homWorkers(5, synthThreads)),
+			schemes: vsExisting,
+			notes: []string{
+				"5 worker servers: in the paper one machine is dedicated to the LAEDGE coordinator.",
+			},
+		})
+	}
+	return figs
+}
+
+// fig10Figs declares Fig 10 — performance with RackSched, homogeneous
+// and heterogeneous.
+func fig10Figs() []sweepFig {
+	var figs []sweepFig
+	for _, v := range []struct {
+		id     string
+		dist   workload.Dist
+		het    bool
+		suffix string
+	}{
+		{"fig10a", workload.Exp(25), false, "Exp-Homogeneous"},
+		{"fig10b", workload.Exp(25), true, "Exp-Heterogeneous"},
+		{"fig10c", workload.Bimodal9010(25, 250), false, "Bimodal-Homogeneous"},
+		{"fig10d", workload.Bimodal9010(25, 250), true, "Bimodal-Heterogeneous"},
+	} {
+		dist := workload.WithJitter(v.dist, highVariability)
+		workers := homWorkers(defaultServers, rackschedThreads)
+		if v.het {
+			workers = []int{rackschedThreads, rackschedThreads, rackschedThreads,
+				rackschedSlowThr, rackschedSlowThr, rackschedSlowThr}
+		}
+		figs = append(figs, sweepFig{
+			id:      v.id,
+			title:   "RackSched integration, " + v.suffix,
+			report:  "Performance with RackSched, " + v.suffix,
+			paper:   "Fig 10",
+			base:    synthetic(dist, workers),
+			schemes: vsRackSched,
+		})
+	}
+	return figs
+}
+
+// fig1112Figs declares Fig 11 / Fig 12 — Redis-like and Memcached-like
+// application workloads. The KVMix is immutable after construction, so
+// sharing it across concurrently running points is safe.
+func fig1112Figs() []sweepFig {
+	var figs []sweepFig
+	for _, v := range []struct {
+		id    string
+		model kvstore.CostModel
+		pGet  float64
+		pScan float64
+		label string
+	}{
+		{"fig11a", kvstore.Redis(), 0.99, 0.01, "Redis 99%-GET,1%-SCAN"},
+		{"fig11b", kvstore.Redis(), 0.90, 0.10, "Redis 90%-GET,10%-SCAN"},
+		{"fig12a", kvstore.Memcached(), 0.99, 0.01, "Memcached 99%-GET,1%-SCAN"},
+		{"fig12b", kvstore.Memcached(), 0.90, 0.10, "Memcached 90%-GET,10%-SCAN"},
+	} {
+		figs = append(figs, sweepFig{
+			id:     v.id,
+			title:  v.label,
+			report: v.label + " (Zipf-0.99, 1M objects)",
+			paper:  "Fig 11/12",
+			base: simcluster.Config{
+				Workers: homWorkers(defaultServers, kvThreads),
+				Mix:     workload.NewKVMix(v.pGet, v.pScan, kvstore.DefaultObjects, 0.99),
+				Cost:    v.model,
+			},
+			schemes: vsCClone,
+		})
+	}
+	return figs
+}
+
+// fig14Figs declares Fig 14 — low service-time variability (p = 0.001).
+func fig14Figs() []sweepFig {
+	var figs []sweepFig
+	for _, v := range []struct {
+		id   string
+		dist workload.Dist
+	}{
+		{"fig14a", workload.Exp(25)},
+		{"fig14b", workload.Bimodal9010(25, 250)},
+	} {
+		dist := workload.WithJitter(v.dist, lowVariability)
+		figs = append(figs, sweepFig{
+			id:      v.id,
+			title:   "Low variability, " + v.dist.Name(),
+			report:  "Low service-time variability (p=0.001), " + v.dist.Name(),
+			paper:   "Fig 14",
+			base:    synthetic(dist, homWorkers(defaultServers, synthThreads)),
+			schemes: vsCClone,
+		})
+	}
+	return figs
+}
+
+// fig15Figs declares Fig 15 — impact of redundant response filtering.
+func fig15Figs() []sweepFig {
+	dist := workload.WithJitter(workload.Exp(25), highVariability)
+	return []sweepFig{{
+		id:     "fig15",
+		title:  "Impact of redundant response filtering",
+		report: "Impact of redundant response filtering, Exp(25)",
+		paper:  "Fig 15",
+		base:   synthetic(dist, homWorkers(defaultServers, synthThreads)),
+		schemes: []simcluster.Scheme{
+			simcluster.Baseline, simcluster.NetCloneNoFilter, simcluster.NetClone,
+		},
+	}}
+}
+
+// registerSweepFigs registers one experiment per declared figure.
+func registerSweepFigs(figs []sweepFig) {
+	for _, f := range figs {
+		registerSweepFig(f)
+	}
+}
+
+// registerSweepFig registers the experiment for one declared figure.
+func registerSweepFig(f sweepFig) {
+	register(&Experiment{
+		ID:    f.id,
+		Title: f.title,
+		Paper: f.paper,
+		Run: func(opts Options) (Report, error) {
+			opts = opts.withDefaults()
+			series, err := sweepPlan(f.base, schemeSeries(f.schemes), capacityOf(f.base), opts).run(opts)
+			if err != nil {
+				return Report{}, err
+			}
+			return Report{
+				ID: f.id, Title: f.report,
+				XLabel: "Throughput (MRPS)", YLabel: "99% latency (us)",
+				Series: series,
+				Notes:  f.notes,
+			}, nil
+		},
+	})
 }
 
 // ---------------------------------------------------------------------
@@ -99,89 +324,8 @@ func registerTable2() {
 }
 
 // ---------------------------------------------------------------------
-// Fig 7 — synthetic workloads, Baseline vs C-Clone vs NetClone
-
-func registerFig7() {
-	variants := []struct {
-		id   string
-		dist workload.Dist
-	}{
-		{"fig7a", workload.Exp(25)},
-		{"fig7b", workload.Bimodal9010(25, 250)},
-		{"fig7c", workload.Exp(50)},
-		{"fig7d", workload.Bimodal9010(50, 500)},
-	}
-	for _, v := range variants {
-		v := v
-		dist := workload.WithJitter(v.dist, highVariability)
-		register(&Experiment{
-			ID:    v.id,
-			Title: "Synthetic workload " + v.dist.Name(),
-			Paper: "Fig 7 (" + v.id[len(v.id)-1:] + ")",
-			Run: func(opts Options) (Report, error) {
-				opts = opts.withDefaults()
-				base := synthetic(dist, homWorkers(defaultServers, synthThreads))
-				cap := capacityRPS(base.Workers, dist.Mean())
-				series, err := sweep(base,
-					[]simcluster.Scheme{simcluster.Baseline, simcluster.CClone, simcluster.NetClone},
-					cap, opts)
-				if err != nil {
-					return Report{}, err
-				}
-				return Report{
-					ID: v.id, Title: "99% latency vs throughput, " + dist.Name(),
-					XLabel: "Throughput (MRPS)", YLabel: "99% latency (us)",
-					Series: series,
-				}, nil
-			},
-		})
-	}
-}
-
-// ---------------------------------------------------------------------
-// Fig 8 — comparison with C-Clone and LÆDGE (5 workers, one host is the
-// coordinator)
-
-func registerFig8() {
-	variants := []struct {
-		id   string
-		dist workload.Dist
-	}{
-		{"fig8a", workload.Exp(25)},
-		{"fig8b", workload.Bimodal9010(25, 250)},
-	}
-	for _, v := range variants {
-		v := v
-		dist := workload.WithJitter(v.dist, highVariability)
-		register(&Experiment{
-			ID:    v.id,
-			Title: "Scalability comparison, " + v.dist.Name(),
-			Paper: "Fig 8",
-			Run: func(opts Options) (Report, error) {
-				opts = opts.withDefaults()
-				base := synthetic(dist, homWorkers(5, synthThreads))
-				cap := capacityRPS(base.Workers, dist.Mean())
-				series, err := sweep(base,
-					[]simcluster.Scheme{simcluster.CClone, simcluster.LAEDGE, simcluster.NetClone},
-					cap, opts)
-				if err != nil {
-					return Report{}, err
-				}
-				return Report{
-					ID: v.id, Title: "Comparison with existing solutions, " + dist.Name(),
-					XLabel: "Throughput (MRPS)", YLabel: "99% latency (us)",
-					Series: series,
-					Notes: []string{
-						"5 worker servers: in the paper one machine is dedicated to the LAEDGE coordinator.",
-					},
-				}, nil
-			},
-		})
-	}
-}
-
-// ---------------------------------------------------------------------
-// Fig 9 — impact of the number of servers
+// Fig 9 — impact of the number of servers. Three cluster sizes share one
+// plan, so all sizes' points run in the same parallel batch.
 
 func registerFig9() {
 	register(&Experiment{
@@ -191,19 +335,18 @@ func registerFig9() {
 		Run: func(opts Options) (Report, error) {
 			opts = opts.withDefaults()
 			dist := workload.WithJitter(workload.Exp(25), highVariability)
-			var series []Series
+			plan := &Plan{}
 			for _, n := range []int{2, 4, 6} {
 				base := synthetic(dist, homWorkers(n, synthThreads))
-				cap := capacityRPS(base.Workers, dist.Mean())
-				ss, err := sweep(base,
-					[]simcluster.Scheme{simcluster.Baseline, simcluster.NetClone}, cap, opts)
-				if err != nil {
-					return Report{}, err
+				series := schemeSeries([]simcluster.Scheme{simcluster.Baseline, simcluster.NetClone})
+				for i := range series {
+					series[i].Label = fmt.Sprintf("%s(%d)", series[i].Label, n)
 				}
-				for i := range ss {
-					ss[i].Label = fmt.Sprintf("%s(%d)", ss[i].Label, n)
-				}
-				series = append(series, ss...)
+				plan.append(sweepPlan(base, series, capacityOf(base), opts))
+			}
+			series, err := plan.run(opts)
+			if err != nil {
+				return Report{}, err
 			}
 			return Report{
 				ID: "fig9", Title: "Impact of the number of servers, Exp(25)",
@@ -212,100 +355,6 @@ func registerFig9() {
 			}, nil
 		},
 	})
-}
-
-// ---------------------------------------------------------------------
-// Fig 10 — performance with RackSched, homogeneous and heterogeneous
-
-func registerFig10() {
-	variants := []struct {
-		id     string
-		dist   workload.Dist
-		het    bool
-		suffix string
-	}{
-		{"fig10a", workload.Exp(25), false, "Exp-Homogeneous"},
-		{"fig10b", workload.Exp(25), true, "Exp-Heterogeneous"},
-		{"fig10c", workload.Bimodal9010(25, 250), false, "Bimodal-Homogeneous"},
-		{"fig10d", workload.Bimodal9010(25, 250), true, "Bimodal-Heterogeneous"},
-	}
-	for _, v := range variants {
-		v := v
-		dist := workload.WithJitter(v.dist, highVariability)
-		register(&Experiment{
-			ID:    v.id,
-			Title: "RackSched integration, " + v.suffix,
-			Paper: "Fig 10",
-			Run: func(opts Options) (Report, error) {
-				opts = opts.withDefaults()
-				workers := homWorkers(defaultServers, rackschedThreads)
-				if v.het {
-					workers = []int{rackschedThreads, rackschedThreads, rackschedThreads,
-						rackschedSlowThr, rackschedSlowThr, rackschedSlowThr}
-				}
-				base := synthetic(dist, workers)
-				cap := capacityRPS(workers, dist.Mean())
-				series, err := sweep(base,
-					[]simcluster.Scheme{simcluster.Baseline, simcluster.NetClone, simcluster.NetCloneRackSched},
-					cap, opts)
-				if err != nil {
-					return Report{}, err
-				}
-				return Report{
-					ID: v.id, Title: "Performance with RackSched, " + v.suffix,
-					XLabel: "Throughput (MRPS)", YLabel: "99% latency (us)",
-					Series: series,
-				}, nil
-			},
-		})
-	}
-}
-
-// ---------------------------------------------------------------------
-// Fig 11 / Fig 12 — Redis-like and Memcached-like application workloads
-
-func registerFig11and12() {
-	variants := []struct {
-		id    string
-		model kvstore.CostModel
-		pGet  float64
-		pScan float64
-		label string
-	}{
-		{"fig11a", kvstore.Redis(), 0.99, 0.01, "Redis 99%-GET,1%-SCAN"},
-		{"fig11b", kvstore.Redis(), 0.90, 0.10, "Redis 90%-GET,10%-SCAN"},
-		{"fig12a", kvstore.Memcached(), 0.99, 0.01, "Memcached 99%-GET,1%-SCAN"},
-		{"fig12b", kvstore.Memcached(), 0.90, 0.10, "Memcached 90%-GET,10%-SCAN"},
-	}
-	for _, v := range variants {
-		v := v
-		register(&Experiment{
-			ID:    v.id,
-			Title: v.label,
-			Paper: "Fig 11/12",
-			Run: func(opts Options) (Report, error) {
-				opts = opts.withDefaults()
-				mix := workload.NewKVMix(v.pGet, v.pScan, kvstore.DefaultObjects, 0.99)
-				base := simcluster.Config{
-					Workers: homWorkers(defaultServers, kvThreads),
-					Mix:     mix,
-					Cost:    v.model,
-				}
-				cap := capacityRPS(base.Workers, v.model.MixMean(mix))
-				series, err := sweep(base,
-					[]simcluster.Scheme{simcluster.Baseline, simcluster.CClone, simcluster.NetClone},
-					cap, opts)
-				if err != nil {
-					return Report{}, err
-				}
-				return Report{
-					ID: v.id, Title: v.label + " (Zipf-0.99, 1M objects)",
-					XLabel: "Throughput (MRPS)", YLabel: "99% latency (us)",
-					Series: series,
-				}, nil
-			},
-		})
-	}
 }
 
 // ---------------------------------------------------------------------
@@ -320,8 +369,9 @@ func registerFig13() {
 			opts = opts.withDefaults()
 			dist := workload.WithJitter(workload.Exp(25), highVariability)
 			base := synthetic(dist, homWorkers(defaultServers, synthThreads))
-			cap := capacityRPS(base.Workers, dist.Mean())
-			s := Series{Label: "NetClone"}
+			cap := capacityOf(base)
+			plan := &Plan{}
+			sid := plan.series("NetClone")
 			for i := 1; i <= 10; i++ {
 				frac := float64(i) / 10
 				cfg := base
@@ -330,16 +380,19 @@ func registerFig13() {
 				cfg.WarmupNS = opts.WarmupNS
 				cfg.DurationNS = opts.DurationNS
 				cfg.Seed = opts.Seed + uint64(i)
-				res, err := simcluster.Run(cfg)
-				if err != nil {
-					return Report{}, err
-				}
-				s.Points = append(s.Points, Point{X: frac * 100, Y: res.EmptyQueueFrac * 100})
+				plan.point(sid, fmt.Sprintf("NetClone at %.0f%%", frac*100), cfg,
+					func(res simcluster.Result) Point {
+						return Point{X: frac * 100, Y: res.EmptyQueueFrac * 100}
+					})
+			}
+			series, err := plan.run(opts)
+			if err != nil {
+				return Report{}, err
 			}
 			return Report{
 				ID: "fig13a", Title: "Confidence of the empty queue for state signaling",
 				XLabel: "Offered load (%)", YLabel: "Portion of zeros (%)",
-				Series: []Series{s},
+				Series: series,
 			}, nil
 		},
 	})
@@ -352,18 +405,26 @@ func registerFig13() {
 			opts = opts.withDefaults()
 			dist := workload.WithJitter(workload.Exp(25), highVariability)
 			base := synthetic(dist, homWorkers(defaultServers, synthThreads))
-			cap := capacityRPS(base.Workers, dist.Mean())
-			var series []Series
-			for _, scheme := range []simcluster.Scheme{simcluster.Baseline, simcluster.NetClone} {
+			cap := capacityOf(base)
+			// One batch holds both schemes' repeats, so all runs share
+			// the worker pool and progress totals span the experiment.
+			schemes := []simcluster.Scheme{simcluster.Baseline, simcluster.NetClone}
+			var specs []RunSpec
+			for _, scheme := range schemes {
 				cfg := base
 				cfg.Scheme = scheme
 				cfg.OfferedRPS = 0.9 * cap
 				cfg.WarmupNS = opts.WarmupNS
 				cfg.DurationNS = opts.DurationNS
-				mean, std, err := meanStdOfRuns(cfg, opts)
-				if err != nil {
-					return Report{}, err
-				}
+				specs = append(specs, repeatSpecs(cfg, opts)...)
+			}
+			results, err := runSpecs(specs, opts)
+			if err != nil {
+				return Report{}, err
+			}
+			var series []Series
+			for i, scheme := range schemes {
+				mean, std := p99MeanStd(results[i*opts.Repeats : (i+1)*opts.Repeats])
 				series = append(series, Series{
 					Label:  scheme.String(),
 					Points: []Point{{X: 90, Y: mean, Err: std}},
@@ -372,72 +433,6 @@ func registerFig13() {
 			return Report{
 				ID: "fig13b", Title: fmt.Sprintf("p99 at 90%% load, mean +/- std over %d runs", opts.Repeats),
 				XLabel: "Offered load (%)", YLabel: "99% latency (us)",
-				Series: series,
-			}, nil
-		},
-	})
-}
-
-// ---------------------------------------------------------------------
-// Fig 14 — low service-time variability (p = 0.001)
-
-func registerFig14() {
-	variants := []struct {
-		id   string
-		dist workload.Dist
-	}{
-		{"fig14a", workload.Exp(25)},
-		{"fig14b", workload.Bimodal9010(25, 250)},
-	}
-	for _, v := range variants {
-		v := v
-		dist := workload.WithJitter(v.dist, lowVariability)
-		register(&Experiment{
-			ID:    v.id,
-			Title: "Low variability, " + v.dist.Name(),
-			Paper: "Fig 14",
-			Run: func(opts Options) (Report, error) {
-				opts = opts.withDefaults()
-				base := synthetic(dist, homWorkers(defaultServers, synthThreads))
-				cap := capacityRPS(base.Workers, dist.Mean())
-				series, err := sweep(base,
-					[]simcluster.Scheme{simcluster.Baseline, simcluster.CClone, simcluster.NetClone},
-					cap, opts)
-				if err != nil {
-					return Report{}, err
-				}
-				return Report{
-					ID: v.id, Title: "Low service-time variability (p=0.001), " + dist.Name(),
-					XLabel: "Throughput (MRPS)", YLabel: "99% latency (us)",
-					Series: series,
-				}, nil
-			},
-		})
-	}
-}
-
-// ---------------------------------------------------------------------
-// Fig 15 — impact of redundant response filtering
-
-func registerFig15() {
-	register(&Experiment{
-		ID:    "fig15",
-		Title: "Impact of redundant response filtering",
-		Paper: "Fig 15",
-		Run: func(opts Options) (Report, error) {
-			opts = opts.withDefaults()
-			dist := workload.WithJitter(workload.Exp(25), highVariability)
-			base := synthetic(dist, homWorkers(defaultServers, synthThreads))
-			cap := capacityRPS(base.Workers, dist.Mean())
-			series, err := sweep(base,
-				[]simcluster.Scheme{simcluster.Baseline, simcluster.NetCloneNoFilter, simcluster.NetClone},
-				cap, opts)
-			if err != nil {
-				return Report{}, err
-			}
-			return Report{
-				ID: "fig15", Title: "Impact of redundant response filtering, Exp(25)",
-				XLabel: "Throughput (MRPS)", YLabel: "99% latency (us)",
 				Series: series,
 			}, nil
 		},
@@ -475,10 +470,11 @@ func registerFig16() {
 				SwitchRecoverAtNS: 35 * unit,
 				TimelineBinNS:     5 * unit,
 			}
-			res, err := simcluster.Run(cfg)
+			results, err := runSpecs([]RunSpec{{Label: "fig16", Config: cfg}}, opts)
 			if err != nil {
 				return Report{}, err
 			}
+			res := results[0]
 			s := Series{Label: "NetClone"}
 			for i, r := range res.Timeline.Rate() {
 				t := float64(i) * float64(cfg.TimelineBinNS) / 1e9

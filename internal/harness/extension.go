@@ -28,37 +28,21 @@ func registerExtMultiRack() {
 			opts = opts.withDefaults()
 			dist := workload.WithJitter(workload.Exp(25), highVariability)
 			base := synthetic(dist, homWorkers(defaultServers, synthThreads))
-			cap := capacityRPS(base.Workers, dist.Mean())
-
-			var series []Series
-			for _, v := range []struct {
-				label  string
-				scheme simcluster.Scheme
-				multi  bool
-			}{
-				{"Baseline multi-rack", simcluster.Baseline, true},
-				{"NetClone single-rack", simcluster.NetClone, false},
-				{"NetClone multi-rack", simcluster.NetClone, true},
-			} {
-				s := Series{Label: v.label}
-				for li, frac := range opts.LoadFracs {
-					cfg := base
-					cfg.Scheme = v.scheme
-					cfg.MultiRack = v.multi
-					cfg.OfferedRPS = frac * cap
-					cfg.WarmupNS = opts.WarmupNS
-					cfg.DurationNS = opts.DurationNS
-					cfg.Seed = opts.Seed + uint64(li)
-					res, err := simcluster.Run(cfg)
-					if err != nil {
-						return Report{}, err
-					}
-					s.Points = append(s.Points, Point{
-						X: res.ThroughputRPS / 1e6,
-						Y: float64(res.Latency.P99) / 1e3,
-					})
-				}
-				series = append(series, s)
+			series, err := pairedSweepPlan(base, []seriesSpec{
+				{Label: "Baseline multi-rack", Set: func(c *simcluster.Config) {
+					c.Scheme = simcluster.Baseline
+					c.MultiRack = true
+				}},
+				{Label: "NetClone single-rack", Set: func(c *simcluster.Config) {
+					c.Scheme = simcluster.NetClone
+				}},
+				{Label: "NetClone multi-rack", Set: func(c *simcluster.Config) {
+					c.Scheme = simcluster.NetClone
+					c.MultiRack = true
+				}},
+			}, capacityOf(base), opts).run(opts)
+			if err != nil {
+				return Report{}, err
 			}
 			return Report{
 				ID: "ext-multirack", Title: "Multi-rack deployment (client ToR owns NetClone processing)",
@@ -85,10 +69,10 @@ func registerExtLoss() {
 			opts = opts.withDefaults()
 			dist := workload.WithJitter(workload.Exp(25), highVariability)
 			base := synthetic(dist, homWorkers(defaultServers, synthThreads))
-			cap := capacityRPS(base.Workers, dist.Mean())
-
-			table := [][]string{{"Loss/link", "Completed %", "p99 (us)", "Filter overwrites", "Redundant at client"}}
-			for _, loss := range []float64{0, 0.001, 0.01, 0.05} {
+			cap := capacityOf(base)
+			losses := []float64{0, 0.001, 0.01, 0.05}
+			specs := make([]RunSpec, len(losses))
+			for i, loss := range losses {
 				cfg := base
 				cfg.Scheme = simcluster.NetClone
 				cfg.LossProb = loss
@@ -97,12 +81,16 @@ func registerExtLoss() {
 				cfg.DurationNS = opts.DurationNS
 				cfg.Seed = opts.Seed
 				cfg.FilterSlots = 1 << 10 // small enough that lingering fingerprints recycle
-				res, err := simcluster.Run(cfg)
-				if err != nil {
-					return Report{}, err
-				}
+				specs[i] = RunSpec{Label: fmtPct(loss) + " loss", Config: cfg}
+			}
+			results, err := runSpecs(specs, opts)
+			if err != nil {
+				return Report{}, err
+			}
+			table := [][]string{{"Loss/link", "Completed %", "p99 (us)", "Filter overwrites", "Redundant at client"}}
+			for i, res := range results {
 				table = append(table, []string{
-					fmtPct(loss),
+					fmtPct(losses[i]),
 					fmtPct(float64(res.Completed) / float64(res.Generated)),
 					fmtF(float64(res.Latency.P99) / 1e3),
 					fmtI(res.Switch.FilterOverwrites),

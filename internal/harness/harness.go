@@ -6,11 +6,7 @@
 package harness
 
 import (
-	"fmt"
 	"sort"
-
-	"netclone/internal/simcluster"
-	"netclone/internal/stats"
 )
 
 // Point is one datum of a series: X is the figure's x-axis value
@@ -43,12 +39,18 @@ type Report struct {
 	Notes  []string
 }
 
+// NoWarmup is the explicit Options.WarmupNS sentinel for "measure from
+// time zero". A zero WarmupNS means "unset" and is filled with the
+// Default() warmup.
+const NoWarmup int64 = -1
+
 // Options scale experiment fidelity. The zero value is filled with
 // Default(); benchmarks use Quick() to keep iterations short.
 type Options struct {
 	// DurationNS is the per-point measurement window.
 	DurationNS int64
-	// WarmupNS precedes every measurement window.
+	// WarmupNS precedes every measurement window. Zero means the
+	// Default() warmup; use NoWarmup to disable warmup explicitly.
 	WarmupNS int64
 	// Seed drives every simulation; experiments derive per-point seeds
 	// from it deterministically.
@@ -59,6 +61,17 @@ type Options struct {
 	// Repeats is the number of runs per point for experiments that
 	// average over runs (Fig 13b).
 	Repeats int
+	// Parallelism bounds how many simulation points run concurrently.
+	// Zero means one worker per CPU (GOMAXPROCS); 1 forces sequential
+	// execution. Reports are byte-identical at every parallelism level:
+	// the knob only changes wall time.
+	Parallelism int
+	// Progress, when non-nil, is called after each simulation point of
+	// the running batch completes, with the number of finished points
+	// and the batch's point total. Every built-in experiment executes
+	// one batch, so done == total marks the end of its simulations.
+	// Calls are serialized.
+	Progress func(done, total int)
 }
 
 // Default returns full-fidelity options (minutes of wall time for the
@@ -85,14 +98,18 @@ func Quick() Options {
 	}
 }
 
-// withDefaults fills zero fields from Default().
+// withDefaults fills zero fields from Default() and normalizes the
+// NoWarmup sentinel, so downstream code can use WarmupNS directly.
 func (o Options) withDefaults() Options {
 	d := Default()
 	if o.DurationNS <= 0 {
 		o.DurationNS = d.DurationNS
 	}
-	if o.WarmupNS < 0 {
+	if o.WarmupNS == 0 {
 		o.WarmupNS = d.WarmupNS
+	}
+	if o.WarmupNS < 0 {
+		o.WarmupNS = 0
 	}
 	if o.Seed == 0 {
 		o.Seed = d.Seed
@@ -165,34 +182,6 @@ func capacityRPS(workers []int, meanServiceNS float64) float64 {
 	return float64(total) / (meanServiceNS / 1e9)
 }
 
-// sweep runs cfg at every load fraction for every scheme and returns one
-// latency-vs-throughput series per scheme (the paper's standard plot
-// shape).
-func sweep(base simcluster.Config, schemes []simcluster.Scheme, capRPS float64, opts Options) ([]Series, error) {
-	out := make([]Series, 0, len(schemes))
-	for si, scheme := range schemes {
-		s := Series{Label: scheme.String()}
-		for li, frac := range opts.LoadFracs {
-			cfg := base
-			cfg.Scheme = scheme
-			cfg.OfferedRPS = frac * capRPS
-			cfg.WarmupNS = opts.WarmupNS
-			cfg.DurationNS = opts.DurationNS
-			cfg.Seed = opts.Seed + uint64(si*1000+li)
-			res, err := simcluster.Run(cfg)
-			if err != nil {
-				return nil, fmt.Errorf("%s at %.0f%%: %w", scheme, frac*100, err)
-			}
-			s.Points = append(s.Points, Point{
-				X: res.ThroughputRPS / 1e6,
-				Y: float64(res.Latency.P99) / 1e3,
-			})
-		}
-		out = append(out, s)
-	}
-	return out, nil
-}
-
 // homWorkers returns n servers with w worker threads each.
 func homWorkers(n, w int) []int {
 	ws := make([]int, n)
@@ -200,20 +189,4 @@ func homWorkers(n, w int) []int {
 		ws[i] = w
 	}
 	return ws
-}
-
-// meanStdOfRuns repeats one configuration with varied seeds and returns
-// the mean and standard deviation of the p99 latency in microseconds.
-func meanStdOfRuns(cfg simcluster.Config, opts Options) (mean, std float64, err error) {
-	var p99s []float64
-	for r := 0; r < opts.Repeats; r++ {
-		cfg.Seed = opts.Seed + uint64(r)*7919
-		res, e := simcluster.Run(cfg)
-		if e != nil {
-			return 0, 0, e
-		}
-		p99s = append(p99s, float64(res.Latency.P99)/1e3)
-	}
-	mean, std = stats.MeanStd(p99s)
-	return mean, std, nil
 }

@@ -43,10 +43,18 @@ func TestOptionsDefaults(t *testing.T) {
 	if o.DurationNS <= 0 || o.Seed == 0 || len(o.LoadFracs) == 0 || o.Repeats <= 0 {
 		t.Fatalf("defaults not filled: %+v", o)
 	}
+	// A zero-value Options gets the documented Default() warmup.
+	if want := Default().WarmupNS; o.WarmupNS != want {
+		t.Fatalf("zero Options warmup = %d, want default %d", o.WarmupNS, want)
+	}
 	// Partial options keep their values.
-	o2 := Options{DurationNS: 5e6, Seed: 9}.withDefaults()
-	if o2.DurationNS != 5e6 || o2.Seed != 9 {
+	o2 := Options{DurationNS: 5e6, Seed: 9, WarmupNS: 3e6}.withDefaults()
+	if o2.DurationNS != 5e6 || o2.Seed != 9 || o2.WarmupNS != 3e6 {
 		t.Fatalf("explicit options overwritten: %+v", o2)
+	}
+	// The NoWarmup sentinel disables warmup explicitly.
+	if o3 := (Options{WarmupNS: NoWarmup}).withDefaults(); o3.WarmupNS != 0 {
+		t.Fatalf("NoWarmup normalized to %d, want 0", o3.WarmupNS)
 	}
 }
 

@@ -1,0 +1,173 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"netclone/internal/simcluster"
+)
+
+// renderBytes canonicalizes a report for byte-level comparison.
+func renderBytes(t *testing.T, r Report) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := RenderText(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	if err := RenderCSV(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestParallelDeterminism asserts the tentpole guarantee: every
+// experiment's Report is byte-identical between sequential
+// (Parallelism: 1) and parallel (Parallelism: 8) execution at the same
+// seed.
+func TestParallelDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full determinism sweep skipped in -short mode")
+	}
+	base := Options{
+		DurationNS: 4e6,
+		WarmupNS:   1e6,
+		Seed:       5,
+		LoadFracs:  []float64{0.3, 0.8},
+		Repeats:    2,
+	}
+	for _, e := range All() {
+		t.Run(e.ID, func(t *testing.T) {
+			seqOpts := base
+			seqOpts.Parallelism = 1
+			seq, err := e.Run(seqOpts)
+			if err != nil {
+				t.Fatalf("sequential run failed: %v", err)
+			}
+			parOpts := base
+			parOpts.Parallelism = 8
+			par, err := e.Run(parOpts)
+			if err != nil {
+				t.Fatalf("parallel run failed: %v", err)
+			}
+			if !bytes.Equal(renderBytes(t, seq), renderBytes(t, par)) {
+				t.Errorf("%s report differs between Parallelism 1 and 8", e.ID)
+			}
+		})
+	}
+}
+
+// TestSweepPlanShape checks the plan layer's bookkeeping: specs land in
+// the declared series, in load order, with distinct per-point seeds.
+func TestSweepPlanShape(t *testing.T) {
+	opts := Options{
+		DurationNS: 1e6, WarmupNS: 1e6, Seed: 42,
+		LoadFracs: []float64{0.2, 0.5, 0.9}, Repeats: 1,
+	}
+	base := ablBase()
+	schemes := []simcluster.Scheme{simcluster.Baseline, simcluster.NetClone}
+	plan := sweepPlan(base, schemeSeries(schemes), capacityOf(base), opts)
+	if got, want := len(plan.specs), len(schemes)*len(opts.LoadFracs); got != want {
+		t.Fatalf("plan has %d specs, want %d", got, want)
+	}
+	seeds := map[uint64]bool{}
+	for i, spec := range plan.specs {
+		si, li := i/len(opts.LoadFracs), i%len(opts.LoadFracs)
+		if spec.Series != si || spec.Point != li {
+			t.Errorf("spec %d placed at series %d point %d, want %d/%d",
+				i, spec.Series, spec.Point, si, li)
+		}
+		if spec.Config.Scheme != schemes[si] {
+			t.Errorf("spec %d scheme = %v, want %v", i, spec.Config.Scheme, schemes[si])
+		}
+		if spec.Config.WarmupNS != opts.WarmupNS || spec.Config.DurationNS != opts.DurationNS {
+			t.Errorf("spec %d window = %d/%d, want %d/%d", i,
+				spec.Config.WarmupNS, spec.Config.DurationNS, opts.WarmupNS, opts.DurationNS)
+		}
+		if seeds[spec.Config.Seed] {
+			t.Errorf("spec %d reuses seed %d", i, spec.Config.Seed)
+		}
+		seeds[spec.Config.Seed] = true
+	}
+}
+
+// TestPairedSweepPlanSharesSeeds checks the ablation shape: every
+// series runs on identical per-load seeds, so the delta between
+// variants isolates the ablated knob.
+func TestPairedSweepPlanSharesSeeds(t *testing.T) {
+	opts := Options{
+		DurationNS: 1e6, WarmupNS: 1e6, Seed: 7,
+		LoadFracs: []float64{0.2, 0.8}, Repeats: 1,
+	}
+	base := ablBase()
+	series := []seriesSpec{
+		{Label: "a", Set: func(c *simcluster.Config) { c.Scheme = simcluster.NetClone }},
+		{Label: "b", Set: func(c *simcluster.Config) {
+			c.Scheme = simcluster.NetClone
+			c.DisableServerCloneDrop = true
+		}},
+	}
+	plan := pairedSweepPlan(base, series, 1e6, opts)
+	n := len(opts.LoadFracs)
+	for li := 0; li < n; li++ {
+		a, b := plan.specs[li].Config, plan.specs[n+li].Config
+		if a.Seed != b.Seed {
+			t.Errorf("load %d: seeds %d vs %d, want shared", li, a.Seed, b.Seed)
+		}
+		if a.OfferedRPS != b.OfferedRPS {
+			t.Errorf("load %d: offered %v vs %v, want shared", li, a.OfferedRPS, b.OfferedRPS)
+		}
+	}
+}
+
+// TestLabelPointErrors checks that every failed point keeps its label
+// through the harness error path, not just the first.
+func TestLabelPointErrors(t *testing.T) {
+	opts := Options{
+		DurationNS: 1e6, WarmupNS: 1e6, Seed: 1,
+		LoadFracs: []float64{0.5}, Repeats: 1, Parallelism: 2,
+	}
+	specs := []RunSpec{
+		{Label: "good", Config: func() simcluster.Config {
+			c := ablBase()
+			c.Scheme = simcluster.NetClone
+			c.OfferedRPS = 1e5
+			c.DurationNS = 1e6
+			return c
+		}()},
+		{Label: "bad one", Config: simcluster.Config{}},
+		{Label: "bad two", Config: simcluster.Config{}},
+	}
+	_, err := runSpecs(specs, opts)
+	if err == nil {
+		t.Fatal("expected error from invalid configs")
+	}
+	msg := err.Error()
+	for _, want := range []string{"bad one", "bad two"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("error %q missing label %q", msg, want)
+		}
+	}
+	if strings.Contains(msg, "good") {
+		t.Errorf("error %q names the successful point", msg)
+	}
+}
+
+// TestPlanAppend checks that merged plans keep series and points in
+// declaration order (the Fig 9 multi-size shape).
+func TestPlanAppend(t *testing.T) {
+	opts := Options{
+		DurationNS: 1e6, WarmupNS: 1e6, Seed: 1,
+		LoadFracs: []float64{0.5}, Repeats: 1,
+	}
+	base := ablBase()
+	p := sweepPlan(base, schemeSeries([]simcluster.Scheme{simcluster.Baseline}), 1e6, opts)
+	q := sweepPlan(base, schemeSeries([]simcluster.Scheme{simcluster.NetClone}), 1e6, opts)
+	p.append(q)
+	if len(p.labels) != 2 || p.labels[0] != "Baseline" || p.labels[1] != "NetClone" {
+		t.Fatalf("merged labels = %v", p.labels)
+	}
+	if p.specs[1].Series != 1 {
+		t.Errorf("appended spec series = %d, want 1", p.specs[1].Series)
+	}
+}

@@ -59,7 +59,11 @@ func (c *cluster) maybeLose() bool {
 	return false
 }
 
-// Run executes one experiment point.
+// Run executes one experiment point. Every call owns all of its state —
+// the event engine, every RNG stream, and the data-plane instances hang
+// off this cluster value, and no package-level state is mutated after
+// init — so concurrent Run calls are race-free and each one is a pure
+// function of cfg (internal/runner relies on both properties).
 func Run(cfg Config) (Result, error) {
 	cfg, err := cfg.withDefaults()
 	if err != nil {

@@ -37,8 +37,18 @@
 //	report, err := netclone.RunExperiment("fig7a", netclone.DefaultOptions())
 //	netclone.RenderText(os.Stdout, report)
 //
-// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
-// paper-vs-measured comparison of every table and figure.
+// Every experiment describes its grid of simulation points declaratively
+// and hands it to a bounded worker pool, so independent points run
+// concurrently. Options.Parallelism bounds the pool (0 = one worker per
+// CPU); reports are byte-identical at every parallelism level:
+//
+//	opts := netclone.DefaultOptions()
+//	opts.Parallelism = 8 // or leave 0 for GOMAXPROCS
+//	report, err := netclone.RunExperiment("fig7a", opts)
+//
+// See README.md for a tour, DESIGN.md for the system inventory, and
+// EXPERIMENTS.md for the paper-vs-measured comparison of every table
+// and figure.
 package netclone
 
 import (
@@ -47,6 +57,7 @@ import (
 
 	"netclone/internal/harness"
 	"netclone/internal/kvstore"
+	"netclone/internal/runner"
 	"netclone/internal/simcluster"
 	"netclone/internal/workload"
 )
@@ -84,6 +95,16 @@ type Result = simcluster.Result
 // Run executes one simulated experiment point.
 func Run(cfg Config) (Result, error) { return simcluster.Run(cfg) }
 
+// RunParallel executes many independent simulation points concurrently,
+// at most parallelism at a time (0 = one worker per CPU), and returns
+// the results in input order. Every run is seed-deterministic and
+// isolated, so the output is identical to calling Run in a loop; only
+// the wall time changes. All points run even when some fail, and the
+// returned error aggregates one entry per failed point.
+func RunParallel(cfgs []Config, parallelism int) ([]Result, error) {
+	return runner.Run(cfgs, runner.Options{Parallelism: parallelism})
+}
+
 // DefaultCalibration returns the calibration constants documented in
 // DESIGN.md §5.
 func DefaultCalibration() Calibration { return simcluster.DefaultCalibration() }
@@ -120,8 +141,13 @@ func RedisModel() CostModel { return kvstore.Redis() }
 // MemcachedModel returns the Memcached-calibrated cost model (Fig 12).
 func MemcachedModel() CostModel { return kvstore.Memcached() }
 
-// Options scale experiment fidelity for RunExperiment.
+// Options scale experiment fidelity for RunExperiment and bound its
+// parallelism (Options.Parallelism; 0 = one worker per CPU).
 type Options = harness.Options
+
+// NoWarmup is the explicit Options.WarmupNS sentinel for "measure from
+// time zero"; a zero WarmupNS means the default 50 ms warmup.
+const NoWarmup = harness.NoWarmup
 
 // Report is a rendered-ready experiment result.
 type Report = harness.Report

@@ -29,6 +29,74 @@ func TestFacadeRun(t *testing.T) {
 	}
 }
 
+func TestFacadeRunParallel(t *testing.T) {
+	base := netclone.Config{
+		Scheme:     netclone.NetClone,
+		Workers:    []int{8, 8},
+		Service:    netclone.WithJitter(netclone.Exp(25), 0.01),
+		OfferedRPS: 100_000,
+		WarmupNS:   1e6,
+		DurationNS: 5e6,
+	}
+	cfgs := make([]netclone.Config, 6)
+	for i := range cfgs {
+		cfgs[i] = base
+		cfgs[i].Seed = uint64(i + 1)
+	}
+	parallel, err := netclone.RunParallel(cfgs, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parallel) != len(cfgs) {
+		t.Fatalf("got %d results, want %d", len(parallel), len(cfgs))
+	}
+	// Identical to running each point alone, in input order.
+	for i, cfg := range cfgs {
+		solo, err := netclone.Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if parallel[i].Completed != solo.Completed || parallel[i].Latency.P99 != solo.Latency.P99 {
+			t.Errorf("point %d: parallel result diverges from solo run", i)
+		}
+	}
+}
+
+func TestFacadeExperimentParallelism(t *testing.T) {
+	opts := netclone.QuickOptions()
+	opts.DurationNS = 4e6
+	opts.WarmupNS = 1e6
+	opts.LoadFracs = []float64{0.3, 0.7}
+	seq := opts
+	seq.Parallelism = 1
+	par := opts
+	par.Parallelism = 8
+	rSeq, err := netclone.RunExperiment("fig7a", seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rPar, err := netclone.RunExperiment("fig7a", par)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var a, b bytes.Buffer
+	if err := netclone.RenderCSV(&a, rSeq); err != nil {
+		t.Fatal(err)
+	}
+	if err := netclone.RenderCSV(&b, rPar); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Errorf("fig7a differs between Parallelism 1 and 8:\n%s\nvs\n%s", a.String(), b.String())
+	}
+}
+
+func TestFacadeNoWarmup(t *testing.T) {
+	if netclone.NoWarmup >= 0 {
+		t.Fatalf("NoWarmup = %d, want negative sentinel", netclone.NoWarmup)
+	}
+}
+
 func TestFacadeExperiment(t *testing.T) {
 	opts := netclone.QuickOptions()
 	opts.DurationNS = 5e6
