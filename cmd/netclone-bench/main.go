@@ -1,6 +1,6 @@
 // Command netclone-bench regenerates the paper's evaluation: every table
 // and figure has a named experiment (fig7a..fig16, table1, table2, plus
-// ablations). Results print as aligned text or CSV.
+// ablations). Results print as aligned text, CSV, JSON, or ASCII plots.
 //
 // Usage:
 //
@@ -8,14 +8,20 @@
 //	netclone-bench -run fig7a
 //	netclone-bench -run all -quick
 //	netclone-bench -run fig11a -format csv -o fig11a.csv
+//	netclone-bench -run fig7a -format json
 //	netclone-bench -run all -parallel 8
+//	netclone-bench -run fig7a -backend emu -quick -loads 0.1
 //
-// Each experiment's simulation points execute on a bounded worker pool:
-// -parallel bounds the pool size (default 0 = one worker per CPU, 1 =
-// sequential). Results are byte-identical at every parallelism level.
+// Each experiment declares its grid of scenario points, which execute on
+// a bounded worker pool: -parallel bounds the pool size (default 0 = one
+// worker per CPU, 1 = sequential). On the default sim backend results
+// are byte-identical at every parallelism level. -backend emu replays
+// the same scenarios over real UDP sockets (rate-capped; counters are
+// comparable, latencies include kernel noise).
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -56,7 +62,9 @@ func main() {
 	var (
 		runID    = flag.String("run", "", "experiment ID to run, or 'all'")
 		list     = flag.Bool("list", false, "list available experiments")
-		format   = flag.String("format", "text", "output format: text, csv, or plot")
+		format   = flag.String("format", "text", "output format: text, csv, json, or plot")
+		backend  = flag.String("backend", "sim", "execution backend: sim (deterministic simulator) or emu (real-UDP loopback emulation)")
+		emuRate  = flag.Float64("emu-rate", 0, "emu backend: cap on the open-loop rate in req/s (0 = default 4000)")
 		out      = flag.String("o", "", "output file (default stdout)")
 		quick    = flag.Bool("quick", false, "reduced fidelity (seconds instead of minutes)")
 		duration = flag.Duration("duration", 0, "per-point measurement window (e.g. 200ms)")
@@ -81,6 +89,12 @@ func main() {
 		os.Exit(2)
 	}
 
+	switch *format {
+	case "text", "csv", "json", "plot":
+	default:
+		fatal(fmt.Errorf("unknown format %q (want text, csv, json, or plot)", *format))
+	}
+
 	opts := netclone.DefaultOptions()
 	if *quick {
 		opts = netclone.QuickOptions()
@@ -98,6 +112,21 @@ func main() {
 		opts.Repeats = *repeats
 	}
 	opts.Parallelism = *parallel
+	switch *backend {
+	case "sim", "":
+		// Options.Backend nil selects the simulator.
+		if *emuRate > 0 {
+			fatal(fmt.Errorf("-emu-rate only applies with -backend emu"))
+		}
+	case "emu":
+		var emuOpts []netclone.EmuOption
+		if *emuRate > 0 {
+			emuOpts = append(emuOpts, netclone.EmuMaxRate(*emuRate))
+		}
+		opts.Backend = netclone.Emu(emuOpts...)
+	default:
+		fatal(fmt.Errorf("unknown backend %q (want sim or emu)", *backend))
+	}
 	if *loads != "" {
 		fracs, err := parseLoads(*loads)
 		if err != nil {
@@ -136,18 +165,25 @@ func main() {
 		start := time.Now()
 		report, err := netclone.RunExperiment(id, opts)
 		if err != nil {
+			// A whole-suite sweep on a reduced backend skips the
+			// experiments that need simulator-only capabilities instead
+			// of aborting with partial output.
+			if *runID == "all" && errors.Is(err, netclone.ErrSimOnly) {
+				fmt.Fprintf(os.Stderr, "netclone-bench: skipping %s on backend %q: %v\n", id, *backend, err)
+				continue
+			}
 			fatal(fmt.Errorf("%s: %w", id, err))
 		}
 		switch *format {
 		case "csv":
 			err = netclone.RenderCSV(w, report)
+		case "json":
+			err = netclone.RenderJSON(w, report)
 		case "plot":
 			err = renderPlot(w, report)
 		case "text":
 			err = netclone.RenderText(w, report)
 			fmt.Fprintf(os.Stderr, "%s finished in %v\n", id, time.Since(start).Round(time.Millisecond))
-		default:
-			err = fmt.Errorf("unknown format %q", *format)
 		}
 		if err != nil {
 			fatal(err)

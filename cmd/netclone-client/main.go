@@ -1,5 +1,10 @@
 // Command netclone-client issues NetClone key-value requests through a
-// switch emulator and reports the latency distribution.
+// switch emulator and reports the latency distribution. It is the
+// distributed counterpart of the measuring clients the in-process
+// netclone.Emu() backend manages: -rate selects the same open loop,
+// -duplicate the same client-side C-Clone duplication, and the
+// redundant-response count it prints is what Emu surfaces as
+// ScenarioResult.RedundantAtClient.
 //
 //	netclone-client -switch 127.0.0.1:9000 -groups 2 -n 10000 \
 //	    -get 0.99 -scan 0.01 -objects 1000000
@@ -34,8 +39,12 @@ func main() {
 		tables  = flag.Int("filter-tables", 2, "switch filter-table count for IDX randomization")
 		timeout = flag.Duration("timeout", 2*time.Second, "per-request timeout")
 		rate    = flag.Float64("rate", 0, "open-loop target rate in req/s (0 = closed loop)")
+		dup     = flag.Bool("duplicate", false, "send every request twice (client-side static cloning, the C-Clone baseline; open loop only)")
 	)
 	flag.Parse()
+	if *dup && *rate <= 0 {
+		fatal(fmt.Errorf("-duplicate needs the open loop; add -rate"))
+	}
 
 	sw, err := net.ResolveUDPAddr("udp", *swAddr)
 	if err != nil {
@@ -62,6 +71,7 @@ func main() {
 			RatePerSec: *rate,
 			Requests:   *n,
 			Mix:        mix,
+			Duplicate:  *dup,
 		})
 		if err != nil {
 			fatal(err)

@@ -1,7 +1,11 @@
 // Command netclone-server runs one NetClone worker server over UDP: a
 // dispatcher feeding a FCFS queue drained by worker goroutines, backed by
 // the in-memory key-value store, with queue-state piggybacking and the
-// cloned-request drop guard (§3.4, §4.2).
+// cloned-request drop guard (§3.4, §4.2). It is the distributed
+// counterpart of the servers the in-process netclone.Emu() backend
+// manages; the processed/cloneDrops counters it prints on exit are the
+// same ones Emu surfaces as ScenarioResult.ServerProcessed and
+// ScenarioResult.CloneDropsAtServer.
 //
 //	netclone-server -listen 127.0.0.1:9101 -switch 127.0.0.1:9000 -sid 0
 package main

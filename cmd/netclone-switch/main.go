@@ -1,10 +1,13 @@
 // Command netclone-switch runs the NetClone ToR switch emulator over UDP:
 // the in-switch request cloning, response filtering, and state tracking
-// of the paper, applied to real datagrams.
+// of the paper, applied to real datagrams. It is the distributed
+// (multi-process) counterpart of the in-process netclone.Emu() backend
+// and shares its scheme-to-dataplane mapping, so `-scheme` here selects
+// exactly the switch program the Emu backend would run.
 //
 // Workers are registered statically:
 //
-//	netclone-switch -listen 127.0.0.1:9000 \
+//	netclone-switch -listen 127.0.0.1:9000 -scheme netclone \
 //	    -server 0=127.0.0.1:9101 -server 1=127.0.0.1:9102
 //
 // Pair it with netclone-server and netclone-client.
@@ -21,6 +24,8 @@ import (
 	"syscall"
 
 	"netclone/internal/dataplane"
+	"netclone/internal/scenario"
+	"netclone/internal/simcluster"
 	"netclone/internal/udpemu"
 )
 
@@ -45,6 +50,7 @@ func (f serverFlags) Set(v string) error {
 func main() {
 	var (
 		listen       = flag.String("listen", "127.0.0.1:9000", "switch UDP listen address")
+		schemeName   = flag.String("scheme", "", "switch program by scheme: baseline, cclone, netclone, netclone-nofilter, netclone-racksched (overrides the -no-*/-racksched flags)")
 		filterTables = flag.Int("filter-tables", 2, "number of response filter tables")
 		filterSlots  = flag.Int("filter-slots", 1<<17, "hash slots per filter table (power of two)")
 		maxServers   = flag.Int("max-servers", 64, "server ID space (table capacity)")
@@ -57,15 +63,29 @@ func main() {
 	flag.Var(servers, "server", "worker registration sid=host:port (repeatable)")
 	flag.Parse()
 
-	cfg := dataplane.Config{
-		SwitchID:        uint16(*switchID),
-		MaxServers:      *maxServers,
-		FilterTables:    *filterTables,
-		FilterSlots:     *filterSlots,
-		EnableCloning:   !*noCloning,
-		EnableFiltering: !*noFiltering,
-		RackSched:       *racksched,
+	// -scheme routes through the same mapping the in-process Emu backend
+	// uses; the legacy -no-cloning/-no-filtering/-racksched flags remain
+	// independent toggles for scripts that predate it.
+	var cfg dataplane.Config
+	if *schemeName != "" {
+		scheme, err := parseScheme(*schemeName)
+		if err != nil {
+			fatal(err)
+		}
+		if cfg, err = scenario.SwitchConfig(scheme, *filterTables, *filterSlots, *maxServers); err != nil {
+			fatal(err)
+		}
+	} else {
+		cfg = dataplane.Config{
+			MaxServers:      *maxServers,
+			FilterTables:    *filterTables,
+			FilterSlots:     *filterSlots,
+			EnableCloning:   !*noCloning,
+			EnableFiltering: !*noFiltering,
+			RackSched:       *racksched,
+		}
 	}
+	cfg.SwitchID = uint16(*switchID)
 	sw, err := udpemu.NewSwitch(*listen, cfg)
 	if err != nil {
 		fatal(err)
@@ -99,6 +119,25 @@ func main() {
 	st := sw.Stats()
 	fmt.Printf("requests=%d cloned=%d recirculated=%d responses=%d filtered=%d\n",
 		st.Requests, st.Cloned, st.Recirculated, st.Responses, st.FilterDrops)
+}
+
+// parseScheme resolves the -scheme mnemonic to a Scheme with an
+// emulated switch role.
+func parseScheme(name string) (simcluster.Scheme, error) {
+	switch strings.ToLower(name) {
+	case "baseline":
+		return simcluster.Baseline, nil
+	case "cclone", "c-clone":
+		return simcluster.CClone, nil
+	case "netclone":
+		return simcluster.NetClone, nil
+	case "netclone-nofilter", "nofilter":
+		return simcluster.NetCloneNoFilter, nil
+	case "netclone-racksched", "racksched":
+		return simcluster.NetCloneRackSched, nil
+	default:
+		return 0, fmt.Errorf("unknown scheme %q (want baseline, cclone, netclone, netclone-nofilter, or netclone-racksched)", name)
+	}
 }
 
 func fatal(err error) {

@@ -1,10 +1,11 @@
 // Key-value store example: the paper's Redis experiment (§5.5, Fig 11).
 //
-// Simulates a replicated in-memory key-value cluster — 6 servers with 8
-// worker threads each, 1 million objects, Zipf-0.99 key popularity — and
-// sweeps load for two read mixes (99% GET / 1% SCAN and 90% GET / 10%
-// SCAN), comparing Baseline, C-Clone, and NetClone. SCANs read 100
-// objects, so a small SCAN share dominates service time.
+// Declares a replicated in-memory key-value cluster — 6 servers with 8
+// worker threads each, 1 million objects, Zipf-0.99 key popularity — as
+// a base Scenario, then sweeps load for two read mixes (99% GET / 1%
+// SCAN and 90% GET / 10% SCAN) on the simulator backend, comparing
+// Baseline, C-Clone, and NetClone. SCANs read 100 objects, so a small
+// SCAN share dominates service time.
 //
 //	go run ./examples/kvstore
 package main
@@ -12,12 +13,12 @@ package main
 import (
 	"fmt"
 	"log"
+	"time"
 
 	"netclone"
 )
 
 func main() {
-	workers := []int{8, 8, 8, 8, 8, 8}
 	model := netclone.RedisModel()
 
 	mixes := []struct {
@@ -30,22 +31,22 @@ func main() {
 		{"90%-GET, 10%-SCAN", 0.90, 0.10, []float64{0.02, 0.06, 0.1, 0.13}},
 	}
 
+	sim := netclone.Sim()
 	for _, m := range mixes {
 		fmt.Printf("== Redis-like workload, %s (Zipf-0.99, 1M objects)\n", m.name)
 		fmt.Printf("%-10s %12s %12s %10s\n", "scheme", "offered(M)", "tput(M)", "p99(us)")
-		mix := netclone.NewKVMix(m.pGet, m.pScan, 1_000_000, 0.99)
+		base := netclone.NewScenario(
+			netclone.WithServers(6, 8),
+			netclone.WithKVWorkload(netclone.NewKVMix(m.pGet, m.pScan, 1_000_000, 0.99), model),
+			netclone.WithWindow(50*time.Millisecond, 200*time.Millisecond),
+			netclone.WithSeed(2),
+		)
 		for _, scheme := range []netclone.Scheme{netclone.Baseline, netclone.CClone, netclone.NetClone} {
 			for _, load := range m.loads {
-				res, err := netclone.Run(netclone.Config{
-					Scheme:     scheme,
-					Workers:    workers,
-					Mix:        mix,
-					Cost:       model,
-					OfferedRPS: load * 1e6,
-					WarmupNS:   50e6,
-					DurationNS: 200e6,
-					Seed:       2,
-				})
+				res, err := sim.Run(base.With(
+					netclone.WithScheme(scheme),
+					netclone.WithOfferedLoad(load*1e6),
+				))
 				if err != nil {
 					log.Fatal(err)
 				}

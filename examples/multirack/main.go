@@ -1,10 +1,11 @@
 // Multi-rack deployment example (§3.7).
 //
 // Places the six worker servers behind their own ToR switch, reached
-// from the clients' rack through an aggregation layer. Both ToRs run the
-// full NetClone program; the switch-ID ownership rule makes the
-// client-side ToR do all cloning, filtering, and state tracking while
-// the server-side ToR passes stamped packets through. The example also
+// from the clients' rack through an aggregation layer — a one-option
+// change to the base Scenario (WithMultiRack). Both ToRs run the full
+// NetClone program; the switch-ID ownership rule makes the client-side
+// ToR do all cloning, filtering, and state tracking while the
+// server-side ToR passes stamped packets through. The example also
 // prints the sampled latency breakdown, showing that the aggregation
 // layer adds only fixed path cost — the tail is still queueing and
 // service variability, which cloning masks.
@@ -15,36 +16,34 @@ package main
 import (
 	"fmt"
 	"log"
+	"time"
 
 	"netclone"
 )
 
 func main() {
-	workers := []int{16, 16, 16, 16, 16, 16}
-	service := netclone.WithJitter(netclone.Exp(25), 0.01)
+	base := netclone.NewScenario(
+		netclone.WithScheme(netclone.NetClone),
+		netclone.WithServers(6, 16),
+		netclone.WithWorkload(netclone.WithJitter(netclone.Exp(25), 0.01)),
+		netclone.WithOfferedLoad(1e6),
+		netclone.WithWindow(50*time.Millisecond, 200*time.Millisecond),
+		netclone.WithSeed(4),
+		netclone.WithBreakdownSampling(10),
+	)
 
 	fmt.Println("Multi-rack NetClone: clients and servers on different racks")
 	fmt.Printf("%-22s %10s %10s %10s %14s\n", "configuration", "p50(us)", "p99(us)", "cloned", "remote PassL3")
 
+	sim := netclone.Sim()
 	for _, v := range []struct {
 		label string
-		multi bool
+		sc    *netclone.Scenario
 	}{
-		{"single rack", false},
-		{"multi-rack (2us agg)", true},
+		{"single rack", base},
+		{"multi-rack (2us agg)", base.With(netclone.WithMultiRack(2 * time.Microsecond))},
 	} {
-		res, err := netclone.Run(netclone.Config{
-			Scheme:      netclone.NetClone,
-			Workers:     workers,
-			Service:     service,
-			OfferedRPS:  1e6,
-			WarmupNS:    50e6,
-			DurationNS:  200e6,
-			Seed:        4,
-			MultiRack:   v.multi,
-			AggDelayNS:  2000,
-			SampleEvery: 10,
-		})
+		res, err := sim.Run(v.sc)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -1,10 +1,11 @@
 // Quickstart: the paper's headline effect in one run.
 //
-// Simulates the paper's testbed — 2 open-loop clients, a ToR switch, and
-// 6 worker servers with 16 worker threads each — on the default Exp(25)
-// synthetic workload with high service-time variability, and compares the
-// tail latency of random forwarding (Baseline) against in-switch dynamic
-// cloning (NetClone) at a moderate load.
+// Declares the paper's testbed once as a Scenario — 2 open-loop clients,
+// a ToR switch, and 6 worker servers with 16 worker threads each, on the
+// default Exp(25) synthetic workload with high service-time variability
+// — then runs it on the simulator backend under two schemes, comparing
+// the tail latency of random forwarding (Baseline) against in-switch
+// dynamic cloning (NetClone) at a moderate load.
 //
 //	go run ./examples/quickstart
 package main
@@ -12,29 +13,28 @@ package main
 import (
 	"fmt"
 	"log"
+	"time"
 
 	"netclone"
 )
 
 func main() {
-	workers := []int{16, 16, 16, 16, 16, 16}
-	service := netclone.WithJitter(netclone.Exp(25), 0.01)
+	base := netclone.NewScenario(
+		netclone.WithServers(6, 16),
+		netclone.WithWorkload(netclone.WithJitter(netclone.Exp(25), 0.01)),
+		netclone.WithOfferedLoad(1e6),
+		netclone.WithWindow(50*time.Millisecond, 200*time.Millisecond),
+		netclone.WithSeed(1),
+	)
 
 	fmt.Println("NetClone quickstart: Exp(25) workload, 6 servers x 16 workers, 1.0 MRPS")
 	fmt.Println()
 	fmt.Printf("%-10s %10s %10s %10s %10s %12s\n",
 		"scheme", "p50(us)", "p99(us)", "p999(us)", "max(us)", "cloned")
 
+	sim := netclone.Sim()
 	for _, scheme := range []netclone.Scheme{netclone.Baseline, netclone.NetClone} {
-		res, err := netclone.Run(netclone.Config{
-			Scheme:     scheme,
-			Workers:    workers,
-			Service:    service,
-			OfferedRPS: 1e6,
-			WarmupNS:   50e6,  // 50 ms warmup
-			DurationNS: 200e6, // 200 ms measured
-			Seed:       1,
-		})
+		res, err := sim.Run(base.With(netclone.WithScheme(scheme)))
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -49,4 +49,7 @@ func main() {
 	fmt.Println("NetClone clones a request only when both candidate servers are idle")
 	fmt.Println("and filters the slower response in the switch, so the p99/p999 tail")
 	fmt.Println("drops while throughput stays at the baseline's level (paper Fig 7a).")
+	fmt.Println()
+	fmt.Println("The same Scenario also runs on the real-UDP backend — see")
+	fmt.Println("examples/udpcluster for the sim-vs-emu comparison.")
 }

@@ -5,7 +5,8 @@
 // servers are busy, so the slow servers build queues. With the RackSched
 // integration the switch falls back to power-of-two-choices
 // join-shortest-queue scheduling over the piggybacked queue lengths, and
-// still clones whenever both candidates are idle.
+// still clones whenever both candidates are idle. The heterogeneous
+// topology is declared once with WithTopology and shared by every run.
 //
 //	go run ./examples/racksched
 package main
@@ -13,31 +14,32 @@ package main
 import (
 	"fmt"
 	"log"
+	"time"
 
 	"netclone"
 )
 
 func main() {
-	heterogeneous := []int{15, 15, 15, 8, 8, 8}
-	service := netclone.WithJitter(netclone.Exp(25), 0.01)
+	base := netclone.NewScenario(
+		netclone.WithTopology(15, 15, 15, 8, 8, 8),
+		netclone.WithWorkload(netclone.WithJitter(netclone.Exp(25), 0.01)),
+		netclone.WithWindow(50*time.Millisecond, 200*time.Millisecond),
+		netclone.WithSeed(3),
+	)
 
 	fmt.Println("Heterogeneous cluster: 3x15 + 3x8 worker threads, Exp(25)")
 	fmt.Printf("%-20s %12s %12s %10s %12s\n",
 		"scheme", "offered(M)", "tput(M)", "p99(us)", "JSQ used")
 
+	sim := netclone.Sim()
 	for _, scheme := range []netclone.Scheme{
 		netclone.Baseline, netclone.NetClone, netclone.NetCloneRackSched,
 	} {
 		for _, load := range []float64{0.6, 1.2, 1.8, 2.2} {
-			res, err := netclone.Run(netclone.Config{
-				Scheme:     scheme,
-				Workers:    heterogeneous,
-				Service:    service,
-				OfferedRPS: load * 1e6,
-				WarmupNS:   50e6,
-				DurationNS: 200e6,
-				Seed:       3,
-			})
+			res, err := sim.Run(base.With(
+				netclone.WithScheme(scheme),
+				netclone.WithOfferedLoad(load*1e6),
+			))
 			if err != nil {
 				log.Fatal(err)
 			}

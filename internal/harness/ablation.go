@@ -3,6 +3,7 @@ package harness
 import (
 	"fmt"
 
+	"netclone/internal/scenario"
 	"netclone/internal/simcluster"
 	"netclone/internal/workload"
 )
@@ -10,7 +11,7 @@ import (
 // Ablation experiments for the design choices DESIGN.md calls out. These
 // go beyond the paper's figures: each isolates one mechanism of the
 // NetClone design and measures what it buys. Like the standard figures,
-// every ablation describes its grid of simulation points up front and
+// every ablation declares its grid of scenario points up front and
 // hands it to the runner.
 
 func registerAblations() {
@@ -22,7 +23,7 @@ func registerAblations() {
 }
 
 // ablBase returns the default synthetic cluster the ablations perturb.
-func ablBase() simcluster.Config {
+func ablBase() *scenario.Scenario {
 	dist := workload.WithJitter(workload.Exp(25), highVariability)
 	return synthetic(dist, homWorkers(defaultServers, synthThreads))
 }
@@ -38,12 +39,12 @@ func registerAblCloneDrop() {
 			opts = opts.withDefaults()
 			base := ablBase()
 			series, err := pairedSweepPlan(base, []seriesSpec{
-				{Label: "NetClone (guard on)", Set: func(c *simcluster.Config) {
-					c.Scheme = simcluster.NetClone
+				{Label: "NetClone (guard on)", Opts: []scenario.Option{
+					scenario.WithScheme(simcluster.NetClone),
 				}},
-				{Label: "NetClone (guard off)", Set: func(c *simcluster.Config) {
-					c.Scheme = simcluster.NetClone
-					c.DisableServerCloneDrop = true
+				{Label: "NetClone (guard off)", Opts: []scenario.Option{
+					scenario.WithScheme(simcluster.NetClone),
+					scenario.WithoutCloneDropGuard(),
 				}},
 			}, capacityOf(base), opts).run(opts)
 			if err != nil {
@@ -74,12 +75,12 @@ func registerAblGroupOrder() {
 			opts = opts.withDefaults()
 			base := ablBase()
 			series, err := pairedSweepPlan(base, []seriesSpec{
-				{Label: "ordered pairs (paper)", Set: func(c *simcluster.Config) {
-					c.Scheme = simcluster.NetClone
+				{Label: "ordered pairs (paper)", Opts: []scenario.Option{
+					scenario.WithScheme(simcluster.NetClone),
 				}},
-				{Label: "single ordering", Set: func(c *simcluster.Config) {
-					c.Scheme = simcluster.NetClone
-					c.SingleOrderingGroups = true
+				{Label: "single ordering", Opts: []scenario.Option{
+					scenario.WithScheme(simcluster.NetClone),
+					scenario.WithSingleOrderingGroups(),
 				}},
 			}, capacityOf(base), opts).run(opts)
 			if err != nil {
@@ -113,15 +114,17 @@ func registerAblFilterTables() {
 			tableCounts := []int{1, 2, 4}
 			specs := make([]RunSpec, len(tableCounts))
 			for i, tables := range tableCounts {
-				cfg := base
-				cfg.Scheme = simcluster.NetClone
-				cfg.FilterTables = tables
-				cfg.FilterSlots = 1 << 8 // small on purpose: make collisions observable
-				cfg.OfferedRPS = 0.45 * cap
-				cfg.WarmupNS = opts.WarmupNS
-				cfg.DurationNS = opts.DurationNS
-				cfg.Seed = opts.Seed
-				specs[i] = RunSpec{Label: fmt.Sprintf("%d filter tables", tables), Config: cfg}
+				specs[i] = RunSpec{
+					Label: fmt.Sprintf("%d filter tables", tables),
+					Scenario: base.With(
+						scenario.WithScheme(simcluster.NetClone),
+						// Small on purpose: make collisions observable.
+						scenario.WithFilter(tables, 1<<8),
+						scenario.WithOfferedLoad(0.45*cap),
+						windowOf(opts),
+						scenario.WithSeed(opts.Seed),
+					),
+				}
 			}
 			results, err := runSpecs(specs, opts)
 			if err != nil {
@@ -169,14 +172,22 @@ func registerAblCoordCost() {
 			for _, cost := range costs {
 				cal := simcluster.DefaultCalibration()
 				cal.CoordPktCostNS = cost
-				cfg := simcluster.Config{
-					Scheme: simcluster.LAEDGE, Workers: workers, Service: dist,
-					OfferedRPS: 0.9 * cap, WarmupNS: opts.WarmupNS,
-					DurationNS: opts.DurationNS, Seed: opts.Seed, Cal: cal,
-				}
-				specs = append(specs, RunSpec{Label: fmt.Sprintf("LAEDGE at %d ns/pkt", cost), Config: cfg})
-				cfg.Scheme = simcluster.NetClone
-				specs = append(specs, RunSpec{Label: fmt.Sprintf("NetClone at %d ns/pkt", cost), Config: cfg})
+				base := scenario.New(
+					scenario.WithTopology(workers...),
+					scenario.WithWorkload(dist),
+					scenario.WithOfferedLoad(0.9*cap),
+					windowOf(opts),
+					scenario.WithSeed(opts.Seed),
+					scenario.WithCalibration(cal),
+				)
+				specs = append(specs, RunSpec{
+					Label:    fmt.Sprintf("LAEDGE at %d ns/pkt", cost),
+					Scenario: base.With(scenario.WithScheme(simcluster.LAEDGE)),
+				})
+				specs = append(specs, RunSpec{
+					Label:    fmt.Sprintf("NetClone at %d ns/pkt", cost),
+					Scenario: base.With(scenario.WithScheme(simcluster.NetClone)),
+				})
 			}
 			results, err := runSpecs(specs, opts)
 			if err != nil {
@@ -223,20 +234,27 @@ func registerAblMultiCoord() {
 			for _, k := range coordCounts {
 				specs = append(specs, RunSpec{
 					Label: fmt.Sprintf("LAEDGE x%d coordinators", k),
-					Config: simcluster.Config{
-						Scheme: simcluster.LAEDGE, Workers: homWorkers(totalMachines-k, synthThreads),
-						Service: dist, NumCoordinators: k, OfferedRPS: offered,
-						WarmupNS: opts.WarmupNS, DurationNS: opts.DurationNS, Seed: opts.Seed,
-					},
+					Scenario: scenario.New(
+						scenario.WithScheme(simcluster.LAEDGE),
+						scenario.WithTopology(homWorkers(totalMachines-k, synthThreads)...),
+						scenario.WithWorkload(dist),
+						scenario.WithCoordinators(k),
+						scenario.WithOfferedLoad(offered),
+						windowOf(opts),
+						scenario.WithSeed(opts.Seed),
+					),
 				})
 			}
 			specs = append(specs, RunSpec{
 				Label: "NetClone (in-switch)",
-				Config: simcluster.Config{
-					Scheme: simcluster.NetClone, Workers: homWorkers(totalMachines-1, synthThreads),
-					Service: dist, OfferedRPS: offered,
-					WarmupNS: opts.WarmupNS, DurationNS: opts.DurationNS, Seed: opts.Seed,
-				},
+				Scenario: scenario.New(
+					scenario.WithScheme(simcluster.NetClone),
+					scenario.WithTopology(homWorkers(totalMachines-1, synthThreads)...),
+					scenario.WithWorkload(dist),
+					scenario.WithOfferedLoad(offered),
+					windowOf(opts),
+					scenario.WithSeed(opts.Seed),
+				),
 			})
 			results, err := runSpecs(specs, opts)
 			if err != nil {

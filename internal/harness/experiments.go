@@ -2,9 +2,11 @@ package harness
 
 import (
 	"fmt"
+	"time"
 
 	"netclone/internal/dataplane"
 	"netclone/internal/kvstore"
+	"netclone/internal/scenario"
 	"netclone/internal/simcluster"
 	"netclone/internal/workload"
 )
@@ -22,14 +24,18 @@ const (
 	lowVariability   = 0.001 // Fig 14
 )
 
-// synthetic builds the standard synthetic-workload base config.
-func synthetic(dist workload.Dist, workers []int) simcluster.Config {
-	return simcluster.Config{Workers: workers, Service: dist}
+// synthetic builds the standard synthetic-workload base scenario.
+func synthetic(dist workload.Dist, workers []int) *scenario.Scenario {
+	return scenario.New(
+		scenario.WithTopology(workers...),
+		scenario.WithWorkload(dist),
+	)
 }
 
-// capacityOf estimates the saturation throughput of a base config from
-// its worker pool and mean service time.
-func capacityOf(cfg simcluster.Config) float64 {
+// capacityOf estimates the saturation throughput of a base scenario
+// from its worker pool and mean service time.
+func capacityOf(sc *scenario.Scenario) float64 {
+	cfg := sc.Config()
 	mean := 0.0
 	if cfg.Mix != nil {
 		mean = cfg.Cost.MixMean(cfg.Mix)
@@ -69,7 +75,7 @@ type sweepFig struct {
 	title   string // Experiment.Title
 	report  string // Report.Title
 	paper   string
-	base    simcluster.Config // workers + workload; schemes applied per series
+	base    *scenario.Scenario // topology + workload; schemes applied per series
 	notes   []string
 	schemes []simcluster.Scheme
 }
@@ -189,11 +195,10 @@ func fig1112Figs() []sweepFig {
 			title:  v.label,
 			report: v.label + " (Zipf-0.99, 1M objects)",
 			paper:  "Fig 11/12",
-			base: simcluster.Config{
-				Workers: homWorkers(defaultServers, kvThreads),
-				Mix:     workload.NewKVMix(v.pGet, v.pScan, kvstore.DefaultObjects, 0.99),
-				Cost:    v.model,
-			},
+			base: scenario.New(
+				scenario.WithTopology(homWorkers(defaultServers, kvThreads)...),
+				scenario.WithKVWorkload(workload.NewKVMix(v.pGet, v.pScan, kvstore.DefaultObjects, 0.99), v.model),
+			),
 			schemes: vsCClone,
 		})
 	}
@@ -367,6 +372,9 @@ func registerFig13() {
 		Paper: "Fig 13(a)",
 		Run: func(opts Options) (Report, error) {
 			opts = opts.withDefaults()
+			if name := opts.backend().Name(); name != "sim" {
+				return Report{}, fmt.Errorf("fig13a: the empty-queue state signal is measured only by the sim backend, not %q (%w); drop Options.Backend for this experiment", name, scenario.ErrSimOnly)
+			}
 			dist := workload.WithJitter(workload.Exp(25), highVariability)
 			base := synthetic(dist, homWorkers(defaultServers, synthThreads))
 			cap := capacityOf(base)
@@ -374,14 +382,14 @@ func registerFig13() {
 			sid := plan.series("NetClone")
 			for i := 1; i <= 10; i++ {
 				frac := float64(i) / 10
-				cfg := base
-				cfg.Scheme = simcluster.NetClone
-				cfg.OfferedRPS = frac * cap
-				cfg.WarmupNS = opts.WarmupNS
-				cfg.DurationNS = opts.DurationNS
-				cfg.Seed = opts.Seed + uint64(i)
-				plan.point(sid, fmt.Sprintf("NetClone at %.0f%%", frac*100), cfg,
-					func(res simcluster.Result) Point {
+				sc := base.With(
+					scenario.WithScheme(simcluster.NetClone),
+					scenario.WithOfferedLoad(frac*cap),
+					windowOf(opts),
+					scenario.WithSeed(opts.Seed+uint64(i)),
+				)
+				plan.point(sid, fmt.Sprintf("NetClone at %.0f%%", frac*100), sc,
+					func(res scenario.Result) Point {
 						return Point{X: frac * 100, Y: res.EmptyQueueFrac * 100}
 					})
 			}
@@ -411,12 +419,12 @@ func registerFig13() {
 			schemes := []simcluster.Scheme{simcluster.Baseline, simcluster.NetClone}
 			var specs []RunSpec
 			for _, scheme := range schemes {
-				cfg := base
-				cfg.Scheme = scheme
-				cfg.OfferedRPS = 0.9 * cap
-				cfg.WarmupNS = opts.WarmupNS
-				cfg.DurationNS = opts.DurationNS
-				specs = append(specs, repeatSpecs(cfg, opts)...)
+				sc := base.With(
+					scenario.WithScheme(scheme),
+					scenario.WithOfferedLoad(0.9*cap),
+					windowOf(opts),
+				)
+				specs = append(specs, repeatSpecs(sc, opts)...)
 			}
 			results, err := runSpecs(specs, opts)
 			if err != nil {
@@ -458,26 +466,28 @@ func registerFig16() {
 			// paper's schedule (its x-axis runs to 25s; recovery behaviour
 			// is identical from 12s on).
 			unit := opts.DurationNS
-			cfg := simcluster.Config{
-				Scheme:            simcluster.NetClone,
-				Workers:           workers,
-				Service:           dist,
-				OfferedRPS:        0.27 * cap, // ~0.9 MRPS at full scale, as in the paper
-				WarmupNS:          0,
-				DurationNS:        60 * unit,
-				Seed:              opts.Seed,
-				SwitchFailAtNS:    25 * unit,
-				SwitchRecoverAtNS: 35 * unit,
-				TimelineBinNS:     5 * unit,
-			}
-			results, err := runSpecs([]RunSpec{{Label: "fig16", Config: cfg}}, opts)
+			sc := scenario.New(
+				scenario.WithScheme(simcluster.NetClone),
+				scenario.WithTopology(workers...),
+				scenario.WithWorkload(dist),
+				scenario.WithOfferedLoad(0.27*cap), // ~0.9 MRPS at full scale, as in the paper
+				scenario.WithWindow(0, time.Duration(60*unit)),
+				scenario.WithSeed(opts.Seed),
+				scenario.WithSwitchFailure(time.Duration(25*unit), time.Duration(35*unit)),
+				scenario.WithTimeline(time.Duration(5*unit)),
+			)
+			results, err := runSpecs([]RunSpec{{Label: "fig16", Scenario: sc}}, opts)
 			if err != nil {
 				return Report{}, err
 			}
 			res := results[0]
+			if res.Timeline == nil {
+				return Report{}, fmt.Errorf("fig16: backend %q recorded no timeline; run on the Sim backend", opts.backend().Name())
+			}
+			binNS := sc.Config().TimelineBinNS
 			s := Series{Label: "NetClone"}
 			for i, r := range res.Timeline.Rate() {
-				t := float64(i) * float64(cfg.TimelineBinNS) / 1e9
+				t := float64(i) * float64(binNS) / 1e9
 				s.Points = append(s.Points, Point{X: t, Y: r / 1e6})
 			}
 			return Report{

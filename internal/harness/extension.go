@@ -2,7 +2,9 @@ package harness
 
 import (
 	"fmt"
+	"time"
 
+	"netclone/internal/scenario"
 	"netclone/internal/simcluster"
 	"netclone/internal/workload"
 )
@@ -28,17 +30,16 @@ func registerExtMultiRack() {
 			opts = opts.withDefaults()
 			dist := workload.WithJitter(workload.Exp(25), highVariability)
 			base := synthetic(dist, homWorkers(defaultServers, synthThreads))
+			agg := scenario.WithMultiRack(2 * time.Microsecond)
 			series, err := pairedSweepPlan(base, []seriesSpec{
-				{Label: "Baseline multi-rack", Set: func(c *simcluster.Config) {
-					c.Scheme = simcluster.Baseline
-					c.MultiRack = true
+				{Label: "Baseline multi-rack", Opts: []scenario.Option{
+					scenario.WithScheme(simcluster.Baseline), agg,
 				}},
-				{Label: "NetClone single-rack", Set: func(c *simcluster.Config) {
-					c.Scheme = simcluster.NetClone
+				{Label: "NetClone single-rack", Opts: []scenario.Option{
+					scenario.WithScheme(simcluster.NetClone),
 				}},
-				{Label: "NetClone multi-rack", Set: func(c *simcluster.Config) {
-					c.Scheme = simcluster.NetClone
-					c.MultiRack = true
+				{Label: "NetClone multi-rack", Opts: []scenario.Option{
+					scenario.WithScheme(simcluster.NetClone), agg,
 				}},
 			}, capacityOf(base), opts).run(opts)
 			if err != nil {
@@ -73,15 +74,18 @@ func registerExtLoss() {
 			losses := []float64{0, 0.001, 0.01, 0.05}
 			specs := make([]RunSpec, len(losses))
 			for i, loss := range losses {
-				cfg := base
-				cfg.Scheme = simcluster.NetClone
-				cfg.LossProb = loss
-				cfg.OfferedRPS = 0.45 * cap
-				cfg.WarmupNS = opts.WarmupNS
-				cfg.DurationNS = opts.DurationNS
-				cfg.Seed = opts.Seed
-				cfg.FilterSlots = 1 << 10 // small enough that lingering fingerprints recycle
-				specs[i] = RunSpec{Label: fmtPct(loss) + " loss", Config: cfg}
+				specs[i] = RunSpec{
+					Label: fmtPct(loss) + " loss",
+					Scenario: base.With(
+						scenario.WithScheme(simcluster.NetClone),
+						scenario.WithLoss(loss),
+						scenario.WithOfferedLoad(0.45*cap),
+						windowOf(opts),
+						scenario.WithSeed(opts.Seed),
+						// Small enough that lingering fingerprints recycle.
+						scenario.WithFilter(2, 1<<10),
+					),
+				}
 			}
 			results, err := runSpecs(specs, opts)
 			if err != nil {

@@ -7,6 +7,8 @@ package harness
 
 import (
 	"sort"
+
+	"netclone/internal/scenario"
 )
 
 // Point is one datum of a series: X is the figure's x-axis value
@@ -72,6 +74,11 @@ type Options struct {
 	// one batch, so done == total marks the end of its simulations.
 	// Calls are serialized.
 	Progress func(done, total int)
+	// Backend executes the experiment's scenario points. Nil means the
+	// deterministic simulator (scenario.Sim()); scenario.Emu() runs the
+	// same scenarios on the real-UDP loopback emulation for the subset
+	// of experiments whose features the emulation models.
+	Backend scenario.Backend
 }
 
 // Default returns full-fidelity options (minutes of wall time for the

@@ -3,22 +3,25 @@ package harness
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"netclone/internal/runner"
+	"netclone/internal/scenario"
 	"netclone/internal/simcluster"
 	"netclone/internal/stats"
 )
 
 // This file is the declarative run-plan layer: experiments *describe*
-// their grid of simulation points as RunSpecs instead of executing
-// nested loops inline, and the internal/runner worker pool executes the
-// grid — in parallel when Options.Parallelism allows — with results
-// reduced back into report series in a fixed order. Reducers are pure
-// per-result functions, so reports are byte-identical at every
+// their grid of Scenarios instead of executing nested loops inline, and
+// the internal/runner worker pool executes the grid — in parallel when
+// Options.Parallelism allows — on the backend selected by
+// Options.Backend (the deterministic simulator by default), with
+// results reduced back into report series in a fixed order. Reducers
+// are pure per-result functions, so reports are byte-identical at every
 // parallelism level.
 
 // RunSpec is one executable point of an experiment plan: a fully seeded
-// simcluster.Config plus where its reduced datum lands in the report.
+// Scenario plus where its reduced datum lands in the report.
 type RunSpec struct {
 	// Label names the point in error messages ("NetClone at 45%").
 	Label string
@@ -26,15 +29,15 @@ type RunSpec struct {
 	// output grid. Both are zero for bare specs run via runSpecs.
 	Series int
 	Point  int
-	// Config is the complete simulation input, seed included.
-	Config simcluster.Config
-	// Reduce turns the simulation result into the plotted datum; nil
-	// for table experiments that consume raw Results.
-	Reduce func(simcluster.Result) Point
+	// Scenario is the complete experiment input, seed included.
+	Scenario *scenario.Scenario
+	// Reduce turns the backend result into the plotted datum; nil for
+	// table experiments that consume raw Results.
+	Reduce func(scenario.Result) Point
 }
 
 // Plan is a declarative experiment grid: the labelled series of a
-// figure and every simulation point that fills them.
+// figure and every scenario point that fills them.
 type Plan struct {
 	labels []string
 	counts []int
@@ -48,14 +51,14 @@ func (p *Plan) series(label string) int {
 	return len(p.labels) - 1
 }
 
-// point appends one simulation point to the given series.
-func (p *Plan) point(series int, label string, cfg simcluster.Config, reduce func(simcluster.Result) Point) {
+// point appends one scenario point to the given series.
+func (p *Plan) point(series int, label string, sc *scenario.Scenario, reduce func(scenario.Result) Point) {
 	p.specs = append(p.specs, RunSpec{
-		Label:  label,
-		Series: series,
-		Point:  p.counts[series],
-		Config: cfg,
-		Reduce: reduce,
+		Label:    label,
+		Series:   series,
+		Point:    p.counts[series],
+		Scenario: sc,
+		Reduce:   reduce,
 	})
 	p.counts[series]++
 }
@@ -89,16 +92,25 @@ func (p *Plan) run(opts Options) ([]Series, error) {
 	return out, nil
 }
 
-// runSpecs executes bare specs and returns raw results in spec order —
-// the entry point for table experiments that reduce results themselves.
-func runSpecs(specs []RunSpec, opts Options) ([]simcluster.Result, error) {
-	cfgs := make([]simcluster.Config, len(specs))
-	for i := range specs {
-		cfgs[i] = specs[i].Config
+// backend resolves the execution backend: Options.Backend, defaulting
+// to the deterministic simulator.
+func (o Options) backend() scenario.Backend {
+	if o.Backend != nil {
+		return o.Backend
 	}
-	results, err := runner.Run(cfgs, runner.Options{
+	return scenario.Sim()
+}
+
+// runSpecs executes bare specs on the selected backend and returns raw
+// results in spec order — the entry point for table experiments that
+// reduce results themselves.
+func runSpecs(specs []RunSpec, opts Options) ([]scenario.Result, error) {
+	be := opts.backend()
+	results, err := runner.Execute(specs, runner.Options{
 		Parallelism: opts.Parallelism,
 		OnProgress:  opts.Progress,
+	}, func(s RunSpec) (scenario.Result, error) {
+		return be.Run(s.Scenario)
 	})
 	if err != nil {
 		return nil, labelPointErrors(specs, err)
@@ -130,43 +142,47 @@ func labelPointErrors(specs []RunSpec, err error) error {
 
 // latencyPoint is the standard figure reducer: throughput in MRPS on X,
 // p99 latency in microseconds on Y.
-func latencyPoint(res simcluster.Result) Point {
+func latencyPoint(res scenario.Result) Point {
 	return Point{X: res.ThroughputRPS / 1e6, Y: float64(res.Latency.P99) / 1e3}
 }
 
-// seriesSpec declares one curve of a sweep: a label plus the Config
-// mutation (scheme and any ablation knobs) applied on top of the
-// sweep's base config.
+// seriesSpec declares one curve of a sweep: a label plus the scenario
+// options (scheme and any ablation knobs) applied on top of the sweep's
+// base scenario.
 type seriesSpec struct {
 	Label string
-	Set   func(*simcluster.Config)
+	Opts  []scenario.Option
 }
 
 // schemeSeries builds the common case: one series per scheme.
 func schemeSeries(schemes []simcluster.Scheme) []seriesSpec {
 	out := make([]seriesSpec, len(schemes))
 	for i, s := range schemes {
-		s := s
-		out[i] = seriesSpec{Label: s.String(), Set: func(c *simcluster.Config) { c.Scheme = s }}
+		out[i] = seriesSpec{Label: s.String(), Opts: []scenario.Option{scenario.WithScheme(s)}}
 	}
 	return out
+}
+
+// windowOf maps the fidelity options onto a scenario measurement
+// window.
+func windowOf(opts Options) scenario.Option {
+	return scenario.WithWindow(time.Duration(opts.WarmupNS), time.Duration(opts.DurationNS))
 }
 
 // sweepPlanSeeded describes the paper's standard figure shape — every
 // series at every load fraction — with per-point seeds supplied by
 // seedOf(series index, load index).
-func sweepPlanSeeded(base simcluster.Config, series []seriesSpec, capRPS float64, opts Options, seedOf func(si, li int) uint64) *Plan {
+func sweepPlanSeeded(base *scenario.Scenario, series []seriesSpec, capRPS float64, opts Options, seedOf func(si, li int) uint64) *Plan {
 	p := &Plan{}
 	for si, v := range series {
 		sid := p.series(v.Label)
 		for li, frac := range opts.LoadFracs {
-			cfg := base
-			v.Set(&cfg)
-			cfg.OfferedRPS = frac * capRPS
-			cfg.WarmupNS = opts.WarmupNS
-			cfg.DurationNS = opts.DurationNS
-			cfg.Seed = seedOf(si, li)
-			p.point(sid, fmt.Sprintf("%s at %.0f%%", v.Label, frac*100), cfg, latencyPoint)
+			sc := base.With(v.Opts...).With(
+				scenario.WithOfferedLoad(frac*capRPS),
+				windowOf(opts),
+				scenario.WithSeed(seedOf(si, li)),
+			)
+			p.point(sid, fmt.Sprintf("%s at %.0f%%", v.Label, frac*100), sc, latencyPoint)
 		}
 	}
 	return p
@@ -174,7 +190,7 @@ func sweepPlanSeeded(base simcluster.Config, series []seriesSpec, capRPS float64
 
 // sweepPlan seeds every point independently — each series gets its own
 // randomness, the shape for comparing unrelated schemes.
-func sweepPlan(base simcluster.Config, series []seriesSpec, capRPS float64, opts Options) *Plan {
+func sweepPlan(base *scenario.Scenario, series []seriesSpec, capRPS float64, opts Options) *Plan {
 	return sweepPlanSeeded(base, series, capRPS, opts, func(si, li int) uint64 {
 		return opts.Seed + uint64(si*1000+li)
 	})
@@ -183,7 +199,7 @@ func sweepPlan(base simcluster.Config, series []seriesSpec, capRPS float64, opts
 // pairedSweepPlan seeds every series identically, so all variants see
 // the same arrival and service randomness and the delta between series
 // isolates the ablated knob (the abl-*/ext-multirack shape).
-func pairedSweepPlan(base simcluster.Config, series []seriesSpec, capRPS float64, opts Options) *Plan {
+func pairedSweepPlan(base *scenario.Scenario, series []seriesSpec, capRPS float64, opts Options) *Plan {
 	return sweepPlanSeeded(base, series, capRPS, opts, func(_, li int) uint64 {
 		return opts.Seed + uint64(li)
 	})
@@ -191,25 +207,27 @@ func pairedSweepPlan(base simcluster.Config, series []seriesSpec, capRPS float64
 
 // sweep runs base at every load fraction for every scheme and returns
 // one latency-vs-throughput series per scheme.
-func sweep(base simcluster.Config, schemes []simcluster.Scheme, capRPS float64, opts Options) ([]Series, error) {
+func sweep(base *scenario.Scenario, schemes []simcluster.Scheme, capRPS float64, opts Options) ([]Series, error) {
 	return sweepPlan(base, schemeSeries(schemes), capRPS, opts).run(opts)
 }
 
-// repeatSpecs derives opts.Repeats seed-varied copies of one config
+// repeatSpecs derives opts.Repeats seed-varied copies of one scenario
 // (the Fig 13b repeated-runs shape).
-func repeatSpecs(cfg simcluster.Config, opts Options) []RunSpec {
+func repeatSpecs(sc *scenario.Scenario, opts Options) []RunSpec {
+	scheme := sc.Config().Scheme
 	specs := make([]RunSpec, opts.Repeats)
 	for r := range specs {
-		c := cfg
-		c.Seed = opts.Seed + uint64(r)*7919
-		specs[r] = RunSpec{Label: fmt.Sprintf("%s run %d", cfg.Scheme, r), Config: c}
+		specs[r] = RunSpec{
+			Label:    fmt.Sprintf("%s run %d", scheme, r),
+			Scenario: sc.With(scenario.WithSeed(opts.Seed + uint64(r)*7919)),
+		}
 	}
 	return specs
 }
 
 // p99MeanStd reduces a group of repeat-run results to the mean and
 // standard deviation of their p99 latencies in microseconds.
-func p99MeanStd(results []simcluster.Result) (mean, std float64) {
+func p99MeanStd(results []scenario.Result) (mean, std float64) {
 	p99s := make([]float64, len(results))
 	for i, res := range results {
 		p99s[i] = float64(res.Latency.P99) / 1e3

@@ -5,6 +5,7 @@ import (
 	"strings"
 	"testing"
 
+	"netclone/internal/scenario"
 	"netclone/internal/simcluster"
 )
 
@@ -77,17 +78,18 @@ func TestSweepPlanShape(t *testing.T) {
 			t.Errorf("spec %d placed at series %d point %d, want %d/%d",
 				i, spec.Series, spec.Point, si, li)
 		}
-		if spec.Config.Scheme != schemes[si] {
-			t.Errorf("spec %d scheme = %v, want %v", i, spec.Config.Scheme, schemes[si])
+		cfg := spec.Scenario.Config()
+		if cfg.Scheme != schemes[si] {
+			t.Errorf("spec %d scheme = %v, want %v", i, cfg.Scheme, schemes[si])
 		}
-		if spec.Config.WarmupNS != opts.WarmupNS || spec.Config.DurationNS != opts.DurationNS {
+		if cfg.WarmupNS != opts.WarmupNS || cfg.DurationNS != opts.DurationNS {
 			t.Errorf("spec %d window = %d/%d, want %d/%d", i,
-				spec.Config.WarmupNS, spec.Config.DurationNS, opts.WarmupNS, opts.DurationNS)
+				cfg.WarmupNS, cfg.DurationNS, opts.WarmupNS, opts.DurationNS)
 		}
-		if seeds[spec.Config.Seed] {
-			t.Errorf("spec %d reuses seed %d", i, spec.Config.Seed)
+		if seeds[cfg.Seed] {
+			t.Errorf("spec %d reuses seed %d", i, cfg.Seed)
 		}
-		seeds[spec.Config.Seed] = true
+		seeds[cfg.Seed] = true
 	}
 }
 
@@ -101,16 +103,16 @@ func TestPairedSweepPlanSharesSeeds(t *testing.T) {
 	}
 	base := ablBase()
 	series := []seriesSpec{
-		{Label: "a", Set: func(c *simcluster.Config) { c.Scheme = simcluster.NetClone }},
-		{Label: "b", Set: func(c *simcluster.Config) {
-			c.Scheme = simcluster.NetClone
-			c.DisableServerCloneDrop = true
+		{Label: "a", Opts: []scenario.Option{scenario.WithScheme(simcluster.NetClone)}},
+		{Label: "b", Opts: []scenario.Option{
+			scenario.WithScheme(simcluster.NetClone),
+			scenario.WithoutCloneDropGuard(),
 		}},
 	}
 	plan := pairedSweepPlan(base, series, 1e6, opts)
 	n := len(opts.LoadFracs)
 	for li := 0; li < n; li++ {
-		a, b := plan.specs[li].Config, plan.specs[n+li].Config
+		a, b := plan.specs[li].Scenario.Config(), plan.specs[n+li].Scenario.Config()
 		if a.Seed != b.Seed {
 			t.Errorf("load %d: seeds %d vs %d, want shared", li, a.Seed, b.Seed)
 		}
@@ -128,15 +130,13 @@ func TestLabelPointErrors(t *testing.T) {
 		LoadFracs: []float64{0.5}, Repeats: 1, Parallelism: 2,
 	}
 	specs := []RunSpec{
-		{Label: "good", Config: func() simcluster.Config {
-			c := ablBase()
-			c.Scheme = simcluster.NetClone
-			c.OfferedRPS = 1e5
-			c.DurationNS = 1e6
-			return c
-		}()},
-		{Label: "bad one", Config: simcluster.Config{}},
-		{Label: "bad two", Config: simcluster.Config{}},
+		{Label: "good", Scenario: ablBase().With(
+			scenario.WithScheme(simcluster.NetClone),
+			scenario.WithOfferedLoad(1e5),
+			windowOf(opts),
+		)},
+		{Label: "bad one", Scenario: scenario.New()},
+		{Label: "bad two", Scenario: scenario.New()},
 	}
 	_, err := runSpecs(specs, opts)
 	if err == nil {

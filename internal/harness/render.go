@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"strings"
@@ -106,6 +107,55 @@ func RenderCSV(w io.Writer, r Report) error {
 		}
 	}
 	return nil
+}
+
+// RenderJSON writes the report as indented JSON — the machine-readable
+// sibling of RenderText/RenderCSV, for piping reports into plotting or
+// diffing tooling. Figures serialize their series and points, tables
+// their rows; empty fields are omitted.
+func RenderJSON(w io.Writer, r Report) error {
+	out := jsonReport{
+		ID:     r.ID,
+		Title:  r.Title,
+		XLabel: r.XLabel,
+		YLabel: r.YLabel,
+		Table:  r.Table,
+		Notes:  r.Notes,
+	}
+	for _, s := range r.Series {
+		js := jsonSeries{Label: s.Label}
+		for _, p := range s.Points {
+			js.Points = append(js.Points, jsonPoint{X: p.X, Y: p.Y, Err: p.Err})
+		}
+		out.Series = append(out.Series, js)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// jsonReport and friends fix the JSON field names independently of the
+// Report struct, so renames there cannot silently change the wire
+// format.
+type jsonReport struct {
+	ID     string       `json:"id"`
+	Title  string       `json:"title"`
+	XLabel string       `json:"xLabel,omitempty"`
+	YLabel string       `json:"yLabel,omitempty"`
+	Series []jsonSeries `json:"series,omitempty"`
+	Table  [][]string   `json:"table,omitempty"`
+	Notes  []string     `json:"notes,omitempty"`
+}
+
+type jsonSeries struct {
+	Label  string      `json:"label"`
+	Points []jsonPoint `json:"points"`
+}
+
+type jsonPoint struct {
+	X   float64 `json:"x"`
+	Y   float64 `json:"y"`
+	Err float64 `json:"err,omitempty"`
 }
 
 func csvEscape(row []string) []string {

@@ -1,4 +1,4 @@
-// Package runner executes batches of independent simulation points
+// Package runner executes batches of independent work items
 // concurrently. Every simcluster.Run call is a self-contained,
 // seed-deterministic event loop with no shared mutable state, so a batch
 // of points parallelizes perfectly: the runner farms the points out to a
@@ -8,6 +8,11 @@
 // balance), while results land in the slice slot of their input index.
 // The output is therefore byte-identical to sequential execution at any
 // parallelism level.
+//
+// The pool is generic: Execute runs any items through any executor
+// (the harness uses it to run Scenario points on a pluggable Backend),
+// and Run keeps the original convenience shape for raw simulation
+// configs.
 package runner
 
 import (
@@ -22,25 +27,25 @@ import (
 
 // Options tune one batch execution.
 type Options struct {
-	// Parallelism bounds how many simulations run concurrently. Zero or
+	// Parallelism bounds how many items run concurrently. Zero or
 	// negative means runtime.GOMAXPROCS(0); 1 degenerates to in-place
 	// sequential execution. The value never affects results, only wall
 	// time.
 	Parallelism int
 
-	// OnProgress, when non-nil, is invoked after each point finishes
-	// with the number of completed points and the batch size. Calls are
-	// serialized, and done is strictly increasing, but points complete
+	// OnProgress, when non-nil, is invoked after each item finishes
+	// with the number of completed items and the batch size. Calls are
+	// serialized, and done is strictly increasing, but items complete
 	// out of input order.
 	OnProgress func(done, total int)
 }
 
-// PointError records the failure of one point of a batch. Batch errors
-// returned by Run wrap one PointError per failed point (via
+// PointError records the failure of one item of a batch. Batch errors
+// returned by Execute wrap one PointError per failed item (via
 // errors.Join), so callers can recover the input index of every failure
 // with errors.As or by walking the joined tree.
 type PointError struct {
-	// Index is the position of the failed config in the input slice.
+	// Index is the position of the failed item in the input slice.
 	Index int
 	Err   error
 }
@@ -55,12 +60,16 @@ func (e *PointError) Unwrap() error { return e.Err }
 // one PointError per failure (nil when every point succeeded), and the
 // result slots of failed points are zero Results.
 func Run(cfgs []simcluster.Config, opts Options) ([]simcluster.Result, error) {
-	return run(cfgs, opts, simcluster.Run)
+	return Execute(cfgs, opts, simcluster.Run)
 }
 
-// run is Run with an injectable point executor for tests.
-func run(cfgs []simcluster.Config, opts Options, exec func(simcluster.Config) (simcluster.Result, error)) ([]simcluster.Result, error) {
-	n := len(cfgs)
+// Execute runs every item through exec on the bounded worker pool and
+// returns the results in input order. All items run even when some
+// fail; the returned error joins one PointError per failure (nil when
+// every item succeeded), and the result slots of failed items are zero
+// values. exec must be safe for concurrent calls.
+func Execute[T, R any](items []T, opts Options, exec func(T) (R, error)) ([]R, error) {
+	n := len(items)
 	if n == 0 {
 		return nil, nil
 	}
@@ -84,17 +93,17 @@ func run(cfgs []simcluster.Config, opts Options, exec func(simcluster.Config) (s
 		}
 	}
 
-	results := make([]simcluster.Result, n)
+	results := make([]R, n)
 	errs := make([]error, n)
 	if workers == 1 {
-		for i, cfg := range cfgs {
-			results[i], errs[i] = exec(cfg)
+		for i, item := range items {
+			results[i], errs[i] = exec(item)
 			progress()
 		}
 	} else {
 		// next is the shared work queue head: each worker claims the
-		// next unclaimed point, so fast workers drain the tail left by
-		// slow (expensive) points.
+		// next unclaimed item, so fast workers drain the tail left by
+		// slow (expensive) items.
 		var next atomic.Int64
 		var wg sync.WaitGroup
 		wg.Add(workers)
@@ -106,7 +115,7 @@ func run(cfgs []simcluster.Config, opts Options, exec func(simcluster.Config) (s
 					if i >= n {
 						return
 					}
-					results[i], errs[i] = exec(cfgs[i])
+					results[i], errs[i] = exec(items[i])
 					progress()
 				}
 			}()

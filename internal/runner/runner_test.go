@@ -73,7 +73,7 @@ func TestRunOrderingAndBound(t *testing.T) {
 		defer active.Add(-1)
 		return simcluster.Result{Generated: int64(cfg.Seed)}, nil
 	}
-	res, err := run(cfgs, Options{Parallelism: limit}, exec)
+	res, err := Execute(cfgs, Options{Parallelism: limit}, exec)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -98,7 +98,7 @@ func TestRunAggregatesErrors(t *testing.T) {
 	for i := range cfgs {
 		cfgs[i].Seed = uint64(i)
 	}
-	res, err := run(cfgs, Options{Parallelism: 2}, exec)
+	res, err := Execute(cfgs, Options{Parallelism: 2}, exec)
 	if err == nil {
 		t.Fatal("expected aggregated error")
 	}

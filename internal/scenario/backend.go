@@ -1,0 +1,66 @@
+package scenario
+
+import (
+	"netclone/internal/simcluster"
+)
+
+// Result is the unified outcome of running a Scenario on any backend.
+// It embeds the simulator's full Result — the shared counter vocabulary
+// (latency summary, throughput, switch stats, clone drops, redundant
+// responses) — plus the executing backend's identity and the counters
+// that only a real server/client process can report. Fields that a
+// backend cannot measure stay zero: the Emu backend leaves the
+// sim-only analysis fields (EmptyQueueFrac, Breakdown, Timeline) empty,
+// and the Sim backend derives ServerProcessed from the switch's
+// response count.
+type Result struct {
+	simcluster.Result
+
+	// Backend names the backend that produced this result ("sim" or
+	// "emu").
+	Backend string
+
+	// ServerProcessed counts requests actually executed by worker
+	// servers, clones included: on Emu the sum of every Server's
+	// Processed counter, on Sim the switch's response count (every
+	// server response traverses the ToR exactly once).
+	ServerProcessed int64
+}
+
+// Backend executes Scenarios. Implementations must be safe for
+// concurrent Run calls — the experiment runner executes many scenario
+// points at once.
+type Backend interface {
+	// Name identifies the backend in reports and errors.
+	Name() string
+	// Run validates and executes one scenario.
+	Run(sc *Scenario) (Result, error)
+}
+
+// simBackend runs scenarios on the deterministic discrete-event
+// simulator.
+type simBackend struct{}
+
+// Sim returns the simulator backend: every Scenario maps 1:1 onto a
+// simcluster.Config, runs as a single-threaded seed-deterministic event
+// loop, and produces bit-identical Results for identical scenarios.
+func Sim() Backend { return simBackend{} }
+
+// Name implements Backend.
+func (simBackend) Name() string { return "sim" }
+
+// Run implements Backend.
+func (simBackend) Run(sc *Scenario) (Result, error) {
+	if err := sc.Validate(); err != nil {
+		return Result{}, err
+	}
+	res, err := simcluster.Run(sc.Config())
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{
+		Result:          res,
+		Backend:         "sim",
+		ServerProcessed: res.Switch.Responses,
+	}, nil
+}

@@ -1,0 +1,120 @@
+package scenario
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"netclone/internal/simcluster"
+	"netclone/internal/workload"
+)
+
+// TestSimBackendMatchesDirectRun asserts the compatibility contract: the
+// Sim backend is a transparent wrapper — same scenario, same seed, same
+// Result bits as calling the simulator directly.
+func TestSimBackendMatchesDirectRun(t *testing.T) {
+	sc := New(
+		WithScheme(simcluster.NetClone),
+		WithServers(2, 8),
+		WithWorkload(workload.WithJitter(workload.Exp(25), 0.01)),
+		WithOfferedLoad(1e5),
+		WithWindow(time.Millisecond, 5*time.Millisecond),
+		WithSeed(3),
+	)
+	viaBackend, err := Sim().Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := simcluster.Run(sc.Config())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(viaBackend.Result, direct) {
+		t.Error("Sim backend result diverges from direct simcluster.Run")
+	}
+	if viaBackend.Backend != "sim" {
+		t.Errorf("backend name = %q, want sim", viaBackend.Backend)
+	}
+	if viaBackend.ServerProcessed != direct.Switch.Responses {
+		t.Errorf("ServerProcessed = %d, want switch responses %d",
+			viaBackend.ServerProcessed, direct.Switch.Responses)
+	}
+}
+
+func TestSimBackendValidates(t *testing.T) {
+	if _, err := Sim().Run(New()); err == nil {
+		t.Fatal("empty scenario accepted by Sim backend")
+	} else if !strings.HasPrefix(err.Error(), "scenario: ") {
+		t.Errorf("validation error %q missing uniform prefix", err)
+	}
+}
+
+// TestSwitchConfigMapping pins the scheme-to-dataplane mapping shared by
+// the Emu backend and the netclone-switch binary.
+func TestSwitchConfigMapping(t *testing.T) {
+	cases := []struct {
+		scheme                        simcluster.Scheme
+		cloning, filtering, racksched bool
+	}{
+		{simcluster.Baseline, false, false, false},
+		{simcluster.CClone, false, false, false},
+		{simcluster.NetClone, true, true, false},
+		{simcluster.NetCloneNoFilter, true, false, false},
+		{simcluster.NetCloneRackSched, true, true, true},
+	}
+	for _, tc := range cases {
+		dcfg, err := SwitchConfig(tc.scheme, 2, 1<<10, 8)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.scheme, err)
+		}
+		if dcfg.EnableCloning != tc.cloning || dcfg.EnableFiltering != tc.filtering || dcfg.RackSched != tc.racksched {
+			t.Errorf("%s mapped to cloning=%v filtering=%v racksched=%v",
+				tc.scheme, dcfg.EnableCloning, dcfg.EnableFiltering, dcfg.RackSched)
+		}
+		if dcfg.FilterTables != 2 || dcfg.FilterSlots != 1<<10 || dcfg.MaxServers != 8 {
+			t.Errorf("%s lost sizing: %+v", tc.scheme, dcfg)
+		}
+	}
+	if _, err := SwitchConfig(simcluster.LAEDGE, 2, 1<<10, 8); err == nil {
+		t.Error("LAEDGE accepted as a switch program")
+	}
+}
+
+// TestEmuRejectsSimOnlyFeatures checks every sim-only feature fails fast
+// with an actionable message, before any socket is opened.
+func TestEmuRejectsSimOnlyFeatures(t *testing.T) {
+	base := New(
+		WithScheme(simcluster.NetClone),
+		WithServers(2, 2),
+		WithWorkload(workload.Exp(25)),
+		WithOfferedLoad(100),
+		WithWindow(0, 10*time.Millisecond),
+	)
+	cases := []struct {
+		name string
+		sc   *Scenario
+		want string
+	}{
+		{"LAEDGE", base.With(WithScheme(simcluster.LAEDGE)), "coordinator"},
+		{"multirack", base.With(WithMultiRack(time.Microsecond)), "multi-rack"},
+		{"loss", base.With(WithLoss(0.01)), "loss"},
+		{"switch failure", base.With(WithSwitchFailure(time.Millisecond, 2*time.Millisecond)), "failure"},
+		{"timeline", base.With(WithTimeline(time.Millisecond)), "timeline"},
+		{"sampling", base.With(WithBreakdownSampling(5)), "sampling"},
+		{"no clone guard", base.With(WithoutCloneDropGuard()), "guard"},
+		{"single ordering", base.With(WithSingleOrderingGroups()), "ordering"},
+	}
+	be := Emu()
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := be.Run(tc.sc)
+			if err == nil {
+				t.Fatal("sim-only feature accepted by Emu backend")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}

@@ -1,0 +1,231 @@
+package scenario
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"netclone/internal/dataplane"
+	"netclone/internal/simcluster"
+	"netclone/internal/udpemu"
+)
+
+// ErrSimOnly marks scenarios (or experiments) that need a capability
+// only the simulator models — LAEDGE's coordinator tier, fault
+// injection, timelines, breakdown sampling, multi-rack, ablation knobs.
+// Callers sweeping many experiments over a non-sim backend can
+// errors.Is against it to skip instead of abort.
+var ErrSimOnly = errors.New("sim-only capability")
+
+// EmuOption tunes the UDP-emulation backend.
+type EmuOption func(*emuBackend)
+
+// EmuMaxRate caps the per-scenario open-loop rate in requests per
+// second. The simulator offers multi-MRPS loads that loopback sockets
+// cannot absorb, so scenario rates above the cap are scaled down; the
+// Result reports the rate actually offered. Default 4000.
+func EmuMaxRate(rps float64) EmuOption {
+	return func(b *emuBackend) { b.maxRate = rps }
+}
+
+// EmuTimeout bounds each request round trip (default 5s).
+func EmuTimeout(d time.Duration) EmuOption {
+	return func(b *emuBackend) { b.timeout = d }
+}
+
+// EmuStoreObjects sizes the emulated servers' shared key-value store
+// (default 1<<16). KV-mix keys beyond the store return empty values but
+// still measure a full round trip.
+func EmuStoreObjects(n int) EmuOption {
+	return func(b *emuBackend) { b.storeObjects = n }
+}
+
+// emuBackend runs scenarios on the real-UDP loopback emulation.
+type emuBackend struct {
+	maxRate      float64
+	timeout      time.Duration
+	storeObjects int
+}
+
+// Emu returns the UDP-emulation backend: the scenario's topology is
+// instantiated as an in-process loopback cluster — a switch emulator,
+// one kvstore-backed server per topology entry, and the scenario's
+// clients — exercising the identical dataplane pipeline and wire format
+// as the simulator over the kernel network stack.
+//
+// It is an emulator, not a performance testbed: loopback RTT jitter
+// dwarfs the microsecond effects the paper measures, offered rates are
+// capped (EmuMaxRate), the warmup window is skipped, and a synthetic
+// service-time distribution is applied as its mean in real busy time
+// per request (the per-request variability the paper studies needs the
+// simulator's nanosecond clock). Use it to
+// prove the protocol end-to-end and to compare the unified counters
+// (clones, filter drops, clone drops, redundant responses) against the
+// Sim backend; use Sim for latency figures.
+//
+// Supported schemes: Baseline, CClone (client-side duplicate sends),
+// NetClone, NetCloneNoFilter, and NetCloneRackSched. LAEDGE needs a
+// coordinator process the emulation does not provide. Sim-only scenario
+// features (loss injection, switch failure windows, timelines,
+// breakdown sampling, multi-rack, ablation knobs) are rejected with an
+// actionable error rather than silently ignored.
+func Emu(opts ...EmuOption) Backend {
+	b := &emuBackend{
+		maxRate:      4000,
+		timeout:      5 * time.Second,
+		storeObjects: 1 << 16,
+	}
+	for _, o := range opts {
+		o(b)
+	}
+	return b
+}
+
+// Name implements Backend.
+func (b *emuBackend) Name() string { return "emu" }
+
+// Run implements Backend: validate, reject sim-only features, start the
+// loopback cluster, drive the open loop, and reduce the counters into
+// the unified Result.
+func (b *emuBackend) Run(sc *Scenario) (Result, error) {
+	if err := sc.Validate(); err != nil {
+		return Result{}, err
+	}
+	cfg, err := sc.Config().Normalized()
+	if err != nil {
+		return Result{}, err
+	}
+	if err := b.checkSupported(cfg); err != nil {
+		return Result{}, err
+	}
+
+	dcfg, err := SwitchConfig(cfg.Scheme, cfg.FilterTables, cfg.FilterSlots, len(cfg.Workers))
+	if err != nil {
+		return Result{}, err
+	}
+
+	rate := cfg.OfferedRPS
+	if rate > b.maxRate {
+		rate = b.maxRate
+	}
+	requests := int(rate * float64(cfg.DurationNS) / 1e9)
+	if requests < 20 {
+		requests = 20
+	}
+
+	// A synthetic distribution becomes per-request busy time on the real
+	// workers — the mean, since the emulated server burns wall-clock
+	// time rather than sampling (see the Emu doc for fidelity limits).
+	var extraService time.Duration
+	if cfg.Service != nil {
+		extraService = time.Duration(cfg.Service.Mean())
+	}
+	cluster, err := udpemu.StartCluster(udpemu.ClusterConfig{
+		Dataplane:        dcfg,
+		Workers:          cfg.Workers,
+		Clients:          cfg.NumClients,
+		StoreObjects:     b.storeObjects,
+		ExtraServiceTime: extraService,
+		Timeout:          b.timeout,
+		Seed:             cfg.Seed,
+	})
+	if err != nil {
+		return Result{}, fmt.Errorf("emu backend: %w", err)
+	}
+	defer cluster.Close()
+
+	runs, err := cluster.RunOpenLoop(udpemu.OpenLoopConfig{
+		RatePerSec: rate,
+		Requests:   requests,
+		Mix:        cfg.Mix,
+		Keyspace:   uint64(b.storeObjects),
+		Duplicate:  cfg.Scheme == simcluster.CClone,
+	})
+	if err != nil {
+		return Result{}, fmt.Errorf("emu backend: open loop: %w", err)
+	}
+
+	var sent, completed, inWindow int64
+	var elapsed time.Duration
+	for _, r := range runs {
+		sent += int64(r.Sent)
+		completed += r.Completed
+		inWindow += r.CompletedInWindow
+		if r.Elapsed > elapsed {
+			elapsed = r.Elapsed
+		}
+	}
+	counters := cluster.Counters()
+	hist := cluster.MergedLatency()
+
+	res := Result{Backend: "emu", ServerProcessed: counters.Processed}
+	res.Scheme = cfg.Scheme
+	res.OfferedRPS = rate
+	// Sustained rate over the send window only: completions that settle
+	// during the post-send drain would otherwise overstate throughput
+	// against the sim's fixed-window counter.
+	res.ThroughputRPS = float64(inWindow) / elapsed.Seconds()
+	res.Latency = hist.Summarize()
+	res.Hist = hist
+	res.Switch = counters.Switch
+	res.Generated = sent
+	res.Completed = completed
+	res.CloneDropsAtServer = counters.CloneDrops
+	res.RedundantAtClient = counters.Redundant
+	return res, nil
+}
+
+// SwitchConfig maps a scheme onto the emulated switch's data-plane
+// configuration — the single source of truth shared by the Emu backend
+// and the standalone netclone-switch binary. LAEDGE has no in-switch
+// role and is rejected; C-Clone reduces the switch to plain forwarding
+// because its duplication happens at the client.
+func SwitchConfig(scheme simcluster.Scheme, filterTables, filterSlots, maxServers int) (dataplane.Config, error) {
+	dcfg := dataplane.Config{
+		MaxServers:   maxServers,
+		FilterTables: filterTables,
+		FilterSlots:  filterSlots,
+	}
+	switch scheme {
+	case simcluster.Baseline, simcluster.CClone:
+		// Plain group-based random forwarding.
+	case simcluster.NetClone:
+		dcfg.EnableCloning = true
+		dcfg.EnableFiltering = true
+	case simcluster.NetCloneNoFilter:
+		dcfg.EnableCloning = true
+	case simcluster.NetCloneRackSched:
+		dcfg.EnableCloning = true
+		dcfg.EnableFiltering = true
+		dcfg.RackSched = true
+	default:
+		return dataplane.Config{}, fmt.Errorf("emu backend: scheme %s has no emulated switch role", scheme)
+	}
+	return dcfg, nil
+}
+
+// checkSupported rejects scenario features only the simulator models.
+func (b *emuBackend) checkSupported(cfg simcluster.Config) error {
+	reject := func(feature string) error {
+		return fmt.Errorf("emu backend: %s is modelled only by the Sim backend (%w); run this scenario with Sim()", feature, ErrSimOnly)
+	}
+	switch {
+	case cfg.Scheme == simcluster.LAEDGE:
+		return fmt.Errorf("emu backend: the LAEDGE scheme needs a coordinator process the emulation does not provide (%w); use Sim(), or Baseline/CClone/NetClone* schemes here", ErrSimOnly)
+	case cfg.MultiRack:
+		return reject("multi-rack deployment (WithMultiRack)")
+	case cfg.LossProb > 0:
+		return reject("loss injection (WithLoss)")
+	case cfg.SwitchFailAtNS > 0:
+		return reject("the switch failure window (WithSwitchFailure)")
+	case cfg.TimelineBinNS > 0:
+		return reject("timeline recording (WithTimeline)")
+	case cfg.SampleEvery > 0:
+		return reject("latency breakdown sampling (WithBreakdownSampling)")
+	case cfg.DisableServerCloneDrop:
+		return reject("disabling the server clone-drop guard (WithoutCloneDropGuard)")
+	case cfg.SingleOrderingGroups:
+		return reject("single-ordering groups (WithSingleOrderingGroups)")
+	}
+	return nil
+}

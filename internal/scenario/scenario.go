@@ -1,0 +1,293 @@
+// Package scenario is the composable experiment-definition layer of the
+// public API: a Scenario describes *what* to run — topology, workload,
+// faults, calibration, and measurement window — independently of *how*
+// it runs, and a Backend executes it. Two backends exist: Sim (the
+// deterministic discrete-event simulator in internal/simcluster) and Emu
+// (the real-UDP emulation in internal/udpemu). Both return a unified
+// Result whose counters are directly comparable, so the same Scenario
+// can be checked against both executable models of the system.
+package scenario
+
+import (
+	"fmt"
+	"time"
+
+	"netclone/internal/kvstore"
+	"netclone/internal/simcluster"
+	"netclone/internal/workload"
+)
+
+// Scenario is one declarative experiment point. Build it with New and
+// the With* functional options; Scenario values are immutable after
+// construction — With derives a modified copy — so one base scenario
+// can safely fan out into many concurrently running variants.
+type Scenario struct {
+	cfg simcluster.Config
+}
+
+// Option mutates a Scenario under construction.
+type Option func(*Scenario)
+
+// New builds a scenario from functional options.
+func New(opts ...Option) *Scenario {
+	s := &Scenario{}
+	for _, o := range opts {
+		o(s)
+	}
+	return s
+}
+
+// FromConfig wraps a legacy flat Config as a Scenario — the migration
+// bridge for code built against the original Run(Config) API. The
+// Workers slice is copied, so later mutation of the caller's config
+// cannot reach into an immutable (possibly already-running) scenario.
+func FromConfig(cfg simcluster.Config) *Scenario {
+	cfg.Workers = append([]int(nil), cfg.Workers...)
+	return &Scenario{cfg: cfg}
+}
+
+// With returns a copy of the scenario with the extra options applied.
+// The receiver is not modified.
+func (s *Scenario) With(opts ...Option) *Scenario {
+	c := &Scenario{cfg: s.cfg}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// Config exposes the scenario as the flat simulation config. Zero fields
+// keep their documented defaults (filled by the executing backend). The
+// Workers slice is a copy: mutating the returned config can never reach
+// back into the scenario or its With-derived (possibly already running)
+// variants.
+func (s *Scenario) Config() simcluster.Config {
+	cfg := s.cfg
+	cfg.Workers = append([]int(nil), cfg.Workers...)
+	return cfg
+}
+
+// ---------------------------------------------------------------------
+// Topology
+
+// WithScheme selects the request-dispatching scheme under test.
+func WithScheme(scheme simcluster.Scheme) Option {
+	return func(s *Scenario) { s.cfg.Scheme = scheme }
+}
+
+// WithTopology declares the worker servers explicitly: one server per
+// argument, each with that many worker threads. Heterogeneous racks pass
+// differing counts (the Fig 10 shape: 15, 15, 15, 8, 8, 8).
+func WithTopology(workerThreads ...int) Option {
+	ws := make([]int, len(workerThreads))
+	copy(ws, workerThreads)
+	return func(s *Scenario) { s.cfg.Workers = ws }
+}
+
+// WithServers declares n homogeneous servers with threads worker threads
+// each — shorthand for the common uniform rack.
+func WithServers(n, threads int) Option {
+	ws := make([]int, n)
+	for i := range ws {
+		ws[i] = threads
+	}
+	return func(s *Scenario) { s.cfg.Workers = ws }
+}
+
+// WithClients sets the number of open-loop client machines (default 2,
+// as in the paper). The offered load is split evenly across them.
+func WithClients(n int) Option {
+	return func(s *Scenario) { s.cfg.NumClients = n }
+}
+
+// WithCoordinators scales out the LAEDGE coordinator tier. Only
+// meaningful for the LAEDGE scheme; Validate rejects other combinations.
+func WithCoordinators(n int) Option {
+	return func(s *Scenario) { s.cfg.NumCoordinators = n }
+}
+
+// WithMultiRack places the workers behind a second ToR switch reached
+// through an aggregation layer with the given extra one-way delay
+// (§3.7). Not modelled for LAEDGE.
+func WithMultiRack(aggDelay time.Duration) Option {
+	return func(s *Scenario) {
+		s.cfg.MultiRack = true
+		s.cfg.AggDelayNS = aggDelay.Nanoseconds()
+	}
+}
+
+// ---------------------------------------------------------------------
+// Workload
+
+// WithWorkload selects a synthetic service-time distribution (§5.1.2).
+func WithWorkload(dist workload.Dist) Option {
+	return func(s *Scenario) { s.cfg.Service = dist }
+}
+
+// WithKVWorkload switches to the key-value workload (§5.5): operations
+// drawn from mix, service times from the cost model. The Emu backend
+// executes operations against a real store and ignores the cost model.
+func WithKVWorkload(mix *workload.KVMix, cost kvstore.CostModel) Option {
+	return func(s *Scenario) {
+		s.cfg.Mix = mix
+		s.cfg.Cost = cost
+	}
+}
+
+// WithOfferedLoad sets the aggregate open-loop request rate in requests
+// per second.
+func WithOfferedLoad(rps float64) Option {
+	return func(s *Scenario) { s.cfg.OfferedRPS = rps }
+}
+
+// ---------------------------------------------------------------------
+// Measurement window
+
+// WithWindow bounds the measurement window: requests completing within
+// [warmup, warmup+duration) are recorded.
+func WithWindow(warmup, duration time.Duration) Option {
+	return func(s *Scenario) {
+		s.cfg.WarmupNS = warmup.Nanoseconds()
+		s.cfg.DurationNS = duration.Nanoseconds()
+	}
+}
+
+// WithSeed makes the run reproducible (bit-for-bit on the Sim backend).
+func WithSeed(seed uint64) Option {
+	return func(s *Scenario) { s.cfg.Seed = seed }
+}
+
+// WithBreakdownSampling traces every n-th generated request through
+// queueing, service, and path phases (Result.Breakdown). Sim only.
+func WithBreakdownSampling(every int) Option {
+	return func(s *Scenario) { s.cfg.SampleEvery = every }
+}
+
+// WithTimeline records completed requests into per-bin counts over the
+// whole run (the Fig 16 throughput-vs-time shape). Sim only.
+func WithTimeline(bin time.Duration) Option {
+	return func(s *Scenario) { s.cfg.TimelineBinNS = bin.Nanoseconds() }
+}
+
+// ---------------------------------------------------------------------
+// Calibration and switch sizing
+
+// WithCalibration overrides the simulated testbed's latency constants.
+func WithCalibration(cal simcluster.Calibration) Option {
+	return func(s *Scenario) { s.cfg.Cal = cal }
+}
+
+// WithFilter sizes the switch response-filter tables: tables in [1,256]
+// (the IDX header field is 8 bits), slots a power of two per table.
+func WithFilter(tables, slots int) Option {
+	return func(s *Scenario) {
+		s.cfg.FilterTables = tables
+		s.cfg.FilterSlots = slots
+	}
+}
+
+// ---------------------------------------------------------------------
+// Faults
+
+// WithLoss drops each link traversal independently with probability p —
+// the §3.6 dropped-messages failure model. Sim only.
+func WithLoss(p float64) Option {
+	return func(s *Scenario) { s.cfg.LossProb = p }
+}
+
+// WithSwitchFailure stops the switch (dropping all packets and its soft
+// state) during [failAt, recoverAt) — the Fig 16 experiment. Sim only.
+func WithSwitchFailure(failAt, recoverAt time.Duration) Option {
+	return func(s *Scenario) {
+		s.cfg.SwitchFailAtNS = failAt.Nanoseconds()
+		s.cfg.SwitchRecoverAtNS = recoverAt.Nanoseconds()
+	}
+}
+
+// ---------------------------------------------------------------------
+// Ablation knobs
+
+// WithoutCloneDropGuard removes the server-side stale-state guard
+// (§3.4). Ablation only.
+func WithoutCloneDropGuard() Option {
+	return func(s *Scenario) { s.cfg.DisableServerCloneDrop = true }
+}
+
+// WithSingleOrderingGroups restricts clients to groups whose first
+// candidate has the lower server ID (§3.3 ablation).
+func WithSingleOrderingGroups() Option {
+	return func(s *Scenario) { s.cfg.SingleOrderingGroups = true }
+}
+
+// ---------------------------------------------------------------------
+// Validation
+
+// Validate checks the scenario for contradictions and missing pieces and
+// returns the first problem found as an actionable error. Backends run
+// it before executing; call it directly to fail fast at build time.
+func (s *Scenario) Validate() error {
+	cfg := s.cfg
+	if len(cfg.Workers) == 0 {
+		return fmt.Errorf("scenario: no servers declared; add WithTopology(threads...) or WithServers(n, threads)")
+	}
+	if len(cfg.Workers) < 2 {
+		return fmt.Errorf("scenario: cloning needs at least two servers, got %d; grow WithTopology/WithServers", len(cfg.Workers))
+	}
+	for i, w := range cfg.Workers {
+		if w < 1 {
+			return fmt.Errorf("scenario: server %d has %d worker threads, need >= 1 (WithTopology)", i, w)
+		}
+	}
+	if cfg.Service == nil && cfg.Mix == nil {
+		return fmt.Errorf("scenario: no workload declared; add WithWorkload(dist) or WithKVWorkload(mix, cost)")
+	}
+	if cfg.Service != nil && cfg.Mix != nil {
+		return fmt.Errorf("scenario: both a synthetic distribution and a KV mix are set; use exactly one of WithWorkload / WithKVWorkload")
+	}
+	if cfg.OfferedRPS <= 0 {
+		return fmt.Errorf("scenario: offered load is %g req/s, need > 0 (WithOfferedLoad)", cfg.OfferedRPS)
+	}
+	if cfg.DurationNS <= 0 {
+		return fmt.Errorf("scenario: measurement duration is %d ns, need > 0 (WithWindow)", cfg.DurationNS)
+	}
+	if cfg.WarmupNS < 0 {
+		return fmt.Errorf("scenario: warmup is %d ns, need >= 0 (WithWindow)", cfg.WarmupNS)
+	}
+	if cfg.NumClients < 0 {
+		return fmt.Errorf("scenario: %d clients, need >= 0 (WithClients; 0 means the default 2)", cfg.NumClients)
+	}
+	if cfg.Scheme < simcluster.Baseline || cfg.Scheme > simcluster.NetCloneNoFilter {
+		return fmt.Errorf("scenario: unknown scheme %d (WithScheme; see the Scheme constants)", int(cfg.Scheme))
+	}
+	if cfg.FilterTables < 0 || cfg.FilterTables > 256 {
+		return fmt.Errorf("scenario: %d filter tables, need 1..256 — the IDX header field is 8 bits (WithFilter)", cfg.FilterTables)
+	}
+	if cfg.FilterSlots < 0 || (cfg.FilterSlots > 0 && cfg.FilterSlots&(cfg.FilterSlots-1) != 0) {
+		return fmt.Errorf("scenario: %d filter slots per table, need a power of two (WithFilter)", cfg.FilterSlots)
+	}
+	if cfg.LossProb < 0 || cfg.LossProb >= 1 {
+		return fmt.Errorf("scenario: loss probability %g, need [0, 1) (WithLoss)", cfg.LossProb)
+	}
+	if (cfg.SwitchFailAtNS > 0) != (cfg.SwitchRecoverAtNS > 0) {
+		return fmt.Errorf("scenario: switch failure needs both fail and recovery times > 0 (WithSwitchFailure)")
+	}
+	if cfg.SwitchFailAtNS > 0 && cfg.SwitchRecoverAtNS <= cfg.SwitchFailAtNS {
+		return fmt.Errorf("scenario: switch recovery at %d ns is not after failure at %d ns (WithSwitchFailure)", cfg.SwitchRecoverAtNS, cfg.SwitchFailAtNS)
+	}
+	if cfg.TimelineBinNS < 0 {
+		return fmt.Errorf("scenario: timeline bin is %d ns, need >= 0 (WithTimeline)", cfg.TimelineBinNS)
+	}
+	if cfg.SampleEvery < 0 {
+		return fmt.Errorf("scenario: breakdown sampling every %d requests, need >= 0 (WithBreakdownSampling)", cfg.SampleEvery)
+	}
+	if cfg.MultiRack && cfg.Scheme == simcluster.LAEDGE {
+		return fmt.Errorf("scenario: multi-rack deployment is not modelled for LAEDGE — the coordinator tier is rack-local; drop WithMultiRack or pick another scheme")
+	}
+	if cfg.NumCoordinators < 0 {
+		return fmt.Errorf("scenario: %d coordinators, need >= 0 (WithCoordinators)", cfg.NumCoordinators)
+	}
+	if cfg.NumCoordinators > 0 && cfg.Scheme != simcluster.LAEDGE {
+		return fmt.Errorf("scenario: %d coordinators declared but scheme %s has no coordinator tier; WithCoordinators applies to LAEDGE only", cfg.NumCoordinators, cfg.Scheme)
+	}
+	return nil
+}

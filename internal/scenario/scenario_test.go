@@ -1,0 +1,242 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"netclone/internal/kvstore"
+	"netclone/internal/simcluster"
+	"netclone/internal/workload"
+)
+
+// validBase returns options describing a well-formed scenario.
+func validBase() []Option {
+	return []Option{
+		WithScheme(simcluster.NetClone),
+		WithServers(6, 16),
+		WithWorkload(workload.Exp(25)),
+		WithOfferedLoad(1e6),
+		WithWindow(50*time.Millisecond, 200*time.Millisecond),
+		WithSeed(1),
+	}
+}
+
+func TestValidateAcceptsWellFormed(t *testing.T) {
+	if err := New(validBase()...).Validate(); err != nil {
+		t.Fatalf("valid scenario rejected: %v", err)
+	}
+}
+
+// TestValidateRejections is the table-driven pass over every uniform
+// rejection: each case builds a scenario with exactly one contradiction
+// and asserts the error both fires and names the offending option.
+func TestValidateRejections(t *testing.T) {
+	cases := []struct {
+		name string
+		sc   *Scenario
+		want string // substring of the actionable message
+	}{
+		{
+			name: "no servers",
+			sc:   New(WithWorkload(workload.Exp(25)), WithOfferedLoad(1e5), WithWindow(0, time.Millisecond)),
+			want: "no servers",
+		},
+		{
+			name: "one server",
+			sc:   New(validBase()...).With(WithTopology(16)),
+			want: "at least two servers",
+		},
+		{
+			name: "zero workers",
+			sc:   New(validBase()...).With(WithTopology(16, 0)),
+			want: "worker threads",
+		},
+		{
+			name: "no workload",
+			sc:   New(WithServers(2, 4), WithOfferedLoad(1e5), WithWindow(0, time.Millisecond)),
+			want: "no workload",
+		},
+		{
+			name: "two workloads",
+			sc: New(validBase()...).With(
+				WithKVWorkload(workload.NewKVMix(0.9, 0.1, 100, 0.99), kvstore.Redis())),
+			want: "exactly one",
+		},
+		{
+			name: "zero rate",
+			sc:   New(validBase()...).With(WithOfferedLoad(0)),
+			want: "offered load",
+		},
+		{
+			name: "negative rate",
+			sc:   New(validBase()...).With(WithOfferedLoad(-5)),
+			want: "offered load",
+		},
+		{
+			name: "zero duration",
+			sc:   New(validBase()...).With(WithWindow(time.Millisecond, 0)),
+			want: "duration",
+		},
+		{
+			name: "negative warmup",
+			sc:   New(validBase()...).With(WithWindow(-time.Millisecond, time.Millisecond)),
+			want: "warmup",
+		},
+		{
+			name: "negative clients",
+			sc:   New(validBase()...).With(WithClients(-1)),
+			want: "clients",
+		},
+		{
+			name: "unknown scheme",
+			sc:   New(validBase()...).With(WithScheme(simcluster.Scheme(42))),
+			want: "unknown scheme",
+		},
+		{
+			name: "too many filter tables",
+			sc:   New(validBase()...).With(WithFilter(300, 1<<10)),
+			want: "filter tables",
+		},
+		{
+			name: "filter slots not a power of two",
+			sc:   New(validBase()...).With(WithFilter(2, 1000)),
+			want: "power of two",
+		},
+		{
+			name: "loss probability one",
+			sc:   New(validBase()...).With(WithLoss(1)),
+			want: "loss probability",
+		},
+		{
+			name: "switch failure without recovery",
+			sc:   New(validBase()...).With(WithSwitchFailure(time.Second, 0)),
+			want: "recovery",
+		},
+		{
+			name: "switch recovery before failure",
+			sc:   New(validBase()...).With(WithSwitchFailure(2*time.Second, time.Second)),
+			want: "not after failure",
+		},
+		{
+			name: "multirack LAEDGE",
+			sc: New(validBase()...).With(
+				WithScheme(simcluster.LAEDGE),
+				WithMultiRack(2*time.Microsecond)),
+			want: "multi-rack",
+		},
+		{
+			name: "coordinators without LAEDGE",
+			sc:   New(validBase()...).With(WithCoordinators(3)),
+			want: "LAEDGE only",
+		},
+		{
+			name: "single coordinator without LAEDGE",
+			sc:   New(validBase()...).With(WithCoordinators(1)),
+			want: "LAEDGE only",
+		},
+		{
+			name: "negative coordinators",
+			sc:   New(validBase()...).With(WithScheme(simcluster.LAEDGE), WithCoordinators(-1)),
+			want: "coordinators",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.sc.Validate()
+			if err == nil {
+				t.Fatalf("invalid scenario accepted: %+v", tc.sc.Config())
+			}
+			if !strings.HasPrefix(err.Error(), "scenario: ") {
+				t.Errorf("error %q missing the uniform prefix", err)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestOptionMapping checks that every option lands on the documented
+// Config field — the contract the Sim backend's byte-identical
+// guarantee rests on.
+func TestOptionMapping(t *testing.T) {
+	mix := workload.NewKVMix(0.9, 0.1, 1000, 0.99)
+	cal := simcluster.DefaultCalibration()
+	cal.LinkDelayNS = 777
+	sc := New(
+		WithScheme(simcluster.NetCloneRackSched),
+		WithTopology(15, 15, 8),
+		WithClients(3),
+		WithKVWorkload(mix, kvstore.Memcached()),
+		WithOfferedLoad(123456),
+		WithWindow(10*time.Millisecond, 40*time.Millisecond),
+		WithSeed(99),
+		WithCalibration(cal),
+		WithFilter(4, 1<<9),
+		WithLoss(0.01),
+		WithTimeline(time.Millisecond),
+		WithBreakdownSampling(10),
+		WithoutCloneDropGuard(),
+		WithSingleOrderingGroups(),
+	)
+	cfg := sc.Config()
+	if cfg.Scheme != simcluster.NetCloneRackSched ||
+		len(cfg.Workers) != 3 || cfg.Workers[2] != 8 ||
+		cfg.NumClients != 3 ||
+		cfg.Mix != mix || cfg.Cost.Name != "memcached" ||
+		cfg.OfferedRPS != 123456 ||
+		cfg.WarmupNS != 10e6 || cfg.DurationNS != 40e6 ||
+		cfg.Seed != 99 ||
+		cfg.Cal.LinkDelayNS != 777 ||
+		cfg.FilterTables != 4 || cfg.FilterSlots != 1<<9 ||
+		cfg.LossProb != 0.01 ||
+		cfg.TimelineBinNS != 1e6 ||
+		cfg.SampleEvery != 10 ||
+		!cfg.DisableServerCloneDrop || !cfg.SingleOrderingGroups {
+		t.Fatalf("option mapping wrong: %+v", cfg)
+	}
+
+	mr := New(WithMultiRack(3 * time.Microsecond)).Config()
+	if !mr.MultiRack || mr.AggDelayNS != 3000 {
+		t.Fatalf("multi-rack mapping wrong: %+v", mr)
+	}
+	fail := New(WithSwitchFailure(time.Second, 2*time.Second)).Config()
+	if fail.SwitchFailAtNS != 1e9 || fail.SwitchRecoverAtNS != 2e9 {
+		t.Fatalf("switch-failure mapping wrong: %+v", fail)
+	}
+}
+
+// TestWithDerivesCopies checks the builder's immutability contract: With
+// must never mutate the receiver, so one base scenario can fan out.
+func TestWithDerivesCopies(t *testing.T) {
+	base := New(validBase()...)
+	variant := base.With(WithScheme(simcluster.Baseline), WithTopology(4, 4))
+	if base.Config().Scheme != simcluster.NetClone {
+		t.Error("With mutated the receiver's scheme")
+	}
+	if len(base.Config().Workers) != 6 {
+		t.Error("With mutated the receiver's topology")
+	}
+	if variant.Config().Scheme != simcluster.Baseline || len(variant.Config().Workers) != 2 {
+		t.Errorf("variant did not apply options: %+v", variant.Config())
+	}
+}
+
+// TestFromConfigRoundTrip checks the legacy bridge preserves the config
+// verbatim.
+func TestFromConfigRoundTrip(t *testing.T) {
+	cfg := simcluster.Config{
+		Scheme:     simcluster.CClone,
+		Workers:    []int{8, 8},
+		Service:    workload.Exp(50),
+		OfferedRPS: 5e5,
+		WarmupNS:   1e6,
+		DurationNS: 2e6,
+		Seed:       5,
+	}
+	got := FromConfig(cfg).Config()
+	if got.Scheme != cfg.Scheme || got.OfferedRPS != cfg.OfferedRPS || got.Seed != cfg.Seed {
+		t.Fatalf("FromConfig altered the config: %+v", got)
+	}
+}

@@ -264,6 +264,12 @@ var (
 	ErrBadWindow  = errors.New("simcluster: DurationNS must be positive")
 )
 
+// Normalized validates cfg and returns a copy with every zero field
+// filled with its documented default — the exact config the simulator
+// executes. The UDP-emulation backend uses it too, so both executable
+// models resolve defaults identically.
+func (cfg Config) Normalized() (Config, error) { return cfg.withDefaults() }
+
 // withDefaults validates cfg and fills zero values.
 func (cfg Config) withDefaults() (Config, error) {
 	if len(cfg.Workers) < 2 {

@@ -38,9 +38,13 @@ type Client struct {
 	mu          sync.Mutex
 	pending     map[uint32]chan []byte
 	openPending map[uint32]time.Time
-	nextSeq     uint32
-	redundant   int64
-	openDone    atomic.Int64
+	// abandoned remembers requests given up on (timeouts, open-loop
+	// stragglers past the drain), so their late responses are ignored
+	// instead of miscounted as redundant duplicates.
+	abandoned map[uint32]struct{}
+	nextSeq   uint32
+	redundant int64
+	openDone  atomic.Int64
 
 	hist      *stats.Histogram
 	closed    chan struct{}
@@ -68,6 +72,7 @@ func NewClient(swAddr *net.UDPAddr, cfg ClientConfig) (*Client, error) {
 		rng:         rand.New(rand.NewPCG(cfg.Seed, 0xC11E47)),
 		pending:     make(map[uint32]chan []byte),
 		openPending: make(map[uint32]time.Time),
+		abandoned:   make(map[uint32]struct{}),
 		hist:        stats.NewHistogram(),
 		closed:      make(chan struct{}),
 	}
@@ -95,9 +100,13 @@ func (c *Client) receiver() {
 
 		c.mu.Lock()
 		ch, ok := c.pending[h.ClientSeq]
-		if ok {
+		switch {
+		case ok:
 			delete(c.pending, h.ClientSeq)
-		} else if !c.settleOpenLoop(h.ClientSeq) {
+		case c.settleOpenLoop(h.ClientSeq):
+		case c.forget(h.ClientSeq):
+			// Straggler of an abandoned request, not a duplicate.
+		default:
 			c.redundant++
 		}
 		c.mu.Unlock()
@@ -136,7 +145,9 @@ func (c *Client) Do(numGroups int, op workload.OpKind, rank uint64, span uint16,
 	}
 	select {
 	case payload := <-ch:
+		c.mu.Lock()
 		c.hist.Record(time.Since(start).Nanoseconds())
+		c.mu.Unlock()
 		return payload, nil
 	case <-time.After(c.cfg.Timeout):
 		c.abandon(seq)
@@ -147,15 +158,47 @@ func (c *Client) Do(numGroups int, op workload.OpKind, rank uint64, span uint16,
 	}
 }
 
-// abandon drops a pending entry (timeout or error path).
+// maxAbandoned bounds the abandoned-sequence memory: most abandoned
+// requests were genuinely lost and their entries would otherwise
+// accumulate forever in long-lived clients. On overflow the set resets —
+// stragglers of the forgotten entries may then count as redundant, a
+// bounded accuracy trade for bounded memory.
+const maxAbandoned = 1 << 13
+
+// abandon drops a pending entry (timeout or error path) and remembers
+// the sequence so a late response is ignored, not counted redundant.
 func (c *Client) abandon(seq uint32) {
 	c.mu.Lock()
+	if len(c.abandoned) >= maxAbandoned {
+		c.abandoned = make(map[uint32]struct{})
+	}
 	delete(c.pending, seq)
+	c.abandoned[seq] = struct{}{}
 	c.mu.Unlock()
+}
+
+// forget consumes an abandoned-sequence entry. Caller holds c.mu.
+func (c *Client) forget(seq uint32) bool {
+	if _, ok := c.abandoned[seq]; !ok {
+		return false
+	}
+	delete(c.abandoned, seq)
+	return true
 }
 
 // Latency summarizes the latencies of completed requests.
 func (c *Client) Latency() stats.Summary { return c.hist.Summarize() }
+
+// Hist returns a snapshot copy of the latency histogram, for callers
+// that merge distributions across clients. Take it after in-flight
+// requests have settled (e.g. once RunOpenLoop returns).
+func (c *Client) Hist() *stats.Histogram {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	h := stats.NewHistogram()
+	h.Merge(c.hist)
+	return h
+}
 
 // Redundant returns the count of duplicate responses that reached this
 // client (0 when switch filtering is on and effective).

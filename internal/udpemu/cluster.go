@@ -1,0 +1,200 @@
+package udpemu
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"netclone/internal/dataplane"
+	"netclone/internal/kvstore"
+	"netclone/internal/stats"
+)
+
+// ClusterConfig describes an in-process loopback cluster: one switch
+// emulator, one kvstore-backed worker server per Workers entry, and
+// Clients measuring clients — the same lifecycle the three standalone
+// binaries (netclone-switch/-server/-client) wire up across processes.
+type ClusterConfig struct {
+	// Dataplane configures the switch pipeline. MaxServers is raised to
+	// fit Workers if it is too small.
+	Dataplane dataplane.Config
+	// Workers holds the worker-goroutine count of each server; its
+	// length is the number of servers.
+	Workers []int
+	// Clients is the number of measuring clients (default 1).
+	Clients int
+	// StoreObjects sizes the shared key-value store (default 1<<16).
+	StoreObjects int
+	// ExtraServiceTime adds busy time per request on every server —
+	// how the emulation approximates a synthetic service-time
+	// distribution (its mean) on real workers.
+	ExtraServiceTime time.Duration
+	// Timeout bounds each closed-loop request (default 2s).
+	Timeout time.Duration
+	// Seed derives per-client randomization seeds.
+	Seed uint64
+}
+
+// Cluster is a running in-process loopback cluster. Create it with
+// StartCluster and release its sockets with Close.
+type Cluster struct {
+	Switch  *Switch
+	Servers []*Server
+	Clients []*Client
+	store   *kvstore.Store
+
+	closeOnce sync.Once
+	closeErr  error
+}
+
+// ClusterCounters snapshots every counter the cluster exposes, keyed to
+// the same vocabulary as the simulator's Result.
+type ClusterCounters struct {
+	// Switch is the data-plane counter snapshot.
+	Switch dataplane.Stats
+	// Processed sums every server's executed-request count (clones
+	// included).
+	Processed int64
+	// CloneDrops sums the servers' stale-state guard drops (§3.4).
+	CloneDrops int64
+	// Redundant sums the duplicate responses that reached the clients.
+	Redundant int64
+}
+
+// StartCluster binds and starts the whole cluster on loopback. On error
+// every partially started component is shut down.
+func StartCluster(cfg ClusterConfig) (*Cluster, error) {
+	if len(cfg.Workers) < 2 {
+		return nil, errors.New("udpemu: cluster needs at least two servers")
+	}
+	if cfg.Clients <= 0 {
+		cfg.Clients = 1
+	}
+	if cfg.StoreObjects <= 0 {
+		cfg.StoreObjects = 1 << 16
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 2 * time.Second
+	}
+	dcfg := cfg.Dataplane
+	if dcfg.MaxServers < len(cfg.Workers) {
+		dcfg.MaxServers = len(cfg.Workers)
+	}
+
+	sw, err := NewSwitch("127.0.0.1:0", dcfg)
+	if err != nil {
+		return nil, err
+	}
+	c := &Cluster{Switch: sw, store: kvstore.NewStore(cfg.StoreObjects)}
+	go sw.Serve() //nolint:errcheck // terminated by Close
+
+	for sid, threads := range cfg.Workers {
+		srv, err := NewServer("127.0.0.1:0", sw.Addr(), ServerConfig{
+			SID:              uint16(sid),
+			Workers:          threads,
+			Store:            c.store,
+			ExtraServiceTime: cfg.ExtraServiceTime,
+		})
+		if err != nil {
+			c.Close()
+			return nil, fmt.Errorf("udpemu: server %d: %w", sid, err)
+		}
+		c.Servers = append(c.Servers, srv)
+		go srv.Serve() //nolint:errcheck
+		if err := sw.AddServer(uint16(sid), srv.Addr()); err != nil {
+			c.Close()
+			return nil, fmt.Errorf("udpemu: register server %d: %w", sid, err)
+		}
+	}
+
+	for i := 0; i < cfg.Clients; i++ {
+		cl, err := NewClient(sw.Addr(), ClientConfig{
+			ClientID:     uint16(i + 1),
+			FilterTables: dcfg.FilterTables,
+			Timeout:      cfg.Timeout,
+			Seed:         cfg.Seed + uint64(i)*7919,
+		})
+		if err != nil {
+			c.Close()
+			return nil, fmt.Errorf("udpemu: client %d: %w", i, err)
+		}
+		c.Clients = append(c.Clients, cl)
+	}
+	return c, nil
+}
+
+// Store returns the shared key-value store backing every server.
+func (c *Cluster) Store() *kvstore.Store { return c.store }
+
+// Counters snapshots the cluster-wide counters. Take it after traffic
+// has drained for a consistent view.
+func (c *Cluster) Counters() ClusterCounters {
+	out := ClusterCounters{Switch: c.Switch.Stats()}
+	for _, s := range c.Servers {
+		out.Processed += s.Processed()
+		out.CloneDrops += s.CloneDrops()
+	}
+	for _, cl := range c.Clients {
+		out.Redundant += cl.Redundant()
+	}
+	return out
+}
+
+// MergedLatency merges every client's latency histogram into one.
+func (c *Cluster) MergedLatency() *stats.Histogram {
+	h := stats.NewHistogram()
+	for _, cl := range c.Clients {
+		h.Merge(cl.Hist())
+	}
+	return h
+}
+
+// RunOpenLoop drives every client concurrently, splitting the target
+// rate and request count evenly, and returns the per-client results in
+// client order.
+func (c *Cluster) RunOpenLoop(cfg OpenLoopConfig) ([]OpenLoopResult, error) {
+	n := len(c.Clients)
+	if n == 0 {
+		return nil, errors.New("udpemu: cluster has no clients")
+	}
+	per := cfg
+	per.NumGroups = c.Switch.NumGroups()
+	per.RatePerSec = cfg.RatePerSec / float64(n)
+	per.Requests = cfg.Requests / n
+	if per.Requests == 0 {
+		per.Requests = 1
+	}
+
+	results := make([]OpenLoopResult, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i, cl := range c.Clients {
+		wg.Add(1)
+		go func(i int, cl *Client) {
+			defer wg.Done()
+			results[i], errs[i] = cl.RunOpenLoop(per)
+		}(i, cl)
+	}
+	wg.Wait()
+	return results, errors.Join(errs...)
+}
+
+// Close shuts down clients, servers, and switch, in that order. It is
+// idempotent and safe on partially constructed clusters.
+func (c *Cluster) Close() error {
+	c.closeOnce.Do(func() {
+		var errs []error
+		for _, cl := range c.Clients {
+			errs = append(errs, cl.Close())
+		}
+		for _, s := range c.Servers {
+			errs = append(errs, s.Close())
+		}
+		if c.Switch != nil {
+			errs = append(errs, c.Switch.Close())
+		}
+		c.closeErr = errors.Join(errs...)
+	})
+	return c.closeErr
+}

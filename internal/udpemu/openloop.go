@@ -1,6 +1,7 @@
 package udpemu
 
 import (
+	"math/rand/v2"
 	"time"
 
 	"netclone/internal/simnet"
@@ -24,14 +25,26 @@ type OpenLoopConfig struct {
 	Keyspace uint64
 	// Drain is how long to wait for stragglers after the last send.
 	Drain time.Duration
+	// Duplicate sends every request twice with independently drawn
+	// group and filter-index fields — client-side static cloning, the
+	// C-Clone baseline (§2.1). The faster response settles the request;
+	// the slower one is counted by Redundant.
+	Duplicate bool
 }
 
 // OpenLoopResult reports an open-loop run.
 type OpenLoopResult struct {
-	Sent      int
+	Sent int
+	// Completed counts every settled request, including those that
+	// finished during the Drain window after the last send.
 	Completed int64
-	Elapsed   time.Duration
-	// AchievedRPS is completions divided by elapsed send time.
+	// CompletedInWindow counts requests settled within the send window
+	// itself — the sustained-throughput numerator.
+	CompletedInWindow int64
+	// Elapsed is the send-window duration (Drain excluded).
+	Elapsed time.Duration
+	// AchievedRPS is in-window completions divided by the send window,
+	// so drain-time stragglers cannot overstate the sustained rate.
 	AchievedRPS float64
 }
 
@@ -80,36 +93,51 @@ func (c *Client) RunOpenLoop(cfg OpenLoopConfig) (OpenLoopResult, error) {
 		c.openPending[seq] = time.Now()
 		c.mu.Unlock()
 
-		h := wire.Header{
-			Type:      wire.TypeReq,
-			Group:     uint16(rng.IntN(maxIntU(cfg.NumGroups, 1))),
-			Idx:       uint8(rng.IntN(c.cfg.FilterTables)),
-			ClientID:  c.cfg.ClientID,
-			ClientSeq: seq,
-			PktTotal:  1,
+		groups := []int{rng.IntN(maxIntU(cfg.NumGroups, 1))}
+		if cfg.Duplicate {
+			groups = cclonePair(rng, cfg.NumGroups)
 		}
-		buf = buf[:0]
-		buf = h.AppendTo(buf)
-		buf = wire.AppendOp(buf, uint8(op), rank, span, nil)
-		if _, err := c.conn.WriteToUDP(buf, c.swAddr); err != nil {
-			return OpenLoopResult{}, err
+		for _, group := range groups {
+			h := wire.Header{
+				Type:      wire.TypeReq,
+				Group:     uint16(group),
+				Idx:       uint8(rng.IntN(c.cfg.FilterTables)),
+				ClientID:  c.cfg.ClientID,
+				ClientSeq: seq,
+				PktTotal:  1,
+			}
+			buf = buf[:0]
+			buf = h.AppendTo(buf)
+			buf = wire.AppendOp(buf, uint8(op), rank, span, nil)
+			if _, err := c.conn.WriteToUDP(buf, c.swAddr); err != nil {
+				return OpenLoopResult{}, err
+			}
 		}
 	}
 	elapsed := time.Since(start)
+	inWindow := c.openDone.Load()
 	time.Sleep(cfg.Drain)
 
-	// Abandon stragglers so a subsequent run starts clean.
+	// Abandon stragglers so a subsequent run starts clean and their
+	// late responses are ignored rather than miscounted as duplicates.
 	c.mu.Lock()
+	if len(c.abandoned)+len(c.openPending) >= maxAbandoned {
+		c.abandoned = make(map[uint32]struct{})
+	}
+	for seq := range c.openPending {
+		c.abandoned[seq] = struct{}{}
+	}
 	c.openPending = make(map[uint32]time.Time)
 	c.mu.Unlock()
 
 	completed := c.openDone.Load()
 	c.openDone.Store(0)
 	return OpenLoopResult{
-		Sent:        cfg.Requests,
-		Completed:   completed,
-		Elapsed:     elapsed,
-		AchievedRPS: float64(completed) / elapsed.Seconds(),
+		Sent:              cfg.Requests,
+		Completed:         completed,
+		CompletedInWindow: inWindow,
+		Elapsed:           elapsed,
+		AchievedRPS:       float64(inWindow) / elapsed.Seconds(),
 	}, nil
 }
 
@@ -126,6 +154,39 @@ func (c *Client) settleOpenLoop(seq uint32) bool {
 	c.hist.Record(time.Since(sentAt).Nanoseconds())
 	c.openDone.Add(1)
 	return true
+}
+
+// cclonePair draws two groups whose first forwarding candidates are
+// distinct servers — the C-Clone client's contract (the simulator's
+// C-Clone likewise always duplicates to two different servers). The
+// switch lays out its numGroups = n*(n-1) ordered pairs as
+// group = i*(n-1) + k with first candidate i (see
+// dataplane.GroupsWithFirst), so distinct i means distinct first
+// servers. Falls back to two independent draws when numGroups is not of
+// that form.
+func cclonePair(rng *rand.Rand, numGroups int) []int {
+	n := serversForGroups(numGroups)
+	if n < 2 {
+		g := maxIntU(numGroups, 1)
+		return []int{rng.IntN(g), rng.IntN(g)}
+	}
+	i1 := rng.IntN(n)
+	i2 := rng.IntN(n - 1)
+	if i2 >= i1 {
+		i2++
+	}
+	return []int{i1*(n-1) + rng.IntN(n-1), i2*(n-1) + rng.IntN(n-1)}
+}
+
+// serversForGroups inverts numGroups = n*(n-1); it returns 0 when
+// numGroups is not a valid ordered-pair count.
+func serversForGroups(numGroups int) int {
+	for n := 2; n*(n-1) <= numGroups; n++ {
+		if n*(n-1) == numGroups {
+			return n
+		}
+	}
+	return 0
 }
 
 // errBadOpenLoop reports an invalid open-loop configuration.

@@ -4,6 +4,7 @@ import (
 	"testing"
 	"time"
 
+	"netclone/internal/simnet"
 	"netclone/internal/workload"
 )
 
@@ -48,6 +49,43 @@ func TestOpenLoopWithMix(t *testing.T) {
 	}
 	if res.Completed < 280 {
 		t.Errorf("completed %d of 300", res.Completed)
+	}
+}
+
+// TestCClonePairDistinctServers pins the C-Clone duplicate contract:
+// the two copies of a request must target groups whose first forwarding
+// candidates are different servers, as the simulator's C-Clone client
+// guarantees.
+func TestCClonePairDistinctServers(t *testing.T) {
+	for _, n := range []int{2, 3, 6} {
+		numGroups := n * (n - 1)
+		if got := serversForGroups(numGroups); got != n {
+			t.Fatalf("serversForGroups(%d) = %d, want %d", numGroups, got, n)
+		}
+		rng := simnet.NewRNG(1, uint64(n))
+		for trial := 0; trial < 500; trial++ {
+			pair := cclonePair(rng, numGroups)
+			if len(pair) != 2 {
+				t.Fatalf("n=%d: pair = %v", n, pair)
+			}
+			for _, g := range pair {
+				if g < 0 || g >= numGroups {
+					t.Fatalf("n=%d: group %d out of range [0,%d)", n, g, numGroups)
+				}
+			}
+			if pair[0]/(n-1) == pair[1]/(n-1) {
+				t.Fatalf("n=%d: groups %v share first candidate %d", n, pair, pair[0]/(n-1))
+			}
+		}
+	}
+	// Not an ordered-pair count: falls back to independent in-range draws.
+	rng := simnet.NewRNG(1, 99)
+	for trial := 0; trial < 100; trial++ {
+		for _, g := range cclonePair(rng, 5) {
+			if g < 0 || g >= 5 {
+				t.Fatalf("fallback group %d out of range", g)
+			}
+		}
 	}
 }
 

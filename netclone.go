@@ -18,26 +18,32 @@
 //
 // # Quick start
 //
-// Run one experiment point — NetClone on the paper's default Exp(25)
-// workload at 1 MRPS over six 16-thread servers:
+// Describe an experiment once as a composable Scenario, then run it on
+// a Backend. The Sim backend is the deterministic simulator behind all
+// paper figures; the Emu backend runs the identical scenario over real
+// UDP sockets:
 //
-//	res, err := netclone.Run(netclone.Config{
-//		Scheme:     netclone.NetClone,
-//		Workers:    []int{16, 16, 16, 16, 16, 16},
-//		Service:    netclone.WithJitter(netclone.Exp(25), 0.01),
-//		OfferedRPS: 1e6,
-//		WarmupNS:   50e6,
-//		DurationNS: 200e6,
-//		Seed:       1,
-//	})
+//	sc := netclone.NewScenario(
+//		netclone.WithScheme(netclone.NetClone),
+//		netclone.WithServers(6, 16),
+//		netclone.WithWorkload(netclone.WithJitter(netclone.Exp(25), 0.01)),
+//		netclone.WithOfferedLoad(1e6),
+//		netclone.WithWindow(50*time.Millisecond, 200*time.Millisecond),
+//		netclone.WithSeed(1),
+//	)
+//	res, err := netclone.Sim().Run(sc)
 //	fmt.Println(res.Latency) // p50/p99/... in nanoseconds
 //
-// Reproduce a full paper figure:
+//	emu, err := netclone.Emu().Run(sc) // same scenario, real sockets
+//	fmt.Println(emu.Completed, emu.Switch.Cloned, emu.RedundantAtClient)
+//
+// Reproduce a full paper figure (optionally on a different backend via
+// Options.Backend):
 //
 //	report, err := netclone.RunExperiment("fig7a", netclone.DefaultOptions())
 //	netclone.RenderText(os.Stdout, report)
 //
-// Every experiment describes its grid of simulation points declaratively
+// Every experiment describes its grid of scenario points declaratively
 // and hands it to a bounded worker pool, so independent points run
 // concurrently. Options.Parallelism bounds the pool (0 = one worker per
 // CPU); reports are byte-identical at every parallelism level:
@@ -46,18 +52,24 @@
 //	opts.Parallelism = 8 // or leave 0 for GOMAXPROCS
 //	report, err := netclone.RunExperiment("fig7a", opts)
 //
-// See README.md for a tour, DESIGN.md for the system inventory, and
-// EXPERIMENTS.md for the paper-vs-measured comparison of every table
-// and figure.
+// The pre-Scenario entry points — Run(Config), RunParallel, and the
+// flat Config type — remain as thin compatibility wrappers with
+// byte-identical results.
+//
+// See README.md for a tour and the old-to-new migration table,
+// DESIGN.md for the system inventory, and EXPERIMENTS.md for the
+// paper-vs-measured comparison of every table and figure.
 package netclone
 
 import (
 	"fmt"
 	"io"
+	"time"
 
 	"netclone/internal/harness"
 	"netclone/internal/kvstore"
 	"netclone/internal/runner"
+	"netclone/internal/scenario"
 	"netclone/internal/simcluster"
 	"netclone/internal/workload"
 )
@@ -79,11 +91,161 @@ const (
 	NetCloneNoFilter = simcluster.NetCloneNoFilter
 )
 
-// Scheme selects the request-dispatching scheme of a simulated run.
+// Scheme selects the request-dispatching scheme of a run.
 type Scheme = simcluster.Scheme
 
+// ---------------------------------------------------------------------
+// Scenario definition
+
+// Scenario is one composable experiment definition: topology, workload,
+// faults, calibration, and measurement window, independent of the
+// backend that executes it. Build it with NewScenario and the With*
+// options; derive variants with its With method.
+type Scenario = scenario.Scenario
+
+// ScenarioOption configures a Scenario under construction.
+type ScenarioOption = scenario.Option
+
+// NewScenario builds a scenario from functional options.
+func NewScenario(opts ...ScenarioOption) *Scenario { return scenario.New(opts...) }
+
+// ScenarioFromConfig wraps a legacy flat Config as a Scenario — the
+// migration bridge for code built against Run(Config).
+func ScenarioFromConfig(cfg Config) *Scenario { return scenario.FromConfig(cfg) }
+
+// WithScheme selects the request-dispatching scheme under test.
+func WithScheme(s Scheme) ScenarioOption { return scenario.WithScheme(s) }
+
+// WithTopology declares the worker servers explicitly: one server per
+// argument, each with that many worker threads (heterogeneous racks
+// pass differing counts).
+func WithTopology(workerThreads ...int) ScenarioOption {
+	return scenario.WithTopology(workerThreads...)
+}
+
+// WithServers declares n homogeneous servers with threads worker
+// threads each.
+func WithServers(n, threads int) ScenarioOption { return scenario.WithServers(n, threads) }
+
+// WithClients sets the number of open-loop client machines (default 2).
+func WithClients(n int) ScenarioOption { return scenario.WithClients(n) }
+
+// WithCoordinators scales out the LAEDGE coordinator tier (§2.2).
+func WithCoordinators(n int) ScenarioOption { return scenario.WithCoordinators(n) }
+
+// WithMultiRack places the workers behind a second ToR switch reached
+// through an aggregation layer with the given extra one-way delay
+// (§3.7). Sim only; not modelled for LAEDGE.
+func WithMultiRack(aggDelay time.Duration) ScenarioOption { return scenario.WithMultiRack(aggDelay) }
+
+// WithWorkload selects a synthetic service-time distribution (§5.1.2).
+func WithWorkload(d Dist) ScenarioOption { return scenario.WithWorkload(d) }
+
+// WithKVWorkload switches to the key-value workload (§5.5): operations
+// drawn from mix, simulated service times from the cost model. The Emu
+// backend executes the operations against a real in-memory store.
+func WithKVWorkload(mix *KVMix, cost CostModel) ScenarioOption {
+	return scenario.WithKVWorkload(mix, cost)
+}
+
+// WithOfferedLoad sets the aggregate open-loop request rate in requests
+// per second.
+func WithOfferedLoad(rps float64) ScenarioOption { return scenario.WithOfferedLoad(rps) }
+
+// WithWindow bounds the measurement window: requests completing within
+// [warmup, warmup+duration) are recorded.
+func WithWindow(warmup, duration time.Duration) ScenarioOption {
+	return scenario.WithWindow(warmup, duration)
+}
+
+// WithSeed makes the run reproducible (bit-for-bit on the Sim backend).
+func WithSeed(seed uint64) ScenarioOption { return scenario.WithSeed(seed) }
+
+// WithCalibration overrides the simulated testbed's latency constants.
+func WithCalibration(cal Calibration) ScenarioOption { return scenario.WithCalibration(cal) }
+
+// WithFilter sizes the switch response-filter tables: tables in [1,256],
+// slots a power of two per table.
+func WithFilter(tables, slots int) ScenarioOption { return scenario.WithFilter(tables, slots) }
+
+// WithLoss drops each link traversal independently with probability p
+// (§3.6). Sim only.
+func WithLoss(p float64) ScenarioOption { return scenario.WithLoss(p) }
+
+// WithSwitchFailure stops the switch during [failAt, recoverAt) — the
+// Fig 16 experiment. Sim only.
+func WithSwitchFailure(failAt, recoverAt time.Duration) ScenarioOption {
+	return scenario.WithSwitchFailure(failAt, recoverAt)
+}
+
+// WithTimeline records completed requests into per-bin counts over the
+// whole run. Sim only.
+func WithTimeline(bin time.Duration) ScenarioOption { return scenario.WithTimeline(bin) }
+
+// WithBreakdownSampling traces every n-th request through queueing,
+// service, and path phases (Result.Breakdown). Sim only.
+func WithBreakdownSampling(every int) ScenarioOption { return scenario.WithBreakdownSampling(every) }
+
+// WithoutCloneDropGuard removes the server-side stale-state guard
+// (§3.4 ablation). Sim only.
+func WithoutCloneDropGuard() ScenarioOption { return scenario.WithoutCloneDropGuard() }
+
+// WithSingleOrderingGroups restricts clients to groups whose first
+// candidate has the lower server ID (§3.3 ablation). Sim only.
+func WithSingleOrderingGroups() ScenarioOption { return scenario.WithSingleOrderingGroups() }
+
+// ---------------------------------------------------------------------
+// Backends
+
+// Backend executes Scenarios; implementations are safe for concurrent
+// Run calls. Sim() and Emu() are the built-in backends.
+type Backend = scenario.Backend
+
+// ScenarioResult is the unified outcome of running a Scenario on any
+// backend: the simulator's full counter set plus the backend identity
+// and the server-side processed count, so sim-vs-emu runs compare
+// directly (latency summary, throughput, clone/redundant/drop counts).
+type ScenarioResult = scenario.Result
+
+// Sim returns the simulator backend: scenarios run as deterministic
+// discrete-event simulations, bit-identical for identical scenarios.
+func Sim() Backend { return scenario.Sim() }
+
+// Emu returns the UDP-emulation backend: the scenario's topology is
+// instantiated as an in-process loopback cluster (switch emulator,
+// kvstore-backed servers, measuring clients) exercising the identical
+// data-plane pipeline and wire format over the kernel network stack.
+// Offered rates are capped (EmuMaxRate) and latency figures include
+// kernel scheduling noise; use it to prove the protocol end-to-end and
+// to cross-check counters against Sim.
+func Emu(opts ...EmuOption) Backend { return scenario.Emu(opts...) }
+
+// ErrSimOnly marks experiment or scenario errors caused by a capability
+// only the simulator models (fault injection, timelines, coordinator
+// tiers, ...). Sweeps over a non-sim backend can errors.Is against it
+// to skip such experiments instead of aborting.
+var ErrSimOnly = scenario.ErrSimOnly
+
+// EmuOption tunes the UDP-emulation backend.
+type EmuOption = scenario.EmuOption
+
+// EmuMaxRate caps the emulated open-loop rate in requests per second
+// (default 4000): simulator-scale MRPS loads are scaled down to what
+// loopback sockets absorb.
+func EmuMaxRate(rps float64) EmuOption { return scenario.EmuMaxRate(rps) }
+
+// EmuTimeout bounds each emulated request round trip (default 5s).
+func EmuTimeout(d time.Duration) EmuOption { return scenario.EmuTimeout(d) }
+
+// EmuStoreObjects sizes the emulated servers' shared key-value store
+// (default 65536).
+func EmuStoreObjects(n int) EmuOption { return scenario.EmuStoreObjects(n) }
+
+// ---------------------------------------------------------------------
+// Legacy flat-config entry points (compatibility wrappers)
+
 // Config describes one simulated experiment point; see the field docs in
-// the simcluster package.
+// the simcluster package. New code should prefer NewScenario.
 type Config = simcluster.Config
 
 // Calibration holds the simulated testbed's latency constants.
@@ -92,7 +254,9 @@ type Calibration = simcluster.Calibration
 // Result is the outcome of one simulated run.
 type Result = simcluster.Result
 
-// Run executes one simulated experiment point.
+// Run executes one simulated experiment point. It is the legacy
+// equivalent of Sim().Run(ScenarioFromConfig(cfg)) minus the scenario
+// validation pass, kept byte-identical to the pre-Scenario API.
 func Run(cfg Config) (Result, error) { return simcluster.Run(cfg) }
 
 // RunParallel executes many independent simulation points concurrently,
@@ -108,6 +272,9 @@ func RunParallel(cfgs []Config, parallelism int) ([]Result, error) {
 // DefaultCalibration returns the calibration constants documented in
 // DESIGN.md §5.
 func DefaultCalibration() Calibration { return simcluster.DefaultCalibration() }
+
+// ---------------------------------------------------------------------
+// Workloads
 
 // Dist is a service-time distribution.
 type Dist = workload.Dist
@@ -141,8 +308,12 @@ func RedisModel() CostModel { return kvstore.Redis() }
 // MemcachedModel returns the Memcached-calibrated cost model (Fig 12).
 func MemcachedModel() CostModel { return kvstore.Memcached() }
 
-// Options scale experiment fidelity for RunExperiment and bound its
-// parallelism (Options.Parallelism; 0 = one worker per CPU).
+// ---------------------------------------------------------------------
+// Experiments
+
+// Options scale experiment fidelity for RunExperiment, bound its
+// parallelism (Options.Parallelism; 0 = one worker per CPU), and select
+// the execution backend (Options.Backend; nil = Sim()).
 type Options = harness.Options
 
 // NoWarmup is the explicit Options.WarmupNS sentinel for "measure from
@@ -174,7 +345,8 @@ func Experiments() []*Experiment { return harness.All() }
 // table1, table2, abl-...).
 func ExperimentIDs() []string { return harness.IDs() }
 
-// RunExperiment reproduces one paper table or figure by ID.
+// RunExperiment reproduces one paper table or figure by ID on the
+// backend selected by opts.Backend (the simulator when nil).
 func RunExperiment(id string, opts Options) (Report, error) {
 	e, ok := harness.Lookup(id)
 	if !ok {
@@ -188,3 +360,6 @@ func RenderText(w io.Writer, r Report) error { return harness.RenderText(w, r) }
 
 // RenderCSV writes a report as CSV.
 func RenderCSV(w io.Writer, r Report) error { return harness.RenderCSV(w, r) }
+
+// RenderJSON writes a report as indented JSON.
+func RenderJSON(w io.Writer, r Report) error { return harness.RenderJSON(w, r) }

@@ -1,0 +1,182 @@
+package netclone_test
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"netclone"
+)
+
+// facadeScenario is the quickstart shape, scaled down for tests.
+func facadeScenario() *netclone.Scenario {
+	return netclone.NewScenario(
+		netclone.WithScheme(netclone.NetClone),
+		netclone.WithServers(2, 8),
+		netclone.WithWorkload(netclone.WithJitter(netclone.Exp(25), 0.01)),
+		netclone.WithOfferedLoad(1e5),
+		netclone.WithWindow(time.Millisecond, 10*time.Millisecond),
+		netclone.WithSeed(2),
+	)
+}
+
+// TestScenarioSimBackend runs the new API end to end on the simulator.
+func TestScenarioSimBackend(t *testing.T) {
+	res, err := netclone.Sim().Run(facadeScenario())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Backend != "sim" || res.Completed == 0 || res.Latency.P99 <= 0 {
+		t.Fatalf("sim backend result malformed: backend=%q completed=%d", res.Backend, res.Completed)
+	}
+}
+
+// TestScenarioMatchesLegacyRun asserts the compatibility wrapper
+// contract: the legacy Run(Config) path and the Scenario path produce
+// bit-identical simulation results for equivalent inputs.
+func TestScenarioMatchesLegacyRun(t *testing.T) {
+	cases := []struct {
+		name   string
+		sc     *netclone.Scenario
+		legacy netclone.Config
+	}{
+		{
+			name: "synthetic",
+			sc:   facadeScenario(),
+			legacy: netclone.Config{
+				Scheme:     netclone.NetClone,
+				Workers:    []int{8, 8},
+				Service:    netclone.WithJitter(netclone.Exp(25), 0.01),
+				OfferedRPS: 1e5,
+				WarmupNS:   1e6,
+				DurationNS: 10e6,
+				Seed:       2,
+			},
+		},
+		{
+			name: "multirack heterogeneous",
+			sc: netclone.NewScenario(
+				netclone.WithScheme(netclone.NetCloneRackSched),
+				netclone.WithTopology(15, 8),
+				netclone.WithWorkload(netclone.Exp(25)),
+				netclone.WithOfferedLoad(5e4),
+				netclone.WithWindow(0, 5*time.Millisecond),
+				netclone.WithSeed(7),
+				netclone.WithMultiRack(2*time.Microsecond),
+			),
+			legacy: netclone.Config{
+				Scheme:     netclone.NetCloneRackSched,
+				Workers:    []int{15, 8},
+				Service:    netclone.Exp(25),
+				OfferedRPS: 5e4,
+				DurationNS: 5e6,
+				Seed:       7,
+				MultiRack:  true,
+				AggDelayNS: 2000,
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			viaScenario, err := netclone.Sim().Run(tc.sc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			viaLegacy, err := netclone.Run(tc.legacy)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(viaScenario.Result, viaLegacy) {
+				t.Error("Scenario path result diverges from legacy Run(Config)")
+			}
+			// The bridge direction too: a wrapped legacy config behaves
+			// identically.
+			viaBridge, err := netclone.Sim().Run(netclone.ScenarioFromConfig(tc.legacy))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(viaBridge.Result, viaLegacy) {
+				t.Error("ScenarioFromConfig path diverges from legacy Run(Config)")
+			}
+		})
+	}
+}
+
+// TestScenarioValidateSurfaced checks validation errors reach facade
+// callers with the uniform actionable wording.
+func TestScenarioValidateSurfaced(t *testing.T) {
+	bad := netclone.NewScenario(
+		netclone.WithScheme(netclone.LAEDGE),
+		netclone.WithServers(4, 8),
+		netclone.WithWorkload(netclone.Exp(25)),
+		netclone.WithOfferedLoad(1e5),
+		netclone.WithWindow(0, time.Millisecond),
+		netclone.WithMultiRack(2*time.Microsecond),
+	)
+	if err := bad.Validate(); err == nil || !strings.Contains(err.Error(), "multi-rack") {
+		t.Fatalf("MultiRack+LAEDGE not rejected usefully: %v", err)
+	}
+	if _, err := netclone.Sim().Run(bad); err == nil {
+		t.Fatal("backend ran an invalid scenario")
+	}
+}
+
+// TestEmuBackendExperiment is the end-to-end acceptance path: a real
+// paper experiment (fig7a) at quick fidelity on the Emu backend through
+// the public RunExperiment API — every point spins up an in-process UDP
+// cluster, drives live traffic, and lands in the same report shape the
+// simulator fills.
+func TestEmuBackendExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("UDP emulation experiment skipped in -short mode")
+	}
+	opts := netclone.QuickOptions()
+	opts.DurationNS = 50e6
+	opts.LoadFracs = []float64{0.1}
+	opts.Backend = netclone.Emu(netclone.EmuMaxRate(2000))
+	report, err := netclone.RunExperiment("fig7a", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Series) != 3 {
+		t.Fatalf("fig7a on emu has %d series, want 3", len(report.Series))
+	}
+	for _, s := range report.Series {
+		if len(s.Points) != 1 {
+			t.Fatalf("series %s has %d points, want 1", s.Label, len(s.Points))
+		}
+		if s.Points[0].X <= 0 || s.Points[0].Y <= 0 {
+			t.Errorf("series %s measured nothing: %+v", s.Label, s.Points[0])
+		}
+	}
+	var buf bytes.Buffer
+	if err := netclone.RenderText(&buf, report); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "NetClone") {
+		t.Errorf("emu report missing NetClone series:\n%s", buf.String())
+	}
+}
+
+// TestRenderJSON checks the machine-readable render satellite.
+func TestRenderJSON(t *testing.T) {
+	r := netclone.Report{
+		ID: "demo", Title: "Demo", XLabel: "x", YLabel: "y",
+		Series: []netclone.ReportSeries{{
+			Label:  "s1",
+			Points: []netclone.ReportPoint{{X: 1, Y: 2}, {X: 3, Y: 4, Err: 0.5}},
+		}},
+		Notes: []string{"a note"},
+	}
+	var buf bytes.Buffer
+	if err := netclone.RenderJSON(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"id": "demo"`, `"label": "s1"`, `"err": 0.5`, `"a note"`} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("JSON output missing %s:\n%s", want, buf.String())
+		}
+	}
+}
