@@ -9,6 +9,14 @@
 // Full-fidelity reproduction is the netclone-bench command:
 //
 //	go run ./cmd/netclone-bench -run all
+//
+// Allocation-reporting micro-benchmarks of the hot-path layers live
+// next to their packages and are driven together by scripts/bench.sh:
+//
+//	internal/simnet     BenchmarkEngineTyped*           (typed event engine)
+//	internal/simcluster BenchmarkSwitchPipeline*        (per-request pipeline, freelist)
+//	internal/workload   BenchmarkZipfRank, BenchmarkKVMixNext, BenchmarkPoissonGap
+//	internal/stats      BenchmarkSummarizeFrozen        (cached percentile scan)
 package netclone_test
 
 import (

@@ -1,0 +1,177 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"runtime"
+	"sync"
+	"time"
+
+	"netclone"
+)
+
+// The tracked benchmark pipeline: -benchjson FILE meters every
+// experiment run (wall time, simulation events, heap allocations) and
+// writes a BENCH_<n>.json snapshot, so the repository's performance
+// trajectory is a committed, diffable artifact instead of an anecdote.
+// scripts/bench.sh drives this end to end.
+
+// benchFile is the JSON schema of a BENCH_<n>.json snapshot.
+type benchFile struct {
+	Schema     int               `json:"schema"`
+	CreatedUTC string            `json:"created_utc"`
+	GoVersion  string            `json:"go_version"`
+	GOMAXPROCS int               `json:"gomaxprocs"`
+	Parallel   int               `json:"parallelism"`
+	Backend    string            `json:"backend"`
+	HotPath    *benchHotPath     `json:"hot_path,omitempty"`
+	Runs       []benchExperiment `json:"experiments"`
+}
+
+// benchHotPath is the direct engine probe: repeated single simulations
+// of the BenchmarkSimulatedMillisecond configuration, sequential so the
+// allocation counter is attributable.
+type benchHotPath struct {
+	Runs         int     `json:"runs"`
+	EventsPerSec float64 `json:"events_per_sec"`
+	NSPerOp      float64 `json:"ns_per_op"`
+	AllocsPerOp  float64 `json:"allocs_per_op"`
+}
+
+// benchExperiment meters one harness experiment end to end.
+type benchExperiment struct {
+	ID             string  `json:"id"`
+	WallNS         int64   `json:"wall_ns"`
+	Points         int64   `json:"points"`
+	NSPerPoint     float64 `json:"ns_per_point"`
+	AllocsPerPoint float64 `json:"allocs_per_point"`
+	Events         int64   `json:"events"`
+	EventsPerSec   float64 `json:"events_per_sec"`
+}
+
+// mallocs snapshots the process-wide allocation counter. With
+// Parallelism > 1 the per-point attribution blurs across workers; the
+// totals stay exact.
+func mallocs() uint64 {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return ms.Mallocs
+}
+
+// meterExperiment runs one experiment under the meter and returns its
+// benchmark entry. Points and events are counted by the metered backend
+// installed in opts by the caller.
+func meterExperiment(id string, opts netclone.Options, mb *meteredBackend) (netclone.Report, benchExperiment, error) {
+	mb.reset()
+	allocs0 := mallocs()
+	start := time.Now()
+	report, err := netclone.RunExperiment(id, opts)
+	wall := time.Since(start)
+	if err != nil {
+		return report, benchExperiment{}, err
+	}
+	dAllocs := float64(mallocs() - allocs0)
+	points, events := mb.snapshot()
+	e := benchExperiment{
+		ID:     id,
+		WallNS: wall.Nanoseconds(),
+		Points: points,
+		Events: events,
+	}
+	if points > 0 {
+		e.NSPerPoint = float64(e.WallNS) / float64(points)
+		e.AllocsPerPoint = dAllocs / float64(points)
+	}
+	if wall > 0 {
+		e.EventsPerSec = float64(events) / wall.Seconds()
+	}
+	return report, e, nil
+}
+
+// meterHotPath probes raw simulator throughput: the same configuration
+// as BenchmarkSimulatedMillisecond, run sequentially for at least
+// minWall, reporting events/sec, ns per run, and allocations per run.
+func meterHotPath(minWall time.Duration) (*benchHotPath, error) {
+	cfg := netclone.Config{
+		Scheme:     netclone.NetClone,
+		Workers:    []int{16, 16, 16, 16, 16, 16},
+		Service:    netclone.WithJitter(netclone.Exp(25), 0.01),
+		OfferedRPS: 1e6,
+		WarmupNS:   0,
+		DurationNS: 1e6, // one simulated millisecond
+	}
+	var runs, events int64
+	allocs0 := mallocs()
+	start := time.Now()
+	for time.Since(start) < minWall || runs < 3 {
+		cfg.Seed = uint64(runs + 1)
+		res, err := netclone.Run(cfg)
+		if err != nil {
+			return nil, err
+		}
+		runs++
+		events += res.EngineEvents
+	}
+	wall := time.Since(start)
+	dAllocs := float64(mallocs() - allocs0)
+	return &benchHotPath{
+		Runs:         int(runs),
+		EventsPerSec: float64(events) / wall.Seconds(),
+		NSPerOp:      float64(wall.Nanoseconds()) / float64(runs),
+		AllocsPerOp:  dAllocs / float64(runs),
+	}, nil
+}
+
+// writeBenchJSON writes the snapshot.
+func writeBenchJSON(path string, bf benchFile) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	return enc.Encode(bf)
+}
+
+// meteredBackend wraps the execution backend to count completed points
+// and simulation events without changing results. Run is called from
+// the experiment worker pool, so the counters take a mutex.
+type meteredBackend struct {
+	inner netclone.Backend
+
+	mu     sync.Mutex
+	points int64
+	events int64
+}
+
+func newMeteredBackend(inner netclone.Backend) *meteredBackend {
+	return &meteredBackend{inner: inner}
+}
+
+// Name implements netclone.Backend.
+func (m *meteredBackend) Name() string { return m.inner.Name() }
+
+// Run implements netclone.Backend.
+func (m *meteredBackend) Run(sc *netclone.Scenario) (netclone.ScenarioResult, error) {
+	res, err := m.inner.Run(sc)
+	if err == nil {
+		m.mu.Lock()
+		m.points++
+		m.events += res.EngineEvents
+		m.mu.Unlock()
+	}
+	return res, err
+}
+
+func (m *meteredBackend) reset() {
+	m.mu.Lock()
+	m.points, m.events = 0, 0
+	m.mu.Unlock()
+}
+
+func (m *meteredBackend) snapshot() (points, events int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.points, m.events
+}

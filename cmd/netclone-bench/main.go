@@ -11,6 +11,8 @@
 //	netclone-bench -run fig7a -format json
 //	netclone-bench -run all -parallel 8
 //	netclone-bench -run fig7a -backend emu -quick -loads 0.1
+//	netclone-bench -run all -quick -benchjson BENCH_2.json
+//	netclone-bench -run fig7a -quick -cpuprofile cpu.out -memprofile mem.out
 //
 // Each experiment declares its grid of scenario points, which execute on
 // a bounded worker pool: -parallel bounds the pool size (default 0 = one
@@ -18,6 +20,12 @@
 // are byte-identical at every parallelism level. -backend emu replays
 // the same scenarios over real UDP sockets (rate-capped; counters are
 // comparable, latencies include kernel noise).
+//
+// -benchjson FILE meters every experiment (wall time, simulation
+// events/sec, allocations per point) plus a sequential engine hot-path
+// probe and writes the tracked BENCH_<n>.json snapshot; scripts/bench.sh
+// wraps the whole pipeline. -cpuprofile/-memprofile write pprof
+// profiles of the run.
 package main
 
 import (
@@ -26,6 +34,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
@@ -74,6 +84,10 @@ func main() {
 		repeats  = flag.Int("repeats", 0, "runs per point for averaged experiments")
 		parallel = flag.Int("parallel", 0, "max concurrent simulation points (0 = one per CPU, 1 = sequential)")
 		progress = flag.Bool("progress", false, "print per-point progress to stderr")
+
+		benchJSON  = flag.String("benchjson", "", "meter the run and write a BENCH_<n>.json benchmark snapshot to this path")
+		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this path")
+		memProfile = flag.String("memprofile", "", "write a pprof heap profile at exit to this path")
 	)
 	flag.Parse()
 
@@ -153,6 +167,39 @@ func main() {
 		}
 	}
 
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
+	// Benchmark metering: wrap the backend so every scenario point's
+	// completion and engine-event count is counted.
+	var meter *meteredBackend
+	var bench benchFile
+	if *benchJSON != "" {
+		inner := opts.Backend
+		if inner == nil {
+			inner = netclone.Sim()
+		}
+		meter = newMeteredBackend(inner)
+		opts.Backend = meter
+		bench = benchFile{
+			Schema:     1,
+			CreatedUTC: time.Now().UTC().Format(time.RFC3339),
+			GoVersion:  runtime.Version(),
+			GOMAXPROCS: runtime.GOMAXPROCS(0),
+			Parallel:   *parallel,
+			Backend:    inner.Name(),
+		}
+	}
+
 	for _, id := range ids {
 		if *progress {
 			opts.Progress = func(done, total int) {
@@ -163,7 +210,17 @@ func main() {
 			}
 		}
 		start := time.Now()
-		report, err := netclone.RunExperiment(id, opts)
+		var report netclone.Report
+		var err error
+		if meter != nil {
+			var entry benchExperiment
+			report, entry, err = meterExperiment(id, opts, meter)
+			if err == nil {
+				bench.Runs = append(bench.Runs, entry)
+			}
+		} else {
+			report, err = netclone.RunExperiment(id, opts)
+		}
 		if err != nil {
 			// A whole-suite sweep on a reduced backend skips the
 			// experiments that need simulator-only capabilities instead
@@ -186,6 +243,33 @@ func main() {
 			fmt.Fprintf(os.Stderr, "%s finished in %v\n", id, time.Since(start).Round(time.Millisecond))
 		}
 		if err != nil {
+			fatal(err)
+		}
+	}
+
+	if *benchJSON != "" {
+		// The hot-path probe only makes sense on the simulator.
+		if bench.Backend == "sim" {
+			hp, err := meterHotPath(2 * time.Second)
+			if err != nil {
+				fatal(err)
+			}
+			bench.HotPath = hp
+		}
+		if err := writeBenchJSON(*benchJSON, bench); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "netclone-bench: wrote benchmark snapshot to %s\n", *benchJSON)
+	}
+
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
 			fatal(err)
 		}
 	}

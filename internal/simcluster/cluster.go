@@ -12,7 +12,9 @@ import (
 
 // packet is one message in flight inside the simulation. The header is
 // the same struct the real wire format encodes, so the simulated switch
-// exercises the identical data-plane code as the UDP emulator.
+// exercises the identical data-plane code as the UDP emulator. Packets
+// are recycled through the cluster's freelist (pool.go); see there for
+// the lifecycle rules.
 type packet struct {
 	hdr     wire.Header
 	op      workload.OpKind
@@ -20,6 +22,42 @@ type packet struct {
 	direct  bool  // bypass NetClone processing (write requests, §5.5)
 	coordID int   // owning LÆDGE coordinator (multi-coordinator scale-out)
 	trace   *reqTrace
+}
+
+// pktFIFO is an allocation-stable FIFO of packets: pops advance a head
+// index instead of re-slicing, so the backing array is reused once the
+// queue drains instead of leaking capacity behind the slice head (which
+// would force one append-grow per steady-state cycle).
+type pktFIFO struct {
+	buf  []*packet
+	head int
+}
+
+func (q *pktFIFO) len() int { return len(q.buf) - q.head }
+
+func (q *pktFIFO) push(p *packet) { q.buf = append(q.buf, p) }
+
+func (q *pktFIFO) pop() *packet {
+	p := q.buf[q.head]
+	q.buf[q.head] = nil // release the reference
+	q.head++
+	switch {
+	case q.head == len(q.buf):
+		q.buf = q.buf[:0]
+		q.head = 0
+	case q.head > 32 && q.head > len(q.buf)/2:
+		// A queue that never fully drains (a saturated server) would
+		// otherwise grow its backing array by one slot per push for the
+		// whole run. Compact once the dead prefix exceeds the live half:
+		// each element is copied at most once per len/2 pops, so the
+		// amortized cost stays O(1) and capacity stays bounded by twice
+		// the high-water mark.
+		n := copy(q.buf, q.buf[q.head:])
+		clear(q.buf[n:])
+		q.buf = q.buf[:n]
+		q.head = 0
+	}
+	return p
 }
 
 // cluster wires the simulated nodes together.
@@ -35,6 +73,18 @@ type cluster struct {
 
 	endGen int64 // stop generating requests at this time
 
+	// Per-hop delay sums and window bounds, hoisted out of the per-event
+	// inner loops at build time (they are constants for the whole run).
+	dSwLink    int64 // switch pass + one link hop
+	dSwRecirc  int64 // switch pass + recirculation loopback
+	dSwAgg     int64 // switch pass + aggregation-layer hop (multi-rack)
+	winStart   int64 // measurement window [winStart, winEnd)
+	winEnd     int64
+	isLaedge   bool
+	lossActive bool
+
+	pktPool []*packet
+
 	hist      *stats.Histogram
 	timeline  *stats.TimeSeries
 	generated int64
@@ -49,7 +99,7 @@ type cluster struct {
 // maybeLose returns true (and counts) when a link traversal drops the
 // packet under the configured loss probability.
 func (c *cluster) maybeLose() bool {
-	if c.cfg.LossProb <= 0 {
+	if !c.lossActive {
 		return false
 	}
 	if c.lossRNG.Float64() < c.cfg.LossProb {
@@ -60,45 +110,22 @@ func (c *cluster) maybeLose() bool {
 }
 
 // Run executes one experiment point. Every call owns all of its state —
-// the event engine, every RNG stream, and the data-plane instances hang
-// off this cluster value, and no package-level state is mutated after
-// init — so concurrent Run calls are race-free and each one is a pure
-// function of cfg (internal/runner relies on both properties).
+// the event engine, every RNG stream, the data-plane instances, and the
+// packet freelist hang off this cluster value, and no package-level
+// state is mutated after init — so concurrent Run calls are race-free
+// and each one is a pure function of cfg (internal/runner relies on
+// both properties).
 func Run(cfg Config) (Result, error) {
 	cfg, err := cfg.withDefaults()
 	if err != nil {
 		return Result{}, err
 	}
-	c := &cluster{
-		cfg:     cfg,
-		eng:     simnet.NewEngine(),
-		hist:    stats.NewHistogram(),
-		endGen:  cfg.WarmupNS + cfg.DurationNS,
-		lossRNG: simnet.NewRNG(cfg.Seed, 400),
-	}
-	if cfg.TimelineBinNS > 0 {
-		c.timeline = stats.NewTimeSeries(cfg.TimelineBinNS)
-	}
-	if cfg.SampleEvery > 0 {
-		c.breakdown = &breakdownAgg{}
-	}
-
-	if err := c.buildSwitch(); err != nil {
+	c, err := build(cfg)
+	if err != nil {
 		return Result{}, err
 	}
-	c.buildServers()
-	c.buildClients()
-	if cfg.Scheme == LAEDGE {
-		k := cfg.NumCoordinators
-		if k < 1 {
-			k = 1
-		}
-		for i := 0; i < k; i++ {
-			c.coords = append(c.coords, newCoordinator(c, i, k))
-		}
-	}
 
-	// Fault injection (Fig 16).
+	// Fault injection (Fig 16). Cold path: closures are fine here.
 	if cfg.SwitchFailAtNS > 0 && cfg.SwitchRecoverAtNS > cfg.SwitchFailAtNS {
 		c.eng.At(cfg.SwitchFailAtNS, func() { c.sw.fail() })
 		c.eng.At(cfg.SwitchRecoverAtNS, func() { c.sw.recover() })
@@ -113,6 +140,48 @@ func Run(cfg Config) (Result, error) {
 	c.eng.RunUntil(c.endGen + cfg.DurationNS)
 
 	return c.result(), nil
+}
+
+// build assembles a cluster from an already-normalized config without
+// starting the load. Split from Run so micro-benchmarks can drive a
+// warm cluster directly.
+func build(cfg Config) (*cluster, error) {
+	c := &cluster{
+		cfg:        cfg,
+		eng:        simnet.NewEngine(),
+		hist:       stats.NewHistogram(),
+		endGen:     cfg.WarmupNS + cfg.DurationNS,
+		lossRNG:    simnet.NewRNG(cfg.Seed, 400),
+		dSwLink:    cfg.Cal.SwitchDelayNS + cfg.Cal.LinkDelayNS,
+		dSwRecirc:  cfg.Cal.SwitchDelayNS + cfg.Cal.RecircDelayNS,
+		dSwAgg:     cfg.Cal.SwitchDelayNS + cfg.AggDelayNS,
+		winStart:   cfg.WarmupNS,
+		winEnd:     cfg.WarmupNS + cfg.DurationNS,
+		isLaedge:   cfg.Scheme == LAEDGE,
+		lossActive: cfg.LossProb > 0,
+	}
+	if cfg.TimelineBinNS > 0 {
+		c.timeline = stats.NewTimeSeries(cfg.TimelineBinNS)
+	}
+	if cfg.SampleEvery > 0 {
+		c.breakdown = &breakdownAgg{}
+	}
+
+	if err := c.buildSwitch(); err != nil {
+		return nil, err
+	}
+	c.buildServers()
+	if cfg.Scheme == LAEDGE {
+		k := cfg.NumCoordinators
+		if k < 1 {
+			k = 1
+		}
+		for i := 0; i < k; i++ {
+			c.coords = append(c.coords, newCoordinator(c, i, k))
+		}
+	}
+	c.buildClients()
+	return c, nil
 }
 
 func (c *cluster) buildSwitch() error {
@@ -178,13 +247,22 @@ func (c *cluster) buildServers() {
 func (c *cluster) buildClients() {
 	c.clients = make([]*client, c.cfg.NumClients)
 	perClient := c.cfg.OfferedRPS / float64(c.cfg.NumClients)
+	// Per-send invariants, hoisted out of the generation loop: group and
+	// server counts are fixed after buildSwitch (no control-plane
+	// add/remove happens mid-run; switch failure only clears soft state).
+	numGroups := maxInt(c.sw.dp.NumGroups(), 1)
+	nServers := len(c.servers)
 	for i := range c.clients {
 		c.clients[i] = &client{
-			cl:      c,
-			id:      uint16(i),
-			rng:     simnet.NewRNG(c.cfg.Seed, 100+uint64(i)),
-			arrival: workload.Poisson{RatePerSec: perClient},
-			pending: make(map[uint32]pendingReq),
+			cl:           c,
+			id:           uint16(i),
+			rng:          simnet.NewRNG(c.cfg.Seed, 100+uint64(i)),
+			arrival:      workload.Poisson{RatePerSec: perClient},
+			pending:      make(map[uint32]pendingReq),
+			numGroups:    numGroups,
+			nServers:     nServers,
+			filterTables: c.cfg.FilterTables,
+			numCoords:    len(c.coords),
 		}
 	}
 }
@@ -195,20 +273,21 @@ func (c *cluster) recordCompletion(t, latency int64) {
 	if c.timeline != nil {
 		c.timeline.Add(t, 1)
 	}
-	if t >= c.cfg.WarmupNS && t < c.cfg.WarmupNS+c.cfg.DurationNS {
+	if t >= c.winStart && t < c.winEnd {
 		c.hist.Record(latency)
 	}
 }
 
 func (c *cluster) result() Result {
 	res := Result{
-		Scheme:     c.cfg.Scheme,
-		OfferedRPS: c.cfg.OfferedRPS,
-		Latency:    c.hist.Summarize(),
-		Hist:       c.hist,
-		Generated:  c.generated,
-		Completed:  c.completed,
-		Timeline:   c.timeline,
+		Scheme:       c.cfg.Scheme,
+		OfferedRPS:   c.cfg.OfferedRPS,
+		Latency:      c.hist.Summarize(),
+		Hist:         c.hist,
+		Generated:    c.generated,
+		Completed:    c.completed,
+		Timeline:     c.timeline,
+		EngineEvents: int64(c.eng.Steps()),
 	}
 	// Throughput over the measurement window.
 	var inWindow int64 = c.hist.Count()
@@ -262,6 +341,27 @@ type switchNode struct {
 	down bool
 }
 
+// OnEvent dispatches the switch's typed events.
+func (s *switchNode) OnEvent(kind uint8, arg any, x int64) {
+	p := arg.(*packet)
+	switch kind {
+	case evSwFromClient:
+		s.fromClient(p)
+	case evSwFromServer:
+		s.fromServer(p)
+	case evSwTransitRequest:
+		s.transitRequest(p, int(x))
+	case evSwTransitResponse:
+		s.transitResponse(p)
+	case evSwRecirculate:
+		s.recirculate(p)
+	case evSwCoordToServer:
+		s.coordToServer(p, int(x))
+	case evSwCoordToClient:
+		s.coordToClient(p, int(x))
+	}
+}
+
 func (s *switchNode) fail() {
 	s.down = true
 	// Soft state is lost on failure; match-action tables are restored by
@@ -274,14 +374,15 @@ func (s *switchNode) recover() { s.down = false }
 // fromClient receives a request packet one link-delay after the client
 // NIC transmitted it.
 func (s *switchNode) fromClient(p *packet) {
-	if s.down || s.cl.maybeLose() {
+	c := s.cl
+	if s.down || c.maybeLose() {
+		c.freePacket(p)
 		return
 	}
-	cal := s.cl.cfg.Cal
-	if s.cl.cfg.Scheme == LAEDGE {
+	if c.isLaedge {
 		// Plain L3 hop to the owning coordinator.
-		co := s.cl.coords[p.coordID%len(s.cl.coords)]
-		s.cl.eng.After(cal.SwitchDelayNS+cal.LinkDelayNS, func() { co.onRequest(p) })
+		co := c.coords[p.coordID%len(c.coords)]
+		c.eng.ScheduleAfter(c.dSwLink, co, evCoArriveRequest, p, 0)
 		return
 	}
 	if p.direct {
@@ -289,9 +390,10 @@ func (s *switchNode) fromClient(p *packet) {
 		// forwarding to the group's first candidate (§5.5).
 		sid1, _, ok := s.dp.Group(int(p.hdr.Group) % maxInt(s.dp.NumGroups(), 1))
 		if !ok {
+			c.freePacket(p)
 			return
 		}
-		s.cl.eng.After(cal.SwitchDelayNS+cal.LinkDelayNS, func() { s.cl.servers[sid1].onRequest(p) })
+		c.eng.ScheduleAfter(c.dSwLink, c.servers[sid1], evSrvOnRequest, p, 0)
 		return
 	}
 	res := s.dp.Process(&p.hdr)
@@ -299,14 +401,20 @@ func (s *switchNode) fromClient(p *packet) {
 	case dataplane.ActForwardServer:
 		s.toServer(p, int(res.DstSID))
 	case dataplane.ActCloneAndForward:
+		// Capture the clone's fields before toServer: on a lossy link
+		// toServer may free p, and the freelist may hand the same struct
+		// back as the clone.
+		op, sentAt, traced := p.op, p.sentAt, p.trace != nil
 		s.toServer(p, int(res.DstSID))
-		clone := &packet{hdr: res.Clone, op: p.op, sentAt: p.sentAt}
-		if p.trace != nil {
+		clone := c.newPacket()
+		clone.hdr, clone.op, clone.sentAt = res.Clone, op, sentAt
+		if traced {
 			clone.trace = &reqTrace{isClone: true}
 		}
-		s.cl.eng.After(cal.SwitchDelayNS+cal.RecircDelayNS, func() { s.recirculate(clone) })
+		c.eng.ScheduleAfter(c.dSwRecirc, s, evSwRecirculate, clone, 0)
 	case dataplane.ActDrop, dataplane.ActPassL3:
 		// Dropped (no route) or not ours; nothing further in this model.
+		c.freePacket(p)
 	}
 }
 
@@ -314,25 +422,27 @@ func (s *switchNode) fromClient(p *packet) {
 // multi-rack mode it transits the aggregation layer and the server-side
 // ToR first.
 func (s *switchNode) toServer(p *packet, dst int) {
-	if s.cl.maybeLose() {
+	c := s.cl
+	if c.maybeLose() {
+		c.freePacket(p)
 		return
 	}
-	cal := s.cl.cfg.Cal
-	if remote := s.cl.remoteSw; remote != nil && s != remote {
-		s.cl.eng.After(cal.SwitchDelayNS+s.cl.cfg.AggDelayNS, func() { remote.transitRequest(p, dst) })
+	if remote := c.remoteSw; remote != nil && s != remote {
+		c.eng.ScheduleAfter(c.dSwAgg, remote, evSwTransitRequest, p, int64(dst))
 		return
 	}
-	s.cl.eng.After(cal.SwitchDelayNS+cal.LinkDelayNS, func() { s.cl.servers[dst].onRequest(p) })
+	c.eng.ScheduleAfter(c.dSwLink, c.servers[dst], evSrvOnRequest, p, 0)
 }
 
 // transitRequest is the server-side ToR's handling of a stamped request:
 // its NetClone program runs, sees a foreign switch ID, and falls through
 // to plain L3 forwarding (§3.7).
 func (s *switchNode) transitRequest(p *packet, dst int) {
-	if s.down || s.cl.maybeLose() {
+	c := s.cl
+	if s.down || c.maybeLose() {
+		c.freePacket(p)
 		return
 	}
-	cal := s.cl.cfg.Cal
 	if !p.direct {
 		res := s.dp.Process(&p.hdr)
 		if res.Act != dataplane.ActPassL3 {
@@ -341,46 +451,52 @@ func (s *switchNode) transitRequest(p *packet, dst int) {
 			if res.Act == dataplane.ActForwardServer || res.Act == dataplane.ActCloneAndForward {
 				dst = int(res.DstSID)
 			} else {
+				c.freePacket(p)
 				return
 			}
 		}
 	}
-	s.cl.eng.After(cal.SwitchDelayNS+cal.LinkDelayNS, func() { s.cl.servers[dst].onRequest(p) })
+	c.eng.ScheduleAfter(c.dSwLink, c.servers[dst], evSrvOnRequest, p, 0)
 }
 
 // transitResponse is the server-side ToR's handling of a response headed
 // for the client rack: pass-through, then the aggregation hop to the
 // client-side ToR, where the real NetClone response processing happens.
 func (s *switchNode) transitResponse(p *packet) {
-	if s.down || s.cl.maybeLose() {
+	c := s.cl
+	if s.down || c.maybeLose() {
+		c.freePacket(p)
 		return
 	}
-	cal := s.cl.cfg.Cal
 	if !p.direct {
 		res := s.dp.Process(&p.hdr)
 		if res.Act != dataplane.ActPassL3 && res.Act != dataplane.ActForwardClient {
+			c.freePacket(p)
 			return
 		}
 	}
-	s.cl.eng.After(cal.SwitchDelayNS+s.cl.cfg.AggDelayNS, func() { s.cl.sw.fromServer(p) })
+	c.eng.ScheduleAfter(c.dSwAgg, c.sw, evSwFromServer, p, 0)
 }
 
 // toClient delivers a response over the switch->client link.
 func (s *switchNode) toClient(p *packet, dst int) {
-	if s.cl.maybeLose() {
+	c := s.cl
+	if c.maybeLose() {
+		c.freePacket(p)
 		return
 	}
-	cal := s.cl.cfg.Cal
-	s.cl.eng.After(cal.SwitchDelayNS+cal.LinkDelayNS, func() { s.cl.clients[dst].onResponse(p) })
+	c.eng.ScheduleAfter(c.dSwLink, c.clients[dst], evCliOnResponse, p, 0)
 }
 
 // recirculate re-injects a clone into the ingress pipeline.
 func (s *switchNode) recirculate(p *packet) {
 	if s.down {
+		s.cl.freePacket(p)
 		return
 	}
 	res := s.dp.Process(&p.hdr)
 	if res.Act != dataplane.ActForwardServer {
+		s.cl.freePacket(p)
 		return
 	}
 	s.toServer(p, int(res.DstSID))
@@ -388,13 +504,14 @@ func (s *switchNode) recirculate(p *packet) {
 
 // fromServer receives a response packet from a worker server.
 func (s *switchNode) fromServer(p *packet) {
-	if s.down || s.cl.maybeLose() {
+	c := s.cl
+	if s.down || c.maybeLose() {
+		c.freePacket(p)
 		return
 	}
-	cal := s.cl.cfg.Cal
-	if s.cl.cfg.Scheme == LAEDGE {
-		co := s.cl.coords[p.coordID%len(s.cl.coords)]
-		s.cl.eng.After(cal.SwitchDelayNS+cal.LinkDelayNS, func() { co.onResponse(p) })
+	if c.isLaedge {
+		co := c.coords[p.coordID%len(c.coords)]
+		c.eng.ScheduleAfter(c.dSwLink, co, evCoArriveResponse, p, 0)
 		return
 	}
 	if p.direct {
@@ -405,23 +522,30 @@ func (s *switchNode) fromServer(p *packet) {
 	switch res.Act {
 	case dataplane.ActForwardClient:
 		s.toClient(p, int(p.hdr.ClientID))
-	case dataplane.ActDrop:
-		// Filtered redundant response.
+	default:
+		// Filtered redundant response (ActDrop) or malformed.
+		c.freePacket(p)
 	}
 }
 
-// fromCoordinator forwards a coordinator-emitted packet (dispatch to a
-// server or final response to a client) through the plain L3 path.
-func (s *switchNode) fromCoordinator(p *packet, toServer bool, dst int) {
+// coordToServer forwards a coordinator-emitted dispatch through the
+// plain L3 path to a worker server.
+func (s *switchNode) coordToServer(p *packet, dst int) {
 	if s.down {
+		s.cl.freePacket(p)
 		return
 	}
-	cal := s.cl.cfg.Cal
-	if toServer {
-		s.cl.eng.After(cal.SwitchDelayNS+cal.LinkDelayNS, func() { s.cl.servers[dst].onRequest(p) })
-	} else {
-		s.cl.eng.After(cal.SwitchDelayNS+cal.LinkDelayNS, func() { s.cl.clients[dst].onResponse(p) })
+	s.cl.eng.ScheduleAfter(s.cl.dSwLink, s.cl.servers[dst], evSrvOnRequest, p, 0)
+}
+
+// coordToClient forwards a coordinator-emitted final response through
+// the plain L3 path to a client.
+func (s *switchNode) coordToClient(p *packet, dst int) {
+	if s.down {
+		s.cl.freePacket(p)
+		return
 	}
+	s.cl.eng.ScheduleAfter(s.cl.dSwLink, s.cl.clients[dst], evCliOnResponse, p, 0)
 }
 
 // ---------------------------------------------------------------------
@@ -435,7 +559,7 @@ type server struct {
 	workers int
 	rng     *rand.Rand
 
-	queue []*packet
+	queue pktFIFO
 	busy  int
 
 	cloneDrops int64
@@ -443,26 +567,44 @@ type server struct {
 	respTotal  int64
 }
 
+// OnEvent dispatches the server's typed events.
+func (s *server) OnEvent(kind uint8, arg any, _ int64) {
+	p := arg.(*packet)
+	switch kind {
+	case evSrvOnRequest:
+		s.onRequest(p)
+	case evSrvDispatch:
+		s.dispatch(p)
+	case evSrvFinish:
+		s.finish(p)
+	}
+}
+
 // onRequest handles a request arriving at the server NIC.
 func (s *server) onRequest(p *packet) {
 	// Server-side guard (§3.4): a cloned request that finds a non-empty
 	// queue is dropped — the tracked "idle" state was stale.
-	if p.hdr.Clo == wire.CloClone && len(s.queue) > 0 && !s.cl.cfg.DisableServerCloneDrop {
+	if p.hdr.Clo == wire.CloClone && s.queue.len() > 0 && !s.cl.cfg.DisableServerCloneDrop {
 		s.cloneDrops++
+		s.cl.freePacket(p)
 		return
 	}
 	if p.trace != nil {
 		p.trace.enqueuedAt = s.cl.eng.Now()
 	}
 	// Dispatcher cost, then enqueue or start service.
-	s.cl.eng.After(s.cl.cfg.Cal.DispatcherCostNS, func() {
-		if s.busy < s.workers {
-			s.busy++
-			s.startService(p)
-		} else {
-			s.queue = append(s.queue, p)
-		}
-	})
+	s.cl.eng.ScheduleAfter(s.cl.cfg.Cal.DispatcherCostNS, s, evSrvDispatch, p, 0)
+}
+
+// dispatch runs after the dispatcher cost: start service on a free
+// worker thread or join the FCFS queue.
+func (s *server) dispatch(p *packet) {
+	if s.busy < s.workers {
+		s.busy++
+		s.startService(p)
+	} else {
+		s.queue.push(p)
+	}
 }
 
 // startService begins executing p on a free worker thread.
@@ -472,7 +614,7 @@ func (s *server) startService(p *packet) {
 		p.trace.serviceStart = s.cl.eng.Now()
 		p.trace.serviceEnd = s.cl.eng.Now() + svc
 	}
-	s.cl.eng.After(svc, func() { s.finish(p) })
+	s.cl.eng.ScheduleAfter(svc, s, evSrvFinish, p, 0)
 }
 
 func (s *server) serviceTime(op workload.OpKind) int64 {
@@ -483,9 +625,11 @@ func (s *server) serviceTime(op workload.OpKind) int64 {
 }
 
 // finish completes p, emits the response, and pulls the next queued
-// request.
+// request. The request packet is rewritten into the response in place —
+// the server owns the only reference, so no copy or pool round-trip is
+// needed (pool.go lifecycle rules).
 func (s *server) finish(p *packet) {
-	qlen := len(s.queue)
+	qlen := s.queue.len()
 	s.respTotal++
 	if qlen == 0 {
 		s.respEmptyQ++
@@ -493,26 +637,23 @@ func (s *server) finish(p *packet) {
 
 	// Build the response: the server fills SID and piggybacks its queue
 	// state (§3.3 "Response packets").
-	r := &packet{hdr: p.hdr, op: p.op, sentAt: p.sentAt, direct: p.direct, coordID: p.coordID, trace: p.trace}
-	r.hdr.Type = wire.TypeResp
-	r.hdr.SID = s.sid
+	p.hdr.Type = wire.TypeResp
+	p.hdr.SID = s.sid
 	if qlen > 65535 {
 		qlen = 65535
 	}
-	r.hdr.State = uint16(qlen)
+	p.hdr.State = uint16(qlen)
 	if remote := s.cl.remoteSw; remote != nil {
 		// Multi-rack: the response first hits the servers' own ToR,
 		// which passes it through to the clients' ToR (§3.7).
-		s.cl.eng.After(s.cl.cfg.Cal.LinkDelayNS, func() { remote.transitResponse(r) })
+		s.cl.eng.ScheduleAfter(s.cl.cfg.Cal.LinkDelayNS, remote, evSwTransitResponse, p, 0)
 	} else {
-		s.cl.eng.After(s.cl.cfg.Cal.LinkDelayNS, func() { s.cl.sw.fromServer(r) })
+		s.cl.eng.ScheduleAfter(s.cl.cfg.Cal.LinkDelayNS, s.cl.sw, evSwFromServer, p, 0)
 	}
 
 	// Pull the next request.
-	if len(s.queue) > 0 {
-		next := s.queue[0]
-		s.queue = s.queue[1:]
-		s.startService(next)
+	if s.queue.len() > 0 {
+		s.startService(s.queue.pop())
 	} else {
 		s.busy--
 	}
@@ -535,17 +676,37 @@ type client struct {
 	rng     *rand.Rand
 	arrival workload.Poisson
 
+	// Hoisted per-send invariants (see buildClients).
+	numGroups    int
+	nServers     int
+	filterTables int
+	numCoords    int
+
 	nextSeq     uint32
 	pending     map[uint32]pendingReq
 	txBusyUntil int64
-	rxQueue     []*packet
+	rxQueue     pktFIFO
 	rxBusy      bool
 	redundant   int64
 }
 
+// OnEvent dispatches the client's typed events.
+func (c *client) OnEvent(kind uint8, arg any, x int64) {
+	switch kind {
+	case evCliGenerate:
+		c.generate()
+	case evCliOnResponse:
+		c.onResponse(arg.(*packet))
+	case evCliRxHit:
+		c.rxFinishHit(arg.(*packet), x)
+	case evCliRxMiss:
+		c.rxFinishMiss(arg.(*packet))
+	}
+}
+
 // start schedules the first generation event.
 func (c *client) start() {
-	c.cl.eng.After(c.arrival.NextGap(c.rng), c.generate)
+	c.cl.eng.ScheduleAfter(c.arrival.NextGap(c.rng), c, evCliGenerate, nil, 0)
 }
 
 // generate creates one request (two packets under C-Clone) and schedules
@@ -574,7 +735,7 @@ func (c *client) generate() {
 	switch c.cl.cfg.Scheme {
 	case CClone:
 		// Duplicate to two distinct random servers; both plain requests.
-		n := len(c.cl.servers)
+		n := c.nServers
 		s1 := c.rng.IntN(n)
 		s2 := c.rng.IntN(n - 1)
 		if s2 >= s1 {
@@ -595,22 +756,21 @@ func (c *client) generate() {
 		if sampled {
 			p.trace = &reqTrace{}
 		}
-		if len(c.cl.coords) > 0 {
-			p.coordID = c.rng.IntN(len(c.cl.coords))
+		if c.numCoords > 0 {
+			p.coordID = c.rng.IntN(c.numCoords)
 		}
 		c.sendPacket(p, now)
 	}
 
-	c.cl.eng.After(c.arrival.NextGap(c.rng), c.generate)
+	c.cl.eng.ScheduleAfter(c.arrival.NextGap(c.rng), c, evCliGenerate, nil, 0)
 }
 
 // pickGroup selects the client's random group ID. In normal operation it
 // is uniform over all ordered pairs; under the SingleOrderingGroups
 // ablation only pairs with sid1 < sid2 are used.
 func (c *client) pickGroup() uint16 {
-	n := maxInt(c.cl.sw.dp.NumGroups(), 1)
 	for {
-		g := uint16(c.rng.IntN(n))
+		g := uint16(c.rng.IntN(c.numGroups))
 		if !c.cl.cfg.SingleOrderingGroups {
 			return g
 		}
@@ -623,28 +783,31 @@ func (c *client) pickGroup() uint16 {
 
 // groupWithFirst picks a random group whose first candidate is server i,
 // so the plain-forwarding switch delivers the packet to that server.
+// Group IDs with first candidate i occupy [i*(n-1), (i+1)*(n-1)) — the
+// layout dataplane.GroupsWithFirst documents — hoisted to arithmetic
+// here to keep the per-send path free of switch lookups.
 func (c *client) groupWithFirst(i int) uint16 {
-	lo, hi := c.cl.sw.dp.GroupsWithFirst(i)
-	if hi <= lo {
+	span := c.nServers - 1
+	if span <= 0 {
 		return 0
 	}
-	return uint16(lo + c.rng.IntN(hi-lo))
+	return uint16(i*span + c.rng.IntN(span))
 }
 
 func (c *client) makeRequest(seq uint32, op workload.OpKind, grp uint16, direct bool) *packet {
-	return &packet{
-		hdr: wire.Header{
-			Type:      wire.TypeReq,
-			Group:     grp,
-			Idx:       uint8(c.rng.IntN(c.cl.cfg.FilterTables)),
-			ClientID:  c.id,
-			ClientSeq: seq,
-			PktTotal:  1,
-		},
-		op:     op,
-		sentAt: c.cl.eng.Now(),
-		direct: direct,
+	p := c.cl.newPacket()
+	p.hdr = wire.Header{
+		Type:      wire.TypeReq,
+		Group:     grp,
+		Idx:       uint8(c.rng.IntN(c.filterTables)),
+		ClientID:  c.id,
+		ClientSeq: seq,
+		PktTotal:  1,
 	}
+	p.op = op
+	p.sentAt = c.cl.eng.Now()
+	p.direct = direct
+	return p
 }
 
 // sendPacket charges the sender thread and puts the packet on the wire.
@@ -655,7 +818,7 @@ func (c *client) sendPacket(p *packet, now int64) {
 	}
 	done := start + c.cl.cfg.Cal.ClientPktCostNS
 	c.txBusyUntil = done
-	c.cl.eng.At(done+c.cl.cfg.Cal.LinkDelayNS, func() { c.cl.sw.fromClient(p) })
+	c.cl.eng.Schedule(done+c.cl.cfg.Cal.LinkDelayNS, c.cl.sw, evSwFromClient, p, 0)
 }
 
 // onResponse handles a response arriving at the client NIC: it joins the
@@ -665,42 +828,49 @@ func (c *client) sendPacket(p *packet, now int64) {
 // the client-side overhead that response filtering exists to remove
 // (§3.5, Fig 15).
 func (c *client) onResponse(p *packet) {
-	c.rxQueue = append(c.rxQueue, p)
+	c.rxQueue.push(p)
 	if !c.rxBusy {
 		c.rxBusy = true
 		c.rxServeNext()
 	}
 }
 
-// rxServeNext processes the receiver queue head.
+// rxServeNext processes the receiver queue head: it claims (or misses)
+// the pending entry immediately, then schedules the per-packet RX cost;
+// completion lands in rxFinishHit/rxFinishMiss.
 func (c *client) rxServeNext() {
-	if len(c.rxQueue) == 0 {
+	if c.rxQueue.len() == 0 {
 		c.rxBusy = false
 		return
 	}
-	p := c.rxQueue[0]
-	c.rxQueue = c.rxQueue[1:]
+	p := c.rxQueue.pop()
 
 	req, ok := c.pending[p.hdr.ClientSeq]
 	cost := c.cl.cfg.Cal.ClientPktCostNS
-	if !ok {
-		cost += c.cl.cfg.Cal.DedupMissCostNS
-	}
 	if ok {
 		// Claim the request now so a twin already queued behind us takes
 		// the miss path.
 		delete(c.pending, p.hdr.ClientSeq)
+		c.cl.eng.ScheduleAfter(cost, c, evCliRxHit, p, req.sentAt)
+	} else {
+		c.cl.eng.ScheduleAfter(cost+c.cl.cfg.Cal.DedupMissCostNS, c, evCliRxMiss, p, 0)
 	}
-	c.cl.eng.After(cost, func() {
-		if !ok {
-			c.redundant++
-		} else {
-			now := c.cl.eng.Now()
-			c.cl.recordCompletion(now, now-req.sentAt)
-			if c.cl.breakdown != nil && p.trace != nil {
-				c.cl.breakdown.record(p.trace, now-req.sentAt)
-			}
-		}
-		c.rxServeNext()
-	})
+}
+
+// rxFinishHit completes the winning response for a pending request.
+func (c *client) rxFinishHit(p *packet, sentAt int64) {
+	now := c.cl.eng.Now()
+	c.cl.recordCompletion(now, now-sentAt)
+	if c.cl.breakdown != nil && p.trace != nil {
+		c.cl.breakdown.record(p.trace, now-sentAt)
+	}
+	c.cl.freePacket(p)
+	c.rxServeNext()
+}
+
+// rxFinishMiss discards a response whose request already completed.
+func (c *client) rxFinishMiss(p *packet) {
+	c.redundant++
+	c.cl.freePacket(p)
+	c.rxServeNext()
 }

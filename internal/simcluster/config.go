@@ -254,6 +254,11 @@ type Result struct {
 
 	// Timeline holds per-bin completion counts when requested.
 	Timeline *stats.TimeSeries
+
+	// EngineEvents is the number of discrete events the simulation
+	// engine executed for this run — the numerator of the events/sec
+	// throughput metric tracked by the benchmark pipeline (BENCH_*.json).
+	EngineEvents int64
 }
 
 // Configuration errors.

@@ -32,8 +32,9 @@ type coordinator struct {
 	owned       []int // server IDs this coordinator dispatches to
 	outstanding []int // per-server dispatched-but-unanswered requests
 	capacity    []int
+	idleBuf     []int // scratch for idleServers, reused across events
 
-	queue    []*packet // requests waiting for an idle server
+	queue    pktFIFO // requests waiting for an idle server
 	queueMax int
 
 	// pendingPair tracks cloned requests by client (ClientID, ClientSeq)
@@ -57,12 +58,32 @@ func newCoordinator(c *cluster, id, k int) *coordinator {
 			co.owned = append(co.owned, s)
 		}
 	}
+	co.idleBuf = make([]int, 0, len(co.owned))
 	return co
 }
 
-// cpu charges one packet-processing slot on the coordinator CPU and runs
-// fn when the slot completes.
-func (co *coordinator) cpu(fn func()) {
+// OnEvent dispatches the coordinator's typed events.
+func (co *coordinator) OnEvent(kind uint8, arg any, x int64) {
+	p := arg.(*packet)
+	switch kind {
+	case evCoArriveRequest:
+		co.cpuSchedule(evCoDispatch, p, 0)
+	case evCoDispatch:
+		co.dispatch(p)
+	case evCoArriveResponse:
+		co.cpuSchedule(evCoResponse, p, 0)
+	case evCoResponse:
+		co.onResponse(p)
+	case evCoTxServer:
+		co.cl.eng.ScheduleAfter(co.cl.cfg.Cal.LinkDelayNS, co.cl.sw, evSwCoordToServer, p, x)
+	case evCoTxClient:
+		co.cl.eng.ScheduleAfter(co.cl.cfg.Cal.LinkDelayNS, co.cl.sw, evSwCoordToClient, p, x)
+	}
+}
+
+// cpuSchedule charges one packet-processing slot on the coordinator CPU
+// and schedules the given event for when the slot completes.
+func (co *coordinator) cpuSchedule(kind uint8, p *packet, x int64) {
 	now := co.cl.eng.Now()
 	start := now
 	if co.cpuBusyUntil > start {
@@ -70,12 +91,7 @@ func (co *coordinator) cpu(fn func()) {
 	}
 	done := start + co.cl.cfg.Cal.CoordPktCostNS
 	co.cpuBusyUntil = done
-	co.cl.eng.At(done, fn)
-}
-
-// onRequest handles a client request arriving at the coordinator NIC.
-func (co *coordinator) onRequest(p *packet) {
-	co.cpu(func() { co.dispatch(p) })
+	co.cl.eng.Schedule(done, co, kind, p, x)
 }
 
 // dispatch routes p to idle workers, cloning when two are idle;
@@ -92,72 +108,65 @@ func (co *coordinator) dispatch(p *packet) {
 			j++
 		}
 		co.sendToServer(p, idle[i])
-		dup := &packet{hdr: p.hdr, op: p.op, sentAt: p.sentAt}
+		dup := co.cl.newPacket()
+		dup.hdr, dup.op, dup.sentAt = p.hdr, p.op, p.sentAt
 		co.sendToServer(dup, idle[j])
 		co.pendingPair[p.hdr.LamportID()] = false
 	case len(idle) == 1:
 		co.sendToServer(p, idle[0])
 	default:
-		co.queue = append(co.queue, p)
-		if len(co.queue) > co.queueMax {
-			co.queueMax = len(co.queue)
+		co.queue.push(p)
+		if co.queue.len() > co.queueMax {
+			co.queueMax = co.queue.len()
 		}
 	}
 }
 
+// idleServers fills the reusable scratch buffer with the owned servers
+// that have spare capacity. The returned slice is valid until the next
+// call.
 func (co *coordinator) idleServers() []int {
-	var idle []int
+	idle := co.idleBuf[:0]
 	for _, s := range co.owned {
 		if co.outstanding[s] < co.capacity[s] {
 			idle = append(idle, s)
 		}
 	}
+	co.idleBuf = idle
 	return idle
 }
 
 // sendToServer charges the TX packet cost and forwards via the switch.
 func (co *coordinator) sendToServer(p *packet, sid int) {
 	co.outstanding[sid]++
-	co.cpu(func() {
-		co.cl.eng.After(co.cl.cfg.Cal.LinkDelayNS, func() {
-			co.cl.sw.fromCoordinator(p, true, sid)
-		})
-	})
+	co.cpuSchedule(evCoTxServer, p, int64(sid))
 }
 
-// onResponse handles a worker response arriving at the coordinator NIC.
+// onResponse runs when the CPU slot for a worker response completes.
 func (co *coordinator) onResponse(p *packet) {
-	co.cpu(func() {
-		sid := int(p.hdr.SID)
-		if sid < len(co.outstanding) && co.outstanding[sid] > 0 {
-			co.outstanding[sid]--
-		}
+	sid := int(p.hdr.SID)
+	if sid < len(co.outstanding) && co.outstanding[sid] > 0 {
+		co.outstanding[sid]--
+	}
 
-		key := p.hdr.LamportID()
-		forwarded, isPair := co.pendingPair[key]
-		if isPair && forwarded {
-			// Redundant slower response: processed (CPU already charged)
-			// and discarded.
-			delete(co.pendingPair, key)
-		} else {
-			if isPair {
-				co.pendingPair[key] = true
-			}
-			dst := int(p.hdr.ClientID)
-			co.cpu(func() {
-				co.cl.eng.After(co.cl.cfg.Cal.LinkDelayNS, func() {
-					co.cl.sw.fromCoordinator(p, false, dst)
-				})
-			})
+	key := p.hdr.LamportID()
+	forwarded, isPair := co.pendingPair[key]
+	if isPair && forwarded {
+		// Redundant slower response: processed (CPU already charged)
+		// and discarded.
+		delete(co.pendingPair, key)
+		co.cl.freePacket(p)
+	} else {
+		if isPair {
+			co.pendingPair[key] = true
 		}
+		co.cpuSchedule(evCoTxClient, p, int64(p.hdr.ClientID))
+	}
 
-		// A response frees capacity: dispatch the queue head (§2.2 "The
-		// buffered request is dispatched to a server upon receiving a
-		// response").
-		if len(co.queue) > 0 && len(co.idleServers()) > 0 {
-			next := co.queue[0]
-			co.queue = co.queue[1:]
-			co.dispatch(next)
-		}
-	})
+	// A response frees capacity: dispatch the queue head (§2.2 "The
+	// buffered request is dispatched to a server upon receiving a
+	// response").
+	if co.queue.len() > 0 && len(co.idleServers()) > 0 {
+		co.dispatch(co.queue.pop())
+	}
 }

@@ -1,0 +1,36 @@
+package simcluster
+
+// Typed event kinds for the simnet engine's allocation-free scheduling
+// path (DESIGN.md § Performance model). Every hot scheduling site in the
+// cluster maps 1:1 onto one kind; the receiving node's OnEvent method
+// dispatches on it. Each kind is bound to exactly one receiver type, so
+// a single enum covers the whole cluster.
+const (
+	// switchNode events. arg = *packet; x = destination index where noted.
+	evSwFromClient      uint8 = iota // request arrives from a client NIC
+	evSwFromServer                   // response arrives from a worker server
+	evSwTransitRequest               // server-side ToR transit of a stamped request; x = dst server
+	evSwTransitResponse              // server-side ToR transit of a response
+	evSwRecirculate                  // clone re-enters the ingress pipeline
+	evSwCoordToServer                // coordinator dispatch arrives at the switch; x = dst server
+	evSwCoordToClient                // coordinator response arrives at the switch; x = dst client
+
+	// server events. arg = *packet.
+	evSrvOnRequest // request arrives at the server NIC
+	evSrvDispatch  // dispatcher cost paid; enqueue or start service
+	evSrvFinish    // worker finished executing the request
+
+	// client events. arg = *packet except evCliGenerate (nil).
+	evCliGenerate   // open-loop arrival: create the next request
+	evCliOnResponse // response arrives at the client NIC
+	evCliRxHit      // RX thread finished a response with a pending match; x = request sentAt
+	evCliRxMiss     // RX thread finished a response whose request already completed
+
+	// coordinator events (LÆDGE). arg = *packet.
+	evCoArriveRequest  // request arrives at the coordinator NIC
+	evCoDispatch       // CPU slot done: route the request
+	evCoArriveResponse // response arrives at the coordinator NIC
+	evCoResponse       // CPU slot done: process the response
+	evCoTxServer       // CPU slot done: transmit dispatch to the switch; x = dst server
+	evCoTxClient       // CPU slot done: transmit response to the switch; x = dst client
+)

@@ -1,0 +1,261 @@
+package simcluster
+
+import (
+	"reflect"
+	"testing"
+
+	"netclone/internal/workload"
+)
+
+// perfTestConfigs cover every packet producer and terminal path: the
+// NetClone clone/filter cycle, C-Clone's client duplicates and dedup
+// misses, LÆDGE's coordinator duplicates and redundant discards, the
+// no-filter ablation's unfiltered responses, loss drops, and the
+// multi-rack transit paths.
+func perfTestConfigs() map[string]Config {
+	base := Config{
+		Workers:    []int{4, 4, 4, 4},
+		Service:    workload.WithJitter(workload.Exp(25), 0.01),
+		OfferedRPS: 3e5,
+		DurationNS: 3e6,
+		WarmupNS:   1e6,
+		Seed:       7,
+	}
+	withScheme := func(s Scheme, mutate func(*Config)) Config {
+		c := base
+		c.Scheme = s
+		if mutate != nil {
+			mutate(&c)
+		}
+		return c
+	}
+	return map[string]Config{
+		"netclone":  withScheme(NetClone, nil),
+		"cclone":    withScheme(CClone, nil),
+		"laedge":    withScheme(LAEDGE, func(c *Config) { c.NumCoordinators = 2 }),
+		"nofilter":  withScheme(NetCloneNoFilter, nil),
+		"lossy":     withScheme(NetClone, func(c *Config) { c.LossProb = 0.01 }),
+		"multirack": withScheme(NetClone, func(c *Config) { c.MultiRack = true }),
+		"sampled":   withScheme(NetClone, func(c *Config) { c.SampleEvery = 10 }),
+	}
+}
+
+// TestFreelistRecyclingEquivalence proves packet recycling is
+// observably inert: every scheme produces identical Results whether
+// freed packets are recycled or abandoned to the garbage collector.
+func TestFreelistRecyclingEquivalence(t *testing.T) {
+	for name, cfg := range perfTestConfigs() {
+		t.Run(name, func(t *testing.T) {
+			recycled, err := Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			disableFreelist = true
+			defer func() { disableFreelist = false }()
+			fresh, err := Run(cfg)
+			disableFreelist = false
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(recycled, fresh) {
+				t.Errorf("results differ between recycled and fresh-alloc packets:\nrecycled: %+v\nfresh:    %+v",
+					recycled.Latency, fresh.Latency)
+			}
+		})
+	}
+}
+
+// TestFreelistPoisonEquivalence runs with poison-on-free forced on: if
+// any node read a packet after freeing it, the sentinel values would
+// perturb the result. Identical output proves no use-after-free.
+func TestFreelistPoisonEquivalence(t *testing.T) {
+	for name, cfg := range perfTestConfigs() {
+		t.Run(name, func(t *testing.T) {
+			plain, err := Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			old := poisonFreedPackets
+			poisonFreedPackets = true
+			defer func() { poisonFreedPackets = old }()
+			poisoned, err := Run(cfg)
+			poisonFreedPackets = old
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(plain, poisoned) {
+				t.Errorf("poison-on-free changed the result: some path reads freed packets\nplain:    %+v\npoisoned: %+v",
+					plain.Latency, poisoned.Latency)
+			}
+		})
+	}
+}
+
+// TestFreelistNoStateLeak asserts the recycling contract directly: a
+// freed packet comes back fully zeroed (no field of the previous
+// request survives), and the pool is LIFO so the round trip is cheap.
+func TestFreelistNoStateLeak(t *testing.T) {
+	old := poisonFreedPackets
+	poisonFreedPackets = true
+	defer func() { poisonFreedPackets = old }()
+
+	c := &cluster{}
+	p := c.newPacket()
+	p.hdr.ReqID = 7
+	p.hdr.ClientSeq = 99
+	p.op = workload.OpScan
+	p.sentAt = 12345
+	p.direct = true
+	p.coordID = 3
+	p.trace = &reqTrace{isClone: true}
+	c.freePacket(p)
+
+	if p.sentAt == 12345 || p.trace != nil {
+		t.Fatal("freePacket did not poison the freed packet")
+	}
+	q := c.newPacket()
+	if q != p {
+		t.Fatal("freelist is not LIFO: newPacket did not return the freed packet")
+	}
+	if *q != (packet{}) {
+		t.Errorf("recycled packet carries stale state: %+v", *q)
+	}
+}
+
+// TestRunReportsEngineEvents sanity-checks the events/sec numerator.
+func TestRunReportsEngineEvents(t *testing.T) {
+	res, err := Run(perfTestConfigs()["netclone"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.EngineEvents <= res.Generated {
+		t.Errorf("EngineEvents = %d, want more than Generated = %d (every request takes several hops)",
+			res.EngineEvents, res.Generated)
+	}
+}
+
+// benchBuild assembles a warm NetClone cluster for pipeline
+// micro-benchmarks.
+func benchBuild(b *testing.B, scheme Scheme) *cluster {
+	b.Helper()
+	cfg := Config{
+		Scheme:     scheme,
+		Workers:    []int{16, 16, 16, 16, 16, 16},
+		Service:    workload.Exp(25),
+		OfferedRPS: 1e6,
+		DurationNS: 1e9, // window far beyond the benchmark's virtual time
+		Seed:       1,
+	}
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		b.Fatal(err)
+	}
+	c, err := build(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return c
+}
+
+// BenchmarkSwitchPipelineRoundTrip measures one full simulated request
+// through the switch pipeline model: client request creation, switch
+// processing (including clone + recirculation when both candidates are
+// idle), server dispatch/service/response, response filtering, and
+// client RX completion. Steady state is allocation-free: the packet
+// comes from the freelist and every hop is a typed event.
+func BenchmarkSwitchPipelineRoundTrip(b *testing.B) {
+	c := benchBuild(b, NetClone)
+	cl := c.clients[0]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		seq := uint32(i)
+		p := cl.makeRequest(seq, workload.OpGet, cl.pickGroup(), false)
+		cl.pending[seq] = pendingReq{sentAt: c.eng.Now()}
+		c.sw.fromClient(p)
+		c.eng.Run()
+	}
+}
+
+// BenchmarkSwitchPipelineCClone is the same round trip under C-Clone:
+// two duplicate packets per request, client-side dedup, one redundant
+// response through the dedup-miss path.
+func BenchmarkSwitchPipelineCClone(b *testing.B) {
+	c := benchBuild(b, CClone)
+	cl := c.clients[0]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		seq := uint32(i)
+		now := c.eng.Now()
+		cl.pending[seq] = pendingReq{sentAt: now}
+		p1 := cl.makeRequest(seq, workload.OpGet, cl.groupWithFirst(0), false)
+		p2 := cl.makeRequest(seq, workload.OpGet, cl.groupWithFirst(1), false)
+		cl.sendPacket(p1, now)
+		cl.sendPacket(p2, now)
+		c.eng.Run()
+	}
+}
+
+// BenchmarkClusterSteadyState measures whole-cluster throughput per
+// simulated request with construction amortized away: one cluster, one
+// open-loop schedule, b.N virtual microseconds of offered load.
+func BenchmarkClusterSteadyState(b *testing.B) {
+	c := benchBuild(b, NetClone)
+	for _, cl := range c.clients {
+		cl.start()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	// Advance virtual time 1us per iteration; at 1 MRPS that is one
+	// request per iteration on average.
+	for i := 0; i < b.N; i++ {
+		c.eng.RunUntil(int64(i+1) * 1000)
+	}
+}
+
+// TestPktFIFOCompaction pins the bounded-capacity property: a queue
+// that never fully drains must not grow its backing array without
+// bound (one slot per push for the whole run).
+func TestPktFIFOCompaction(t *testing.T) {
+	var q pktFIFO
+	live := 8
+	for i := 0; i < live; i++ {
+		q.push(&packet{})
+	}
+	// Steady state: one push + one pop per cycle, never draining.
+	for i := 0; i < 100_000; i++ {
+		q.push(&packet{})
+		if got := q.pop(); got == nil {
+			t.Fatal("pop returned nil")
+		}
+		if q.len() != live {
+			t.Fatalf("queue length drifted: %d", q.len())
+		}
+	}
+	if cap(q.buf) > 4*live+64 {
+		t.Fatalf("backing array grew without bound: cap %d for %d live elements", cap(q.buf), live)
+	}
+	// Drain and verify contents survive compaction in order.
+	q2 := pktFIFO{}
+	var want []*packet
+	for i := 0; i < 100; i++ {
+		p := &packet{coordID: i}
+		q2.push(p)
+		want = append(want, p)
+	}
+	var got []*packet
+	for j := 0; q2.len() > 0; j++ {
+		got = append(got, q2.pop())
+		if j%3 == 0 { // interleave pushes to exercise compaction mid-stream
+			p := &packet{coordID: 1000 + j}
+			q2.push(p)
+			want = append(want, p)
+		}
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("FIFO order broken at %d after compaction", i)
+		}
+	}
+}

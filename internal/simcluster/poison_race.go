@@ -1,0 +1,8 @@
+//go:build race
+
+package simcluster
+
+// poisonFreedPackets is on under the race detector (the CI debug
+// build): freed packets are overwritten with sentinels so any
+// use-after-free reads loud garbage. Tests may also set it directly.
+var poisonFreedPackets = true

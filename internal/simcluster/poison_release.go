@@ -1,0 +1,8 @@
+//go:build !race
+
+package simcluster
+
+// poisonFreedPackets is off in release builds: freePacket is a plain
+// append, and newPacket zeroes on allocation. Tests may set it to
+// exercise the poison path without the race detector.
+var poisonFreedPackets = false

@@ -1,0 +1,86 @@
+package simcluster
+
+import "netclone/internal/wire"
+
+// Packet freelist (DESIGN.md § Performance model). The cluster is
+// single-threaded — one event engine, one goroutine — so recycling is a
+// plain LIFO stack with no sync.Pool contention or per-P caches.
+//
+// Lifecycle rules:
+//
+//   - Every packet is born through newPacket (fully zeroed) and filled
+//     by exactly one producer: client.makeRequest, the switch clone
+//     path, or the coordinator duplicate path.
+//   - Ownership moves with the packet through scheduled events; at any
+//     instant exactly one node (or one queued event) references it.
+//   - Every terminal outcome frees exactly once: drop paths (loss,
+//     switch down, filter drop, no-route, stale-clone guard, redundant
+//     at coordinator) and client RX completion.
+//   - A served request is NOT freed at the server: finish rewrites the
+//     same struct into the response in place, which both saves the
+//     round-trip through the pool and mirrors how the real server
+//     reuses the request buffer for the reply.
+//   - Packets still in flight when the run's deadline expires are never
+//     freed; the pool dies with the cluster.
+//
+// poisonFreedPackets (race/debug builds, see poison_*.go) overwrites
+// freed packets with sentinel values so a use-after-free reads garbage
+// loudly instead of silently reading stale-but-plausible state.
+
+// poison fills a freed packet with sentinel values — every header
+// field, so a use-after-free of any field (including Clo, which the
+// server's stale-clone guard branches on) reads loud garbage. The
+// trace pointer is nilled rather than poisoned: a fake pointer would
+// crash the collector, not just the buggy reader.
+func poison(p *packet) {
+	const dead = -0x6b6b6b6b6b6b6b6b
+	p.hdr = wire.Header{
+		Type:       0xAA,
+		ReqID:      0xAAAAAAAA,
+		Group:      0xAAAA,
+		SID:        0xAAAA,
+		State:      0xAAAA,
+		Clo:        0xAA,
+		Idx:        0xAA,
+		SwitchID:   0xAAAA,
+		ClientID:   0xAAAA,
+		ClientSeq:  0xAAAAAAAA,
+		PktSeq:     0xAA,
+		PktTotal:   0xAA,
+		PayloadLen: 0xAAAA,
+	}
+	p.op = 0xAA
+	p.sentAt = dead
+	p.direct = true
+	p.coordID = -0x55AA55AA
+	p.trace = nil
+}
+
+// newPacket returns a zeroed packet, recycling the freelist when
+// possible. Steady-state simulation allocates no new packets: the pool
+// reaches the in-flight high-water mark and cycles.
+func (c *cluster) newPacket() *packet {
+	if n := len(c.pktPool); n > 0 {
+		p := c.pktPool[n-1]
+		c.pktPool = c.pktPool[:n-1]
+		*p = packet{}
+		return p
+	}
+	return &packet{}
+}
+
+// freePacket recycles p. The caller must hold the only live reference.
+func (c *cluster) freePacket(p *packet) {
+	if disableFreelist {
+		return
+	}
+	if poisonFreedPackets {
+		poison(p)
+	}
+	c.pktPool = append(c.pktPool, p)
+}
+
+// disableFreelist is a test hook: when true, freed packets are
+// abandoned to the garbage collector instead of recycled, so tests can
+// prove recycling does not change observable results.
+var disableFreelist bool

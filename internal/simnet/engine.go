@@ -3,49 +3,51 @@
 // simulation that reproduces the paper's testbed (DESIGN.md §1): events
 // fire in non-decreasing time order, ties break in scheduling order
 // (FIFO), and identical seeds produce identical runs.
+//
+// The engine stores events in a flat 4-ary min-heap of typed records —
+// no container/heap interface boxing, no per-event allocation — so the
+// simulation hot path is allocation-free in steady state (DESIGN.md
+// § Performance model). Hot callers schedule through the typed
+// Schedule/ScheduleAfter API against a Handler; At/After remain for
+// cold paths and tests, paying one closure allocation per call exactly
+// as before.
 package simnet
 
 import (
-	"container/heap"
+	"math"
 	"math/rand/v2"
+	"sort"
 )
 
 // Time is virtual time in nanoseconds since the start of the run.
 type Time = int64
 
-// event is one scheduled callback.
-type event struct {
-	at  Time
-	seq uint64 // tie-breaker: FIFO among equal times
-	fn  func()
+// Handler receives typed events. Implementations are the simulation's
+// node objects (switch, server, client, ...); kind selects the action
+// and arg/x carry the payload — a pointer payload in arg stores into
+// the event record without allocating.
+type Handler interface {
+	OnEvent(kind uint8, arg any, x int64)
 }
 
-// eventHeap is a min-heap ordered by (at, seq).
-type eventHeap []event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	*h = old[:n-1]
-	return e
+// eventRec is one scheduled event. Exactly one of h (typed event) and
+// arg-as-func (closure event, h == nil) is used at dispatch.
+type eventRec struct {
+	at   Time
+	seq  uint64 // tie-breaker: FIFO among equal times
+	x    int64
+	arg  any
+	h    Handler
+	kind uint8
 }
 
 // Engine is a single-threaded discrete-event scheduler. The zero value is
 // ready to use at time 0.
 type Engine struct {
-	now  Time
-	heap eventHeap
-	seq  uint64
+	now   Time
+	heap  []eventRec // flat 4-ary min-heap ordered by (at, seq)
+	seq   uint64
+	steps uint64
 }
 
 // NewEngine returns an engine at virtual time 0.
@@ -57,15 +59,81 @@ func (e *Engine) Now() Time { return e.now }
 // Pending returns the number of scheduled events.
 func (e *Engine) Pending() int { return len(e.heap) }
 
+// Steps returns the number of events executed so far — the simulator's
+// raw throughput unit (events/sec = Steps / wall time).
+func (e *Engine) Steps() uint64 { return e.steps }
+
+// Reset returns the engine to virtual time 0 with no pending events and
+// a fresh sequence counter, retaining the heap's capacity so a reused
+// engine schedules without re-growing.
+func (e *Engine) Reset() {
+	clear(e.heap) // drop payload references so recycled engines don't pin them
+	e.heap = e.heap[:0]
+	e.now, e.seq, e.steps = 0, 0, 0
+}
+
+// less orders events by (at, seq). The order is total — seq is unique —
+// so every correct heap pops the exact same sequence and determinism
+// does not depend on the heap arity or sift implementation.
+func less(a, b *eventRec) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+// schedule enqueues one event record at absolute time t. Times in the
+// past are clamped to now, so the event runs at the current time after
+// all already-queued events for that time (FIFO via seq).
+func (e *Engine) schedule(t Time, h Handler, kind uint8, arg any, x int64) {
+	if t < e.now {
+		t = e.now
+	}
+	if e.seq == math.MaxUint64 {
+		// Sequence-counter wraparound would mint a tie-breaker below
+		// already-queued events and violate FIFO. Renumber the pending
+		// events (order-preserving) and restart the counter; at 10^9
+		// events/sec this branch is ~584 years away, but correctness
+		// here is what the FIFO guarantee rests on.
+		e.renumber()
+	}
+	e.seq++
+	e.heap = append(e.heap, eventRec{at: t, seq: e.seq, x: x, arg: arg, h: h, kind: kind})
+	e.siftUp(len(e.heap) - 1)
+}
+
+// renumber compacts the sequence space: pending events keep their
+// relative order but are renumbered 1..n. A slice sorted by (at, seq)
+// is already a valid min-heap, so no re-heapify is needed.
+func (e *Engine) renumber() {
+	sort.Slice(e.heap, func(i, j int) bool { return less(&e.heap[i], &e.heap[j]) })
+	for i := range e.heap {
+		e.heap[i].seq = uint64(i) + 1
+	}
+	e.seq = uint64(len(e.heap))
+}
+
+// Schedule enqueues a typed event for h at absolute time t. Scheduling
+// in the past (or present) runs at the current time, after
+// already-queued events for that time.
+func (e *Engine) Schedule(t Time, h Handler, kind uint8, arg any, x int64) {
+	e.schedule(t, h, kind, arg, x)
+}
+
+// ScheduleAfter enqueues a typed event d nanoseconds from now.
+// Non-positive delays run at the current time.
+func (e *Engine) ScheduleAfter(d int64, h Handler, kind uint8, arg any, x int64) {
+	if d < 0 {
+		d = 0
+	}
+	e.schedule(e.now+d, h, kind, arg, x)
+}
+
 // At schedules fn to run at absolute time t. Scheduling in the past (or
 // present) runs at the current time, after already-queued events for that
 // time.
 func (e *Engine) At(t Time, fn func()) {
-	if t < e.now {
-		t = e.now
-	}
-	e.seq++
-	heap.Push(&e.heap, event{at: t, seq: e.seq, fn: fn})
+	e.schedule(t, nil, 0, fn, 0)
 }
 
 // After schedules fn to run d nanoseconds from now. Non-positive delays
@@ -74,7 +142,52 @@ func (e *Engine) After(d int64, fn func()) {
 	if d < 0 {
 		d = 0
 	}
-	e.At(e.now+d, fn)
+	e.schedule(e.now+d, nil, 0, fn, 0)
+}
+
+// siftUp restores the heap property from leaf i toward the root.
+func (e *Engine) siftUp(i int) {
+	h := e.heap
+	rec := h[i]
+	for i > 0 {
+		parent := (i - 1) / 4
+		if !less(&rec, &h[parent]) {
+			break
+		}
+		h[i] = h[parent]
+		i = parent
+	}
+	h[i] = rec
+}
+
+// siftDown restores the heap property from the root toward the leaves.
+func (e *Engine) siftDown() {
+	h := e.heap
+	n := len(h)
+	rec := h[0]
+	i := 0
+	for {
+		first := 4*i + 1
+		if first >= n {
+			break
+		}
+		min := first
+		last := first + 4
+		if last > n {
+			last = n
+		}
+		for c := first + 1; c < last; c++ {
+			if less(&h[c], &h[min]) {
+				min = c
+			}
+		}
+		if !less(&h[min], &rec) {
+			break
+		}
+		h[i] = h[min]
+		i = min
+	}
+	h[i] = rec
 }
 
 // Step runs the earliest pending event and returns true, or returns false
@@ -83,9 +196,21 @@ func (e *Engine) Step() bool {
 	if len(e.heap) == 0 {
 		return false
 	}
-	ev := heap.Pop(&e.heap).(event)
+	ev := e.heap[0]
+	n := len(e.heap) - 1
+	e.heap[0] = e.heap[n]
+	e.heap[n] = eventRec{} // release payload references
+	e.heap = e.heap[:n]
+	if n > 1 {
+		e.siftDown()
+	}
 	e.now = ev.at
-	ev.fn()
+	e.steps++
+	if ev.h != nil {
+		ev.h.OnEvent(ev.kind, ev.arg, ev.x)
+	} else {
+		ev.arg.(func())()
+	}
 	return true
 }
 

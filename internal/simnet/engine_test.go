@@ -176,6 +176,237 @@ func TestNewRNGStreamsIndependent(t *testing.T) {
 	}
 }
 
+// TestPastSchedulingFIFOAfterQueued pins the clamping contract from the
+// At doc: an event scheduled in the past (or at t == now) runs at the
+// current time, AFTER every event already queued for that time — the
+// global seq counter, not the requested time, breaks the tie.
+func TestPastSchedulingFIFOAfterQueued(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	e.At(100, func() {
+		// Queue three more events at the current time...
+		for i := 1; i <= 3; i++ {
+			i := i
+			e.At(100, func() { got = append(got, i) })
+		}
+		// ...then schedule into the past: it must clamp to now and run
+		// after the same-time events queued above.
+		e.At(10, func() { got = append(got, 99) })
+	})
+	e.Run()
+	want := []int{1, 2, 3, 99}
+	if len(got) != len(want) {
+		t.Fatalf("ran %d events, want %d: %v", len(got), len(want), got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("past-clamped event broke FIFO: got %v, want %v", got, want)
+		}
+	}
+}
+
+// TestSeqOverflowPreservesFIFO drives the sequence counter to its
+// wraparound point and checks that the renumbering path keeps pending
+// events in FIFO order instead of minting tie-breakers below them.
+func TestSeqOverflowPreservesFIFO(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	for i := 0; i < 4; i++ {
+		i := i
+		e.At(50, func() { got = append(got, i) })
+	}
+	// Force the next schedule to hit the overflow guard.
+	e.seq = ^uint64(0)
+	e.At(50, func() { got = append(got, 4) })
+	if e.seq == 0 || e.seq == ^uint64(0) {
+		t.Fatalf("seq counter not renumbered: %d", e.seq)
+	}
+	e.At(50, func() { got = append(got, 5) })
+	e.Run()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("FIFO violated across seq renumbering: %v", got)
+		}
+	}
+	if len(got) != 6 {
+		t.Fatalf("ran %d events, want 6", len(got))
+	}
+}
+
+func TestEngineReset(t *testing.T) {
+	e := NewEngine()
+	e.At(10, func() {})
+	e.At(20, func() {})
+	e.Run()
+	e.At(30, func() {})
+	e.Reset()
+	if e.Now() != 0 || e.Pending() != 0 || e.Steps() != 0 {
+		t.Fatalf("Reset left now=%d pending=%d steps=%d", e.Now(), e.Pending(), e.Steps())
+	}
+	var fired Time = -1
+	e.At(5, func() { fired = e.Now() })
+	e.Run()
+	if fired != 5 || e.seq != 1 {
+		t.Fatalf("reused engine fired at %d with seq %d, want 5 and 1", fired, e.seq)
+	}
+}
+
+// refEngine is the pre-typed-event reference semantics: a stable sort
+// over (clamped time, scheduling order), executed one event at a time —
+// exactly what the container/heap + closure engine guaranteed.
+type refEngine struct {
+	now  Time
+	seq  uint64
+	evs  []refEvent
+	trac *[]refFire
+}
+
+type refEvent struct {
+	at  Time
+	seq uint64
+	id  int
+}
+
+type refFire struct {
+	at Time
+	id int
+}
+
+func (r *refEngine) at(t Time, id int) {
+	if t < r.now {
+		t = r.now
+	}
+	r.seq++
+	r.evs = append(r.evs, refEvent{at: t, seq: r.seq, id: id})
+}
+
+func (r *refEngine) step() (refEvent, bool) {
+	if len(r.evs) == 0 {
+		return refEvent{}, false
+	}
+	best := 0
+	for i := 1; i < len(r.evs); i++ {
+		e, b := r.evs[i], r.evs[best]
+		if e.at < b.at || (e.at == b.at && e.seq < b.seq) {
+			best = i
+		}
+	}
+	ev := r.evs[best]
+	r.evs = append(r.evs[:best], r.evs[best+1:]...)
+	r.now = ev.at
+	return ev, true
+}
+
+// scriptHandler records typed-event firings for the equivalence test.
+type scriptHandler struct {
+	e     *Engine
+	fires *[]refFire
+	// pending holds ids of follow-up events each fired event schedules.
+	follow map[int][]scriptOp
+}
+
+type scriptOp struct {
+	delay int64
+	id    int
+}
+
+func (h *scriptHandler) OnEvent(kind uint8, arg any, x int64) {
+	*h.fires = append(*h.fires, refFire{at: h.e.Now(), id: int(x)})
+	for _, op := range h.follow[int(x)] {
+		h.e.ScheduleAfter(op.delay, h, 0, nil, int64(op.id))
+	}
+}
+
+// TestEngineTypedVsClosureEquivalence runs the same randomized schedule
+// script three ways — reference model, closure API, typed API — and
+// requires the identical firing sequence (time and identity) from each.
+// Scripts include past/present scheduling, heavy ties, and events that
+// schedule follow-up events (cascades).
+func TestEngineTypedVsClosureEquivalence(t *testing.T) {
+	rng := NewRNG(42, 7)
+	for trial := 0; trial < 50; trial++ {
+		// Random script: initial events plus follow-ups some events spawn.
+		n := 5 + rng.IntN(40)
+		initial := make([]scriptOp, n)
+		follow := map[int][]scriptOp{}
+		id := 0
+		for i := range initial {
+			initial[i] = scriptOp{delay: int64(rng.IntN(100)), id: id}
+			id++
+		}
+		for i := 0; i < n; i++ {
+			if rng.IntN(3) == 0 {
+				k := 1 + rng.IntN(3)
+				for j := 0; j < k; j++ {
+					// Delay may be negative: schedules into the past,
+					// exercising the clamp + FIFO rule.
+					follow[i] = append(follow[i], scriptOp{delay: int64(rng.IntN(40)) - 10, id: id})
+					id++
+				}
+			}
+		}
+
+		// Reference model.
+		ref := &refEngine{}
+		var refFires []refFire
+		for _, op := range initial {
+			ref.at(op.delay, op.id)
+		}
+		for {
+			ev, ok := ref.step()
+			if !ok {
+				break
+			}
+			refFires = append(refFires, refFire{at: ref.now, id: ev.id})
+			for _, op := range follow[ev.id] {
+				d := op.delay
+				if d < 0 {
+					d = 0
+				}
+				ref.at(ref.now+d, op.id)
+			}
+		}
+
+		// Closure API.
+		ce := NewEngine()
+		var closureFires []refFire
+		var fire func(id int)
+		fire = func(id int) {
+			closureFires = append(closureFires, refFire{at: ce.Now(), id: id})
+			for _, op := range follow[id] {
+				op := op
+				ce.After(op.delay, func() { fire(op.id) })
+			}
+		}
+		for _, op := range initial {
+			op := op
+			ce.At(op.delay, func() { fire(op.id) })
+		}
+		ce.Run()
+
+		// Typed API.
+		te := NewEngine()
+		var typedFires []refFire
+		h := &scriptHandler{e: te, fires: &typedFires, follow: follow}
+		for _, op := range initial {
+			te.Schedule(op.delay, h, 0, nil, int64(op.id))
+		}
+		te.Run()
+
+		for name, got := range map[string][]refFire{"closure": closureFires, "typed": typedFires} {
+			if len(got) != len(refFires) {
+				t.Fatalf("trial %d: %s engine ran %d events, reference ran %d", trial, name, len(got), len(refFires))
+			}
+			for i := range refFires {
+				if got[i] != refFires[i] {
+					t.Fatalf("trial %d: %s engine diverged at event %d: got %+v, want %+v",
+						trial, name, i, got[i], refFires[i])
+				}
+			}
+		}
+	}
+}
+
 func BenchmarkEngineScheduleAndRun(b *testing.B) {
 	e := NewEngine()
 	b.ReportAllocs()
@@ -183,4 +414,40 @@ func BenchmarkEngineScheduleAndRun(b *testing.B) {
 		e.At(Time(i), func() {})
 	}
 	e.Run()
+}
+
+// nopHandler is a typed-event sink for benchmarks.
+type nopHandler struct{}
+
+func (nopHandler) OnEvent(uint8, any, int64) {}
+
+// BenchmarkEngineTypedScheduleAndRun is the typed-event counterpart of
+// BenchmarkEngineScheduleAndRun: the hot-path scheduling mode used by
+// the cluster simulation. Steady state is allocation-free (the heap
+// grows once, then is reused).
+func BenchmarkEngineTypedScheduleAndRun(b *testing.B) {
+	e := NewEngine()
+	var h nopHandler
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e.Schedule(Time(i), h, 0, nil, int64(i))
+	}
+	e.Run()
+}
+
+// BenchmarkEngineTypedSteadyState measures the recycled-engine cycle:
+// schedule a batch, drain it, Reset — the per-event cost with a warm
+// heap and zero allocations.
+func BenchmarkEngineTypedSteadyState(b *testing.B) {
+	e := NewEngine()
+	var h nopHandler
+	const batch = 1024
+	b.ReportAllocs()
+	for i := 0; i < b.N; i += batch {
+		for j := 0; j < batch; j++ {
+			e.Schedule(Time(j), h, 0, nil, int64(j))
+		}
+		e.Run()
+		e.Reset()
+	}
 }

@@ -26,13 +26,22 @@ const bucketsPerExp = 32
 const maxExp = 41
 
 // Histogram is a log-bucketed histogram of non-negative int64 values.
-// The zero value is ready to use.
+// The zero value is ready to use. Not safe for concurrent use: even the
+// read-side methods may build the frozen-quantile cache.
 type Histogram struct {
 	counts [maxExp * bucketsPerExp]int64
 	n      int64
 	sum    int64
 	min    int64
 	max    int64
+
+	// cum caches the cumulative-count scan for quantile queries on a
+	// frozen histogram: built once per freeze (O(buckets)), consulted by
+	// binary search per quantile, and invalidated by any mutation. The
+	// rebuild always allocates a fresh slice so that a copied Histogram
+	// sharing the old backing array stays consistent.
+	cum   []int64
+	cumOK bool
 }
 
 // NewHistogram returns an empty histogram. Equivalent to &Histogram{}; it
@@ -84,6 +93,7 @@ func (h *Histogram) Record(v int64) {
 	h.counts[bucketIndex(v)]++
 	h.n++
 	h.sum += v
+	h.cumOK = false
 }
 
 // RecordN adds count observations of value v.
@@ -103,6 +113,7 @@ func (h *Histogram) RecordN(v int64, count int64) {
 	h.counts[bucketIndex(v)] += count
 	h.n += count
 	h.sum += v * count
+	h.cumOK = false
 }
 
 // Merge adds all observations recorded in other into h.
@@ -121,6 +132,7 @@ func (h *Histogram) Merge(other *Histogram) {
 	}
 	h.n += other.n
 	h.sum += other.sum
+	h.cumOK = false
 }
 
 // Reset clears the histogram.
@@ -146,6 +158,23 @@ func (h *Histogram) Mean() float64 {
 	return float64(h.sum) / float64(h.n)
 }
 
+// freeze builds the cumulative-count cache. Repeated quantile queries
+// on a frozen histogram pay the O(buckets) scan once, then O(log
+// buckets) per query; any Record/RecordN/Merge/Reset invalidates it.
+func (h *Histogram) freeze() {
+	if h.cumOK {
+		return
+	}
+	cum := make([]int64, len(h.counts))
+	var s int64
+	for i, c := range h.counts {
+		s += c
+		cum[i] = s
+	}
+	h.cum = cum
+	h.cumOK = true
+}
+
 // Quantile returns an estimate of the q-quantile (q in [0,1]). It returns
 // the lower bound of the bucket containing the target rank, clamped to the
 // recorded [min, max] range so that Quantile(0) == Min and
@@ -164,21 +193,29 @@ func (h *Histogram) Quantile(q float64) int64 {
 	if rank < 1 {
 		rank = 1
 	}
-	var cum int64
-	for i, c := range h.counts {
-		cum += c
-		if cum >= rank {
-			v := bucketLow(i)
-			if v < h.min {
-				v = h.min
-			}
-			if v > h.max {
-				v = h.max
-			}
-			return v
-		}
+	h.freeze()
+	// First bucket whose cumulative count reaches the rank; cum's last
+	// entry is n >= rank, so the search always lands in range.
+	i := sort.Search(len(h.cum), func(i int) bool { return h.cum[i] >= rank })
+	v := bucketLow(i)
+	if v < h.min {
+		v = h.min
 	}
-	return h.max
+	if v > h.max {
+		v = h.max
+	}
+	return v
+}
+
+// Percentiles returns the estimates for each quantile in qs (Quantile
+// semantics) sharing one frozen cumulative scan — the call the harness
+// render path uses to extract p50/p90/p99/p999 together.
+func (h *Histogram) Percentiles(qs []float64) []int64 {
+	out := make([]int64, len(qs))
+	for i, q := range qs {
+		out[i] = h.Quantile(q)
+	}
+	return out
 }
 
 // P50 returns the median estimate.
@@ -222,16 +259,18 @@ type Summary struct {
 	Max   int64
 }
 
-// Summarize extracts a Summary from the histogram.
+// Summarize extracts a Summary from the histogram. The four quantiles
+// share a single frozen cumulative scan (Percentiles).
 func (h *Histogram) Summarize() Summary {
+	ps := h.Percentiles([]float64{0.50, 0.90, 0.99, 0.999})
 	return Summary{
 		Count: h.Count(),
 		Min:   h.Min(),
 		Mean:  h.Mean(),
-		P50:   h.P50(),
-		P90:   h.P90(),
-		P99:   h.P99(),
-		P999:  h.P999(),
+		P50:   ps[0],
+		P90:   ps[1],
+		P99:   ps[2],
+		P999:  ps[3],
 		Max:   h.Max(),
 	}
 }

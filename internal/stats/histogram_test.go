@@ -234,3 +234,88 @@ func TestSummaryString(t *testing.T) {
 		t.Fatal("summary string empty")
 	}
 }
+
+// TestPercentilesMatchQuantile pins the multi-percentile helper to the
+// single-query path.
+func TestPercentilesMatchQuantile(t *testing.T) {
+	h := NewHistogram()
+	rng := rand.New(rand.NewPCG(1, 9))
+	for i := 0; i < 50_000; i++ {
+		h.Record(int64(rng.ExpFloat64() * 25_000))
+	}
+	qs := []float64{0, 0.1, 0.5, 0.9, 0.99, 0.999, 1}
+	got := h.Percentiles(qs)
+	for i, q := range qs {
+		if want := h.Quantile(q); got[i] != want {
+			t.Errorf("Percentiles[%v] = %d, want Quantile = %d", q, got[i], want)
+		}
+	}
+}
+
+// TestQuantileCacheInvalidation records around quantile queries and
+// checks the cached cumulative scan never serves stale answers.
+func TestQuantileCacheInvalidation(t *testing.T) {
+	h := NewHistogram()
+	for i := int64(1); i <= 100; i++ {
+		h.Record(i)
+	}
+	before := h.Quantile(0.99) // builds the cache
+	for i := 0; i < 1000; i++ {
+		h.Record(1_000_000) // shifts the tail far right
+	}
+	after := h.Quantile(0.99)
+	if after <= before {
+		t.Fatalf("stale quantile cache: p99 %d -> %d after recording 1000 large values", before, after)
+	}
+
+	h2 := NewHistogram()
+	h2.RecordN(50, 10)
+	if got := h2.Quantile(0.5); got != 50 {
+		t.Fatalf("p50 = %d, want 50", got)
+	}
+	h2.Merge(h)
+	if got := h2.Quantile(0.99); got <= 50 {
+		t.Fatalf("Merge did not invalidate the quantile cache: p99 = %d", got)
+	}
+	h2.Reset()
+	if got := h2.Quantile(0.99); got != 0 {
+		t.Fatalf("Reset did not clear cached quantiles: %d", got)
+	}
+}
+
+// TestQuantileCacheCopySafe checks that copying a frozen histogram and
+// mutating the original cannot corrupt the copy's cached view: rebuilds
+// allocate a fresh slice instead of writing through the shared one.
+func TestQuantileCacheCopySafe(t *testing.T) {
+	h := NewHistogram()
+	for i := int64(1); i <= 1000; i++ {
+		h.Record(i)
+	}
+	_ = h.Quantile(0.99) // freeze
+	snapshot := *h       // shares the cum backing array
+	want := snapshot.Quantile(0.99)
+
+	for i := 0; i < 10_000; i++ {
+		h.Record(1 << 30)
+	}
+	_ = h.Quantile(0.99) // rebuild on the original
+	if got := snapshot.Quantile(0.99); got != want {
+		t.Fatalf("copied histogram's cached quantile changed after mutating the original: %d -> %d", want, got)
+	}
+}
+
+// BenchmarkSummarizeFrozen measures the render-path pattern: extract a
+// full Summary from a frozen histogram, repeatedly.
+func BenchmarkSummarizeFrozen(b *testing.B) {
+	h := NewHistogram()
+	rng := rand.New(rand.NewPCG(1, 9))
+	for i := 0; i < 100_000; i++ {
+		h.Record(int64(rng.ExpFloat64() * 25_000))
+	}
+	h.Summarize() // freeze once
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = h.Summarize()
+	}
+}

@@ -3,97 +3,107 @@ package workload
 import (
 	"math"
 	"math/rand/v2"
+	"sync"
 )
 
 // Zipf draws ranks in [0, N) with probability proportional to
 // 1/(rank+1)^S. The paper's key-value experiments use "a skewed key
 // access pattern with Zipf-0.99" over 1 million objects (§5.5).
 //
-// The implementation uses the rejection-inversion sampler of Hörmann and
-// Derflinger (the same algorithm as math/rand.Zipf), restated here for
-// math/rand/v2 which does not ship a Zipf generator.
+// Sampling uses Vose's alias method: an O(n) table built lazily on the
+// first draw, then O(1) per sample — one bounded-uniform index draw plus
+// one coin flip, with no rejection loop. This replaced the
+// Hörmann–Derflinger rejection-inversion sampler (the math/rand.Zipf
+// algorithm), whose per-draw transcendental math and variable rejection
+// count dominated the key-value hot path; the draw SEQUENCE differs from
+// the old sampler, so goldens spanning KV experiments were re-pinned
+// once (see internal/harness/compat_test.go).
 type Zipf struct {
-	n               float64
-	s               float64
-	oneMinusS       float64
-	oneOverOneMinus float64
-	hIntegralX1     float64
-	hIntegralN      float64
-	sDiv            float64
+	n uint64
+	s float64
+
+	once  sync.Once
+	prob  []float64 // alias acceptance probability per column
+	alias []uint32  // fallback rank per column
 }
 
 // NewZipf returns a Zipf generator over [0, n) with skew s. It panics if
 // n < 1 or s <= 0 or s == 1 (use a value like 0.99 or 1.01; the paper uses
-// 0.99).
+// 0.99). n is limited to 2^32 by the alias table's column type — four
+// billion keys, three orders of magnitude above the paper's keyspace.
+//
+// The alias table (12 bytes per key) is built on the first Rank call, so
+// constructing a generator stays O(1); a *Zipf shared across concurrent
+// simulation runs builds once and is read-only afterwards.
 func NewZipf(n uint64, s float64) *Zipf {
 	if n < 1 {
 		panic("workload: Zipf n must be >= 1")
 	}
+	if n > 1<<32 {
+		panic("workload: Zipf n must be <= 2^32")
+	}
 	if s <= 0 || s == 1 {
 		panic("workload: Zipf skew must be positive and != 1")
 	}
-	z := &Zipf{
-		n:               float64(n),
-		s:               s,
-		oneMinusS:       1 - s,
-		oneOverOneMinus: 1 / (1 - s),
+	return &Zipf{n: n, s: s}
+}
+
+// build constructs the Vose alias table: every column i accepts rank i
+// with probability prob[i] and falls back to rank alias[i] otherwise.
+func (z *Zipf) build() {
+	n := int(z.n)
+	w := make([]float64, n)
+	var sum float64
+	for i := range w {
+		w[i] = math.Exp(-z.s * math.Log(float64(i+1))) // (i+1)^-s
+		sum += w[i]
 	}
-	z.hIntegralX1 = z.hIntegral(1.5) - 1
-	z.hIntegralN = z.hIntegral(z.n + 0.5)
-	z.sDiv = 2 - z.hIntegralInv(z.hIntegral(2.5)-z.h(2))
-	return z
-}
-
-// hIntegral is the antiderivative of h(x) = x^-s.
-func (z *Zipf) hIntegral(x float64) float64 {
-	logX := math.Log(x)
-	return helper2(z.oneMinusS*logX) * logX
-}
-
-func (z *Zipf) h(x float64) float64 {
-	return math.Exp(-z.s * math.Log(x))
-}
-
-func (z *Zipf) hIntegralInv(x float64) float64 {
-	t := x * z.oneMinusS
-	if t < -1 {
-		t = -1
+	scale := float64(n) / sum
+	prob := make([]float64, n)
+	alias := make([]uint32, n)
+	small := make([]uint32, 0, n)
+	large := make([]uint32, 0, n)
+	for i := range w {
+		w[i] *= scale
+		if w[i] < 1 {
+			small = append(small, uint32(i))
+		} else {
+			large = append(large, uint32(i))
+		}
 	}
-	return math.Exp(helper1(t) * x)
-}
-
-// helper1 computes log1p(x)/x with a stable series for small x.
-func helper1(x float64) float64 {
-	if math.Abs(x) > 1e-8 {
-		return math.Log1p(x) / x
+	for len(small) > 0 && len(large) > 0 {
+		s := small[len(small)-1]
+		small = small[:len(small)-1]
+		l := large[len(large)-1]
+		large = large[:len(large)-1]
+		prob[s] = w[s]
+		alias[s] = l
+		w[l] += w[s] - 1
+		if w[l] < 1 {
+			small = append(small, l)
+		} else {
+			large = append(large, l)
+		}
 	}
-	return 1 - x*(0.5-x*(1.0/3.0-0.25*x))
-}
-
-// helper2 computes expm1(x)/x with a stable series for small x.
-func helper2(x float64) float64 {
-	if math.Abs(x) > 1e-8 {
-		return math.Expm1(x) / x
+	// Leftovers in either list have weight 1 up to float rounding.
+	for _, i := range large {
+		prob[i] = 1
 	}
-	return 1 + x*0.5*(1+x*(1.0/3.0)*(1+0.25*x))
+	for _, i := range small {
+		prob[i] = 1
+	}
+	z.prob, z.alias = prob, alias
 }
 
-// Rank draws one Zipf-distributed rank in [0, N). Rank 0 is the most
-// popular key.
+// Rank draws one Zipf-distributed rank in [0, N) in O(1). Rank 0 is the
+// most popular key.
 func (z *Zipf) Rank(rng *rand.Rand) uint64 {
-	for {
-		u := z.hIntegralN + rng.Float64()*(z.hIntegralX1-z.hIntegralN)
-		x := z.hIntegralInv(u)
-		k := math.Floor(x + 0.5)
-		if k < 1 {
-			k = 1
-		} else if k > z.n {
-			k = z.n
-		}
-		if k-x <= z.sDiv || u >= z.hIntegral(k+0.5)-z.h(k) {
-			return uint64(k - 1)
-		}
+	z.once.Do(z.build)
+	i := rng.Uint64N(z.n)
+	if rng.Float64() < z.prob[i] {
+		return i
 	}
+	return uint64(z.alias[i])
 }
 
 // OpKind identifies a key-value operation in the paper's application

@@ -153,6 +153,39 @@ func TestKVMixPanics(t *testing.T) {
 	NewKVMix(0.9, 0.2, 100, 0.99)
 }
 
+// TestZipfAliasTableMatchesLaw validates the alias construction
+// directly: the aggregate acceptance mass per rank must reproduce the
+// normalized 1/(i+1)^s pmf to float accuracy, without sampling noise.
+func TestZipfAliasTableMatchesLaw(t *testing.T) {
+	const n = 1000
+	const s = 0.99
+	z := NewZipf(n, s)
+	z.once.Do(z.build)
+
+	// Reconstruct each rank's probability from the table: rank i gets
+	// prob[i]/n from its own column plus (1-prob[j])/n from every column
+	// aliased to it.
+	got := make([]float64, n)
+	for i := 0; i < n; i++ {
+		got[i] += z.prob[i] / n
+		if z.prob[i] < 1 {
+			got[z.alias[i]] += (1 - z.prob[i]) / n
+		}
+	}
+	var sum float64
+	want := make([]float64, n)
+	for i := range want {
+		want[i] = math.Pow(float64(i+1), -s)
+		sum += want[i]
+	}
+	for i := range want {
+		want[i] /= sum
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Fatalf("rank %d: alias table mass %v, want pmf %v", i, got[i], want[i])
+		}
+	}
+}
+
 func TestOpKindString(t *testing.T) {
 	cases := map[OpKind]string{OpGet: "GET", OpScan: "SCAN", OpSet: "SET", OpKind(9): "UNKNOWN"}
 	for k, want := range cases {
@@ -160,4 +193,51 @@ func TestOpKindString(t *testing.T) {
 			t.Errorf("OpKind(%d).String() = %q, want %q", k, got, want)
 		}
 	}
+}
+
+// --- Sampler micro-benchmarks (tracked by scripts/bench.sh) ---
+
+// BenchmarkZipfRank measures the O(1) alias-method draw over the
+// paper's 1M-key space. Steady state allocates nothing; the table build
+// is amortized before the timer starts.
+func BenchmarkZipfRank(b *testing.B) {
+	z := NewZipf(1_000_000, 0.99)
+	rng := rand.New(rand.NewPCG(1, 2))
+	z.Rank(rng) // force the lazy table build out of the timed region
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += z.Rank(rng)
+	}
+	_ = sink
+}
+
+// BenchmarkKVMixNext measures a full operation draw: op-kind coin plus
+// alias-method key rank.
+func BenchmarkKVMixNext(b *testing.B) {
+	m := NewKVMix(0.9, 0.05, 1_000_000, 0.99)
+	rng := rand.New(rand.NewPCG(3, 4))
+	m.Next(rng)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		_, k := m.Next(rng)
+		sink += k
+	}
+	_ = sink
+}
+
+// BenchmarkPoissonGap measures the open-loop inter-arrival draw.
+func BenchmarkPoissonGap(b *testing.B) {
+	p := Poisson{RatePerSec: 1e6}
+	rng := rand.New(rand.NewPCG(5, 6))
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sink int64
+	for i := 0; i < b.N; i++ {
+		sink += p.NextGap(rng)
+	}
+	_ = sink
 }

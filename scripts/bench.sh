@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# scripts/bench.sh — the tracked benchmark pipeline (README § Benchmarking).
+#
+# Runs the alloc-reporting micro-benchmarks (engine, switch pipeline,
+# samplers, per-figure experiment benchmarks), then meters the full
+# experiment suite through netclone-bench -benchjson and writes the next
+# BENCH_<n>.json in the repository root. Committing that file is how the
+# perf trajectory is recorded; diff consecutive snapshots (or feed the
+# `go test -bench` output to benchstat) to catch regressions.
+#
+# Usage:
+#   scripts/bench.sh               # micro-benchmarks + BENCH_<n>.json
+#   scripts/bench.sh micro         # micro-benchmarks only
+#   scripts/bench.sh snapshot      # BENCH_<n>.json only
+#
+# Environment knobs:
+#   BENCH=<regex>      micro-benchmark filter        (default: the hot-path set)
+#   BENCHTIME=<t>      go test -benchtime            (default: 1s)
+#   EXPERIMENTS=<ids>  netclone-bench -run argument  (default: all)
+#   PARALLEL=<n>       snapshot parallelism; 1 gives attributable
+#                      per-point allocation counts   (default: 1)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+mode="${1:-all}"
+bench_re="${BENCH:-Engine|SwitchPipeline|ClusterSteadyState|SwitchProcess|SimulatedMillisecond|ZipfRank|KVMixNext|PoissonGap|SummarizeFrozen}"
+benchtime="${BENCHTIME:-1s}"
+experiments="${EXPERIMENTS:-all}"
+parallel="${PARALLEL:-1}"
+
+if [ "$mode" = "all" ] || [ "$mode" = "micro" ]; then
+    echo "== micro-benchmarks (-bench '$bench_re' -benchtime $benchtime)" >&2
+    go test -run '^$' -bench "$bench_re" -benchmem -benchtime "$benchtime" ./...
+fi
+
+if [ "$mode" = "all" ] || [ "$mode" = "snapshot" ]; then
+    n=1
+    while [ -e "BENCH_${n}.json" ]; do n=$((n + 1)); done
+    out="BENCH_${n}.json"
+    echo "== experiment snapshot -> $out (-run $experiments -quick -parallel $parallel)" >&2
+    go run ./cmd/netclone-bench -run "$experiments" -quick -parallel "$parallel" \
+        -benchjson "$out" >/dev/null
+    echo "wrote $out" >&2
+fi
