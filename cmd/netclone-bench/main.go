@@ -7,12 +7,20 @@
 //	netclone-bench -list
 //	netclone-bench -run fig7a
 //	netclone-bench -run all -quick
+//	netclone-bench -run 'chaos-*' -parallel 8 -timeline recovery.csv
 //	netclone-bench -run fig11a -format csv -o fig11a.csv
 //	netclone-bench -run fig7a -format json
 //	netclone-bench -run all -parallel 8
 //	netclone-bench -run fig7a -backend emu -quick -loads 0.1
 //	netclone-bench -run all -quick -benchjson BENCH_2.json
 //	netclone-bench -run fig7a -quick -cpuprofile cpu.out -memprofile mem.out
+//
+// -run accepts a single ID, the keyword "all", or a glob pattern
+// ("chaos-*", "fig1?a") matched against the experiment inventory in
+// paper order. -timeline FILE additionally dumps every timeline-shaped
+// report (fig16 and the chaos-* recovery curves — any report whose
+// x-axis is time) as one CSV of recovery curves:
+// experiment,series,time_s,throughput_mrps.
 //
 // Each experiment declares its grid of scenario points, which execute on
 // a bounded worker pool: -parallel bounds the pool size (default 0 = one
@@ -34,6 +42,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path"
 	"runtime"
 	"runtime/pprof"
 	"strconv"
@@ -70,7 +79,8 @@ func renderPlot(w io.Writer, report netclone.Report) error {
 
 func main() {
 	var (
-		runID    = flag.String("run", "", "experiment ID to run, or 'all'")
+		runID    = flag.String("run", "", "experiment ID to run, 'all', or a glob pattern like 'chaos-*'")
+		timeline = flag.String("timeline", "", "also dump timeline-shaped reports (recovery curves) as CSV to this path")
 		list     = flag.Bool("list", false, "list available experiments")
 		format   = flag.String("format", "text", "output format: text, csv, json, or plot")
 		backend  = flag.String("backend", "sim", "execution backend: sim (deterministic simulator) or emu (real-UDP loopback emulation)")
@@ -159,12 +169,9 @@ func main() {
 		w = f
 	}
 
-	ids := []string{*runID}
-	if *runID == "all" {
-		ids = ids[:0]
-		for _, e := range netclone.Experiments() {
-			ids = append(ids, e.ID)
-		}
+	ids, err := expandRunIDs(*runID)
+	if err != nil {
+		fatal(err)
 	}
 
 	if *cpuProfile != "" {
@@ -200,6 +207,7 @@ func main() {
 		}
 	}
 
+	var curves []netclone.Report // timeline-shaped reports for -timeline
 	for _, id := range ids {
 		if *progress {
 			opts.Progress = func(done, total int) {
@@ -231,6 +239,9 @@ func main() {
 			}
 			fatal(fmt.Errorf("%s: %w", id, err))
 		}
+		if *timeline != "" && report.XLabel == "Time (s)" {
+			curves = append(curves, report)
+		}
 		switch *format {
 		case "csv":
 			err = netclone.RenderCSV(w, report)
@@ -244,6 +255,16 @@ func main() {
 		}
 		if err != nil {
 			fatal(err)
+		}
+	}
+
+	if *timeline != "" {
+		if len(curves) == 0 {
+			fmt.Fprintf(os.Stderr, "netclone-bench: -timeline: no timeline-shaped report among %v (fig16 and chaos-* produce them)\n", ids)
+		} else if err := writeTimelineCSV(*timeline, curves); err != nil {
+			fatal(err)
+		} else {
+			fmt.Fprintf(os.Stderr, "netclone-bench: wrote %d recovery curve(s) to %s\n", countSeries(curves), *timeline)
 		}
 	}
 
@@ -273,6 +294,67 @@ func main() {
 			fatal(err)
 		}
 	}
+}
+
+// expandRunIDs resolves the -run argument: a single ID passes through,
+// "all" expands to the whole inventory, and a glob pattern ("chaos-*")
+// selects the matching experiments in paper order.
+func expandRunIDs(pattern string) ([]string, error) {
+	if pattern == "all" {
+		var ids []string
+		for _, e := range netclone.Experiments() {
+			ids = append(ids, e.ID)
+		}
+		return ids, nil
+	}
+	if !strings.ContainsAny(pattern, "*?[") {
+		return []string{pattern}, nil
+	}
+	var ids []string
+	for _, e := range netclone.Experiments() {
+		ok, err := path.Match(pattern, e.ID)
+		if err != nil {
+			return nil, fmt.Errorf("bad -run pattern %q: %w", pattern, err)
+		}
+		if ok {
+			ids = append(ids, e.ID)
+		}
+	}
+	if len(ids) == 0 {
+		return nil, fmt.Errorf("-run pattern %q matches no experiment (see -list)", pattern)
+	}
+	return ids, nil
+}
+
+// writeTimelineCSV dumps every timeline-shaped report as one flat CSV
+// of recovery curves, one row per (experiment, series, bin).
+func writeTimelineCSV(file string, curves []netclone.Report) error {
+	f, err := os.Create(file)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if _, err := fmt.Fprintln(f, "experiment,series,time_s,throughput_mrps"); err != nil {
+		return err
+	}
+	for _, r := range curves {
+		for _, s := range r.Series {
+			for _, p := range s.Points {
+				if _, err := fmt.Fprintf(f, "%s,%s,%v,%v\n", r.ID, s.Label, p.X, p.Y); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func countSeries(curves []netclone.Report) int {
+	n := 0
+	for _, r := range curves {
+		n += len(r.Series)
+	}
+	return n
 }
 
 func parseLoads(s string) ([]float64, error) {

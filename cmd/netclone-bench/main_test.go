@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"os"
 	"testing"
 
 	"netclone"
@@ -50,5 +51,52 @@ func TestRenderPlotTableFallsBackToText(t *testing.T) {
 	}
 	if !bytes.Contains(buf.Bytes(), []byte("a")) {
 		t.Error("table fallback missing content")
+	}
+}
+
+func TestExpandRunIDs(t *testing.T) {
+	ids, err := expandRunIDs("chaos-*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 3 || ids[0] != "chaos-straggler" || ids[1] != "chaos-lossburst" || ids[2] != "chaos-rollingcrash" {
+		t.Fatalf("chaos-* expanded to %v, want the chaos family in paper order", ids)
+	}
+	if ids, err = expandRunIDs("fig7?"); err != nil || len(ids) != 4 {
+		t.Fatalf("fig7? expanded to %v (%v), want the four fig7 panels", ids, err)
+	}
+	if ids, err = expandRunIDs("fig16"); err != nil || len(ids) != 1 || ids[0] != "fig16" {
+		t.Fatalf("plain ID mangled: %v (%v)", ids, err)
+	}
+	if ids, err = expandRunIDs("all"); err != nil || len(ids) != len(netclone.Experiments()) {
+		t.Fatalf("all expanded to %d ids (%v), want the whole inventory", len(ids), err)
+	}
+	if _, err = expandRunIDs("nope-*"); err == nil {
+		t.Error("pattern matching nothing accepted")
+	}
+	if _, err = expandRunIDs("ba[d"); err == nil {
+		t.Error("malformed pattern accepted")
+	}
+}
+
+func TestWriteTimelineCSV(t *testing.T) {
+	file := t.TempDir() + "/curves.csv"
+	curves := []netclone.Report{{
+		ID: "chaos-demo", XLabel: "Time (s)",
+		Series: []netclone.ReportSeries{{
+			Label:  "NetClone",
+			Points: []netclone.ReportPoint{{X: 0, Y: 1.5}, {X: 0.5, Y: 0.2}},
+		}},
+	}}
+	if err := writeTimelineCSV(file, curves); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(file)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "experiment,series,time_s,throughput_mrps\nchaos-demo,NetClone,0,1.5\nchaos-demo,NetClone,0.5,0.2\n"
+	if string(got) != want {
+		t.Errorf("timeline CSV = %q, want %q", got, want)
 	}
 }

@@ -1,0 +1,94 @@
+// Chaos example: a declarative fault plan and its recovery curve.
+//
+// Builds one fault plan against the paper's testbed — a straggling
+// server ramping to 4x service times, then a decaying loss burst, then
+// a full server crash — attaches it to a Scenario with WithFaults, and
+// runs it on the simulator. The run reports the executed fault windows,
+// the degraded-window tail (Result.Faults.Degraded), and the
+// throughput-vs-time recovery curve, the same machinery behind the
+// chaos-* experiments (netclone-bench -run 'chaos-*' -timeline out.csv).
+//
+//	go run ./examples/chaos [-quick]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+	"time"
+
+	"netclone"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "reduced fidelity (CI smoke): 10x shorter timeline")
+	flag.Parse()
+	unit := 20 * time.Millisecond // one timeline bin
+	if *quick {
+		unit = 2 * time.Millisecond
+	}
+
+	// The fault schedule, in timeline bins: a straggler across bins
+	// 3..7, a decaying loss burst across 9..12, a server crash across
+	// 14..17. The run spans 20 bins.
+	plan := netclone.NewFaultPlan(
+		netclone.FaultServerSlowdown(0, 3*unit, 7*unit, 4, unit),
+		netclone.FaultLossRamp(9*unit, 12*unit, 0.5, 0.05),
+		netclone.FaultServerCrash(1, 14*unit, 17*unit),
+	)
+
+	sc := netclone.NewScenario(
+		netclone.WithScheme(netclone.NetClone),
+		netclone.WithServers(6, 16),
+		netclone.WithWorkload(netclone.WithJitter(netclone.Exp(25), 0.01)),
+		netclone.WithOfferedLoad(1.5e6),
+		netclone.WithWindow(0, 20*time.Duration(unit)),
+		netclone.WithSeed(9),
+		netclone.WithTimeline(unit),
+		netclone.WithFaults(plan),
+	)
+	if err := sc.Validate(); err != nil {
+		log.Fatal(err)
+	}
+
+	res, err := netclone.Sim().Run(sc)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("Chaos plan on the paper testbed: straggler -> loss burst -> server crash")
+	fmt.Println()
+	fmt.Println("Executed fault windows:")
+	for _, w := range res.Faults.Windows {
+		fmt.Printf("  %-16s target=%-2d [%5.0fms, %5.0fms)\n",
+			w.Kind, w.Target, float64(w.FromNS)/1e6, float64(w.UntilNS)/1e6)
+	}
+
+	fmt.Println()
+	fmt.Println("Throughput recovery curve (one bar = one bin):")
+	rates := res.Timeline.Rate()
+	peak := 0.0
+	for _, r := range rates {
+		if r > peak {
+			peak = r
+		}
+	}
+	for i, r := range rates[:min(len(rates), 20)] {
+		bar := ""
+		if peak > 0 {
+			bar = strings.Repeat("#", int(40*r/peak))
+		}
+		fmt.Printf("  %5.0fms %8.2f MRPS %s\n", float64(i)*float64(unit)/float64(time.Millisecond), r/1e6, bar)
+	}
+
+	f := res.Faults
+	fmt.Println()
+	fmt.Printf("Degraded windows: %d completions, p99 %.1fus (whole run p99 %.1fus)\n",
+		f.DegradedCompleted, float64(f.Degraded.P99)/1e3, float64(res.Latency.P99)/1e3)
+	fmt.Printf("Dropped at down components: %d packets; lost to the burst: %d packets\n",
+		f.DroppedPackets, res.LostPackets)
+	fmt.Println()
+	fmt.Println("The same plan vocabulary drives the chaos-* experiment family:")
+	fmt.Println("  go run ./cmd/netclone-bench -run 'chaos-*' -quick -timeline recovery.csv")
+}

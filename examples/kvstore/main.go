@@ -7,10 +7,11 @@
 // Baseline, C-Clone, and NetClone. SCANs read 100 objects, so a small
 // SCAN share dominates service time.
 //
-//	go run ./examples/kvstore
+//	go run ./examples/kvstore [-quick]
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 	"time"
@@ -19,6 +20,13 @@ import (
 )
 
 func main() {
+	quick := flag.Bool("quick", false, "reduced fidelity (CI smoke): 10x shorter windows")
+	flag.Parse()
+	warmup, window := 50*time.Millisecond, 200*time.Millisecond
+	if *quick {
+		warmup, window = 5*time.Millisecond, 20*time.Millisecond
+	}
+
 	model := netclone.RedisModel()
 
 	mixes := []struct {
@@ -38,7 +46,7 @@ func main() {
 		base := netclone.NewScenario(
 			netclone.WithServers(6, 8),
 			netclone.WithKVWorkload(netclone.NewKVMix(m.pGet, m.pScan, 1_000_000, 0.99), model),
-			netclone.WithWindow(50*time.Millisecond, 200*time.Millisecond),
+			netclone.WithWindow(warmup, window),
 			netclone.WithSeed(2),
 		)
 		for _, scheme := range []netclone.Scheme{netclone.Baseline, netclone.CClone, netclone.NetClone} {

@@ -10,10 +10,11 @@
 // layer adds only fixed path cost — the tail is still queueing and
 // service variability, which cloning masks.
 //
-//	go run ./examples/multirack
+//	go run ./examples/multirack [-quick]
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 	"time"
@@ -22,12 +23,19 @@ import (
 )
 
 func main() {
+	quick := flag.Bool("quick", false, "reduced fidelity (CI smoke): 10x shorter windows")
+	flag.Parse()
+	warmup, window := 50*time.Millisecond, 200*time.Millisecond
+	if *quick {
+		warmup, window = 5*time.Millisecond, 20*time.Millisecond
+	}
+
 	base := netclone.NewScenario(
 		netclone.WithScheme(netclone.NetClone),
 		netclone.WithServers(6, 16),
 		netclone.WithWorkload(netclone.WithJitter(netclone.Exp(25), 0.01)),
 		netclone.WithOfferedLoad(1e6),
-		netclone.WithWindow(50*time.Millisecond, 200*time.Millisecond),
+		netclone.WithWindow(warmup, window),
 		netclone.WithSeed(4),
 		netclone.WithBreakdownSampling(10),
 	)

@@ -7,10 +7,11 @@
 // the tail latency of random forwarding (Baseline) against in-switch
 // dynamic cloning (NetClone) at a moderate load.
 //
-//	go run ./examples/quickstart
+//	go run ./examples/quickstart [-quick]
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 	"time"
@@ -19,11 +20,18 @@ import (
 )
 
 func main() {
+	quick := flag.Bool("quick", false, "reduced fidelity (CI smoke): 10x shorter windows")
+	flag.Parse()
+	warmup, window := 50*time.Millisecond, 200*time.Millisecond
+	if *quick {
+		warmup, window = 5*time.Millisecond, 20*time.Millisecond
+	}
+
 	base := netclone.NewScenario(
 		netclone.WithServers(6, 16),
 		netclone.WithWorkload(netclone.WithJitter(netclone.Exp(25), 0.01)),
 		netclone.WithOfferedLoad(1e6),
-		netclone.WithWindow(50*time.Millisecond, 200*time.Millisecond),
+		netclone.WithWindow(warmup, window),
 		netclone.WithSeed(1),
 	)
 

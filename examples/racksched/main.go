@@ -8,10 +8,11 @@
 // still clones whenever both candidates are idle. The heterogeneous
 // topology is declared once with WithTopology and shared by every run.
 //
-//	go run ./examples/racksched
+//	go run ./examples/racksched [-quick]
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 	"time"
@@ -20,10 +21,17 @@ import (
 )
 
 func main() {
+	quick := flag.Bool("quick", false, "reduced fidelity (CI smoke): 10x shorter windows")
+	flag.Parse()
+	warmup, window := 50*time.Millisecond, 200*time.Millisecond
+	if *quick {
+		warmup, window = 5*time.Millisecond, 20*time.Millisecond
+	}
+
 	base := netclone.NewScenario(
 		netclone.WithTopology(15, 15, 15, 8, 8, 8),
 		netclone.WithWorkload(netclone.WithJitter(netclone.Exp(25), 0.01)),
-		netclone.WithWindow(50*time.Millisecond, 200*time.Millisecond),
+		netclone.WithWindow(warmup, window),
 		netclone.WithSeed(3),
 	)
 

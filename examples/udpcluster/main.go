@@ -20,10 +20,11 @@
 // microsecond effects — which is exactly why the paper figures come
 // from Sim and the protocol proof from Emu.
 //
-//	go run ./examples/udpcluster
+//	go run ./examples/udpcluster [-quick]
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 	"time"
@@ -32,13 +33,20 @@ import (
 )
 
 func main() {
+	quick := flag.Bool("quick", false, "reduced fidelity (CI smoke): a short send window")
+	flag.Parse()
+	window := 2 * time.Second
+	if *quick {
+		window = 300 * time.Millisecond
+	}
+
 	sc := netclone.NewScenario(
 		netclone.WithScheme(netclone.NetClone),
 		netclone.WithTopology(4, 4, 4),
 		netclone.WithClients(1),
 		netclone.WithKVWorkload(netclone.NewKVMix(0.99, 0.01, 50_000, 0.99), netclone.RedisModel()),
 		netclone.WithOfferedLoad(2000),
-		netclone.WithWindow(0, 2*time.Second),
+		netclone.WithWindow(0, window),
 		netclone.WithSeed(7),
 	)
 	if err := sc.Validate(); err != nil {

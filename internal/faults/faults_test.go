@@ -1,0 +1,236 @@
+package faults
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+var testCluster = Cluster{Servers: 6, Coordinators: 2}
+
+// TestValidateAcceptsWellFormed covers one well-formed injection of
+// every kind, including Forever windows and a zero-ramp slowdown.
+func TestValidateAcceptsWellFormed(t *testing.T) {
+	p := New(
+		ServerCrash(0, 10*time.Millisecond, 20*time.Millisecond),
+		ServerCrash(1, 30*time.Millisecond, Forever),
+		ServerSlowdown(2, 5*time.Millisecond, 50*time.Millisecond, 4, 10*time.Millisecond),
+		ServerSlowdown(3, 0, Forever, 2, 0),
+		Loss(0, 50*time.Millisecond, 0.01),
+		LossRamp(60*time.Millisecond, 80*time.Millisecond, 0.5, 0),
+		Jitter(10*time.Millisecond, 90*time.Millisecond, 50*time.Microsecond),
+		CoordinatorCrash(1, 40*time.Millisecond, 45*time.Millisecond),
+		SwitchOutage(95*time.Millisecond, 99*time.Millisecond),
+	)
+	if err := p.Validate(testCluster); err != nil {
+		t.Fatalf("well-formed plan rejected: %v", err)
+	}
+}
+
+// TestValidateRejections is the table-driven pass over every rejection
+// rule: fields, windows, targets, and same-kind overlap contradictions.
+func TestValidateRejections(t *testing.T) {
+	cases := []struct {
+		name string
+		plan *Plan
+		want string
+	}{
+		{
+			name: "negative start",
+			plan: New(Loss(-time.Millisecond, time.Second, 0.1)),
+			want: "starts at",
+		},
+		{
+			name: "crash recovery before failure",
+			plan: New(ServerCrash(0, 2*time.Second, time.Second)),
+			want: "not after failure",
+		},
+		{
+			name: "crash recovery equals failure",
+			plan: New(ServerCrash(0, time.Second, time.Second)),
+			want: "not after failure",
+		},
+		{
+			name: "switch outage without recovery",
+			plan: New(SwitchOutage(time.Second, 0)),
+			want: "recovery",
+		},
+		{
+			name: "empty loss window",
+			plan: New(Loss(time.Second, time.Second, 0.1)),
+			want: "not after its start",
+		},
+		{
+			name: "server target out of range",
+			plan: New(ServerCrash(6, 0, time.Second)),
+			want: "servers 0..5",
+		},
+		{
+			name: "negative server target",
+			plan: New(ServerSlowdown(-1, 0, time.Second, 2, 0)),
+			want: "servers 0..5",
+		},
+		{
+			name: "coordinator target out of range",
+			plan: New(CoordinatorCrash(2, 0, time.Second)),
+			want: "coordinators 0..1",
+		},
+		{
+			name: "slowdown factor zero",
+			plan: New(ServerSlowdown(0, 0, time.Second, 0, 0)),
+			want: "factor",
+		},
+		{
+			name: "slowdown ramp longer than window",
+			plan: New(ServerSlowdown(0, 0, time.Second, 2, 2*time.Second)),
+			want: "ramp",
+		},
+		{
+			name: "loss probability negative",
+			plan: New(Loss(0, time.Second, -0.1)),
+			want: "loss probability",
+		},
+		{
+			name: "loss probability one",
+			plan: New(Loss(0, time.Second, 1)),
+			want: "loss probability",
+		},
+		{
+			name: "loss ramp endpoint out of range",
+			plan: New(LossRamp(0, time.Second, 0.5, 1.5)),
+			want: "loss probability",
+		},
+		{
+			name: "jitter without extra delay",
+			plan: New(Jitter(0, time.Second, 0)),
+			want: "jitter",
+		},
+		{
+			name: "unknown kind",
+			plan: New(Injection{Kind: kindCount, Target: -1, UntilNS: 1}),
+			want: "unknown fault kind",
+		},
+		{
+			name: "overlapping crashes on one server",
+			plan: New(
+				ServerCrash(0, time.Second, 3*time.Second),
+				ServerCrash(0, 2*time.Second, 4*time.Second),
+			),
+			want: "overlap",
+		},
+		{
+			name: "overlapping loss windows",
+			plan: New(
+				Loss(0, Forever, 0.01),
+				LossRamp(time.Second, 2*time.Second, 0.5, 0.1),
+			),
+			want: "overlap",
+		},
+		{
+			name: "overlapping switch outages declared out of order",
+			plan: New(
+				SwitchOutage(5*time.Second, 9*time.Second),
+				SwitchOutage(time.Second, 6*time.Second),
+			),
+			want: "overlap",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.plan.Validate(testCluster)
+			if err == nil {
+				t.Fatalf("invalid plan accepted: %+v", tc.plan.Injections())
+			}
+			if !strings.HasPrefix(err.Error(), "faults: ") {
+				t.Errorf("error %q missing the uniform prefix", err)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestCoordinatorFaultNeedsTier pins the scheme contradiction: a
+// coordinator crash in a cluster without a coordinator tier is
+// rejected with a message naming LAEDGE.
+func TestCoordinatorFaultNeedsTier(t *testing.T) {
+	p := New(CoordinatorCrash(0, 0, time.Second))
+	err := p.Validate(Cluster{Servers: 6})
+	if err == nil || !strings.Contains(err.Error(), "LAEDGE") {
+		t.Fatalf("coordinator fault without tier not rejected usefully: %v", err)
+	}
+}
+
+// TestNonOverlappingSameTargetAccepted: adjacent windows (end == next
+// start) are not a contradiction.
+func TestNonOverlappingSameTargetAccepted(t *testing.T) {
+	p := New(
+		ServerCrash(0, time.Second, 2*time.Second),
+		ServerCrash(0, 2*time.Second, 3*time.Second),
+		Loss(0, time.Second, 0.1),
+		Loss(time.Second, 2*time.Second, 0.2),
+	)
+	if err := p.Validate(testCluster); err != nil {
+		t.Fatalf("adjacent windows rejected: %v", err)
+	}
+}
+
+// TestSameKindDifferentTargetsAccepted: concurrent crashes of distinct
+// servers are a legitimate chaos shape.
+func TestSameKindDifferentTargetsAccepted(t *testing.T) {
+	p := New(
+		ServerCrash(0, time.Second, 3*time.Second),
+		ServerCrash(1, 2*time.Second, 4*time.Second),
+	)
+	if err := p.Validate(testCluster); err != nil {
+		t.Fatalf("concurrent crashes of distinct servers rejected: %v", err)
+	}
+}
+
+// TestPlanImmutability checks With derives without mutating the
+// receiver, including the nil receiver.
+func TestPlanImmutability(t *testing.T) {
+	base := New(Loss(0, Forever, 0.01))
+	ext := base.With(SwitchOutage(time.Second, 2*time.Second))
+	if base.Len() != 1 || ext.Len() != 2 {
+		t.Fatalf("With mutated the receiver: base %d, ext %d", base.Len(), ext.Len())
+	}
+	var nilPlan *Plan
+	if got := nilPlan.With(Loss(0, Forever, 0.5)); got.Len() != 1 {
+		t.Fatalf("nil.With built %d injections, want 1", got.Len())
+	}
+	if !nilPlan.Empty() || nilPlan.Len() != 0 || nilPlan.Injections() != nil {
+		t.Fatal("nil plan is not the empty plan")
+	}
+	inj := base.Injections()
+	inj[0].StartProb = 0.9
+	if base.Injections()[0].StartProb != 0.01 {
+		t.Fatal("Injections returned an aliased slice")
+	}
+}
+
+// TestWindowsMergesIntervals checks the degraded-interval union:
+// overlapping and nested windows merge, disjoint ones stay separate,
+// order of declaration is irrelevant.
+func TestWindowsMergesIntervals(t *testing.T) {
+	p := New(
+		SwitchOutage(50*time.Millisecond, 60*time.Millisecond),
+		ServerCrash(0, 10*time.Millisecond, 30*time.Millisecond),
+		ServerSlowdown(1, 20*time.Millisecond, 40*time.Millisecond, 2, 0),
+		Loss(25*time.Millisecond, 28*time.Millisecond, 0.1), // nested
+	)
+	got := p.Windows()
+	want := [][2]int64{{10e6, 40e6}, {50e6, 60e6}}
+	if len(got) != len(want) {
+		t.Fatalf("Windows() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Windows()[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	if New().Windows() != nil {
+		t.Error("empty plan has windows")
+	}
+}

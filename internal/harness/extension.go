@@ -15,6 +15,11 @@ import (
 func init() {
 	registerExtMultiRack()
 	registerExtLoss()
+	// The chaos family registers here — this init runs after
+	// experiments.go's (file order), so chaos-* appends after every
+	// paper artifact, ablation, and extension, keeping the golden file
+	// append-only.
+	registerChaos()
 }
 
 // ext-multirack: the §3.7 multi-rack deployment. The client-side ToR

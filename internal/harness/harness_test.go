@@ -19,6 +19,7 @@ var expectedIDs = []string{
 	"fig15", "fig16",
 	"abl-clonedrop", "abl-grouporder", "abl-filtertables", "abl-coordcost", "abl-multicoord",
 	"ext-multirack", "ext-loss",
+	"chaos-straggler", "chaos-lossburst", "chaos-rollingcrash",
 }
 
 func TestRegistryComplete(t *testing.T) {

@@ -6,6 +6,7 @@ import (
 	"testing"
 	"time"
 
+	"netclone/internal/faults"
 	"netclone/internal/simcluster"
 	"netclone/internal/workload"
 )
@@ -99,7 +100,9 @@ func TestEmuRejectsSimOnlyFeatures(t *testing.T) {
 		{"LAEDGE", base.With(WithScheme(simcluster.LAEDGE)), "coordinator"},
 		{"multirack", base.With(WithMultiRack(time.Microsecond)), "multi-rack"},
 		{"loss", base.With(WithLoss(0.01)), "loss"},
-		{"switch failure", base.With(WithSwitchFailure(time.Millisecond, 2*time.Millisecond)), "failure"},
+		{"switch failure", base.With(WithSwitchFailure(time.Millisecond, 2*time.Millisecond)), "switch-outage"},
+		{"fault plan", base.With(WithFaults(faults.New(
+			faults.ServerCrash(0, time.Millisecond, 2*time.Millisecond)))), "server-crash"},
 		{"timeline", base.With(WithTimeline(time.Millisecond)), "timeline"},
 		{"sampling", base.With(WithBreakdownSampling(5)), "sampling"},
 		{"no clone guard", base.With(WithoutCloneDropGuard()), "guard"},

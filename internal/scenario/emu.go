@@ -3,6 +3,7 @@ package scenario
 import (
 	"errors"
 	"fmt"
+	"strings"
 	"time"
 
 	"netclone/internal/dataplane"
@@ -214,6 +215,13 @@ func (b *emuBackend) checkSupported(cfg simcluster.Config) error {
 		return fmt.Errorf("emu backend: the LAEDGE scheme needs a coordinator process the emulation does not provide (%w); use Sim(), or Baseline/CClone/NetClone* schemes here", ErrSimOnly)
 	case cfg.MultiRack:
 		return reject("multi-rack deployment (WithMultiRack)")
+	case !cfg.Faults.Empty():
+		kinds := make([]string, 0, cfg.Faults.Len())
+		for _, in := range cfg.Faults.Injections() {
+			kinds = append(kinds, in.Kind.String())
+		}
+		return reject(fmt.Sprintf("fault injection (%s; WithFaults/WithLoss/WithSwitchFailure)",
+			strings.Join(kinds, ", ")))
 	case cfg.LossProb > 0:
 		return reject("loss injection (WithLoss)")
 	case cfg.SwitchFailAtNS > 0:

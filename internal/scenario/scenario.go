@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"time"
 
+	"netclone/internal/faults"
 	"netclone/internal/kvstore"
 	"netclone/internal/simcluster"
 	"netclone/internal/workload"
@@ -189,19 +190,47 @@ func WithFilter(tables, slots int) Option {
 // ---------------------------------------------------------------------
 // Faults
 
+// WithFaults sets the scenario's declarative fault plan (internal/
+// faults): typed, time-scheduled injections — server crash/recover,
+// service-time stragglers, time-varying loss windows, link jitter,
+// coordinator failures, and switch outages — executed by the simulator
+// through its typed event engine. It replaces any previously composed
+// plan, including entries added by the WithLoss / WithSwitchFailure
+// wrappers; an empty (or nil) plan is byte-identical to no plan at
+// all. Sim only.
+func WithFaults(plan *faults.Plan) Option {
+	return func(s *Scenario) { s.cfg.Faults = plan }
+}
+
+// WithFaultInjections appends injections to the scenario's fault plan,
+// composing with whatever plan is already set. Sim only.
+func WithFaultInjections(inj ...faults.Injection) Option {
+	return func(s *Scenario) { s.cfg.Faults = s.cfg.Faults.With(inj...) }
+}
+
 // WithLoss drops each link traversal independently with probability p —
-// the §3.6 dropped-messages failure model. Sim only.
+// the §3.6 dropped-messages failure model. A thin wrapper over a
+// one-entry fault plan (a constant whole-run loss window), bit-identical
+// to the pre-plan hard-coded knob. Sim only.
 func WithLoss(p float64) Option {
-	return func(s *Scenario) { s.cfg.LossProb = p }
+	return WithFaultInjections(faults.Loss(0, faults.Forever, p))
 }
 
 // WithSwitchFailure stops the switch (dropping all packets and its soft
-// state) during [failAt, recoverAt) — the Fig 16 experiment. Sim only.
+// state) during [failAt, recoverAt) — the Fig 16 experiment. A thin
+// wrapper over a one-entry fault plan (faults.SwitchOutage) that keeps
+// the legacy zero semantics: both times zero means unset (no-op), and a
+// half-set window is the same validation error as before, not an
+// outage from t = 0 — use faults.SwitchOutage directly for that. Sim
+// only.
 func WithSwitchFailure(failAt, recoverAt time.Duration) Option {
-	return func(s *Scenario) {
-		s.cfg.SwitchFailAtNS = failAt.Nanoseconds()
-		s.cfg.SwitchRecoverAtNS = recoverAt.Nanoseconds()
+	if failAt <= 0 || recoverAt <= 0 {
+		return func(s *Scenario) {
+			s.cfg.SwitchFailAtNS = failAt.Nanoseconds()
+			s.cfg.SwitchRecoverAtNS = recoverAt.Nanoseconds()
+		}
 	}
+	return WithFaultInjections(faults.SwitchOutage(failAt, recoverAt))
 }
 
 // ---------------------------------------------------------------------
@@ -288,6 +317,14 @@ func (s *Scenario) Validate() error {
 	}
 	if cfg.NumCoordinators > 0 && cfg.Scheme != simcluster.LAEDGE {
 		return fmt.Errorf("scenario: %d coordinators declared but scheme %s has no coordinator tier; WithCoordinators applies to LAEDGE only", cfg.NumCoordinators, cfg.Scheme)
+	}
+	if !cfg.Faults.Empty() {
+		if err := cfg.Faults.Validate(faults.Cluster{
+			Servers:      len(cfg.Workers),
+			Coordinators: cfg.CoordinatorTier(),
+		}); err != nil {
+			return fmt.Errorf("scenario: invalid fault plan: %w", err)
+		}
 	}
 	return nil
 }

@@ -5,6 +5,7 @@ import (
 	"testing"
 	"time"
 
+	"netclone/internal/faults"
 	"netclone/internal/kvstore"
 	"netclone/internal/simcluster"
 	"netclone/internal/workload"
@@ -109,14 +110,59 @@ func TestValidateRejections(t *testing.T) {
 			want: "loss probability",
 		},
 		{
+			name: "loss probability negative",
+			sc:   New(validBase()...).With(WithLoss(-0.1)),
+			want: "loss probability",
+		},
+		{
+			name: "legacy config loss probability above one",
+			sc:   FromConfig(simcluster.Config{LossProb: 1.5}).With(validBase()...),
+			want: "loss probability",
+		},
+		{
 			name: "switch failure without recovery",
 			sc:   New(validBase()...).With(WithSwitchFailure(time.Second, 0)),
 			want: "recovery",
 		},
 		{
+			name: "switch recovery without failure",
+			sc:   New(validBase()...).With(WithSwitchFailure(0, time.Second)),
+			want: "both",
+		},
+		{
 			name: "switch recovery before failure",
 			sc:   New(validBase()...).With(WithSwitchFailure(2*time.Second, time.Second)),
 			want: "not after failure",
+		},
+		{
+			name: "switch recovery equals failure",
+			sc:   New(validBase()...).With(WithSwitchFailure(time.Second, time.Second)),
+			want: "not after failure",
+		},
+		{
+			name: "fault plan crash target out of range",
+			sc: New(validBase()...).With(WithFaults(faults.New(
+				faults.ServerCrash(6, time.Millisecond, 2*time.Millisecond)))),
+			want: "servers 0..5",
+		},
+		{
+			name: "fault plan overlapping crashes",
+			sc: New(validBase()...).With(WithFaults(faults.New(
+				faults.ServerCrash(0, time.Millisecond, 5*time.Millisecond),
+				faults.ServerCrash(0, 2*time.Millisecond, 6*time.Millisecond)))),
+			want: "overlap",
+		},
+		{
+			name: "fault plan coordinator crash without LAEDGE",
+			sc: New(validBase()...).With(WithFaults(faults.New(
+				faults.CoordinatorCrash(0, time.Millisecond, 2*time.Millisecond)))),
+			want: "LAEDGE",
+		},
+		{
+			name: "fault plan slowdown factor zero",
+			sc: New(validBase()...).With(WithFaults(faults.New(
+				faults.ServerSlowdown(0, 0, time.Millisecond, 0, 0)))),
+			want: "factor",
 		},
 		{
 			name: "multirack LAEDGE",
@@ -190,11 +236,18 @@ func TestOptionMapping(t *testing.T) {
 		cfg.Seed != 99 ||
 		cfg.Cal.LinkDelayNS != 777 ||
 		cfg.FilterTables != 4 || cfg.FilterSlots != 1<<9 ||
-		cfg.LossProb != 0.01 ||
 		cfg.TimelineBinNS != 1e6 ||
 		cfg.SampleEvery != 10 ||
 		!cfg.DisableServerCloneDrop || !cfg.SingleOrderingGroups {
 		t.Fatalf("option mapping wrong: %+v", cfg)
+	}
+	// WithLoss is a thin wrapper over a one-entry fault plan: a
+	// constant whole-run loss window.
+	inj := cfg.Faults.Injections()
+	if len(inj) != 1 || inj[0].Kind != faults.KindLoss ||
+		inj[0].StartProb != 0.01 || inj[0].EndProb != 0.01 ||
+		inj[0].FromNS != 0 || inj[0].UntilNS != int64(faults.Forever) {
+		t.Fatalf("WithLoss plan mapping wrong: %+v", inj)
 	}
 
 	mr := New(WithMultiRack(3 * time.Microsecond)).Config()
@@ -202,8 +255,21 @@ func TestOptionMapping(t *testing.T) {
 		t.Fatalf("multi-rack mapping wrong: %+v", mr)
 	}
 	fail := New(WithSwitchFailure(time.Second, 2*time.Second)).Config()
-	if fail.SwitchFailAtNS != 1e9 || fail.SwitchRecoverAtNS != 2e9 {
-		t.Fatalf("switch-failure mapping wrong: %+v", fail)
+	fi := fail.Faults.Injections()
+	if len(fi) != 1 || fi[0].Kind != faults.KindSwitchOutage ||
+		fi[0].FromNS != 1e9 || fi[0].UntilNS != 2e9 {
+		t.Fatalf("switch-failure plan mapping wrong: %+v", fi)
+	}
+	// The legacy two-zero call keeps its "unset" meaning.
+	if !New(WithSwitchFailure(0, 0)).Config().Faults.Empty() {
+		t.Fatal("WithSwitchFailure(0, 0) produced a plan entry")
+	}
+	// WithFaults replaces, WithFaultInjections composes.
+	plan := faults.New(faults.ServerCrash(0, time.Millisecond, 2*time.Millisecond))
+	composed := New(WithLoss(0.5), WithFaults(plan), WithFaultInjections(faults.Jitter(0, time.Second, time.Microsecond))).Config()
+	ci := composed.Faults.Injections()
+	if len(ci) != 2 || ci[0].Kind != faults.KindServerCrash || ci[1].Kind != faults.KindJitter {
+		t.Fatalf("WithFaults/WithFaultInjections composition wrong: %+v", ci)
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"math/rand/v2"
 
 	"netclone/internal/dataplane"
+	"netclone/internal/faults"
 	"netclone/internal/simnet"
 	"netclone/internal/stats"
 	"netclone/internal/wire"
@@ -16,12 +17,13 @@ import (
 // are recycled through the cluster's freelist (pool.go); see there for
 // the lifecycle rules.
 type packet struct {
-	hdr     wire.Header
-	op      workload.OpKind
-	sentAt  int64 // request creation time at the client
-	direct  bool  // bypass NetClone processing (write requests, §5.5)
-	coordID int   // owning LÆDGE coordinator (multi-coordinator scale-out)
-	trace   *reqTrace
+	hdr      wire.Header
+	op       workload.OpKind
+	sentAt   int64  // request creation time at the client
+	direct   bool   // bypass NetClone processing (write requests, §5.5)
+	coordID  int    // owning LÆDGE coordinator (multi-coordinator scale-out)
+	srvEpoch uint32 // owning server's crash epoch at admission (fault model)
+	trace    *reqTrace
 }
 
 // pktFIFO is an allocation-stable FIFO of packets: pops advance a head
@@ -75,13 +77,27 @@ type cluster struct {
 
 	// Per-hop delay sums and window bounds, hoisted out of the per-event
 	// inner loops at build time (they are constants for the whole run).
-	dSwLink    int64 // switch pass + one link hop
-	dSwRecirc  int64 // switch pass + recirculation loopback
-	dSwAgg     int64 // switch pass + aggregation-layer hop (multi-rack)
-	winStart   int64 // measurement window [winStart, winEnd)
-	winEnd     int64
-	isLaedge   bool
+	dSwLink   int64 // switch pass + one link hop
+	dSwRecirc int64 // switch pass + recirculation loopback
+	dSwAgg    int64 // switch pass + aggregation-layer hop (multi-rack)
+	winStart  int64 // measurement window [winStart, winEnd)
+	winEnd    int64
+	isLaedge  bool
+
+	// Loss-window state, owned by the fault controller: inside a
+	// window each link traversal drops with probability
+	// lossBase + lossSlope*(now - lossFromNS) — slope 0 is the legacy
+	// constant model, bit-identical draw for draw.
 	lossActive bool
+	lossBase   float64
+	lossSlope  float64
+	lossFromNS int64
+
+	// Jitter-window state: inside a window each jittered link
+	// traversal pays an extra uniform delay in [0, jitterMaxNS].
+	jitterActive bool
+	jitterMaxNS  int64
+	jitterRNG    *rand.Rand // non-nil only when the plan has jitter windows
 
 	pktPool []*packet
 
@@ -93,20 +109,39 @@ type cluster struct {
 	lossRNG *rand.Rand
 	lost    int64
 
+	faults     *faultCtl // nil for fault-free runs
+	degHist    *stats.Histogram
+	faultDrops int64
+
 	breakdown *breakdownAgg
 }
 
 // maybeLose returns true (and counts) when a link traversal drops the
-// packet under the configured loss probability.
+// packet under the active loss window. Outside a window no RNG is
+// drawn, so fault-free runs consume the loss stream exactly as before
+// the fault subsystem: not at all.
 func (c *cluster) maybeLose() bool {
 	if !c.lossActive {
 		return false
 	}
-	if c.lossRNG.Float64() < c.cfg.LossProb {
+	p := c.lossBase
+	if c.lossSlope != 0 {
+		p += c.lossSlope * float64(c.eng.Now()-c.lossFromNS)
+	}
+	if c.lossRNG.Float64() < p {
 		c.lost++
 		return true
 	}
 	return false
+}
+
+// jitterExtra returns the extra one-way delay of a jittered link
+// traversal: 0 (and no RNG draw) outside a jitter window.
+func (c *cluster) jitterExtra() int64 {
+	if !c.jitterActive {
+		return 0
+	}
+	return c.jitterRNG.Int64N(c.jitterMaxNS + 1)
 }
 
 // Run executes one experiment point. Every call owns all of its state —
@@ -125,10 +160,11 @@ func Run(cfg Config) (Result, error) {
 		return Result{}, err
 	}
 
-	// Fault injection (Fig 16). Cold path: closures are fine here.
-	if cfg.SwitchFailAtNS > 0 && cfg.SwitchRecoverAtNS > cfg.SwitchFailAtNS {
-		c.eng.At(cfg.SwitchFailAtNS, func() { c.sw.fail() })
-		c.eng.At(cfg.SwitchRecoverAtNS, func() { c.sw.recover() })
+	// Fault injection: schedule the plan's timed transitions before the
+	// load starts, so their sequence numbers (FIFO tie-breaks) land
+	// where the pre-subsystem switch-failure events did.
+	if c.faults != nil {
+		c.faults.schedule()
 	}
 
 	for _, cl := range c.clients {
@@ -147,18 +183,17 @@ func Run(cfg Config) (Result, error) {
 // warm cluster directly.
 func build(cfg Config) (*cluster, error) {
 	c := &cluster{
-		cfg:        cfg,
-		eng:        simnet.NewEngine(),
-		hist:       stats.NewHistogram(),
-		endGen:     cfg.WarmupNS + cfg.DurationNS,
-		lossRNG:    simnet.NewRNG(cfg.Seed, 400),
-		dSwLink:    cfg.Cal.SwitchDelayNS + cfg.Cal.LinkDelayNS,
-		dSwRecirc:  cfg.Cal.SwitchDelayNS + cfg.Cal.RecircDelayNS,
-		dSwAgg:     cfg.Cal.SwitchDelayNS + cfg.AggDelayNS,
-		winStart:   cfg.WarmupNS,
-		winEnd:     cfg.WarmupNS + cfg.DurationNS,
-		isLaedge:   cfg.Scheme == LAEDGE,
-		lossActive: cfg.LossProb > 0,
+		cfg:       cfg,
+		eng:       simnet.NewEngine(),
+		hist:      stats.NewHistogram(),
+		endGen:    cfg.WarmupNS + cfg.DurationNS,
+		lossRNG:   simnet.NewRNG(cfg.Seed, 400),
+		dSwLink:   cfg.Cal.SwitchDelayNS + cfg.Cal.LinkDelayNS,
+		dSwRecirc: cfg.Cal.SwitchDelayNS + cfg.Cal.RecircDelayNS,
+		dSwAgg:    cfg.Cal.SwitchDelayNS + cfg.AggDelayNS,
+		winStart:  cfg.WarmupNS,
+		winEnd:    cfg.WarmupNS + cfg.DurationNS,
+		isLaedge:  cfg.Scheme == LAEDGE,
 	}
 	if cfg.TimelineBinNS > 0 {
 		c.timeline = stats.NewTimeSeries(cfg.TimelineBinNS)
@@ -181,6 +216,19 @@ func build(cfg Config) (*cluster, error) {
 		}
 	}
 	c.buildClients()
+	if inj := canonicalFaults(cfg); len(inj) > 0 {
+		c.faults = newFaultCtl(c, inj)
+		c.degHist = stats.NewHistogram()
+		for _, in := range inj {
+			if in.Kind == faults.KindJitter {
+				c.jitterRNG = simnet.NewRNG(cfg.Seed, 401)
+				break
+			}
+		}
+		// Faults active from t <= 0 flip their state now — the legacy
+		// LossProb knob's build-time activation, generalized.
+		c.faults.activateImmediate()
+	}
 	return c, nil
 }
 
@@ -276,6 +324,9 @@ func (c *cluster) recordCompletion(t, latency int64) {
 	if t >= c.winStart && t < c.winEnd {
 		c.hist.Record(latency)
 	}
+	if c.degHist != nil && c.faults.inDegraded(t) {
+		c.degHist.Record(latency)
+	}
 }
 
 func (c *cluster) result() Result {
@@ -313,6 +364,9 @@ func (c *cluster) result() Result {
 		}
 	}
 	res.LostPackets = c.lost
+	if c.faults != nil {
+		res.Faults = c.faults.summary(c.degHist, c.faultDrops)
+	}
 	if c.remoteSw != nil {
 		res.RemoteSwitch = c.remoteSw.dp.Stats()
 	}
@@ -375,7 +429,12 @@ func (s *switchNode) recover() { s.down = false }
 // NIC transmitted it.
 func (s *switchNode) fromClient(p *packet) {
 	c := s.cl
-	if s.down || c.maybeLose() {
+	if s.down {
+		c.faultDrops++
+		c.freePacket(p)
+		return
+	}
+	if c.maybeLose() {
 		c.freePacket(p)
 		return
 	}
@@ -431,7 +490,7 @@ func (s *switchNode) toServer(p *packet, dst int) {
 		c.eng.ScheduleAfter(c.dSwAgg, remote, evSwTransitRequest, p, int64(dst))
 		return
 	}
-	c.eng.ScheduleAfter(c.dSwLink, c.servers[dst], evSrvOnRequest, p, 0)
+	c.eng.ScheduleAfter(c.dSwLink+c.jitterExtra(), c.servers[dst], evSrvOnRequest, p, 0)
 }
 
 // transitRequest is the server-side ToR's handling of a stamped request:
@@ -439,7 +498,12 @@ func (s *switchNode) toServer(p *packet, dst int) {
 // to plain L3 forwarding (§3.7).
 func (s *switchNode) transitRequest(p *packet, dst int) {
 	c := s.cl
-	if s.down || c.maybeLose() {
+	if s.down {
+		c.faultDrops++
+		c.freePacket(p)
+		return
+	}
+	if c.maybeLose() {
 		c.freePacket(p)
 		return
 	}
@@ -464,7 +528,12 @@ func (s *switchNode) transitRequest(p *packet, dst int) {
 // client-side ToR, where the real NetClone response processing happens.
 func (s *switchNode) transitResponse(p *packet) {
 	c := s.cl
-	if s.down || c.maybeLose() {
+	if s.down {
+		c.faultDrops++
+		c.freePacket(p)
+		return
+	}
+	if c.maybeLose() {
 		c.freePacket(p)
 		return
 	}
@@ -485,12 +554,13 @@ func (s *switchNode) toClient(p *packet, dst int) {
 		c.freePacket(p)
 		return
 	}
-	c.eng.ScheduleAfter(c.dSwLink, c.clients[dst], evCliOnResponse, p, 0)
+	c.eng.ScheduleAfter(c.dSwLink+c.jitterExtra(), c.clients[dst], evCliOnResponse, p, 0)
 }
 
 // recirculate re-injects a clone into the ingress pipeline.
 func (s *switchNode) recirculate(p *packet) {
 	if s.down {
+		s.cl.faultDrops++
 		s.cl.freePacket(p)
 		return
 	}
@@ -505,7 +575,12 @@ func (s *switchNode) recirculate(p *packet) {
 // fromServer receives a response packet from a worker server.
 func (s *switchNode) fromServer(p *packet) {
 	c := s.cl
-	if s.down || c.maybeLose() {
+	if s.down {
+		c.faultDrops++
+		c.freePacket(p)
+		return
+	}
+	if c.maybeLose() {
 		c.freePacket(p)
 		return
 	}
@@ -532,6 +607,7 @@ func (s *switchNode) fromServer(p *packet) {
 // plain L3 path to a worker server.
 func (s *switchNode) coordToServer(p *packet, dst int) {
 	if s.down {
+		s.cl.faultDrops++
 		s.cl.freePacket(p)
 		return
 	}
@@ -542,6 +618,7 @@ func (s *switchNode) coordToServer(p *packet, dst int) {
 // the plain L3 path to a client.
 func (s *switchNode) coordToClient(p *packet, dst int) {
 	if s.down {
+		s.cl.faultDrops++
 		s.cl.freePacket(p)
 		return
 	}
@@ -562,10 +639,36 @@ type server struct {
 	queue pktFIFO
 	busy  int
 
+	// Fault-model state. epoch counts crashes: packets admitted under
+	// an older epoch are dead on arrival at their next event, which is
+	// how a crash kills queued and in-flight work without scanning the
+	// event queue. slow* hold the active slowdown window's parameters.
+	down          bool
+	epoch         uint32
+	slowActive    bool
+	slowFactor    float64
+	slowFromNS    int64
+	slowRampEndNS int64
+
 	cloneDrops int64
 	respEmptyQ int64
 	respTotal  int64
 }
+
+// crash takes the server down: queued requests are freed, in-flight
+// work is orphaned by the epoch bump, and the worker pool restarts
+// empty at recovery.
+func (s *server) crash() {
+	s.down = true
+	s.epoch++
+	for s.queue.len() > 0 {
+		s.cl.freePacket(s.queue.pop())
+	}
+	s.busy = 0
+}
+
+// recoverUp brings a crashed server back with fresh, empty state.
+func (s *server) recoverUp() { s.down = false }
 
 // OnEvent dispatches the server's typed events.
 func (s *server) OnEvent(kind uint8, arg any, _ int64) {
@@ -582,6 +685,12 @@ func (s *server) OnEvent(kind uint8, arg any, _ int64) {
 
 // onRequest handles a request arriving at the server NIC.
 func (s *server) onRequest(p *packet) {
+	// A crashed server drops everything on the floor (fault model).
+	if s.down {
+		s.cl.faultDrops++
+		s.cl.freePacket(p)
+		return
+	}
 	// Server-side guard (§3.4): a cloned request that finds a non-empty
 	// queue is dropped — the tracked "idle" state was stale.
 	if p.hdr.Clo == wire.CloClone && s.queue.len() > 0 && !s.cl.cfg.DisableServerCloneDrop {
@@ -592,6 +701,7 @@ func (s *server) onRequest(p *packet) {
 	if p.trace != nil {
 		p.trace.enqueuedAt = s.cl.eng.Now()
 	}
+	p.srvEpoch = s.epoch
 	// Dispatcher cost, then enqueue or start service.
 	s.cl.eng.ScheduleAfter(s.cl.cfg.Cal.DispatcherCostNS, s, evSrvDispatch, p, 0)
 }
@@ -599,6 +709,12 @@ func (s *server) onRequest(p *packet) {
 // dispatch runs after the dispatcher cost: start service on a free
 // worker thread or join the FCFS queue.
 func (s *server) dispatch(p *packet) {
+	if s.down || p.srvEpoch != s.epoch {
+		// Crashed since admission: the dispatcher died with the request.
+		s.cl.faultDrops++
+		s.cl.freePacket(p)
+		return
+	}
 	if s.busy < s.workers {
 		s.busy++
 		s.startService(p)
@@ -610,6 +726,16 @@ func (s *server) dispatch(p *packet) {
 // startService begins executing p on a free worker thread.
 func (s *server) startService(p *packet) {
 	svc := s.serviceTime(p.op)
+	if s.slowActive {
+		// Straggler window: multiply the drawn service time by the
+		// (possibly still ramping) slowdown factor.
+		f := s.slowFactor
+		if now := s.cl.eng.Now(); now < s.slowRampEndNS {
+			frac := float64(now-s.slowFromNS) / float64(s.slowRampEndNS-s.slowFromNS)
+			f = 1 + (s.slowFactor-1)*frac
+		}
+		svc = int64(float64(svc) * f)
+	}
 	if p.trace != nil {
 		p.trace.serviceStart = s.cl.eng.Now()
 		p.trace.serviceEnd = s.cl.eng.Now() + svc
@@ -629,6 +755,14 @@ func (s *server) serviceTime(op workload.OpKind) int64 {
 // the server owns the only reference, so no copy or pool round-trip is
 // needed (pool.go lifecycle rules).
 func (s *server) finish(p *packet) {
+	if p.srvEpoch != s.epoch {
+		// The server crashed while this request was in service: the
+		// worker thread died with it, so no response is emitted and the
+		// (post-recovery) pool owes it nothing.
+		s.cl.faultDrops++
+		s.cl.freePacket(p)
+		return
+	}
 	qlen := s.queue.len()
 	s.respTotal++
 	if qlen == 0 {
@@ -646,9 +780,9 @@ func (s *server) finish(p *packet) {
 	if remote := s.cl.remoteSw; remote != nil {
 		// Multi-rack: the response first hits the servers' own ToR,
 		// which passes it through to the clients' ToR (§3.7).
-		s.cl.eng.ScheduleAfter(s.cl.cfg.Cal.LinkDelayNS, remote, evSwTransitResponse, p, 0)
+		s.cl.eng.ScheduleAfter(s.cl.cfg.Cal.LinkDelayNS+s.cl.jitterExtra(), remote, evSwTransitResponse, p, 0)
 	} else {
-		s.cl.eng.ScheduleAfter(s.cl.cfg.Cal.LinkDelayNS, s.cl.sw, evSwFromServer, p, 0)
+		s.cl.eng.ScheduleAfter(s.cl.cfg.Cal.LinkDelayNS+s.cl.jitterExtra(), s.cl.sw, evSwFromServer, p, 0)
 	}
 
 	// Pull the next request.
@@ -818,7 +952,7 @@ func (c *client) sendPacket(p *packet, now int64) {
 	}
 	done := start + c.cl.cfg.Cal.ClientPktCostNS
 	c.txBusyUntil = done
-	c.cl.eng.Schedule(done+c.cl.cfg.Cal.LinkDelayNS, c.cl.sw, evSwFromClient, p, 0)
+	c.cl.eng.Schedule(done+c.cl.cfg.Cal.LinkDelayNS+c.cl.jitterExtra(), c.cl.sw, evSwFromClient, p, 0)
 }
 
 // onResponse handles a response arriving at the client NIC: it joins the

@@ -11,6 +11,7 @@ import (
 	"fmt"
 
 	"netclone/internal/dataplane"
+	"netclone/internal/faults"
 	"netclone/internal/kvstore"
 	"netclone/internal/stats"
 	"netclone/internal/workload"
@@ -182,6 +183,15 @@ type Config struct {
 	// overwrite-on-insert rule keeps those slots usable.
 	LossProb float64
 
+	// Faults, when non-nil and non-empty, is the declarative fault plan
+	// executed during the run (internal/faults): typed, time-scheduled
+	// injections — server crashes, stragglers, time-varying loss,
+	// link jitter, coordinator and switch failures. The legacy LossProb
+	// and SwitchFailAtNS/SwitchRecoverAtNS knobs are canonicalized into
+	// equivalent one-entry plans at build time, so both surfaces run
+	// through one executor with bit-identical results.
+	Faults *faults.Plan
+
 	// MultiRack places the workers behind a second ToR switch reached
 	// through an aggregation layer (§3.7 "Multi-rack deployment"). The
 	// client-side ToR (switch ID 1) performs all NetClone processing and
@@ -259,6 +269,55 @@ type Result struct {
 	// engine executed for this run — the numerator of the events/sec
 	// throughput metric tracked by the benchmark pipeline (BENCH_*.json).
 	EngineEvents int64
+
+	// Faults summarizes fault-plan execution — the per-window
+	// availability timeline, fault-induced drops, and the
+	// degraded-window latency view. Nil unless a fault plan (or a
+	// legacy fault knob) was active, so fault-free Results stay
+	// byte-identical to the pre-subsystem output.
+	Faults *FaultSummary
+}
+
+// FaultWindow is one injection's activity interval as executed — the
+// rows of the run's availability/recovery timeline.
+type FaultWindow struct {
+	// Kind is the injection kind label (faults.Kind.String()).
+	Kind string
+	// Target is the server or coordinator index, -1 for global faults.
+	Target int
+	// FromNS and UntilNS bound the window in virtual nanoseconds;
+	// UntilNS is math.MaxInt64 for never-ending injections.
+	FromNS  int64
+	UntilNS int64
+}
+
+// FaultSummary is the Result view of an executed fault plan.
+type FaultSummary struct {
+	// Windows lists every injection's activity window in plan order:
+	// the availability timeline of the run's faulted components.
+	Windows []FaultWindow
+
+	// Transitions counts fault begin/end transitions executed as
+	// engine events (activations at t <= 0 apply at build time and
+	// schedule nothing).
+	Transitions int
+
+	// ServersDownMax is the largest number of servers simultaneously
+	// down at any point of the run.
+	ServersDownMax int
+
+	// DroppedPackets counts packets freed because a faulted component
+	// (switch, server, or coordinator) was down when they arrived.
+	// Loss-model drops are counted by Result.LostPackets instead.
+	DroppedPackets int64
+
+	// DegradedCompleted and Degraded cover request completions inside
+	// the union of all fault windows — Degraded.P99 is the
+	// degraded-window tail latency the chaos experiments reduce on.
+	// Unlike Result.Latency, the degraded view is not warmup-gated:
+	// it follows the fault windows wherever they land.
+	DegradedCompleted int64
+	Degraded          stats.Summary
 }
 
 // Configuration errors.
@@ -294,6 +353,35 @@ func (cfg Config) withDefaults() (Config, error) {
 	if cfg.DurationNS <= 0 {
 		return cfg, ErrBadWindow
 	}
+	// Fault-knob contradictions used to pass silently: an out-of-range
+	// LossProb behaved as an always/never coin flip and an inverted
+	// switch-failure window was ignored. Reject both with actionable
+	// errors instead.
+	if cfg.LossProb < 0 || cfg.LossProb >= 1 {
+		return cfg, fmt.Errorf("simcluster: loss probability %g outside [0, 1)", cfg.LossProb)
+	}
+	if cfg.SwitchFailAtNS < 0 || cfg.SwitchRecoverAtNS < 0 {
+		return cfg, fmt.Errorf("simcluster: switch failure window [%d, %d) ns has a negative bound",
+			cfg.SwitchFailAtNS, cfg.SwitchRecoverAtNS)
+	}
+	if (cfg.SwitchFailAtNS > 0) != (cfg.SwitchRecoverAtNS > 0) {
+		return cfg, errors.New("simcluster: switch failure needs both SwitchFailAtNS and SwitchRecoverAtNS > 0")
+	}
+	if cfg.SwitchFailAtNS > 0 && cfg.SwitchRecoverAtNS <= cfg.SwitchFailAtNS {
+		return cfg, fmt.Errorf("simcluster: switch recovery at %d ns is not after failure at %d ns",
+			cfg.SwitchRecoverAtNS, cfg.SwitchFailAtNS)
+	}
+	// Validate the *canonical* plan — the declarative plan plus the
+	// legacy knobs' derived injections — so a knob and a same-kind plan
+	// window cannot combine into the overlap contradiction the plan
+	// layer refuses (their transitions would otherwise race
+	// last-writer-wins).
+	if err := faults.New(canonicalFaults(cfg)...).Validate(faults.Cluster{
+		Servers:      len(cfg.Workers),
+		Coordinators: cfg.CoordinatorTier(),
+	}); err != nil {
+		return cfg, fmt.Errorf("simcluster: invalid fault plan: %w", err)
+	}
 	if cfg.NumClients <= 0 {
 		cfg.NumClients = 2
 	}
@@ -315,4 +403,18 @@ func (cfg Config) withDefaults() (Config, error) {
 		}
 	}
 	return cfg, nil
+}
+
+// CoordinatorTier returns the number of coordinators a fault plan may
+// target: the (defaulted) LÆDGE tier size, 0 for every other scheme.
+// Exported so the scenario layer validates against the exact same rule
+// the executor resolves.
+func (cfg Config) CoordinatorTier() int {
+	if cfg.Scheme != LAEDGE {
+		return 0
+	}
+	if cfg.NumCoordinators < 1 {
+		return 1
+	}
+	return cfg.NumCoordinators
 }

@@ -34,6 +34,10 @@ type coordinator struct {
 	capacity    []int
 	idleBuf     []int // scratch for idleServers, reused across events
 
+	// down marks a crashed coordinator (fault model): every packet
+	// event arriving while down is dropped.
+	down bool
+
 	queue    pktFIFO // requests waiting for an idle server
 	queueMax int
 
@@ -62,9 +66,30 @@ func newCoordinator(c *cluster, id, k int) *coordinator {
 	return co
 }
 
+// crash takes the coordinator down: its request queue, dedup pairs,
+// and outstanding-dispatch view are all soft state and die with it.
+// Workers keep executing already-dispatched requests, but their
+// responses arrive at a dead coordinator and are dropped.
+func (co *coordinator) crash() {
+	co.down = true
+	for co.queue.len() > 0 {
+		co.cl.freePacket(co.queue.pop())
+	}
+	clear(co.pendingPair)
+	clear(co.outstanding)
+}
+
+// recoverUp restarts the coordinator with the empty state crash left.
+func (co *coordinator) recoverUp() { co.down = false }
+
 // OnEvent dispatches the coordinator's typed events.
 func (co *coordinator) OnEvent(kind uint8, arg any, x int64) {
 	p := arg.(*packet)
+	if co.down {
+		co.cl.faultDrops++
+		co.cl.freePacket(p)
+		return
+	}
 	switch kind {
 	case evCoArriveRequest:
 		co.cpuSchedule(evCoDispatch, p, 0)

@@ -33,4 +33,9 @@ const (
 	evCoResponse       // CPU slot done: process the response
 	evCoTxServer       // CPU slot done: transmit dispatch to the switch; x = dst server
 	evCoTxClient       // CPU slot done: transmit response to the switch; x = dst client
+
+	// faultCtl events. arg = nil; x = transition index. Fault begin/end
+	// transitions are cold (a handful per run) but still typed so plan
+	// execution allocates nothing.
+	evFaultTrans // apply fault transition x
 )

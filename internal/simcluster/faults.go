@@ -1,0 +1,215 @@
+package simcluster
+
+import (
+	"math"
+	"sort"
+	"time"
+
+	"netclone/internal/faults"
+	"netclone/internal/stats"
+)
+
+// Fault-plan execution (DESIGN.md §7). A validated faults.Plan is
+// compiled at build time into a faultCtl: a flat list of begin/end
+// transitions sorted by time, each applied by one typed engine event
+// (evFaultTrans, arg nil, x = transition index — no allocation).
+// Transitions flip scalar state on the cluster's nodes (switch.down,
+// server.down/epoch, slowdown factors, the loss-window parameters, the
+// jitter window); the per-packet steady path only reads those scalars,
+// so fault scheduling adds zero allocations and — with no plan — zero
+// behavioral difference to a fault-free run.
+
+// canonicalFaults merges the declarative plan with the legacy fault
+// knobs: LossProb becomes a constant whole-run loss window and the
+// SwitchFailAtNS/SwitchRecoverAtNS pair becomes one switch outage.
+// Both reductions are bit-identical to the pre-subsystem hard-coded
+// paths: a [0, Forever) constant window draws the same lossRNG stream
+// at the same traversals, and the outage schedules the same two engine
+// events at the same times.
+func canonicalFaults(cfg Config) []faults.Injection {
+	inj := cfg.Faults.Injections()
+	if cfg.LossProb > 0 {
+		inj = append(inj, faults.Loss(0, faults.Forever, cfg.LossProb))
+	}
+	if cfg.SwitchFailAtNS > 0 && cfg.SwitchRecoverAtNS > cfg.SwitchFailAtNS {
+		inj = append(inj, faults.SwitchOutage(
+			time.Duration(cfg.SwitchFailAtNS), time.Duration(cfg.SwitchRecoverAtNS)))
+	}
+	return inj
+}
+
+// faultTrans is one compiled transition: injection inj begins (or
+// ends) at time at.
+type faultTrans struct {
+	at    int64
+	inj   int
+	begin bool
+}
+
+// faultCtl owns a run's compiled fault plan and its execution state.
+type faultCtl struct {
+	cl    *cluster
+	plan  []faults.Injection
+	trans []faultTrans
+
+	// degraded is the merged union of all fault windows; degIdx is the
+	// monotone scan cursor recordCompletion advances (completion times
+	// are non-decreasing, so attribution is O(1) amortized).
+	degraded [][2]int64
+	degIdx   int
+
+	transitions    int
+	serversDown    int
+	serversDownMax int
+}
+
+// newFaultCtl compiles the canonical injections for cluster c.
+func newFaultCtl(c *cluster, inj []faults.Injection) *faultCtl {
+	f := &faultCtl{cl: c, plan: inj}
+	for i, in := range inj {
+		f.trans = append(f.trans, faultTrans{at: in.FromNS, inj: i, begin: true})
+		if in.UntilNS != math.MaxInt64 {
+			f.trans = append(f.trans, faultTrans{at: in.UntilNS, inj: i, begin: false})
+		}
+	}
+	// Stable by (time, ends-before-begins): when one window ends
+	// exactly where an adjacent same-kind window begins — a valid,
+	// non-overlapping plan — the end must apply first or it would
+	// cancel the window that just began. Ties beyond that keep plan
+	// order, so execution order is a pure function of the plan.
+	sort.SliceStable(f.trans, func(i, j int) bool {
+		if f.trans[i].at != f.trans[j].at {
+			return f.trans[i].at < f.trans[j].at
+		}
+		return !f.trans[i].begin && f.trans[j].begin
+	})
+	f.degraded = faults.New(inj...).Windows()
+	return f
+}
+
+// activateImmediate applies every transition at t <= 0 directly —
+// faults active from the start of the run flip their state at build
+// time, exactly as the legacy LossProb knob did, instead of spending
+// an engine event at t = 0.
+func (f *faultCtl) activateImmediate() {
+	for _, tr := range f.trans {
+		if tr.at <= 0 {
+			f.apply(tr)
+		}
+	}
+}
+
+// schedule enqueues the timed transitions as typed engine events.
+// Called once per run, after build and before the clients start, so
+// transition sequence numbers — and therefore FIFO ties — land exactly
+// where the legacy switch-failure closures did.
+func (f *faultCtl) schedule() {
+	for i, tr := range f.trans {
+		if tr.at <= 0 {
+			continue
+		}
+		f.cl.eng.Schedule(tr.at, f, evFaultTrans, nil, int64(i))
+	}
+}
+
+// OnEvent applies transition x.
+func (f *faultCtl) OnEvent(_ uint8, _ any, x int64) {
+	f.transitions++
+	f.apply(f.trans[x])
+}
+
+// apply flips the state of one transition's target.
+func (f *faultCtl) apply(tr faultTrans) {
+	in := f.plan[tr.inj]
+	switch in.Kind {
+	case faults.KindSwitchOutage:
+		if tr.begin {
+			f.cl.sw.fail()
+		} else {
+			f.cl.sw.recover()
+		}
+	case faults.KindServerCrash:
+		s := f.cl.servers[in.Target]
+		if tr.begin {
+			s.crash()
+			f.serversDown++
+			if f.serversDown > f.serversDownMax {
+				f.serversDownMax = f.serversDown
+			}
+		} else {
+			s.recoverUp()
+			f.serversDown--
+		}
+	case faults.KindServerSlowdown:
+		s := f.cl.servers[in.Target]
+		if tr.begin {
+			s.slowActive = true
+			s.slowFactor = in.Factor
+			s.slowFromNS = in.FromNS
+			s.slowRampEndNS = in.FromNS + in.RampNS
+		} else {
+			s.slowActive = false
+		}
+	case faults.KindLoss:
+		c := f.cl
+		if tr.begin {
+			c.lossActive = true
+			c.lossBase = in.StartProb
+			c.lossFromNS = in.FromNS
+			c.lossSlope = 0
+			if in.EndProb != in.StartProb && in.UntilNS != math.MaxInt64 {
+				c.lossSlope = (in.EndProb - in.StartProb) / float64(in.UntilNS-in.FromNS)
+			}
+		} else {
+			c.lossActive = false
+		}
+	case faults.KindJitter:
+		c := f.cl
+		if tr.begin {
+			c.jitterActive = true
+			c.jitterMaxNS = in.MaxExtraNS
+		} else {
+			c.jitterActive = false
+		}
+	case faults.KindCoordinatorCrash:
+		co := f.cl.coords[in.Target]
+		if tr.begin {
+			co.crash()
+		} else {
+			co.recoverUp()
+		}
+	}
+}
+
+// inDegraded reports whether completion time t falls inside any fault
+// window. t is non-decreasing across calls (completions run in event
+// order), so the cursor only moves forward.
+func (f *faultCtl) inDegraded(t int64) bool {
+	for f.degIdx < len(f.degraded) && t >= f.degraded[f.degIdx][1] {
+		f.degIdx++
+	}
+	return f.degIdx < len(f.degraded) && t >= f.degraded[f.degIdx][0]
+}
+
+// summary reduces the controller into the Result view.
+func (f *faultCtl) summary(degHist *stats.Histogram, droppedPackets int64) *FaultSummary {
+	s := &FaultSummary{
+		Windows:        make([]FaultWindow, len(f.plan)),
+		Transitions:    f.transitions,
+		ServersDownMax: f.serversDownMax,
+		DroppedPackets: droppedPackets,
+	}
+	for i, in := range f.plan {
+		s.Windows[i] = FaultWindow{
+			Kind:    in.Kind.String(),
+			Target:  in.Target,
+			FromNS:  in.FromNS,
+			UntilNS: in.UntilNS,
+		}
+	}
+	if degHist != nil {
+		s.DegradedCompleted = degHist.Count()
+		s.Degraded = degHist.Summarize()
+	}
+	return s
+}

@@ -53,6 +53,7 @@ func poison(p *packet) {
 	p.sentAt = dead
 	p.direct = true
 	p.coordID = -0x55AA55AA
+	p.srvEpoch = 0xAAAAAAAA
 	p.trace = nil
 }
 

@@ -66,6 +66,7 @@ import (
 	"io"
 	"time"
 
+	"netclone/internal/faults"
 	"netclone/internal/harness"
 	"netclone/internal/kvstore"
 	"netclone/internal/runner"
@@ -169,14 +170,95 @@ func WithCalibration(cal Calibration) ScenarioOption { return scenario.WithCalib
 func WithFilter(tables, slots int) ScenarioOption { return scenario.WithFilter(tables, slots) }
 
 // WithLoss drops each link traversal independently with probability p
-// (§3.6). Sim only.
+// (§3.6) — a thin wrapper over a one-entry fault plan. Sim only.
 func WithLoss(p float64) ScenarioOption { return scenario.WithLoss(p) }
 
 // WithSwitchFailure stops the switch during [failAt, recoverAt) — the
-// Fig 16 experiment. Sim only.
+// Fig 16 experiment, as a one-entry fault plan. Sim only.
 func WithSwitchFailure(failAt, recoverAt time.Duration) ScenarioOption {
 	return scenario.WithSwitchFailure(failAt, recoverAt)
 }
+
+// ---------------------------------------------------------------------
+// Fault plans (chaos experiments)
+
+// FaultPlan is a declarative, ordered set of typed fault injections the
+// simulator executes during a run: build one with NewFaultPlan and the
+// Fault* constructors, attach it with WithFaults, and read the executed
+// windows plus degraded-window latency back from Result.Faults. Plans
+// are validated (windows, targets, same-kind overlap contradictions)
+// by Scenario.Validate. Sim only.
+type FaultPlan = faults.Plan
+
+// FaultInjection is one typed, time-scheduled fault of a plan.
+type FaultInjection = faults.Injection
+
+// FaultForever is the recover/until sentinel for injections that stay
+// active to the end of the run.
+const FaultForever = faults.Forever
+
+// NewFaultPlan builds a fault plan from injections.
+func NewFaultPlan(inj ...FaultInjection) *FaultPlan { return faults.New(inj...) }
+
+// WithFaults sets the scenario's fault plan, replacing any previously
+// composed plan (including WithLoss / WithSwitchFailure entries).
+func WithFaults(plan *FaultPlan) ScenarioOption { return scenario.WithFaults(plan) }
+
+// WithFaultInjections appends injections to the scenario's fault plan.
+func WithFaultInjections(inj ...FaultInjection) ScenarioOption {
+	return scenario.WithFaultInjections(inj...)
+}
+
+// FaultServerCrash takes a worker server down during [at, recoverAt):
+// queued and in-flight work is lost and the server restarts empty.
+func FaultServerCrash(server int, at, recoverAt time.Duration) FaultInjection {
+	return faults.ServerCrash(server, at, recoverAt)
+}
+
+// FaultServerSlowdown multiplies a server's service times by factor
+// during [from, until), ramping linearly from 1x over ramp — the
+// straggling-endpoint model.
+func FaultServerSlowdown(server int, from, until time.Duration, factor float64, ramp time.Duration) FaultInjection {
+	return faults.ServerSlowdown(server, from, until, factor, ramp)
+}
+
+// FaultLoss drops each link traversal with constant probability p
+// during [from, until).
+func FaultLoss(from, until time.Duration, p float64) FaultInjection {
+	return faults.Loss(from, until, p)
+}
+
+// FaultLossRamp interpolates the per-link drop probability linearly
+// from startP to endP across [from, until) — a decaying loss burst.
+func FaultLossRamp(from, until time.Duration, startP, endP float64) FaultInjection {
+	return faults.LossRamp(from, until, startP, endP)
+}
+
+// FaultJitter adds a uniform random extra delay in [0, maxExtra] to
+// every client<->switch<->server link traversal during [from, until).
+func FaultJitter(from, until time.Duration, maxExtra time.Duration) FaultInjection {
+	return faults.Jitter(from, until, maxExtra)
+}
+
+// FaultCoordinatorCrash takes a LAEDGE coordinator down during
+// [at, recoverAt).
+func FaultCoordinatorCrash(coord int, at, recoverAt time.Duration) FaultInjection {
+	return faults.CoordinatorCrash(coord, at, recoverAt)
+}
+
+// FaultSwitchOutage stops the client-side ToR during [at, recoverAt),
+// dropping all packets and its soft state (§3.6).
+func FaultSwitchOutage(at, recoverAt time.Duration) FaultInjection {
+	return faults.SwitchOutage(at, recoverAt)
+}
+
+// FaultSummary is the Result view of an executed fault plan: the
+// per-window availability timeline, fault-induced drops, and the
+// degraded-window latency summary.
+type FaultSummary = simcluster.FaultSummary
+
+// FaultWindow is one executed injection window of a FaultSummary.
+type FaultWindow = simcluster.FaultWindow
 
 // WithTimeline records completed requests into per-bin counts over the
 // whole run. Sim only.
