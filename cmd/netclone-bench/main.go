@@ -7,6 +7,7 @@
 //	netclone-bench -list
 //	netclone-bench -run fig7a
 //	netclone-bench -run all -quick
+//	netclone-bench -run 'scale-*' -quick
 //	netclone-bench -run 'chaos-*' -parallel 8 -timeline recovery.csv
 //	netclone-bench -run fig11a -format csv -o fig11a.csv
 //	netclone-bench -run fig7a -format json
@@ -16,8 +17,8 @@
 //	netclone-bench -run fig7a -quick -cpuprofile cpu.out -memprofile mem.out
 //
 // -run accepts a single ID, the keyword "all", or a glob pattern
-// ("chaos-*", "fig1?a") matched against the experiment inventory in
-// paper order. -timeline FILE additionally dumps every timeline-shaped
+// ("chaos-*", "scale-*", "fig1?a") matched against the experiment
+// inventory in paper order. -timeline FILE additionally dumps every timeline-shaped
 // report (fig16 and the chaos-* recovery curves — any report whose
 // x-axis is time) as one CSV of recovery curves:
 // experiment,series,time_s,throughput_mrps.

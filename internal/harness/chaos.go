@@ -89,15 +89,20 @@ func timelineSeries(label string, res scenario.Result) Series {
 	return s
 }
 
-// requireSim rejects non-sim backends for chaos experiments: fault
-// plans and timelines are simulator-only capabilities, and the error
-// wraps ErrSimOnly so whole-suite sweeps skip instead of aborting.
-func requireSim(id string, opts Options) error {
+// requireSim rejects non-sim backends for experiments built on
+// simulator-only capabilities (named by reason): the error wraps
+// ErrSimOnly so whole-suite sweeps skip instead of aborting.
+func requireSim(id string, opts Options, reason string) error {
 	if name := opts.backend().Name(); name != "sim" {
-		return fmt.Errorf("%s: fault injection and timelines are modelled only by the sim backend, not %q (%w); drop Options.Backend for this experiment",
-			id, name, scenario.ErrSimOnly)
+		return fmt.Errorf("%s: %s modelled only by the sim backend, not %q (%w); drop Options.Backend for this experiment",
+			id, reason, name, scenario.ErrSimOnly)
 	}
 	return nil
+}
+
+// requireSimChaos is requireSim with the chaos family's reason.
+func requireSimChaos(id string, opts Options) error {
+	return requireSim(id, opts, "fault injection and timelines are")
 }
 
 // ---------------------------------------------------------------------
@@ -110,7 +115,7 @@ func registerChaosStraggler() {
 		Paper: "extension (fault subsystem)",
 		Run: func(opts Options) (Report, error) {
 			opts = opts.withDefaults()
-			if err := requireSim("chaos-straggler", opts); err != nil {
+			if err := requireSimChaos("chaos-straggler", opts); err != nil {
 				return Report{}, err
 			}
 			base, cap := chaosBase()
@@ -168,7 +173,7 @@ func registerChaosLossBurst() {
 		Paper: "extension (fault subsystem, cf. Fig 16)",
 		Run: func(opts Options) (Report, error) {
 			opts = opts.withDefaults()
-			if err := requireSim("chaos-lossburst", opts); err != nil {
+			if err := requireSimChaos("chaos-lossburst", opts); err != nil {
 				return Report{}, err
 			}
 			base, cap := chaosBase()
@@ -224,7 +229,7 @@ func registerChaosRollingCrash() {
 		Paper: "extension (fault subsystem)",
 		Run: func(opts Options) (Report, error) {
 			opts = opts.withDefaults()
-			if err := requireSim("chaos-rollingcrash", opts); err != nil {
+			if err := requireSimChaos("chaos-rollingcrash", opts); err != nil {
 				return Report{}, err
 			}
 			base, cap := chaosBase()

@@ -15,11 +15,12 @@ import (
 func init() {
 	registerExtMultiRack()
 	registerExtLoss()
-	// The chaos family registers here — this init runs after
-	// experiments.go's (file order), so chaos-* appends after every
-	// paper artifact, ablation, and extension, keeping the golden file
-	// append-only.
+	// The chaos and scale families register here — this init runs
+	// after experiments.go's (file order), so chaos-* and then scale-*
+	// append after every paper artifact, ablation, and extension,
+	// keeping the golden file append-only.
 	registerChaos()
+	registerScale()
 }
 
 // ext-multirack: the §3.7 multi-rack deployment. The client-side ToR

@@ -20,6 +20,7 @@ var expectedIDs = []string{
 	"abl-clonedrop", "abl-grouporder", "abl-filtertables", "abl-coordcost", "abl-multicoord",
 	"ext-multirack", "ext-loss",
 	"chaos-straggler", "chaos-lossburst", "chaos-rollingcrash",
+	"scale-racks", "scale-xrack", "scale-skew",
 }
 
 func TestRegistryComplete(t *testing.T) {

@@ -13,9 +13,10 @@ import (
 
 // ErrSimOnly marks scenarios (or experiments) that need a capability
 // only the simulator models — LAEDGE's coordinator tier, fault
-// injection, timelines, breakdown sampling, multi-rack, ablation knobs.
-// Callers sweeping many experiments over a non-sim backend can
-// errors.Is against it to skip instead of abort.
+// injection, timelines, breakdown sampling, multi-rack fabrics and
+// client placement, ablation knobs. Callers sweeping many experiments
+// over a non-sim backend can errors.Is against it to skip instead of
+// abort.
 var ErrSimOnly = errors.New("sim-only capability")
 
 // EmuOption tunes the UDP-emulation backend.
@@ -215,6 +216,13 @@ func (b *emuBackend) checkSupported(cfg simcluster.Config) error {
 		return fmt.Errorf("emu backend: the LAEDGE scheme needs a coordinator process the emulation does not provide (%w); use Sim(), or Baseline/CClone/NetClone* schemes here", ErrSimOnly)
 	case cfg.MultiRack:
 		return reject("multi-rack deployment (WithMultiRack)")
+	case cfg.Topology.NumRacks() > 1:
+		return reject(fmt.Sprintf("the %d-rack fabric topology (WithRacks)", cfg.Topology.NumRacks()))
+	case cfg.Topology.PlacementExplicit():
+		// The loopback cluster has no racks to place clients on; an
+		// explicitly placed scenario would otherwise run single-rack
+		// silently.
+		return reject("explicit client placement (WithPlacement)")
 	case !cfg.Faults.Empty():
 		kinds := make([]string, 0, cfg.Faults.Len())
 		for _, in := range cfg.Faults.Injections() {

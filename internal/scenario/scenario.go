@@ -10,11 +10,13 @@ package scenario
 
 import (
 	"fmt"
+	"slices"
 	"time"
 
 	"netclone/internal/faults"
 	"netclone/internal/kvstore"
 	"netclone/internal/simcluster"
+	"netclone/internal/topology"
 	"netclone/internal/workload"
 )
 
@@ -78,21 +80,70 @@ func WithScheme(scheme simcluster.Scheme) Option {
 
 // WithTopology declares the worker servers explicitly: one server per
 // argument, each with that many worker threads. Heterogeneous racks pass
-// differing counts (the Fig 10 shape: 15, 15, 15, 8, 8, 8).
+// differing counts (the Fig 10 shape: 15, 15, 15, 8, 8, 8). Declares a
+// single-rack fabric: any earlier WithRacks declaration is replaced
+// (the last fabric-declaring option wins). An explicit WithPlacement is
+// preserved, so a placement the new fabric cannot honor fails Validate
+// instead of vanishing.
 func WithTopology(workerThreads ...int) Option {
 	ws := make([]int, len(workerThreads))
 	copy(ws, workerThreads)
-	return func(s *Scenario) { s.cfg.Workers = ws }
+	return func(s *Scenario) {
+		s.cfg.Workers = ws
+		s.cfg.Topology = clearRacks(s.cfg.Topology)
+	}
 }
 
 // WithServers declares n homogeneous servers with threads worker threads
-// each — shorthand for the common uniform rack.
+// each — shorthand for the common uniform rack. Declares a single-rack
+// fabric, like WithTopology.
 func WithServers(n, threads int) Option {
 	ws := make([]int, n)
 	for i := range ws {
 		ws[i] = threads
 	}
-	return func(s *Scenario) { s.cfg.Workers = ws }
+	return func(s *Scenario) {
+		s.cfg.Workers = ws
+		s.cfg.Topology = clearRacks(s.cfg.Topology)
+	}
+}
+
+// clearRacks drops a fabric declaration while keeping an explicit
+// placement pin alive: placement is not a fabric, so it survives until
+// a fabric honors it (WithRacks) or Validate rejects it as orphaned.
+func clearRacks(spec *topology.Spec) *topology.Spec {
+	if !spec.PlacementExplicit() {
+		return nil
+	}
+	return (*topology.Spec)(nil).WithClientRack(spec.ClientRack())
+}
+
+// WithRacks declares a multi-rack leaf–spine fabric (§3.7 generalized):
+// each rack lists its servers' worker-thread counts and optionally its
+// ToR<->spine uplink latency — crossing the fabric costs the sum of
+// both uplinks one way, so heterogeneous uplinks give per-link latency.
+// Clients are placed on rack 0 unless WithPlacement says otherwise
+// (an earlier placement is preserved). Replaces any earlier WithRacks/
+// WithTopology/WithServers declaration. Sim only.
+func WithRacks(racks ...topology.Rack) Option {
+	return func(s *Scenario) {
+		spec := topology.New(racks...)
+		if s.cfg.Topology.PlacementExplicit() {
+			spec = spec.WithClientRack(s.cfg.Topology.ClientRack())
+		}
+		s.cfg.Topology = spec
+		s.cfg.Workers = spec.FlatWorkers()
+	}
+}
+
+// WithPlacement places the clients (and, for schemes that have one,
+// the coordinator tier) on the given rack of the WithRacks fabric.
+// Order-independent with WithRacks; Validate rejects placement without
+// a fabric, or outside it. Sim only.
+func WithPlacement(clientRack int) Option {
+	return func(s *Scenario) {
+		s.cfg.Topology = s.cfg.Topology.WithClientRack(clientRack)
+	}
 }
 
 // WithClients sets the number of open-loop client machines (default 2,
@@ -109,7 +160,13 @@ func WithCoordinators(n int) Option {
 
 // WithMultiRack places the workers behind a second ToR switch reached
 // through an aggregation layer with the given extra one-way delay
-// (§3.7). Not modelled for LAEDGE.
+// (§3.7). A thin wrapper over the canonical two-rack fabric — an empty
+// client rack in front of one rack holding every server — executed by
+// the same N-rack topology code as WithRacks, bit-identically to the
+// original two-ToR special case for read workloads (direct write
+// requests now pay the spine crossing the old code under-charged; see
+// the simcluster.Config.MultiRack doc). Not modelled for LAEDGE; new
+// fabrics should prefer WithRacks. Sim only.
 func WithMultiRack(aggDelay time.Duration) Option {
 	return func(s *Scenario) {
 		s.cfg.MultiRack = true
@@ -256,13 +313,20 @@ func WithSingleOrderingGroups() Option {
 // it before executing; call it directly to fail fast at build time.
 func (s *Scenario) Validate() error {
 	cfg := s.cfg
-	if len(cfg.Workers) == 0 {
-		return fmt.Errorf("scenario: no servers declared; add WithTopology(threads...) or WithServers(n, threads)")
+	// A Config carrying only a Topology (the FromConfig bridge) is
+	// valid: resolve the server list the way the executor will, so the
+	// scenario surface validates the exact fabric that runs.
+	workers := cfg.Workers
+	if len(workers) == 0 && cfg.Topology.NumRacks() > 0 {
+		workers = cfg.Topology.FlatWorkers()
 	}
-	if len(cfg.Workers) < 2 {
-		return fmt.Errorf("scenario: cloning needs at least two servers, got %d; grow WithTopology/WithServers", len(cfg.Workers))
+	if len(workers) == 0 {
+		return fmt.Errorf("scenario: no servers declared; add WithTopology(threads...), WithServers(n, threads), or WithRacks(racks...)")
 	}
-	for i, w := range cfg.Workers {
+	if len(workers) < 2 {
+		return fmt.Errorf("scenario: cloning needs at least two servers, got %d; grow WithTopology/WithServers/WithRacks", len(workers))
+	}
+	for i, w := range workers {
 		if w < 1 {
 			return fmt.Errorf("scenario: server %d has %d worker threads, need >= 1 (WithTopology)", i, w)
 		}
@@ -309,8 +373,22 @@ func (s *Scenario) Validate() error {
 	if cfg.SampleEvery < 0 {
 		return fmt.Errorf("scenario: breakdown sampling every %d requests, need >= 0 (WithBreakdownSampling)", cfg.SampleEvery)
 	}
-	if cfg.MultiRack && cfg.Scheme == simcluster.LAEDGE {
-		return fmt.Errorf("scenario: multi-rack deployment is not modelled for LAEDGE — the coordinator tier is rack-local; drop WithMultiRack or pick another scheme")
+	if cfg.MultiRack && cfg.Topology != nil {
+		if cfg.Topology.NumRacks() == 0 {
+			return fmt.Errorf("scenario: WithPlacement needs a WithRacks fabric and cannot combine with WithMultiRack; declare the fabric with WithRacks instead")
+		}
+		return fmt.Errorf("scenario: both WithMultiRack and WithRacks declared; declare the fabric exactly once")
+	}
+	if cfg.Topology.NumRacks() > 0 && len(cfg.Workers) > 0 && !slices.Equal(cfg.Workers, cfg.Topology.FlatWorkers()) {
+		return fmt.Errorf("scenario: WithTopology/WithServers %v disagrees with the WithRacks server list %v; declare the servers in one place", cfg.Workers, cfg.Topology.FlatWorkers())
+	}
+	if spec := cfg.CanonicalTopology(); spec != nil {
+		// One validation surface for the fabric: the simulator's config
+		// normalization runs the identical check, so both entry points
+		// emit one uniform message (the LAEDGE contradiction included).
+		if err := spec.Validate(topology.Cluster{Coordinators: cfg.CoordinatorTier()}); err != nil {
+			return fmt.Errorf("scenario: invalid topology: %w", err)
+		}
 	}
 	if cfg.NumCoordinators < 0 {
 		return fmt.Errorf("scenario: %d coordinators, need >= 0 (WithCoordinators)", cfg.NumCoordinators)
@@ -320,7 +398,7 @@ func (s *Scenario) Validate() error {
 	}
 	if !cfg.Faults.Empty() {
 		if err := cfg.Faults.Validate(faults.Cluster{
-			Servers:      len(cfg.Workers),
+			Servers:      len(workers),
 			Coordinators: cfg.CoordinatorTier(),
 		}); err != nil {
 			return fmt.Errorf("scenario: invalid fault plan: %w", err)

@@ -1,0 +1,244 @@
+package scenario
+
+import (
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"netclone/internal/simcluster"
+	"netclone/internal/topology"
+	"netclone/internal/workload"
+)
+
+// fabricBase returns options describing a well-formed scenario minus
+// any server declaration.
+func fabricBase() []Option {
+	return []Option{
+		WithScheme(simcluster.NetClone),
+		WithWorkload(workload.Exp(25)),
+		WithOfferedLoad(1e6),
+		WithWindow(50*time.Millisecond, 200*time.Millisecond),
+		WithSeed(1),
+	}
+}
+
+// twoRacks is a small valid fabric: two servers near the clients, two
+// behind a slow spine port.
+func twoRacks() Option {
+	return WithRacks(
+		topology.Rack{Servers: []int{16, 16}},
+		topology.Rack{Servers: []int{16, 16}, Uplink: 2 * time.Microsecond},
+	)
+}
+
+// TestWithRacksDeclaresWorkers: the fabric is the single source of
+// truth for the server list — WithRacks fills the flat Workers field
+// in rack order, so capacity estimation and fault targeting keep
+// working unchanged.
+func TestWithRacksDeclaresWorkers(t *testing.T) {
+	sc := New(append(fabricBase(), twoRacks())...)
+	if err := sc.Validate(); err != nil {
+		t.Fatalf("valid fabric rejected: %v", err)
+	}
+	cfg := sc.Config()
+	if want := []int{16, 16, 16, 16}; len(cfg.Workers) != 4 || cfg.Workers[0] != want[0] {
+		t.Fatalf("Workers not filled from the fabric: %v", cfg.Workers)
+	}
+	if cfg.Topology.NumRacks() != 2 {
+		t.Fatalf("topology not threaded through: %+v", cfg.Topology)
+	}
+}
+
+// TestPlacementOrderIndependent: WithPlacement composes with WithRacks
+// in either order.
+func TestPlacementOrderIndependent(t *testing.T) {
+	racks := []topology.Rack{
+		{Servers: []int{16, 16}},
+		{Servers: []int{16, 16}},
+	}
+	a := New(append(fabricBase(), WithRacks(racks...), WithPlacement(1))...)
+	b := New(append(fabricBase(), WithPlacement(1), WithRacks(racks...))...)
+	for name, sc := range map[string]*Scenario{"racks-then-placement": a, "placement-then-racks": b} {
+		if err := sc.Validate(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+		if got := sc.Config().Topology.ClientRack(); got != 1 {
+			t.Errorf("%s: client rack %d, want 1", name, got)
+		}
+	}
+}
+
+// TestLastFabricDeclarationWins: WithTopology/WithServers after
+// WithRacks collapse the scenario back to a single rack.
+func TestLastFabricDeclarationWins(t *testing.T) {
+	sc := New(append(fabricBase(), twoRacks(), WithServers(6, 16))...)
+	if err := sc.Validate(); err != nil {
+		t.Fatalf("rejected: %v", err)
+	}
+	cfg := sc.Config()
+	if cfg.Topology != nil || len(cfg.Workers) != 6 {
+		t.Fatalf("WithServers did not replace the fabric: topo=%+v workers=%v", cfg.Topology, cfg.Workers)
+	}
+}
+
+// TestTopologyRejections covers the fabric-specific contradictions.
+func TestTopologyRejections(t *testing.T) {
+	cases := []struct {
+		name string
+		sc   *Scenario
+		want string
+	}{
+		{
+			name: "placement without racks",
+			sc:   New(append(fabricBase(), WithServers(4, 8), WithPlacement(1))...),
+			want: "no racks",
+		},
+		{
+			name: "placement orphaned by a later single-rack declaration",
+			sc:   New(append(fabricBase(), WithPlacement(1), WithServers(4, 8))...),
+			want: "no racks",
+		},
+		{
+			name: "fabric replaced under an explicit placement",
+			sc:   New(append(fabricBase(), twoRacks(), WithPlacement(1), WithTopology(16, 16))...),
+			want: "no racks",
+		},
+		{
+			name: "placement out of range",
+			sc:   New(append(fabricBase(), twoRacks(), WithPlacement(5))...),
+			want: "racks 0..1",
+		},
+		{
+			name: "both fabric declarations",
+			sc:   New(append(fabricBase(), twoRacks(), WithMultiRack(2*time.Microsecond))...),
+			want: "exactly once",
+		},
+		{
+			name: "placement with the multirack wrapper",
+			sc:   New(append(fabricBase(), WithServers(4, 8), WithMultiRack(2*time.Microsecond), WithPlacement(0))...),
+			want: "cannot combine with WithMultiRack",
+		},
+		{
+			name: "laedge multi-rack fabric",
+			sc:   New(append(fabricBase(), twoRacks(), WithScheme(simcluster.LAEDGE))...),
+			want: "not modelled for LAEDGE",
+		},
+		{
+			name: "empty remote rack",
+			sc: New(append(fabricBase(), WithRacks(
+				topology.Rack{Servers: []int{16, 16}},
+				topology.Rack{},
+			))...),
+			want: "not the client rack",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.sc.Validate()
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %v, want substring %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestFromConfigTopologyOnly: a flat Config whose servers are declared
+// only through its Topology (empty Workers, documented as valid —
+// withDefaults fills the list from the fabric) passes the scenario
+// surface too, and both surfaces run the identical cluster.
+func TestFromConfigTopologyOnly(t *testing.T) {
+	cfg := simcluster.Config{
+		Scheme: simcluster.NetClone,
+		Topology: topology.New(
+			topology.Rack{Servers: []int{8, 8}},
+			topology.Rack{Servers: []int{4}, Uplink: time.Microsecond},
+		),
+		Service:    workload.Exp(25),
+		OfferedRPS: 1e5,
+		DurationNS: 5e6,
+		Seed:       3,
+	}
+	direct, err := simcluster.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaScenario, err := Sim().Run(FromConfig(cfg))
+	if err != nil {
+		t.Fatalf("scenario surface rejected a config the executor accepts: %v", err)
+	}
+	if !reflect.DeepEqual(viaScenario.Result, direct) {
+		t.Error("FromConfig topology-only run diverges from simcluster.Run")
+	}
+}
+
+// TestLaedgeFabricMessageUniform: the WithMultiRack wrapper and an
+// explicit WithRacks fabric reject LAEDGE with the same topology
+// message from both validation surfaces (scenario and simulator).
+func TestLaedgeFabricMessageUniform(t *testing.T) {
+	viaKnob := New(append(fabricBase(), WithServers(4, 8),
+		WithMultiRack(2*time.Microsecond), WithScheme(simcluster.LAEDGE))...)
+	viaRacks := New(append(fabricBase(), twoRacks(), WithScheme(simcluster.LAEDGE))...)
+
+	errKnob := viaKnob.Validate()
+	errRacks := viaRacks.Validate()
+	if errKnob == nil || errRacks == nil {
+		t.Fatalf("LAEDGE fabric accepted: knob=%v racks=%v", errKnob, errRacks)
+	}
+	if errKnob.Error() != errRacks.Error() {
+		t.Errorf("scenario surface not uniform:\nknob:  %v\nracks: %v", errKnob, errRacks)
+	}
+	// The simulator surface wraps the identical topology message.
+	_, errSim := simcluster.Run(viaRacks.Config())
+	if errSim == nil || !strings.Contains(errSim.Error(), "not modelled for LAEDGE") {
+		t.Errorf("simulator surface diverged: %v", errSim)
+	}
+	wantCore := strings.TrimPrefix(errRacks.Error(), "scenario: ")
+	if got := strings.TrimPrefix(errSim.Error(), "simcluster: "); got != wantCore {
+		t.Errorf("surfaces disagree beyond their prefix:\nscenario:  %s\nsimcluster: %s", wantCore, got)
+	}
+}
+
+// TestEmuRejectsFabricTopology: the emulation has no fabric model; a
+// multi-rack or explicitly placed scenario gets an actionable sim-only
+// error instead of silently running single-rack.
+func TestEmuRejectsFabricTopology(t *testing.T) {
+	base := New(
+		WithScheme(simcluster.NetClone),
+		WithWorkload(workload.Exp(25)),
+		WithOfferedLoad(100),
+		WithWindow(0, 10*time.Millisecond),
+	)
+	cases := []struct {
+		name string
+		sc   *Scenario
+		want string
+	}{
+		{"multi-rack fabric", base.With(twoRacks()), "2-rack fabric topology (WithRacks)"},
+		{"explicit placement", base.With(
+			WithRacks(topology.Rack{Servers: []int{2, 2}}), WithPlacement(0)),
+			"explicit client placement (WithPlacement)"},
+	}
+	be := Emu()
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := be.Run(tc.sc)
+			if err == nil {
+				t.Fatal("fabric scenario accepted by the Emu backend")
+			}
+			if !errors.Is(err, ErrSimOnly) {
+				t.Errorf("error %v does not wrap ErrSimOnly", err)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+	// A one-rack WithRacks fabric with default placement is the plain
+	// single-rack shape: the emulation runs it.
+	ok := base.With(WithRacks(topology.Rack{Servers: []int{2, 2}}))
+	if _, err := be.Run(ok); err != nil {
+		t.Errorf("one-rack fabric rejected by the Emu backend: %v", err)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"netclone/internal/faults"
 	"netclone/internal/simnet"
 	"netclone/internal/stats"
+	"netclone/internal/topology"
 	"netclone/internal/wire"
 	"netclone/internal/workload"
 )
@@ -64,23 +65,24 @@ func (q *pktFIFO) pop() *packet {
 
 // cluster wires the simulated nodes together.
 type cluster struct {
-	cfg Config
-	eng *simnet.Engine
+	cfg  Config
+	topo *topology.Compiled // the fabric routing table (1 rack when no fabric was declared)
+	eng  *simnet.Engine
 
-	sw       *switchNode    // client-side ToR: all NetClone processing
-	remoteSw *switchNode    // server-side ToR (multi-rack only)
-	coords   []*coordinator // LÆDGE only
-	clients  []*client
-	servers  []*server
+	sw      *switchNode    // clients' ToR: all NetClone processing happens here
+	tors    []*switchNode  // one ToR per rack, topology order (tors[topo.ClientRack] == sw)
+	coords  []*coordinator // LÆDGE only
+	clients []*client
+	servers []*server
 
 	endGen int64 // stop generating requests at this time
 
 	// Per-hop delay sums and window bounds, hoisted out of the per-event
 	// inner loops at build time (they are constants for the whole run).
-	dSwLink   int64 // switch pass + one link hop
-	dSwRecirc int64 // switch pass + recirculation loopback
-	dSwAgg    int64 // switch pass + aggregation-layer hop (multi-rack)
-	winStart  int64 // measurement window [winStart, winEnd)
+	dSwLink   int64   // switch pass + one link hop
+	dSwRecirc int64   // switch pass + recirculation loopback
+	dSwTrans  []int64 // switch pass + fabric hop between the client rack and rack r
+	winStart  int64   // measurement window [winStart, winEnd)
 	winEnd    int64
 	isLaedge  bool
 
@@ -182,15 +184,19 @@ func Run(cfg Config) (Result, error) {
 // starting the load. Split from Run so micro-benchmarks can drive a
 // warm cluster directly.
 func build(cfg Config) (*cluster, error) {
+	spec := cfg.CanonicalTopology()
+	if spec == nil {
+		spec = topology.SingleRack(cfg.Workers)
+	}
 	c := &cluster{
 		cfg:       cfg,
+		topo:      spec.Compile(),
 		eng:       simnet.NewEngine(),
 		hist:      stats.NewHistogram(),
 		endGen:    cfg.WarmupNS + cfg.DurationNS,
 		lossRNG:   simnet.NewRNG(cfg.Seed, 400),
 		dSwLink:   cfg.Cal.SwitchDelayNS + cfg.Cal.LinkDelayNS,
 		dSwRecirc: cfg.Cal.SwitchDelayNS + cfg.Cal.RecircDelayNS,
-		dSwAgg:    cfg.Cal.SwitchDelayNS + cfg.AggDelayNS,
 		winStart:  cfg.WarmupNS,
 		winEnd:    cfg.WarmupNS + cfg.DurationNS,
 		isLaedge:  cfg.Scheme == LAEDGE,
@@ -202,7 +208,7 @@ func build(cfg Config) (*cluster, error) {
 		c.breakdown = &breakdownAgg{}
 	}
 
-	if err := c.buildSwitch(); err != nil {
+	if err := c.buildSwitches(); err != nil {
 		return nil, err
 	}
 	c.buildServers()
@@ -232,7 +238,12 @@ func build(cfg Config) (*cluster, error) {
 	return c, nil
 }
 
-func (c *cluster) buildSwitch() error {
+// buildSwitches instantiates one ToR per rack of the compiled fabric.
+// Every ToR runs the scheme's full program over the global server
+// tables with its own switch ID; the switch-ID ownership rule is what
+// keeps non-client ToRs from re-processing stamped packets (§3.7), so
+// only the clients' ToR clones, filters, or tracks state.
+func (c *cluster) buildSwitches() error {
 	dcfg := dataplane.Config{
 		MaxServers:   maxInt(len(c.cfg.Workers), 2),
 		FilterTables: c.cfg.FilterTables,
@@ -247,36 +258,24 @@ func (c *cluster) buildSwitch() error {
 		dcfg.EnableCloning = true
 	default: // Baseline, CClone, LAEDGE: plain forwarding only
 	}
-	if c.cfg.MultiRack {
-		dcfg.SwitchID = 1
-	}
-	dp, err := dataplane.New(dcfg)
-	if err != nil {
-		return err
-	}
-	for sid := range c.cfg.Workers {
-		if err := dp.AddServer(uint16(sid), uint32(sid)); err != nil {
-			return err
-		}
-	}
-	c.sw = &switchNode{cl: c, dp: dp}
-	if c.cfg.MultiRack {
-		// The server-side ToR runs the same NetClone program (same
-		// tables, its own switch ID); the switch-ID ownership rule is
-		// what keeps it from re-processing stamped packets (§3.7).
+	c.tors = make([]*switchNode, c.topo.Racks)
+	c.dSwTrans = make([]int64, c.topo.Racks)
+	for r := range c.tors {
 		rcfg := dcfg
-		rcfg.SwitchID = 2
-		rdp, err := dataplane.New(rcfg)
+		rcfg.SwitchID = c.topo.SwitchIDs[r]
+		dp, err := dataplane.New(rcfg)
 		if err != nil {
 			return err
 		}
 		for sid := range c.cfg.Workers {
-			if err := rdp.AddServer(uint16(sid), uint32(sid)); err != nil {
+			if err := dp.AddServer(uint16(sid), uint32(sid)); err != nil {
 				return err
 			}
 		}
-		c.remoteSw = &switchNode{cl: c, dp: rdp}
+		c.tors[r] = &switchNode{cl: c, dp: dp, rack: r}
+		c.dSwTrans[r] = c.cfg.Cal.SwitchDelayNS + c.topo.InterDelayNS[c.topo.ClientRack][r]
 	}
+	c.sw = c.tors[c.topo.ClientRack]
 	return nil
 }
 
@@ -287,6 +286,7 @@ func (c *cluster) buildServers() {
 			cl:      c,
 			sid:     uint16(sid),
 			workers: w,
+			tor:     c.tors[c.topo.ServerRack[sid]],
 			rng:     simnet.NewRNG(c.cfg.Seed, 200+uint64(sid)),
 		}
 	}
@@ -367,8 +367,24 @@ func (c *cluster) result() Result {
 	if c.faults != nil {
 		res.Faults = c.faults.summary(c.degHist, c.faultDrops)
 	}
-	if c.remoteSw != nil {
-		res.RemoteSwitch = c.remoteSw.dp.Stats()
+	if c.topo.Racks > 1 {
+		// Two-rack compatibility view: RemoteSwitch is the single
+		// non-client ToR, as the original MultiRack code reported.
+		if c.topo.Racks == 2 {
+			res.RemoteSwitch = c.tors[1-c.topo.ClientRack].dp.Stats()
+		}
+		res.Racks = make([]RackStats, c.topo.Racks)
+		for r := range res.Racks {
+			rs := RackStats{
+				Rack:    r,
+				Servers: c.topo.RackFirstSID[r+1] - c.topo.RackFirstSID[r],
+				Switch:  c.tors[r].dp.Stats(),
+			}
+			for sid := c.topo.RackFirstSID[r]; sid < c.topo.RackFirstSID[r+1]; sid++ {
+				rs.CloneDropsAtServer += c.servers[sid].cloneDrops
+			}
+			res.Racks[r] = rs
+		}
 	}
 	if c.breakdown != nil {
 		b := c.breakdown.summarize()
@@ -388,10 +404,12 @@ func maxInt(a, b int) int {
 // Switch node
 
 // switchNode wraps the data plane with the simulated forwarding fabric
-// and the failure model.
+// and the failure model. One exists per rack; the clients' ToR is the
+// only one whose NetClone program ever matches (ownership rule, §3.7).
 type switchNode struct {
 	cl   *cluster
 	dp   *dataplane.Switch
+	rack int
 	down bool
 }
 
@@ -446,10 +464,17 @@ func (s *switchNode) fromClient(p *packet) {
 	}
 	if p.direct {
 		// Write requests take the normal (non-NetClone) path: plain
-		// forwarding to the group's first candidate (§5.5).
+		// forwarding to the group's first candidate (§5.5). A remote
+		// candidate is still reached through the fabric — the L3 route
+		// crosses the same spine the NetClone path does — so writes pay
+		// the transit delay symmetrically with their responses.
 		sid1, _, ok := s.dp.Group(int(p.hdr.Group) % maxInt(s.dp.NumGroups(), 1))
 		if !ok {
 			c.freePacket(p)
+			return
+		}
+		if tor := c.servers[sid1].tor; tor != s {
+			c.eng.ScheduleAfter(c.dSwTrans[tor.rack], tor, evSwTransitRequest, p, int64(sid1))
 			return
 		}
 		c.eng.ScheduleAfter(c.dSwLink, c.servers[sid1], evSrvOnRequest, p, 0)
@@ -477,8 +502,8 @@ func (s *switchNode) fromClient(p *packet) {
 	}
 }
 
-// toServer delivers a request over the switch->server link; in
-// multi-rack mode it transits the aggregation layer and the server-side
+// toServer delivers a request over the switch->server link; a server
+// homed on another rack is reached by transiting the spine and its own
 // ToR first.
 func (s *switchNode) toServer(p *packet, dst int) {
 	c := s.cl
@@ -486,8 +511,8 @@ func (s *switchNode) toServer(p *packet, dst int) {
 		c.freePacket(p)
 		return
 	}
-	if remote := c.remoteSw; remote != nil && s != remote {
-		c.eng.ScheduleAfter(c.dSwAgg, remote, evSwTransitRequest, p, int64(dst))
+	if tor := c.servers[dst].tor; tor != s {
+		c.eng.ScheduleAfter(c.dSwTrans[tor.rack], tor, evSwTransitRequest, p, int64(dst))
 		return
 	}
 	c.eng.ScheduleAfter(c.dSwLink+c.jitterExtra(), c.servers[dst], evSrvOnRequest, p, 0)
@@ -544,7 +569,7 @@ func (s *switchNode) transitResponse(p *packet) {
 			return
 		}
 	}
-	c.eng.ScheduleAfter(c.dSwAgg, c.sw, evSwFromServer, p, 0)
+	c.eng.ScheduleAfter(c.dSwTrans[s.rack], c.sw, evSwFromServer, p, 0)
 }
 
 // toClient delivers a response over the switch->client link.
@@ -634,6 +659,7 @@ type server struct {
 	cl      *cluster
 	sid     uint16
 	workers int
+	tor     *switchNode // the server's home-rack ToR
 	rng     *rand.Rand
 
 	queue pktFIFO
@@ -777,10 +803,10 @@ func (s *server) finish(p *packet) {
 		qlen = 65535
 	}
 	p.hdr.State = uint16(qlen)
-	if remote := s.cl.remoteSw; remote != nil {
-		// Multi-rack: the response first hits the servers' own ToR,
+	if s.tor != s.cl.sw {
+		// Remote rack: the response first hits the server's own ToR,
 		// which passes it through to the clients' ToR (§3.7).
-		s.cl.eng.ScheduleAfter(s.cl.cfg.Cal.LinkDelayNS+s.cl.jitterExtra(), remote, evSwTransitResponse, p, 0)
+		s.cl.eng.ScheduleAfter(s.cl.cfg.Cal.LinkDelayNS+s.cl.jitterExtra(), s.tor, evSwTransitResponse, p, 0)
 	} else {
 		s.cl.eng.ScheduleAfter(s.cl.cfg.Cal.LinkDelayNS+s.cl.jitterExtra(), s.cl.sw, evSwFromServer, p, 0)
 	}

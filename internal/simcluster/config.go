@@ -9,11 +9,13 @@ package simcluster
 import (
 	"errors"
 	"fmt"
+	"slices"
 
 	"netclone/internal/dataplane"
 	"netclone/internal/faults"
 	"netclone/internal/kvstore"
 	"netclone/internal/stats"
+	"netclone/internal/topology"
 	"netclone/internal/workload"
 )
 
@@ -192,16 +194,32 @@ type Config struct {
 	// through one executor with bit-identical results.
 	Faults *faults.Plan
 
-	// MultiRack places the workers behind a second ToR switch reached
-	// through an aggregation layer (§3.7 "Multi-rack deployment"). The
-	// client-side ToR (switch ID 1) performs all NetClone processing and
-	// stamps packets; the server-side ToR (switch ID 2) runs the same
-	// program but passes stamped packets through untouched — the
-	// switch-ID ownership rule. Not supported for Scheme == LAEDGE.
+	// Topology, when non-nil, is the declarative leaf–spine fabric the
+	// cluster is built from (internal/topology): N racks of servers,
+	// one ToR per rack, per-link spine latency, and explicit client
+	// placement. Its flattened server list must agree with Workers (an
+	// empty Workers is filled from it). The clients' ToR performs all
+	// NetClone processing and stamps packets; every other ToR runs the
+	// same program but passes stamped packets through untouched — the
+	// switch-ID ownership rule (§3.7). Nil (with MultiRack false) means
+	// the canonical single-rack fabric over Workers.
+	Topology *topology.Spec
+
+	// MultiRack places every worker behind a second ToR switch reached
+	// through an aggregation layer (§3.7 "Multi-rack deployment") — the
+	// original two-ToR knob, kept as a thin wrapper: it is canonicalized
+	// into the equivalent two-rack Topology at build time
+	// (topology.LegacyMultiRack) and executed by the same N-rack fabric
+	// code, bit-identically for read workloads (the golden-pinned
+	// surface). One deliberate fix rode along: direct write requests
+	// (§5.5) now transit the aggregation layer like their responses
+	// always did, where the old special case under-charged them by one
+	// spine crossing. Mutually exclusive with Topology; not supported
+	// for Scheme == LAEDGE.
 	MultiRack bool
 
 	// AggDelayNS is the extra one-way delay through the aggregation
-	// layer between the two ToRs (default 2000 ns).
+	// layer between MultiRack's two ToRs (default 2000 ns).
 	AggDelayNS int64
 
 	// SampleEvery enables the latency breakdown: every N-th generated
@@ -254,9 +272,16 @@ type Result struct {
 	LostPackets int64
 
 	// RemoteSwitch is the server-side ToR's counter snapshot in
-	// multi-rack runs: its PassL3 count proves the switch-ID rule
-	// prevented double NetClone processing.
+	// two-rack runs: its PassL3 count proves the switch-ID rule
+	// prevented double NetClone processing. Fabrics with more than one
+	// remote rack report per-rack snapshots in Racks instead.
 	RemoteSwitch dataplane.Stats
+
+	// Racks is the per-rack counter rollup of a multi-rack fabric, in
+	// topology order: each rack's ToR snapshot plus the clone drops of
+	// the servers homed there. Nil for single-rack runs, so legacy
+	// Results are unchanged.
+	Racks []RackStats
 
 	// Breakdown decomposes sampled request latencies; nil unless
 	// Config.SampleEvery > 0.
@@ -276,6 +301,22 @@ type Result struct {
 	// legacy fault knob) was active, so fault-free Results stay
 	// byte-identical to the pre-subsystem output.
 	Faults *FaultSummary
+}
+
+// RackStats is one rack's rolled-up counter view in multi-rack runs.
+// Only the clients' rack should ever show NetClone activity (Cloned,
+// FilterDrops, StateUpdates); every other rack's ToR counts PassL3
+// transits — the §3.7 ownership invariant, observable per rack.
+type RackStats struct {
+	// Rack is the rack's index in topology order.
+	Rack int
+	// Servers is the number of servers homed on this rack.
+	Servers int
+	// Switch is this rack's ToR data-plane counter snapshot.
+	Switch dataplane.Stats
+	// CloneDropsAtServer sums the §3.4 stale-clone guard drops across
+	// this rack's servers.
+	CloneDropsAtServer int64
 }
 
 // FaultWindow is one injection's activity interval as executed — the
@@ -334,8 +375,56 @@ var (
 // models resolve defaults identically.
 func (cfg Config) Normalized() (Config, error) { return cfg.withDefaults() }
 
+// CanonicalTopology resolves the fabric a config runs on: the
+// declarative Topology when set, the legacy MultiRack knob reduced to
+// its canonical two-rack spec (with the documented 2000 ns aggregation
+// default applied), and nil for the plain single-rack shape (which the
+// executor builds as topology.SingleRack over Workers). One resolver
+// feeds validation and construction on every surface — exported, like
+// CoordinatorTier, so the scenario layer validates against the exact
+// same resolution rule the executor uses.
+func (cfg Config) CanonicalTopology() *topology.Spec {
+	if cfg.Topology != nil {
+		return cfg.Topology
+	}
+	if cfg.MultiRack {
+		agg := cfg.AggDelayNS
+		if agg <= 0 {
+			agg = defaultAggDelayNS
+		}
+		return topology.LegacyMultiRack(cfg.Workers, agg)
+	}
+	return nil
+}
+
+// defaultAggDelayNS is the documented MultiRack aggregation-layer
+// default, shared by config normalization and CanonicalTopology so the
+// validation and execution surfaces always resolve the same fabric.
+const defaultAggDelayNS = 2000
+
 // withDefaults validates cfg and fills zero values.
 func (cfg Config) withDefaults() (Config, error) {
+	// The fabric defines the global worker list: fill an empty Workers
+	// from the topology, and refuse a disagreeing pair — two server
+	// declarations with different shapes have no defined meaning.
+	if cfg.Topology != nil {
+		if cfg.MultiRack {
+			if cfg.Topology.NumRacks() == 0 {
+				return cfg, errors.New("simcluster: a placement-only Topology cannot combine with MultiRack; declare the racks in the Topology instead")
+			}
+			return cfg, errors.New("simcluster: both MultiRack and Topology are set; declare the fabric exactly once")
+		}
+		// A placement-only spec (no racks) falls through to topology
+		// validation below for its actionable error.
+		if cfg.Topology.NumRacks() > 0 {
+			flat := cfg.Topology.FlatWorkers()
+			if len(cfg.Workers) == 0 {
+				cfg.Workers = flat
+			} else if !slices.Equal(cfg.Workers, flat) {
+				return cfg, fmt.Errorf("simcluster: Workers %v disagrees with the topology's server list %v; declare the servers in one place", cfg.Workers, flat)
+			}
+		}
+	}
 	if len(cfg.Workers) < 2 {
 		return cfg, ErrNoServers
 	}
@@ -394,12 +483,15 @@ func (cfg Config) withDefaults() (Config, error) {
 	if cfg.FilterSlots <= 0 {
 		cfg.FilterSlots = 1 << 17
 	}
-	if cfg.MultiRack {
-		if cfg.Scheme == LAEDGE {
-			return cfg, errors.New("simcluster: multi-rack deployment is not modelled for LAEDGE")
-		}
-		if cfg.AggDelayNS <= 0 {
-			cfg.AggDelayNS = 2000
+	if cfg.MultiRack && cfg.AggDelayNS <= 0 {
+		cfg.AggDelayNS = defaultAggDelayNS
+	}
+	// Validate the *canonical* fabric — the declarative spec or the
+	// legacy MultiRack knob's derived two-rack spec — so both surfaces
+	// emit one uniform message (the LAEDGE contradiction included).
+	if spec := cfg.CanonicalTopology(); spec != nil {
+		if err := spec.Validate(topology.Cluster{Coordinators: cfg.CoordinatorTier()}); err != nil {
+			return cfg, fmt.Errorf("simcluster: invalid topology: %w", err)
 		}
 	}
 	return cfg, nil

@@ -3,7 +3,9 @@ package simcluster
 import (
 	"reflect"
 	"testing"
+	"time"
 
+	"netclone/internal/topology"
 	"netclone/internal/workload"
 )
 
@@ -209,6 +211,76 @@ func BenchmarkClusterSteadyState(b *testing.B) {
 	b.ResetTimer()
 	// Advance virtual time 1us per iteration; at 1 MRPS that is one
 	// request per iteration on average.
+	for i := 0; i < b.N; i++ {
+		c.eng.RunUntil(int64(i+1) * 1000)
+	}
+}
+
+// benchBuildFabric assembles a warm NetClone cluster on a three-rack
+// leaf–spine fabric (clients share rack 0 with two servers, the rest
+// are behind heterogeneous uplinks) for the N-rack steady-path
+// benchmarks.
+func benchBuildFabric(tb testing.TB) *cluster {
+	tb.Helper()
+	cfg := Config{
+		Scheme: NetClone,
+		Topology: topology.New(
+			topology.Rack{Servers: []int{16, 16}},
+			topology.Rack{Servers: []int{16, 16}, Uplink: 2 * time.Microsecond},
+			topology.Rack{Servers: []int{16, 16}, Uplink: 500 * time.Nanosecond},
+		),
+		Service:    workload.Exp(25),
+		OfferedRPS: 1e6,
+		DurationNS: 1e9, // window far beyond the benchmark's virtual time
+		Seed:       1,
+	}
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		tb.Fatal(err)
+	}
+	c, err := build(cfg)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return c
+}
+
+// TestTopologySteadyPathZeroAllocs guards the fabric layer's
+// performance contract: routing across an N-rack fabric is hoisted
+// scalar reads (per-server home ToR, per-rack transit delays), so the
+// per-event steady path allocates nothing more than the single-rack
+// path does.
+func TestTopologySteadyPathZeroAllocs(t *testing.T) {
+	c := benchBuildFabric(t)
+	for _, cl := range c.clients {
+		cl.start()
+	}
+	// Warm up: freelist and histograms reach their high-water marks.
+	deadline := int64(20e6)
+	c.eng.RunUntil(deadline)
+	allocs := testing.AllocsPerRun(50, func() {
+		deadline += 100_000 // 100us of virtual time per round
+		c.eng.RunUntil(deadline)
+	})
+	// Tolerate the rare amortized map/slice growth, as the fault-path
+	// guard does, but catch any per-event or per-packet allocation
+	// (hundreds per round).
+	if allocs > 1 {
+		t.Errorf("fabric steady path allocates %.1f allocs per 100us round, want ~0", allocs)
+	}
+}
+
+// BenchmarkClusterSteadyStateMultiRack is BenchmarkClusterSteadyState
+// on the three-rack fabric — the tracked N-rack micro-benchmark
+// (scripts/bench.sh, CI bench-smoke) guarding that the topology
+// generalization does not regress the 0 allocs/op steady path.
+func BenchmarkClusterSteadyStateMultiRack(b *testing.B) {
+	c := benchBuildFabric(b)
+	for _, cl := range c.clients {
+		cl.start()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		c.eng.RunUntil(int64(i+1) * 1000)
 	}

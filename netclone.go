@@ -12,6 +12,9 @@
 //   - the PISA-constrained switch data plane (the paper's contribution),
 //   - a deterministic discrete-event cluster simulation reproducing the
 //     paper's testbed and every figure of its evaluation,
+//   - a declarative leaf–spine fabric layer (WithRacks/WithPlacement)
+//     generalizing the §3.7 multi-rack deployment to N racks with
+//     per-link latency,
 //   - a real-UDP emulation of the switch, servers, and clients,
 //   - workload generators (synthetic service-time distributions and
 //     Zipf-skewed key-value mixes).
@@ -72,6 +75,7 @@ import (
 	"netclone/internal/runner"
 	"netclone/internal/scenario"
 	"netclone/internal/simcluster"
+	"netclone/internal/topology"
 	"netclone/internal/workload"
 )
 
@@ -136,8 +140,50 @@ func WithCoordinators(n int) ScenarioOption { return scenario.WithCoordinators(n
 
 // WithMultiRack places the workers behind a second ToR switch reached
 // through an aggregation layer with the given extra one-way delay
-// (§3.7). Sim only; not modelled for LAEDGE.
+// (§3.7). Kept as a thin wrapper over the canonical two-rack fabric;
+// new fabrics should prefer WithRacks. Sim only; not modelled for
+// LAEDGE.
 func WithMultiRack(aggDelay time.Duration) ScenarioOption { return scenario.WithMultiRack(aggDelay) }
+
+// ---------------------------------------------------------------------
+// Fabric topology (multi-rack leaf–spine deployments)
+
+// Rack is one leaf of a declarative fabric: the worker-thread counts of
+// the servers homed behind one ToR switch, plus that ToR's spine
+// uplink latency (0 means the 1 us default). Crossing the fabric costs
+// the sum of both racks' uplinks one way.
+type Rack = topology.Rack
+
+// TopologySpec is a declarative, immutable leaf–spine fabric: N racks
+// of heterogeneous servers, one ToR per rack, per-link spine latency,
+// and explicit client placement. Attach one to a scenario with
+// WithRacks/WithPlacement; the simulator compiles it into a flat
+// routing table and builds one switch data plane per rack, with the
+// §3.7 switch-ID ownership rule confining NetClone processing to the
+// clients' ToR.
+type TopologySpec = topology.Spec
+
+// HomRack returns a rack of n homogeneous servers with threads worker
+// threads each behind an uplink of the given latency (0 = default).
+func HomRack(n, threads int, uplink time.Duration) Rack {
+	return topology.HomRack(n, threads, uplink)
+}
+
+// WithRacks declares a multi-rack leaf–spine fabric: each rack lists
+// its servers and optionally its uplink latency. Clients sit on rack 0
+// unless WithPlacement says otherwise. Replaces any earlier WithRacks/
+// WithTopology/WithServers declaration. Sim only.
+func WithRacks(racks ...Rack) ScenarioOption { return scenario.WithRacks(racks...) }
+
+// WithPlacement places the clients on the given rack of the WithRacks
+// fabric (order-independent with WithRacks). Sim only.
+func WithPlacement(clientRack int) ScenarioOption { return scenario.WithPlacement(clientRack) }
+
+// RackStats is one rack's rolled-up counter view in a multi-rack
+// Result (Result.Racks): the rack's ToR data-plane snapshot plus the
+// clone drops of the servers homed there. Only the clients' rack ever
+// shows NetClone activity — the per-rack view of the ownership rule.
+type RackStats = simcluster.RackStats
 
 // WithWorkload selects a synthetic service-time distribution (§5.1.2).
 func WithWorkload(d Dist) ScenarioOption { return scenario.WithWorkload(d) }

@@ -180,3 +180,55 @@ func TestRenderJSON(t *testing.T) {
 		}
 	}
 }
+
+// TestFacadeLeafSpine exercises the fabric topology API end to end
+// through the facade: a WithRacks fabric runs, rolls its counters up
+// per rack, and the two-rack shape reproduces WithMultiRack exactly.
+func TestFacadeLeafSpine(t *testing.T) {
+	sim := netclone.Sim()
+	fabric := netclone.NewScenario(
+		netclone.WithScheme(netclone.NetClone),
+		netclone.WithRacks(
+			netclone.HomRack(2, 8, 0),
+			netclone.HomRack(2, 8, 2*time.Microsecond),
+			netclone.Rack{Servers: []int{4}, Uplink: 500 * time.Nanosecond},
+		),
+		netclone.WithPlacement(0),
+		netclone.WithWorkload(netclone.WithJitter(netclone.Exp(25), 0.01)),
+		netclone.WithOfferedLoad(1e5),
+		netclone.WithWindow(time.Millisecond, 10*time.Millisecond),
+		netclone.WithSeed(2),
+	)
+	res, err := sim.Run(fabric)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Racks) != 3 {
+		t.Fatalf("per-rack rollup has %d racks, want 3", len(res.Racks))
+	}
+	for _, rs := range res.Racks[1:] {
+		if rs.Switch.Cloned != 0 {
+			t.Errorf("rack %d ToR cloned %d requests (ownership rule)", rs.Rack, rs.Switch.Cloned)
+		}
+	}
+
+	// Migration contract: WithMultiRack is now a thin wrapper over the
+	// canonical two-rack fabric — the explicit WithRacks spelling of the
+	// same shape is byte-identical.
+	base := facadeScenario()
+	legacy, err := sim.Run(base.With(netclone.WithMultiRack(2 * time.Microsecond)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaRacks, err := sim.Run(base.With(
+		netclone.WithRacks(
+			netclone.Rack{Uplink: time.Microsecond},
+			netclone.Rack{Servers: []int{8, 8}, Uplink: time.Microsecond},
+		)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(legacy, viaRacks) {
+		t.Error("two-rack WithRacks fabric diverges from WithMultiRack")
+	}
+}

@@ -23,8 +23,10 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 mode="${1:-all}"
-# ClusterSteadyState also matches ClusterSteadyStateFaulted, the
-# fault-path micro-benchmark (0 allocs/op with active fault windows).
+# ClusterSteadyState also matches ClusterSteadyStateFaulted (the
+# fault-path micro-benchmark, 0 allocs/op with active fault windows)
+# and ClusterSteadyStateMultiRack (the N-rack fabric path, 0 allocs/op
+# across three racks of heterogeneous uplinks).
 bench_re="${BENCH:-Engine|SwitchPipeline|ClusterSteadyState|SwitchProcess|SimulatedMillisecond|ZipfRank|KVMixNext|PoissonGap|SummarizeFrozen}"
 benchtime="${BENCHTIME:-1s}"
 experiments="${EXPERIMENTS:-all}"
