@@ -2,8 +2,10 @@ package main
 
 import (
 	"encoding/json"
+	"fmt"
 	"os"
 	"runtime"
+	"strings"
 	"sync"
 	"time"
 
@@ -17,6 +19,16 @@ import (
 // scripts/bench.sh drives this end to end.
 
 // benchFile is the JSON schema of a BENCH_<n>.json snapshot.
+//
+// Schema history:
+//
+//	1: experiments + hot_path probe.
+//	2: adds host metadata (hardware identity, so compare can tell a real
+//	   regression from a hardware change) and the per-experiment "gated"
+//	   flag (experiments whose harness never enters the metered backend
+//	   — table1/table2 compute closed-form tables, no simulation — are
+//	   explicitly excluded from comparison instead of silently recording
+//	   zeros). readBenchJSON upgrades schema-1 files on load.
 type benchFile struct {
 	Schema     int               `json:"schema"`
 	CreatedUTC string            `json:"created_utc"`
@@ -24,8 +36,56 @@ type benchFile struct {
 	GOMAXPROCS int               `json:"gomaxprocs"`
 	Parallel   int               `json:"parallelism"`
 	Backend    string            `json:"backend"`
+	Host       *benchHost        `json:"host,omitempty"`
 	HotPath    *benchHotPath     `json:"hot_path,omitempty"`
 	Runs       []benchExperiment `json:"experiments"`
+}
+
+// benchHost identifies the hardware a snapshot was taken on. Snapshots
+// from different hosts are not comparable as a regression signal, so
+// compare downgrades failures to warnings when hosts differ.
+type benchHost struct {
+	GOOS     string `json:"goos"`
+	GOARCH   string `json:"goarch"`
+	NumCPU   int    `json:"num_cpu"`
+	CPUModel string `json:"cpu_model,omitempty"`
+}
+
+// currentHost reads this machine's identity. The CPU model comes from
+// /proc/cpuinfo when readable (Linux); elsewhere it stays empty and two
+// hosts compare by GOOS/GOARCH/NumCPU alone.
+func currentHost() *benchHost {
+	return &benchHost{
+		GOOS:     runtime.GOOS,
+		GOARCH:   runtime.GOARCH,
+		NumCPU:   runtime.NumCPU(),
+		CPUModel: cpuModel(),
+	}
+}
+
+// cpuModel extracts the first "model name" entry from /proc/cpuinfo.
+func cpuModel() string {
+	data, err := os.ReadFile("/proc/cpuinfo")
+	if err != nil {
+		return ""
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if k, v, ok := strings.Cut(line, ":"); ok && strings.TrimSpace(k) == "model name" {
+			return strings.TrimSpace(v)
+		}
+	}
+	return ""
+}
+
+// sameHost reports whether two snapshots come from comparable hardware.
+// A snapshot without host metadata (schema 1) is treated as a different
+// host: there is no evidence it is comparable.
+func sameHost(a, b *benchHost) bool {
+	if a == nil || b == nil {
+		return false
+	}
+	return a.GOOS == b.GOOS && a.GOARCH == b.GOARCH &&
+		a.NumCPU == b.NumCPU && a.CPUModel == b.CPUModel
 }
 
 // benchHotPath is the direct engine probe: repeated single simulations
@@ -38,9 +98,13 @@ type benchHotPath struct {
 	AllocsPerOp  float64 `json:"allocs_per_op"`
 }
 
-// benchExperiment meters one harness experiment end to end.
+// benchExperiment meters one harness experiment end to end. Gated
+// marks entries that carry a real simulation signal; closed-form
+// experiments (points == 0) set it false so compare skips them instead
+// of diffing zeros.
 type benchExperiment struct {
 	ID             string  `json:"id"`
+	Gated          bool    `json:"gated"`
 	WallNS         int64   `json:"wall_ns"`
 	Points         int64   `json:"points"`
 	NSPerPoint     float64 `json:"ns_per_point"`
@@ -74,6 +138,7 @@ func meterExperiment(id string, opts netclone.Options, mb *meteredBackend) (netc
 	points, events := mb.snapshot()
 	e := benchExperiment{
 		ID:     id,
+		Gated:  points > 0 && events > 0,
 		WallNS: wall.Nanoseconds(),
 		Points: points,
 		Events: events,
@@ -120,6 +185,26 @@ func meterHotPath(minWall time.Duration) (*benchHotPath, error) {
 		NSPerOp:      float64(wall.Nanoseconds()) / float64(runs),
 		AllocsPerOp:  dAllocs / float64(runs),
 	}, nil
+}
+
+// readBenchJSON loads a snapshot, upgrading older schemas in memory:
+// schema-1 files predate the gated flag, so gating is inferred from the
+// recorded counters exactly as schema 2 computes it at metering time.
+func readBenchJSON(path string) (benchFile, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return benchFile{}, err
+	}
+	var bf benchFile
+	if err := json.Unmarshal(data, &bf); err != nil {
+		return benchFile{}, fmt.Errorf("%s: %w", path, err)
+	}
+	if bf.Schema < 2 {
+		for i := range bf.Runs {
+			bf.Runs[i].Gated = bf.Runs[i].Points > 0 && bf.Runs[i].Events > 0
+		}
+	}
+	return bf, nil
 }
 
 // writeBenchJSON writes the snapshot.

@@ -14,6 +14,7 @@
 //	netclone-bench -run all -parallel 8
 //	netclone-bench -run fig7a -backend emu -quick -loads 0.1
 //	netclone-bench -run all -quick -benchjson BENCH_2.json
+//	netclone-bench -compare /tmp/fresh.json -baseline BENCH_2.json
 //	netclone-bench -run fig7a -quick -cpuprofile cpu.out -memprofile mem.out
 //
 // -run accepts a single ID, the keyword "all", or a glob pattern
@@ -97,6 +98,9 @@ func main() {
 		progress = flag.Bool("progress", false, "print per-point progress to stderr")
 
 		benchJSON  = flag.String("benchjson", "", "meter the run and write a BENCH_<n>.json benchmark snapshot to this path")
+		compare    = flag.String("compare", "", "diff this fresh snapshot against -baseline and exit (the regression ratchet)")
+		baseline   = flag.String("baseline", "", "baseline snapshot for -compare (the latest committed BENCH_<n>.json)")
+		reportOnly = flag.Bool("report-only", false, "with -compare: print regressions but always exit 0")
 		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this path")
 		memProfile = flag.String("memprofile", "", "write a pprof heap profile at exit to this path")
 	)
@@ -106,6 +110,19 @@ func main() {
 		fmt.Println("Available experiments (netclone-bench -run <id>):")
 		for _, e := range netclone.Experiments() {
 			fmt.Printf("  %-16s %-45s [%s]\n", e.ID, e.Title, e.Paper)
+		}
+		return
+	}
+	if *compare != "" {
+		if *baseline == "" {
+			fatal(errors.New("-compare requires -baseline"))
+		}
+		failed, err := runCompare(os.Stdout, *baseline, *compare, *reportOnly)
+		if err != nil {
+			fatal(err)
+		}
+		if failed {
+			os.Exit(1)
 		}
 		return
 	}
@@ -199,13 +216,27 @@ func main() {
 		meter = newMeteredBackend(inner)
 		opts.Backend = meter
 		bench = benchFile{
-			Schema:     1,
+			Schema:     2,
 			CreatedUTC: time.Now().UTC().Format(time.RFC3339),
 			GoVersion:  runtime.Version(),
 			GOMAXPROCS: runtime.GOMAXPROCS(0),
 			Parallel:   *parallel,
 			Backend:    inner.Name(),
+			Host:       currentHost(),
 		}
+	}
+
+	// The hot-path probe runs before the experiments, while process
+	// state (heap size, GC pacing, pool warmth) is still pristine — the
+	// probe must read the same regardless of which experiment set
+	// follows, or compare's cheap fresh snapshot would not be
+	// comparable to a committed full-suite snapshot.
+	if meter != nil && bench.Backend == "sim" {
+		hp, err := meterHotPath(2 * time.Second)
+		if err != nil {
+			fatal(err)
+		}
+		bench.HotPath = hp
 	}
 
 	var curves []netclone.Report // timeline-shaped reports for -timeline
@@ -270,14 +301,6 @@ func main() {
 	}
 
 	if *benchJSON != "" {
-		// The hot-path probe only makes sense on the simulator.
-		if bench.Backend == "sim" {
-			hp, err := meterHotPath(2 * time.Second)
-			if err != nil {
-				fatal(err)
-			}
-			bench.HotPath = hp
-		}
 		if err := writeBenchJSON(*benchJSON, bench); err != nil {
 			fatal(err)
 		}

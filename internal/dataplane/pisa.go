@@ -16,7 +16,10 @@
 // mirroring the ASIC's one-packet-per-stage-per-cycle discipline.
 package dataplane
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+)
 
 // pass tracks one packet's traversal through the pipeline. Stages must be
 // visited in non-decreasing order and each stateful object at most once.
@@ -52,8 +55,43 @@ type regArray struct {
 	vals []uint32
 }
 
+// Backing-array recycling. A default-sized filter table is half a
+// megabyte of zeroed uint32s; a simulation campaign builds one switch
+// per cluster per point, and that build garbage — not the steady-state
+// hot path — was the dominant allocation source in the tracked
+// hot-path benchmark. Large backings cycle through a pool; small
+// arrays are not worth the bookkeeping.
+//
+// Pool invariant: every array handed to putVals is fully zeroed.
+// Switch.Recycle guarantees this by undoing only the slots its dirty
+// lists recorded, so a reused half-megabyte array costs a few hundred
+// word stores instead of a full memclr.
+const poolMinSlots = 4096
+
+var valsPool sync.Pool // of *[]uint32 with len == cap >= poolMinSlots
+
+func getVals(slots int) []uint32 {
+	if slots >= poolMinSlots {
+		if v, ok := valsPool.Get().(*[]uint32); ok {
+			if s := *v; cap(s) >= slots {
+				return s[:slots]
+			}
+		}
+	}
+	return make([]uint32, slots)
+}
+
+// putVals returns v to the pool. v must be fully zeroed (see the pool
+// invariant above).
+func putVals(v []uint32) {
+	if cap(v) >= poolMinSlots {
+		v = v[:cap(v)]
+		valsPool.Put(&v)
+	}
+}
+
 func newRegArray(name string, stage, slots int) *regArray {
-	return &regArray{object: object{name: name, stage: stage}, vals: make([]uint32, slots)}
+	return &regArray{object: object{name: name, stage: stage}, vals: getVals(slots)}
 }
 
 // access performs the array's single allowed operation for this pass: a
@@ -64,6 +102,16 @@ func (r *regArray) access(p *pass, idx int, fn func(old uint32) uint32) uint32 {
 	old := r.vals[idx]
 	r.vals[idx] = fn(old)
 	return old
+}
+
+// slot performs the array's single allowed access for this pass and
+// returns the slot for an immediate read-modify-write by the caller.
+// Semantically identical to access with the same update applied; it
+// exists because the forwarding pipeline cannot afford an indirect
+// call per register operation.
+func (r *regArray) slot(p *pass, idx int) *uint32 {
+	r.touch(p)
+	return &r.vals[idx]
 }
 
 // read is a read-only register access (still consumes the pass budget).

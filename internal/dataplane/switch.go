@@ -154,6 +154,13 @@ type Switch struct {
 	addrT   *matchTable[uint32]    // stage 4
 	filterT []*regArray            // stages 5..5+FilterTables-1
 
+	// filterDirty records, per filter table, the slots written since the
+	// last reset. Recycle zeroes exactly those slots before returning the
+	// backing array to the pool, so a reused array never pays a
+	// half-megabyte clear. A table whose dirty list overflows
+	// filterDirtyCap falls back to a full clear (entry -1 marks this).
+	filterDirty [][]int32
+
 	filterMask uint32
 	passID     uint64
 
@@ -191,10 +198,29 @@ func New(cfg Config) (*Switch, error) {
 		filterMask: uint32(cfg.FilterSlots - 1),
 	}
 	s.filterT = make([]*regArray, cfg.FilterTables)
+	s.filterDirty = make([][]int32, cfg.FilterTables)
 	for i := range s.filterT {
 		s.filterT[i] = newRegArray(fmt.Sprintf("filter-table-%d", i), stageFilter+i, cfg.FilterSlots)
+		s.filterDirty[i] = make([]int32, 0, 256)
 	}
 	return s, nil
+}
+
+// filterDirtyCap bounds the per-table dirty list. Past this many writes
+// a full clear at recycle time is cheaper than the bookkeeping.
+const filterDirtyCap = 8192
+
+// markFilterDirty records a write to slot idx of filter table ti.
+func (s *Switch) markFilterDirty(ti, idx int) {
+	d := s.filterDirty[ti]
+	if n := len(d); n > 0 && d[n-1] == -1 {
+		return // already overflowed; full clear on recycle
+	}
+	if len(d) >= filterDirtyCap {
+		s.filterDirty[ti] = append(d[:0], -1)
+		return
+	}
+	s.filterDirty[ti] = append(d, int32(idx))
 }
 
 // Config returns the switch configuration.
@@ -290,10 +316,33 @@ func (s *Switch) Reset() {
 	s.seqReg.reset()
 	s.stateT.reset()
 	s.shadowT.reset()
-	for _, f := range s.filterT {
+	for i, f := range s.filterT {
 		f.reset()
+		s.filterDirty[i] = s.filterDirty[i][:0]
 	}
 	s.stats.ControlPlaneResets++
+}
+
+// Recycle returns the switch's large register backings to the package
+// pool. The switch must not process packets afterwards; callers invoke
+// it when tearing down a simulation whose results have already been
+// extracted, so the next cluster build reuses the half-megabyte filter
+// arrays instead of re-allocating them.
+func (s *Switch) Recycle() {
+	for i, f := range s.filterT {
+		d := s.filterDirty[i]
+		if len(d) > 0 && d[len(d)-1] == -1 {
+			clear(f.vals) // dirty list overflowed; pay the full clear
+		} else {
+			for _, idx := range d {
+				f.vals[idx] = 0
+			}
+		}
+		putVals(f.vals)
+		f.vals = nil
+		s.filterDirty[i] = nil
+	}
+	s.filterT = nil
 }
 
 // fingerprintHash maps a request ID to a filter-table slot (§3.5). The
@@ -352,13 +401,14 @@ func (s *Switch) processRequest(p *pass, h *wire.Header) Result {
 	if s.cfg.ClientGeneratedIDs {
 		reqID = foldLamport(h.LamportID())
 	} else {
-		reqID = s.seqReg.access(p, 0, func(old uint32) uint32 {
-			n := old + 1
-			if n == 0 {
-				n = 1
-			}
-			return n
-		}) + 1
+		sp := s.seqReg.slot(p, 0)
+		old := *sp
+		n := old + 1
+		if n == 0 {
+			n = 1
+		}
+		*sp = n
+		reqID = old + 1
 		if reqID == 0 {
 			reqID = 1
 			s.stats.SeqWraps++
@@ -382,8 +432,8 @@ func (s *Switch) processRequest(p *pass, h *wire.Header) Result {
 	// Line 6: read the tracked states. The state table is statically
 	// allocated to one stage, so the second read must use the shadow
 	// copy in the next stage (§3.4).
-	q1 := s.stateT.read(p, int(srv1))
-	q2 := s.shadowT.read(p, int(srv2))
+	q1 := *s.stateT.slot(p, int(srv1))
+	q2 := *s.shadowT.slot(p, int(srv2))
 
 	dst := srv1
 	clone := false
@@ -455,8 +505,8 @@ func (s *Switch) processResponse(p *pass, h *wire.Header) Result {
 	// Lines 15–16: update both state tables with the piggybacked queue
 	// length so they stay consistent (§3.4).
 	st := uint32(h.State)
-	s.stateT.access(p, int(h.SID), func(uint32) uint32 { return st })
-	s.shadowT.access(p, int(h.SID), func(uint32) uint32 { return st })
+	*s.stateT.slot(p, int(h.SID)) = st
+	*s.shadowT.slot(p, int(h.SID)) = st
 	s.stats.StateUpdates++
 
 	// Lines 17–24: responses of cloned requests pass the fingerprint
@@ -465,28 +515,27 @@ func (s *Switch) processResponse(p *pass, h *wire.Header) Result {
 		return Result{Act: ActForwardClient}
 	}
 
-	ft := s.filterT[int(h.Idx)%len(s.filterT)]
-	slot := int(s.fingerprintHash(h.ReqID))
+	ti := int(h.Idx) % len(s.filterT)
+	ft := s.filterT[ti]
 	reqID := h.ReqID
-	var matched, overwrote bool
-	ft.access(p, slot, func(old uint32) uint32 {
-		if old == reqID {
-			// Line 19–21: slower response — clear the slot and drop.
-			matched = true
-			return 0
-		}
-		// Line 22–23: faster response — insert the fingerprint.
-		// Overwriting a foreign fingerprint is allowed by design to
-		// tolerate response loss and hash collisions (§3.5).
-		overwrote = old != 0
-		return reqID
-	})
-	if matched {
+	slot := int(s.fingerprintHash(reqID))
+	fp := ft.slot(p, slot)
+	old := *fp
+	if old == reqID {
+		// Line 19–21: slower response — clear the slot and drop.
+		// Zero writes need no dirty mark: recycle only has to undo
+		// nonzero state.
+		*fp = 0
 		s.stats.FilterDrops++
 		return Result{Act: ActDrop}
 	}
+	// Line 22–23: faster response — insert the fingerprint.
+	// Overwriting a foreign fingerprint is allowed by design to
+	// tolerate response loss and hash collisions (§3.5).
+	*fp = reqID
+	s.markFilterDirty(ti, slot)
 	s.stats.FilterInserts++
-	if overwrote {
+	if old != 0 {
 		s.stats.FilterOverwrites++
 	}
 	return Result{Act: ActForwardClient}

@@ -79,12 +79,16 @@ type cluster struct {
 
 	// Per-hop delay sums and window bounds, hoisted out of the per-event
 	// inner loops at build time (they are constants for the whole run).
-	dSwLink   int64   // switch pass + one link hop
-	dSwRecirc int64   // switch pass + recirculation loopback
-	dSwTrans  []int64 // switch pass + fabric hop between the client rack and rack r
-	winStart  int64   // measurement window [winStart, winEnd)
-	winEnd    int64
-	isLaedge  bool
+	dSwLink    int64   // switch pass + one link hop
+	dSwRecirc  int64   // switch pass + recirculation loopback
+	dSwTrans   []int64 // switch pass + fabric hop between the client rack and rack r
+	dLink      int64   // one link hop (Cal.LinkDelayNS)
+	dDispatch  int64   // server dispatcher cost (Cal.DispatcherCostNS)
+	dCliPkt    int64   // client per-packet RX/TX cost (Cal.ClientPktCostNS)
+	dDedupMiss int64   // client dedup-miss cost (Cal.DedupMissCostNS)
+	winStart   int64   // measurement window [winStart, winEnd)
+	winEnd     int64
+	isLaedge   bool
 
 	// Loss-window state, owned by the fault controller: inside a
 	// window each link traversal drops with probability
@@ -102,6 +106,7 @@ type cluster struct {
 	jitterRNG    *rand.Rand // non-nil only when the plan has jitter windows
 
 	pktPool []*packet
+	pktSlab *pktSlab // pooled backing of the primed freelist
 
 	hist      *stats.Histogram
 	timeline  *stats.TimeSeries
@@ -177,7 +182,17 @@ func Run(cfg Config) (Result, error) {
 	// slightly after endGen. Latency recording is still window-gated.
 	c.eng.RunUntil(c.endGen + cfg.DurationNS)
 
-	return c.result(), nil
+	res := c.result()
+	// The cluster is dead once the result is extracted; hand the
+	// switches' large register backings and the packet slab back for
+	// the next build.
+	for _, t := range c.tors {
+		t.dp.Recycle()
+	}
+	c.recyclePackets()
+	putEngine(c.eng)
+	c.eng = nil
+	return res, nil
 }
 
 // build assembles a cluster from an already-normalized config without
@@ -189,17 +204,21 @@ func build(cfg Config) (*cluster, error) {
 		spec = topology.SingleRack(cfg.Workers)
 	}
 	c := &cluster{
-		cfg:       cfg,
-		topo:      spec.Compile(),
-		eng:       simnet.NewEngine(),
-		hist:      stats.NewHistogram(),
-		endGen:    cfg.WarmupNS + cfg.DurationNS,
-		lossRNG:   simnet.NewRNG(cfg.Seed, 400),
-		dSwLink:   cfg.Cal.SwitchDelayNS + cfg.Cal.LinkDelayNS,
-		dSwRecirc: cfg.Cal.SwitchDelayNS + cfg.Cal.RecircDelayNS,
-		winStart:  cfg.WarmupNS,
-		winEnd:    cfg.WarmupNS + cfg.DurationNS,
-		isLaedge:  cfg.Scheme == LAEDGE,
+		cfg:        cfg,
+		topo:       spec.Compile(),
+		eng:        getEngine(),
+		hist:       stats.NewHistogram(),
+		endGen:     cfg.WarmupNS + cfg.DurationNS,
+		lossRNG:    simnet.NewRNG(cfg.Seed, 400),
+		dSwLink:    cfg.Cal.SwitchDelayNS + cfg.Cal.LinkDelayNS,
+		dSwRecirc:  cfg.Cal.SwitchDelayNS + cfg.Cal.RecircDelayNS,
+		dLink:      cfg.Cal.LinkDelayNS,
+		dDispatch:  cfg.Cal.DispatcherCostNS,
+		dCliPkt:    cfg.Cal.ClientPktCostNS,
+		dDedupMiss: cfg.Cal.DedupMissCostNS,
+		winStart:   cfg.WarmupNS,
+		winEnd:     cfg.WarmupNS + cfg.DurationNS,
+		isLaedge:   cfg.Scheme == LAEDGE,
 	}
 	if cfg.TimelineBinNS > 0 {
 		c.timeline = stats.NewTimeSeries(cfg.TimelineBinNS)
@@ -235,7 +254,48 @@ func build(cfg Config) (*cluster, error) {
 		// LossProb knob's build-time activation, generalized.
 		c.faults.activateImmediate()
 	}
+	c.primePackets()
 	return c, nil
+}
+
+// primePackets seeds the freelist with one slab's worth of packets so
+// steady-state traffic reaches its in-flight high-water mark without
+// one heap allocation per packet along the way (pool.go). Traffic
+// beyond the slab falls back to individual allocations exactly as
+// before. Slabs cycle through a package pool across runs (newPacket
+// zeroes on pop, so a recycled slab needs no clearing); recyclePackets
+// hands them back at teardown.
+func (c *cluster) primePackets() {
+	ps, _ := pktSlabPool.Get().(*pktSlab)
+	if ps == nil {
+		ps = &pktSlab{
+			slab: make([]packet, slabPackets),
+			ptrs: make([]*packet, 0, slabPackets),
+		}
+	}
+	ps.ptrs = ps.ptrs[:0]
+	for i := range ps.slab {
+		ps.ptrs = append(ps.ptrs, &ps.slab[i])
+	}
+	c.pktSlab = ps
+	c.pktPool = ps.ptrs
+}
+
+// recyclePackets returns the packet slab to the package pool. Only
+// valid once the cluster is dead: stale in-flight pointers into the
+// slab must be unreachable before the next run reuses it.
+func (c *cluster) recyclePackets() {
+	ps := c.pktSlab
+	if ps == nil {
+		return
+	}
+	// The freelist may have grown past the slab with individually
+	// allocated packets; drop the references so the pool pins nothing
+	// but the slab itself.
+	clear(c.pktPool)
+	ps.ptrs = c.pktPool[:0]
+	c.pktSlab, c.pktPool = nil, nil
+	pktSlabPool.Put(ps)
 }
 
 // buildSwitches instantiates one ToR per rack of the compiled fabric.
@@ -273,6 +333,7 @@ func (c *cluster) buildSwitches() error {
 			}
 		}
 		c.tors[r] = &switchNode{cl: c, dp: dp, rack: r}
+		c.tors[r].hid = c.eng.Register(c.tors[r])
 		c.dSwTrans[r] = c.cfg.Cal.SwitchDelayNS + c.topo.InterDelayNS[c.topo.ClientRack][r]
 	}
 	c.sw = c.tors[c.topo.ClientRack]
@@ -289,6 +350,7 @@ func (c *cluster) buildServers() {
 			tor:     c.tors[c.topo.ServerRack[sid]],
 			rng:     simnet.NewRNG(c.cfg.Seed, 200+uint64(sid)),
 		}
+		c.servers[sid].hid = c.eng.Register(c.servers[sid])
 	}
 }
 
@@ -306,12 +368,12 @@ func (c *cluster) buildClients() {
 			id:           uint16(i),
 			rng:          simnet.NewRNG(c.cfg.Seed, 100+uint64(i)),
 			arrival:      workload.Poisson{RatePerSec: perClient},
-			pending:      make(map[uint32]pendingReq),
 			numGroups:    numGroups,
 			nServers:     nServers,
 			filterTables: c.cfg.FilterTables,
 			numCoords:    len(c.coords),
 		}
+		c.clients[i].hid = c.eng.Register(c.clients[i])
 	}
 }
 
@@ -409,6 +471,7 @@ func maxInt(a, b int) int {
 type switchNode struct {
 	cl   *cluster
 	dp   *dataplane.Switch
+	hid  int32 // registered engine handler ID (typed scheduling)
 	rack int
 	down bool
 }
@@ -459,7 +522,7 @@ func (s *switchNode) fromClient(p *packet) {
 	if c.isLaedge {
 		// Plain L3 hop to the owning coordinator.
 		co := c.coords[p.coordID%len(c.coords)]
-		c.eng.ScheduleAfter(c.dSwLink, co, evCoArriveRequest, p, 0)
+		c.eng.ScheduleAfter(c.dSwLink, co.hid, evCoArriveRequest, p, 0)
 		return
 	}
 	if p.direct {
@@ -474,10 +537,10 @@ func (s *switchNode) fromClient(p *packet) {
 			return
 		}
 		if tor := c.servers[sid1].tor; tor != s {
-			c.eng.ScheduleAfter(c.dSwTrans[tor.rack], tor, evSwTransitRequest, p, int64(sid1))
+			c.eng.ScheduleAfter(c.dSwTrans[tor.rack], tor.hid, evSwTransitRequest, p, int64(sid1))
 			return
 		}
-		c.eng.ScheduleAfter(c.dSwLink, c.servers[sid1], evSrvOnRequest, p, 0)
+		c.eng.ScheduleAfter(c.dSwLink, c.servers[sid1].hid, evSrvOnRequest, p, 0)
 		return
 	}
 	res := s.dp.Process(&p.hdr)
@@ -495,7 +558,7 @@ func (s *switchNode) fromClient(p *packet) {
 		if traced {
 			clone.trace = &reqTrace{isClone: true}
 		}
-		c.eng.ScheduleAfter(c.dSwRecirc, s, evSwRecirculate, clone, 0)
+		c.eng.ScheduleAfter(c.dSwRecirc, s.hid, evSwRecirculate, clone, 0)
 	case dataplane.ActDrop, dataplane.ActPassL3:
 		// Dropped (no route) or not ours; nothing further in this model.
 		c.freePacket(p)
@@ -512,10 +575,10 @@ func (s *switchNode) toServer(p *packet, dst int) {
 		return
 	}
 	if tor := c.servers[dst].tor; tor != s {
-		c.eng.ScheduleAfter(c.dSwTrans[tor.rack], tor, evSwTransitRequest, p, int64(dst))
+		c.eng.ScheduleAfter(c.dSwTrans[tor.rack], tor.hid, evSwTransitRequest, p, int64(dst))
 		return
 	}
-	c.eng.ScheduleAfter(c.dSwLink+c.jitterExtra(), c.servers[dst], evSrvOnRequest, p, 0)
+	c.eng.ScheduleAfter(c.dSwLink+c.jitterExtra(), c.servers[dst].hid, evSrvOnRequest, p, 0)
 }
 
 // transitRequest is the server-side ToR's handling of a stamped request:
@@ -545,7 +608,7 @@ func (s *switchNode) transitRequest(p *packet, dst int) {
 			}
 		}
 	}
-	c.eng.ScheduleAfter(c.dSwLink, c.servers[dst], evSrvOnRequest, p, 0)
+	c.eng.ScheduleAfter(c.dSwLink, c.servers[dst].hid, evSrvOnRequest, p, 0)
 }
 
 // transitResponse is the server-side ToR's handling of a response headed
@@ -569,7 +632,7 @@ func (s *switchNode) transitResponse(p *packet) {
 			return
 		}
 	}
-	c.eng.ScheduleAfter(c.dSwTrans[s.rack], c.sw, evSwFromServer, p, 0)
+	c.eng.ScheduleAfter(c.dSwTrans[s.rack], c.sw.hid, evSwFromServer, p, 0)
 }
 
 // toClient delivers a response over the switch->client link.
@@ -579,7 +642,7 @@ func (s *switchNode) toClient(p *packet, dst int) {
 		c.freePacket(p)
 		return
 	}
-	c.eng.ScheduleAfter(c.dSwLink+c.jitterExtra(), c.clients[dst], evCliOnResponse, p, 0)
+	c.eng.ScheduleAfter(c.dSwLink+c.jitterExtra(), c.clients[dst].hid, evCliOnResponse, p, 0)
 }
 
 // recirculate re-injects a clone into the ingress pipeline.
@@ -611,7 +674,7 @@ func (s *switchNode) fromServer(p *packet) {
 	}
 	if c.isLaedge {
 		co := c.coords[p.coordID%len(c.coords)]
-		c.eng.ScheduleAfter(c.dSwLink, co, evCoArriveResponse, p, 0)
+		c.eng.ScheduleAfter(c.dSwLink, co.hid, evCoArriveResponse, p, 0)
 		return
 	}
 	if p.direct {
@@ -636,7 +699,7 @@ func (s *switchNode) coordToServer(p *packet, dst int) {
 		s.cl.freePacket(p)
 		return
 	}
-	s.cl.eng.ScheduleAfter(s.cl.dSwLink, s.cl.servers[dst], evSrvOnRequest, p, 0)
+	s.cl.eng.ScheduleAfter(s.cl.dSwLink, s.cl.servers[dst].hid, evSrvOnRequest, p, 0)
 }
 
 // coordToClient forwards a coordinator-emitted final response through
@@ -647,7 +710,7 @@ func (s *switchNode) coordToClient(p *packet, dst int) {
 		s.cl.freePacket(p)
 		return
 	}
-	s.cl.eng.ScheduleAfter(s.cl.dSwLink, s.cl.clients[dst], evCliOnResponse, p, 0)
+	s.cl.eng.ScheduleAfter(s.cl.dSwLink, s.cl.clients[dst].hid, evCliOnResponse, p, 0)
 }
 
 // ---------------------------------------------------------------------
@@ -658,6 +721,7 @@ func (s *switchNode) coordToClient(p *packet, dst int) {
 type server struct {
 	cl      *cluster
 	sid     uint16
+	hid     int32 // registered engine handler ID
 	workers int
 	tor     *switchNode // the server's home-rack ToR
 	rng     *rand.Rand
@@ -729,7 +793,7 @@ func (s *server) onRequest(p *packet) {
 	}
 	p.srvEpoch = s.epoch
 	// Dispatcher cost, then enqueue or start service.
-	s.cl.eng.ScheduleAfter(s.cl.cfg.Cal.DispatcherCostNS, s, evSrvDispatch, p, 0)
+	s.cl.eng.ScheduleAfter(s.cl.dDispatch, s.hid, evSrvDispatch, p, 0)
 }
 
 // dispatch runs after the dispatcher cost: start service on a free
@@ -766,7 +830,7 @@ func (s *server) startService(p *packet) {
 		p.trace.serviceStart = s.cl.eng.Now()
 		p.trace.serviceEnd = s.cl.eng.Now() + svc
 	}
-	s.cl.eng.ScheduleAfter(svc, s, evSrvFinish, p, 0)
+	s.cl.eng.ScheduleAfter(svc, s.hid, evSrvFinish, p, 0)
 }
 
 func (s *server) serviceTime(op workload.OpKind) int64 {
@@ -806,9 +870,9 @@ func (s *server) finish(p *packet) {
 	if s.tor != s.cl.sw {
 		// Remote rack: the response first hits the server's own ToR,
 		// which passes it through to the clients' ToR (§3.7).
-		s.cl.eng.ScheduleAfter(s.cl.cfg.Cal.LinkDelayNS+s.cl.jitterExtra(), s.tor, evSwTransitResponse, p, 0)
+		s.cl.eng.ScheduleAfter(s.cl.dLink+s.cl.jitterExtra(), s.tor.hid, evSwTransitResponse, p, 0)
 	} else {
-		s.cl.eng.ScheduleAfter(s.cl.cfg.Cal.LinkDelayNS+s.cl.jitterExtra(), s.cl.sw, evSwFromServer, p, 0)
+		s.cl.eng.ScheduleAfter(s.cl.dLink+s.cl.jitterExtra(), s.cl.sw.hid, evSwFromServer, p, 0)
 	}
 
 	// Pull the next request.
@@ -828,11 +892,59 @@ type pendingReq struct {
 	op     workload.OpKind
 }
 
+// Pending-request table. Client sequence numbers are assigned
+// monotonically and requests complete within a small window, so the
+// outstanding set lives in a power-of-two ring indexed by the low seq
+// bits — a 3-instruction lookup instead of a map probe on every
+// response. A slot whose request never completed (response lost) is
+// displaced to the spill map when the ring laps it, so nothing is
+// dropped; the spill map stays empty in loss-free steady state.
+const (
+	pendRingBits = 6 // 64 slots: far above per-client in-flight peaks
+	pendRingSize = 1 << pendRingBits
+	pendRingMask = pendRingSize - 1
+)
+
+type pendSlot struct {
+	seq   uint32
+	valid bool
+	req   pendingReq
+}
+
+// putPending records an outstanding request under seq.
+func (c *client) putPending(seq uint32, req pendingReq) {
+	s := &c.pendRing[seq&pendRingMask]
+	if s.valid {
+		if c.pendSpill == nil {
+			c.pendSpill = make(map[uint32]pendingReq)
+		}
+		c.pendSpill[s.seq] = s.req
+	}
+	*s = pendSlot{seq: seq, valid: true, req: req}
+}
+
+// takePending claims and removes the outstanding request for seq.
+func (c *client) takePending(seq uint32) (pendingReq, bool) {
+	s := &c.pendRing[seq&pendRingMask]
+	if s.valid && s.seq == seq {
+		s.valid = false
+		return s.req, true
+	}
+	if c.pendSpill != nil {
+		if r, ok := c.pendSpill[seq]; ok {
+			delete(c.pendSpill, seq)
+			return r, true
+		}
+	}
+	return pendingReq{}, false
+}
+
 // client is an open-loop load generator with a sender and a receiver
 // thread (§4.2), each modelled as a FIFO resource with a per-packet cost.
 type client struct {
 	cl      *cluster
 	id      uint16
+	hid     int32 // registered engine handler ID
 	rng     *rand.Rand
 	arrival workload.Poisson
 
@@ -843,7 +955,8 @@ type client struct {
 	numCoords    int
 
 	nextSeq     uint32
-	pending     map[uint32]pendingReq
+	pendRing    [pendRingSize]pendSlot
+	pendSpill   map[uint32]pendingReq
 	txBusyUntil int64
 	rxQueue     pktFIFO
 	rxBusy      bool
@@ -866,7 +979,7 @@ func (c *client) OnEvent(kind uint8, arg any, x int64) {
 
 // start schedules the first generation event.
 func (c *client) start() {
-	c.cl.eng.ScheduleAfter(c.arrival.NextGap(c.rng), c, evCliGenerate, nil, 0)
+	c.cl.eng.ScheduleAfter(c.arrival.NextGap(c.rng), c.hid, evCliGenerate, nil, 0)
 }
 
 // generate creates one request (two packets under C-Clone) and schedules
@@ -887,7 +1000,7 @@ func (c *client) generate() {
 
 	seq := c.nextSeq
 	c.nextSeq++
-	c.pending[seq] = pendingReq{sentAt: now, op: op}
+	c.putPending(seq, pendingReq{sentAt: now, op: op})
 
 	sampled := c.cl.breakdown != nil && c.cl.cfg.SampleEvery > 0 &&
 		c.cl.generated%int64(c.cl.cfg.SampleEvery) == 0
@@ -922,7 +1035,7 @@ func (c *client) generate() {
 		c.sendPacket(p, now)
 	}
 
-	c.cl.eng.ScheduleAfter(c.arrival.NextGap(c.rng), c, evCliGenerate, nil, 0)
+	c.cl.eng.ScheduleAfter(c.arrival.NextGap(c.rng), c.hid, evCliGenerate, nil, 0)
 }
 
 // pickGroup selects the client's random group ID. In normal operation it
@@ -976,9 +1089,9 @@ func (c *client) sendPacket(p *packet, now int64) {
 	if c.txBusyUntil > start {
 		start = c.txBusyUntil
 	}
-	done := start + c.cl.cfg.Cal.ClientPktCostNS
+	done := start + c.cl.dCliPkt
 	c.txBusyUntil = done
-	c.cl.eng.Schedule(done+c.cl.cfg.Cal.LinkDelayNS+c.cl.jitterExtra(), c.cl.sw, evSwFromClient, p, 0)
+	c.cl.eng.Schedule(done+c.cl.dLink+c.cl.jitterExtra(), c.cl.sw.hid, evSwFromClient, p, 0)
 }
 
 // onResponse handles a response arriving at the client NIC: it joins the
@@ -1005,15 +1118,14 @@ func (c *client) rxServeNext() {
 	}
 	p := c.rxQueue.pop()
 
-	req, ok := c.pending[p.hdr.ClientSeq]
-	cost := c.cl.cfg.Cal.ClientPktCostNS
+	// Claim the request now so a twin already queued behind us takes
+	// the miss path.
+	req, ok := c.takePending(p.hdr.ClientSeq)
+	cost := c.cl.dCliPkt
 	if ok {
-		// Claim the request now so a twin already queued behind us takes
-		// the miss path.
-		delete(c.pending, p.hdr.ClientSeq)
-		c.cl.eng.ScheduleAfter(cost, c, evCliRxHit, p, req.sentAt)
+		c.cl.eng.ScheduleAfter(cost, c.hid, evCliRxHit, p, req.sentAt)
 	} else {
-		c.cl.eng.ScheduleAfter(cost+c.cl.cfg.Cal.DedupMissCostNS, c, evCliRxMiss, p, 0)
+		c.cl.eng.ScheduleAfter(cost+c.cl.dDedupMiss, c.hid, evCliRxMiss, p, 0)
 	}
 }
 

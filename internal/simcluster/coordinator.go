@@ -25,6 +25,7 @@ import (
 type coordinator struct {
 	cl  *cluster
 	id  int
+	hid int32 // registered engine handler ID
 	rng *rand.Rand
 
 	cpuBusyUntil int64
@@ -57,6 +58,7 @@ func newCoordinator(c *cluster, id, k int) *coordinator {
 		capacity:    append([]int(nil), c.cfg.Workers...),
 		pendingPair: make(map[uint64]bool),
 	}
+	co.hid = c.eng.Register(co)
 	for s := range c.cfg.Workers {
 		if s%k == id {
 			co.owned = append(co.owned, s)
@@ -100,9 +102,9 @@ func (co *coordinator) OnEvent(kind uint8, arg any, x int64) {
 	case evCoResponse:
 		co.onResponse(p)
 	case evCoTxServer:
-		co.cl.eng.ScheduleAfter(co.cl.cfg.Cal.LinkDelayNS, co.cl.sw, evSwCoordToServer, p, x)
+		co.cl.eng.ScheduleAfter(co.cl.dLink, co.cl.sw.hid, evSwCoordToServer, p, x)
 	case evCoTxClient:
-		co.cl.eng.ScheduleAfter(co.cl.cfg.Cal.LinkDelayNS, co.cl.sw, evSwCoordToClient, p, x)
+		co.cl.eng.ScheduleAfter(co.cl.dLink, co.cl.sw.hid, evSwCoordToClient, p, x)
 	}
 }
 
@@ -116,7 +118,7 @@ func (co *coordinator) cpuSchedule(kind uint8, p *packet, x int64) {
 	}
 	done := start + co.cl.cfg.Cal.CoordPktCostNS
 	co.cpuBusyUntil = done
-	co.cl.eng.Schedule(done, co, kind, p, x)
+	co.cl.eng.Schedule(done, co.hid, kind, p, x)
 }
 
 // dispatch routes p to idle workers, cloning when two are idle;

@@ -49,6 +49,7 @@ type faultTrans struct {
 // faultCtl owns a run's compiled fault plan and its execution state.
 type faultCtl struct {
 	cl    *cluster
+	hid   int32 // registered engine handler ID
 	plan  []faults.Injection
 	trans []faultTrans
 
@@ -66,6 +67,7 @@ type faultCtl struct {
 // newFaultCtl compiles the canonical injections for cluster c.
 func newFaultCtl(c *cluster, inj []faults.Injection) *faultCtl {
 	f := &faultCtl{cl: c, plan: inj}
+	f.hid = c.eng.Register(f)
 	for i, in := range inj {
 		f.trans = append(f.trans, faultTrans{at: in.FromNS, inj: i, begin: true})
 		if in.UntilNS != math.MaxInt64 {
@@ -108,7 +110,7 @@ func (f *faultCtl) schedule() {
 		if tr.at <= 0 {
 			continue
 		}
-		f.cl.eng.Schedule(tr.at, f, evFaultTrans, nil, int64(i))
+		f.cl.eng.Schedule(tr.at, f.hid, evFaultTrans, nil, int64(i))
 	}
 }
 

@@ -173,7 +173,7 @@ func BenchmarkSwitchPipelineRoundTrip(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		seq := uint32(i)
 		p := cl.makeRequest(seq, workload.OpGet, cl.pickGroup(), false)
-		cl.pending[seq] = pendingReq{sentAt: c.eng.Now()}
+		cl.putPending(seq, pendingReq{sentAt: c.eng.Now()})
 		c.sw.fromClient(p)
 		c.eng.Run()
 	}
@@ -190,7 +190,7 @@ func BenchmarkSwitchPipelineCClone(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		seq := uint32(i)
 		now := c.eng.Now()
-		cl.pending[seq] = pendingReq{sentAt: now}
+		cl.putPending(seq, pendingReq{sentAt: now})
 		p1 := cl.makeRequest(seq, workload.OpGet, cl.groupWithFirst(0), false)
 		p2 := cl.makeRequest(seq, workload.OpGet, cl.groupWithFirst(1), false)
 		cl.sendPacket(p1, now)

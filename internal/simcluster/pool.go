@@ -1,6 +1,46 @@
 package simcluster
 
-import "netclone/internal/wire"
+import (
+	"sync"
+
+	"netclone/internal/simnet"
+	"netclone/internal/wire"
+)
+
+// slabPackets is the primed freelist size (cluster.primePackets); one
+// slab comfortably covers the steady-state in-flight high-water mark of
+// the tracked benchmark configurations.
+const slabPackets = 256
+
+// pktSlab is one pooled packet backing: the slab array plus the
+// freelist slice primed over it.
+type pktSlab struct {
+	slab []packet
+	ptrs []*packet
+}
+
+// pktSlabPool recycles packet slabs across simulation runs.
+var pktSlabPool sync.Pool
+
+// engPool recycles event engines across runs: the slab, batch, and
+// overflow buffers keep their high-water capacity, so a recycled
+// engine's steady state allocates nothing.
+var engPool sync.Pool
+
+func getEngine() *simnet.Engine {
+	if e, ok := engPool.Get().(*simnet.Engine); ok {
+		return e
+	}
+	return simnet.NewEngine()
+}
+
+// putEngine returns a dead cluster's engine to the pool. Reset drops
+// every pending payload and handler reference, so the pool pins no
+// cluster memory.
+func putEngine(e *simnet.Engine) {
+	e.Reset()
+	engPool.Put(e)
+}
 
 // Packet freelist (DESIGN.md § Performance model). The cluster is
 // single-threaded — one event engine, one goroutine — so recycling is a

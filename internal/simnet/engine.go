@@ -4,19 +4,38 @@
 // fire in non-decreasing time order, ties break in scheduling order
 // (FIFO), and identical seeds produce identical runs.
 //
-// The engine stores events in a flat 4-ary min-heap of typed records —
-// no container/heap interface boxing, no per-event allocation — so the
-// simulation hot path is allocation-free in steady state (DESIGN.md
-// § Performance model). Hot callers schedule through the typed
-// Schedule/ScheduleAfter API against a Handler; At/After remain for
+// The engine is organized around burst draining (DESIGN.md
+// § Performance model): pending events live in a calendar ring of
+// fixed-width time buckets, so scheduling is an O(1) chain push instead
+// of a heap sift, and execution pops the occupied buckets of a small
+// leading time window at once — the burst — into a reusable index
+// batch, sorts each bucket's chain as one segment of the batch, and
+// dispatches it as a tight linear scan. Equal-timestamp events always
+// share a bucket, so a burst contains at minimum every queued event of
+// the head timestamp. The dispatch order is exactly the (at, seq)
+// total order a per-event heap would pop; burst mode is a pure
+// scheduling-machinery optimization, observable only as wall-clock
+// speed.
+//
+// Event records are stored once in a growable slab and never move;
+// every queue structure (bucket chains, the batch, the overflow heap)
+// holds int32 slab indices. Moving indices instead of records keeps the
+// sort and heap machinery free of GC write barriers — eventRec carries
+// an interface payload, so record copies are barrier-traffic a profile
+// showed dominating a value-based layout.
+//
+// Hot callers Register a Handler once and schedule through the typed
+// Schedule/ScheduleAfter API with the returned handler ID — events
+// carry the 4-byte ID, not the interface value; At/After remain for
 // cold paths and tests, paying one closure allocation per call exactly
 // as before.
 package simnet
 
 import (
 	"math"
+	"math/bits"
 	"math/rand/v2"
-	"sort"
+	"slices"
 )
 
 // Time is virtual time in nanoseconds since the start of the run.
@@ -25,67 +44,204 @@ type Time = int64
 // Handler receives typed events. Implementations are the simulation's
 // node objects (switch, server, client, ...); kind selects the action
 // and arg/x carry the payload — a pointer payload in arg stores into
-// the event record without allocating.
+// the event record without allocating. Handlers are registered once
+// (Register) and addressed by their dense ID on every schedule, so the
+// per-event record carries a 4-byte index instead of a 16-byte
+// interface value — half the pointer stores, half the GC write-barrier
+// traffic on the scheduling fast path.
 type Handler interface {
 	OnEvent(kind uint8, arg any, x int64)
 }
 
-// eventRec is one scheduled event. Exactly one of h (typed event) and
-// arg-as-func (closure event, h == nil) is used at dispatch.
+// eventRec is one scheduled event, stored in the engine's slab.
+// Exactly one of hid (typed event, registered handler ID) and
+// arg-as-func (closure event, hid == 0) is used at dispatch. nxt chains
+// records into a bucket (or the free list) by slab index; records never
+// move once written.
 type eventRec struct {
 	at   Time
 	seq  uint64 // tie-breaker: FIFO among equal times
 	x    int64
 	arg  any
-	h    Handler
+	hid  int32
+	nxt  int32
 	kind uint8
 }
 
-// Engine is a single-threaded discrete-event scheduler. The zero value is
-// ready to use at time 0.
+// Calendar-ring geometry. The bucket width (128 ns) is chosen below the
+// simulated cluster's smallest calibrated delay (150 ns dispatcher
+// cost), so an event a handler schedules mid-burst almost always lands
+// in a later bucket via the O(1) fast path; only near-zero delays merge
+// into the running burst by splice. The ring spans
+// numBuckets*2^bucketShift ns (1024 x 128 ns ≈ 131 µs with these
+// values — past the Exp(25 µs) service tail); rarer farther-out events
+// overflow to a slow-path heap and are pulled back in as the ring
+// advances.
+const (
+	bucketShift = 7 // 128 ns per bucket
+	numBuckets  = 1024
+	bucketMask  = numBuckets - 1
+	occWords    = numBuckets / 64
+
+	nilIdx = int32(-1)
+
+	// burstSpanBuckets bounds how far past the head bucket one burst
+	// collects (4 x 128 ns = 512 ns). Wider bursts amortize the burst
+	// machinery over more events but turn more mid-burst schedules into
+	// sorted-batch splices instead of O(1) chain pushes; 512 ns sits
+	// just above the cluster's sub-µs hop delays, which a sweep
+	// (1/2/4/8/16/32) found the best trade. burstMaxEvents caps batch
+	// growth under event storms (e.g. thousands of t=0 start events) so
+	// splices stay cheap.
+	burstSpanBuckets = 4
+	burstMaxEvents   = 256
+
+	// initialSlabCap sizes the first slab allocation; the slab doubles
+	// when the pending-event high-water mark outgrows it, so a run pays
+	// O(log peak) allocations for event storage in total. The tracked
+	// cluster benchmark peaks near 100 pending events, so 128 covers the
+	// common case in a single cache-friendly allocation.
+	initialSlabCap = 128
+)
+
+// Engine is a single-threaded discrete-event scheduler. The zero value
+// is ready to use at time 0.
 type Engine struct {
 	now   Time
-	heap  []eventRec // flat 4-ary min-heap ordered by (at, seq)
 	seq   uint64
 	steps uint64
+
+	// Event storage: records live at a fixed slab index from schedule
+	// to dispatch; free slots chain through nxt starting at freeHead.
+	slab     []eventRec
+	freeHead int32
+
+	// Calendar ring: head[b&bucketMask] chains (unordered) the events
+	// with at>>bucketShift == b for b in [curB, curB+numBuckets). occ
+	// is the slot-occupancy bitmap used to skip empty buckets in O(1).
+	curB      int64
+	ringCount int
+	head      [numBuckets]int32
+	occ       [occWords]uint64
+
+	// Burst state: the bucket being drained, its indices collected into
+	// batch and sorted by (at, seq). batchPos is the dispatch cursor.
+	// Events scheduled at or before the burst's bucket window while it
+	// drains are spliced into the sorted remainder at their (at, seq)
+	// position — an int32 memmove, not a record move. The state
+	// persists across calls, so a deadline can pause mid-burst and the
+	// next call resumes exactly where the previous one stopped.
+	draining bool
+	burstB   int64
+	batch    []int32
+	batchPos int
+
+	overflow []int32 // binary min-heap: events beyond the ring horizon
+
+	// handlers[hid-1] is the target of typed events scheduled with hid;
+	// ID 0 means a closure event. Registration order is irrelevant to
+	// event order — IDs are pure dispatch indices.
+	handlers []Handler
+}
+
+// Register assigns h a dense handler ID for typed scheduling. IDs are
+// valid until Reset, which drops all registrations.
+func (e *Engine) Register(h Handler) int32 {
+	e.handlers = append(e.handlers, h)
+	return int32(len(e.handlers))
 }
 
 // NewEngine returns an engine at virtual time 0.
-func NewEngine() *Engine { return &Engine{} }
+func NewEngine() *Engine {
+	e := &Engine{}
+	e.initStorage()
+	return e
+}
+
+func (e *Engine) initStorage() {
+	e.slab = make([]eventRec, 0, initialSlabCap)
+	e.freeHead = nilIdx
+	for i := range e.head {
+		e.head[i] = nilIdx
+	}
+}
+
+// alloc returns a free slab index, growing the slab when the free list
+// is empty. Slab growth moves records (append copy), but every
+// reference into the slab is an index, so nothing dangles.
+func (e *Engine) alloc() int32 {
+	if e.freeHead != nilIdx {
+		i := e.freeHead
+		e.freeHead = e.slab[i].nxt
+		return i
+	}
+	if e.slab == nil {
+		e.initStorage()
+	}
+	e.slab = append(e.slab, eventRec{})
+	return int32(len(e.slab) - 1)
+}
+
+// release returns a slab slot to the free list. The payload references
+// are cleared so a dispatched event does not pin its argument until the
+// slot is reused.
+func (e *Engine) release(i int32) {
+	rec := &e.slab[i]
+	rec.arg = nil
+	rec.nxt = e.freeHead
+	e.freeHead = i
+}
 
 // Now returns the current virtual time.
 func (e *Engine) Now() Time { return e.now }
 
 // Pending returns the number of scheduled events.
-func (e *Engine) Pending() int { return len(e.heap) }
+func (e *Engine) Pending() int {
+	return e.ringCount + len(e.overflow) + (len(e.batch) - e.batchPos)
+}
 
 // Steps returns the number of events executed so far — the simulator's
 // raw throughput unit (events/sec = Steps / wall time).
-func (e *Engine) Steps() uint64 { return e.steps }
+func (e *Engine) Steps() uint64 {
+	return e.steps
+}
 
-// Reset returns the engine to virtual time 0 with no pending events and
-// a fresh sequence counter, retaining the heap's capacity so a reused
-// engine schedules without re-growing.
+// Reset returns the engine to virtual time 0 with no pending events,
+// no registered handlers, and a fresh sequence counter, retaining every
+// container's capacity so a reused engine schedules without re-growing.
 func (e *Engine) Reset() {
-	clear(e.heap) // drop payload references so recycled engines don't pin them
-	e.heap = e.heap[:0]
-	e.now, e.seq, e.steps = 0, 0, 0
-}
-
-// less orders events by (at, seq). The order is total — seq is unique —
-// so every correct heap pops the exact same sequence and determinism
-// does not depend on the heap arity or sift implementation.
-func less(a, b *eventRec) bool {
-	if a.at != b.at {
-		return a.at < b.at
+	clear(e.slab) // drop payload references so recycled engines don't pin them
+	e.slab = e.slab[:0]
+	e.freeHead = nilIdx
+	for i := range e.head {
+		e.head[i] = nilIdx
 	}
-	return a.seq < b.seq
+	e.occ = [occWords]uint64{}
+	e.batch = e.batch[:0]
+	e.overflow = e.overflow[:0]
+	e.curB, e.ringCount, e.batchPos = 0, 0, 0
+	e.draining = false
+	e.now, e.seq, e.steps = 0, 0, 0
+	clear(e.handlers) // drop handler references so recycled engines don't pin them
+	e.handlers = e.handlers[:0]
 }
 
-// schedule enqueues one event record at absolute time t. Times in the
-// past are clamped to now, so the event runs at the current time after
-// all already-queued events for that time (FIFO via seq).
-func (e *Engine) schedule(t Time, h Handler, kind uint8, arg any, x int64) {
+// before orders slab indices by the records' (at, seq). The order is
+// total — seq is unique — so every correct engine pops the exact same
+// sequence and determinism does not depend on the container layout or
+// drain strategy.
+func (e *Engine) before(a, b int32) bool {
+	ra, rb := &e.slab[a], &e.slab[b]
+	if ra.at != rb.at {
+		return ra.at < rb.at
+	}
+	return ra.seq < rb.seq
+}
+
+// schedule enqueues one event at absolute time t. Times in the past are
+// clamped to now, so the event runs at the current time after all
+// already-queued events for that time (FIFO via seq).
+func (e *Engine) schedule(t Time, hid int32, kind uint8, arg any, x int64) {
 	if t < e.now {
 		t = e.now
 	}
@@ -98,42 +254,121 @@ func (e *Engine) schedule(t Time, h Handler, kind uint8, arg any, x int64) {
 		e.renumber()
 	}
 	e.seq++
-	e.heap = append(e.heap, eventRec{at: t, seq: e.seq, x: x, arg: arg, h: h, kind: kind})
-	e.siftUp(len(e.heap) - 1)
+	i := e.alloc()
+	e.slab[i] = eventRec{at: t, seq: e.seq, x: x, arg: arg, hid: hid, kind: kind}
+	e.insert(i)
+}
+
+// insert places one stored record into the structure that owns its
+// timestamp: spliced into the running burst when it lands at or before
+// the bucket being drained (so it merges into the dispatch order), a
+// ring bucket within the horizon, or the overflow heap beyond it.
+func (e *Engine) insert(i int32) {
+	b := e.slab[i].at >> bucketShift
+	if e.draining && b <= e.burstB {
+		e.splice(i)
+		return
+	}
+	if b-e.curB < numBuckets {
+		slot := int(b) & bucketMask
+		e.chainPush(slot, i)
+		return
+	}
+	e.overflow = e.heapPush(e.overflow, i)
+}
+
+// chainPush prepends record i to bucket chain slot (LIFO; the segment
+// sort rewrites the order at collection).
+func (e *Engine) chainPush(slot int, i int32) {
+	e.slab[i].nxt = e.head[slot]
+	e.head[slot] = i
+	e.occ[slot>>6] |= 1 << (slot & 63)
+	e.ringCount++
+}
+
+// splice inserts index i into the sorted remainder batch[batchPos:] at
+// its (at, seq) position. A freshly scheduled event carries the highest
+// seq, so an equal-timestamp splice lands at the very end (pure append)
+// and only a genuinely earlier timestamp pays the int32 memmove.
+func (e *Engine) splice(i int32) {
+	lo, hi := e.batchPos, len(e.batch)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if e.before(e.batch[mid], i) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	e.batch = append(e.batch, i)
+	if lo < len(e.batch)-1 {
+		copy(e.batch[lo+1:], e.batch[lo:])
+		e.batch[lo] = i
+	}
 }
 
 // renumber compacts the sequence space: pending events keep their
-// relative order but are renumbered 1..n. A slice sorted by (at, seq)
-// is already a valid min-heap, so no re-heapify is needed.
+// relative order but are renumbered 1..n. The containers are rebuilt
+// from scratch — this is the cold path (tests, or once per 2^64
+// events), and rebuilding keeps the ring/burst invariants trivially
+// true even when the wraparound lands mid-burst.
 func (e *Engine) renumber() {
-	sort.Slice(e.heap, func(i, j int) bool { return less(&e.heap[i], &e.heap[j]) })
-	for i := range e.heap {
-		e.heap[i].seq = uint64(i) + 1
+	all := make([]int32, 0, e.Pending())
+	all = append(all, e.batch[e.batchPos:]...)
+	for slot := range e.head {
+		for i := e.head[slot]; i != nilIdx; i = e.slab[i].nxt {
+			all = append(all, i)
+		}
 	}
-	e.seq = uint64(len(e.heap))
+	all = append(all, e.overflow...)
+	slices.SortFunc(all, func(a, b int32) int {
+		if e.before(a, b) {
+			return -1
+		}
+		return 1
+	})
+	for n, i := range all {
+		e.slab[i].seq = uint64(n) + 1
+	}
+	e.seq = uint64(len(all))
+
+	for i := range e.head {
+		e.head[i] = nilIdx
+	}
+	e.occ = [occWords]uint64{}
+	e.batch = e.batch[:0]
+	e.overflow = e.overflow[:0]
+	e.ringCount, e.batchPos = 0, 0
+	e.draining = false
+	// Re-anchor the ring at the clock; every pending event is at or
+	// after now, so the whole set re-inserts into [curB, ∞).
+	e.curB = e.now >> bucketShift
+	for _, i := range all {
+		e.insert(i)
+	}
 }
 
-// Schedule enqueues a typed event for h at absolute time t. Scheduling
-// in the past (or present) runs at the current time, after
-// already-queued events for that time.
-func (e *Engine) Schedule(t Time, h Handler, kind uint8, arg any, x int64) {
-	e.schedule(t, h, kind, arg, x)
+// Schedule enqueues a typed event for the registered handler hid at
+// absolute time t. Scheduling in the past (or present) runs at the
+// current time, after already-queued events for that time.
+func (e *Engine) Schedule(t Time, hid int32, kind uint8, arg any, x int64) {
+	e.schedule(t, hid, kind, arg, x)
 }
 
 // ScheduleAfter enqueues a typed event d nanoseconds from now.
 // Non-positive delays run at the current time.
-func (e *Engine) ScheduleAfter(d int64, h Handler, kind uint8, arg any, x int64) {
+func (e *Engine) ScheduleAfter(d int64, hid int32, kind uint8, arg any, x int64) {
 	if d < 0 {
 		d = 0
 	}
-	e.schedule(e.now+d, h, kind, arg, x)
+	e.schedule(e.now+d, hid, kind, arg, x)
 }
 
 // At schedules fn to run at absolute time t. Scheduling in the past (or
 // present) runs at the current time, after already-queued events for that
 // time.
 func (e *Engine) At(t Time, fn func()) {
-	e.schedule(t, nil, 0, fn, 0)
+	e.schedule(t, 0, 0, fn, 0)
 }
 
 // After schedules fn to run d nanoseconds from now. Non-positive delays
@@ -142,84 +377,260 @@ func (e *Engine) After(d int64, fn func()) {
 	if d < 0 {
 		d = 0
 	}
-	e.schedule(e.now+d, nil, 0, fn, 0)
+	e.schedule(e.now+d, 0, 0, fn, 0)
 }
 
-// siftUp restores the heap property from leaf i toward the root.
-func (e *Engine) siftUp(i int) {
-	h := e.heap
-	rec := h[i]
-	for i > 0 {
-		parent := (i - 1) / 4
-		if !less(&rec, &h[parent]) {
+// heapPush adds index i to a binary min-heap ordered by (at, seq).
+func (e *Engine) heapPush(h []int32, i int32) []int32 {
+	h = append(h, i)
+	c := len(h) - 1
+	for c > 0 {
+		parent := (c - 1) / 2
+		if !e.before(h[c], h[parent]) {
 			break
 		}
-		h[i] = h[parent]
-		i = parent
+		h[c], h[parent] = h[parent], h[c]
+		c = parent
 	}
-	h[i] = rec
+	return h
 }
 
-// siftDown restores the heap property from the root toward the leaves.
-func (e *Engine) siftDown() {
-	h := e.heap
-	n := len(h)
-	rec := h[0]
+// heapPop removes and returns the minimum of a binary (at, seq) heap.
+func (e *Engine) heapPop(h []int32) (int32, []int32) {
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h = h[:n]
 	i := 0
 	for {
-		first := 4*i + 1
-		if first >= n {
+		c := 2*i + 1
+		if c >= n {
 			break
 		}
-		min := first
-		last := first + 4
-		if last > n {
-			last = n
+		if c+1 < n && e.before(h[c+1], h[c]) {
+			c++
 		}
-		for c := first + 1; c < last; c++ {
-			if less(&h[c], &h[min]) {
-				min = c
-			}
-		}
-		if !less(&h[min], &rec) {
+		if !e.before(h[c], h[i]) {
 			break
 		}
-		h[i] = h[min]
-		i = min
+		h[i], h[c] = h[c], h[i]
+		i = c
 	}
-	h[i] = rec
+	return top, h
+}
+
+// nextOccupiedDist returns the distance (in buckets, 0-based) from curB
+// to the nearest occupied ring bucket. Must only be called with
+// ringCount > 0.
+func (e *Engine) nextOccupiedDist() int64 {
+	start := int(e.curB) & bucketMask
+	w, bit := start>>6, start&63
+	if x := e.occ[w] >> bit; x != 0 {
+		return int64(bits.TrailingZeros64(x))
+	}
+	d := int64(64 - bit)
+	for i := 1; i < occWords; i++ {
+		if x := e.occ[(w+i)%occWords]; x != 0 {
+			return d + int64(bits.TrailingZeros64(x))
+		}
+		d += 64
+	}
+	// Wrap around into the starting word's low bits.
+	x := e.occ[w] & (1<<bit - 1)
+	return d + int64(bits.TrailingZeros64(x))
+}
+
+// ensureBurst makes the engine's burst state hold the next pending
+// events: if a burst is already in progress it is kept, otherwise the
+// earliest occupied bucket's chain is collected into the batch buffer
+// and sorted. Returns false when no events are pending anywhere.
+func (e *Engine) ensureBurst() bool {
+	if e.draining {
+		return true
+	}
+	if e.ringCount == 0 && len(e.overflow) == 0 {
+		return false
+	}
+	if e.ringCount > 0 {
+		e.curB += e.nextOccupiedDist()
+	} else {
+		// Ring empty: jump straight to the overflow head's bucket.
+		e.curB = e.slab[e.overflow[0]].at >> bucketShift
+	}
+	// Pull every overflow event the advanced horizon now covers back
+	// into the ring. A pulled event can land in bucket curB itself
+	// when the ring was empty and curB jumped to the overflow head,
+	// which is why the pull precedes the chain collection below.
+	for len(e.overflow) > 0 && e.slab[e.overflow[0]].at>>bucketShift-e.curB < numBuckets {
+		var i int32
+		i, e.overflow = e.heapPop(e.overflow)
+		e.chainPush(int(e.slab[i].at>>bucketShift)&bucketMask, i)
+	}
+
+	// Collect every occupied bucket in [curB, curB+burstSpanBuckets)
+	// into one burst. Multiple buckets per burst amortizes the fixed
+	// burst machinery (bitmap scan, overflow check, drain transitions)
+	// across an order of magnitude more events. Each bucket's chain is
+	// sorted as its own segment; bucket ranges are disjoint and
+	// collected in increasing order, so the concatenation is globally
+	// (at, seq) sorted. Chain order is push order (reversed arrival),
+	// which the segment sort fully rewrites, so no order is owed to the
+	// chain itself.
+	e.batch = e.batch[:0]
+	e.batchPos = 0
+	last := e.curB
+	b := e.curB
+	remaining := int64(burstSpanBuckets)
+	for remaining > 0 && e.ringCount > 0 && len(e.batch) < burstMaxEvents {
+		slot := int(b) & bucketMask
+		w, bit := slot>>6, slot&63
+		chunk := int64(64 - bit)
+		if chunk > remaining {
+			chunk = remaining
+		}
+		// One word of the occupancy bitmap at a time: x holds the
+		// occupied buckets among [b, b+chunk).
+		x := e.occ[w] >> bit
+		if chunk < 64 {
+			x &= 1<<uint(chunk) - 1
+		}
+		for x != 0 && len(e.batch) < burstMaxEvents {
+			d := int64(bits.TrailingZeros64(x))
+			x &= x - 1
+			bb := b + d
+			sl := int(bb) & bucketMask
+			segStart := len(e.batch)
+			for i := e.head[sl]; i != nilIdx; i = e.slab[i].nxt {
+				e.batch = append(e.batch, i)
+			}
+			e.head[sl] = nilIdx
+			e.occ[sl>>6] &^= 1 << (sl & 63)
+			e.ringCount -= len(e.batch) - segStart
+			if len(e.batch)-segStart > 1 {
+				e.sortSegment(segStart)
+			}
+			last = bb
+		}
+		b += chunk
+		remaining -= chunk
+	}
+	// Anchor the ring cursor at the last collected bucket: every event
+	// still in the ring is strictly later (all occupied buckets at or
+	// before it were just collected), and mid-burst schedules at or
+	// before it splice into the batch instead (see insert).
+	e.curB = last
+	e.burstB = last
+	e.draining = true
+	return true
+}
+
+// sortSegment orders batch[segStart:] by (at, seq). Segments are small —
+// one bucket's worth — so the common case is a direct insertion sort
+// over the int32 indices with the keys read straight from the slab; the
+// generic sort only runs for outsized segments (e.g. thousands of t=0
+// start events in a scale run).
+func (e *Engine) sortSegment(segStart int) {
+	b, s := e.batch[segStart:], e.slab
+	if len(b) > 32 {
+		slices.SortFunc(b, func(a, b int32) int {
+			if e.before(a, b) {
+				return -1
+			}
+			return 1
+		})
+		return
+	}
+	for i := 1; i < len(b); i++ {
+		x := b[i]
+		xa, xs := s[x].at, s[x].seq
+		j := i - 1
+		for j >= 0 {
+			r := &s[b[j]]
+			if r.at < xa || (r.at == xa && r.seq < xs) {
+				break
+			}
+			b[j+1] = b[j]
+			j--
+		}
+		b[j+1] = x
+	}
+}
+
+// endBurstIfDone closes the burst once the cursor has consumed the
+// batch. Called after every dispatch, because a handler can splice new
+// events into the batch (extending the burst) or force a renumber
+// (which rebuilds the burst state wholesale).
+func (e *Engine) endBurstIfDone() {
+	if e.draining && e.batchPos == len(e.batch) {
+		e.batch = e.batch[:0]
+		e.batchPos = 0
+		e.draining = false
+	}
+}
+
+// dispatch runs the event at slab index i. The record is copied out and
+// its slot released before the callback runs: the callback may schedule
+// (growing or reusing the slab), so no slab pointer may be held across
+// it, and releasing first lets steady-state traffic cycle through a
+// slab no larger than the pending high-water mark.
+func (e *Engine) dispatch(i int32) {
+	rec := e.slab[i]
+	e.release(i)
+	e.now = rec.at
+	e.steps++
+	if rec.hid != 0 {
+		e.handlers[rec.hid-1].OnEvent(rec.kind, rec.arg, rec.x)
+	} else {
+		rec.arg.(func())()
+	}
 }
 
 // Step runs the earliest pending event and returns true, or returns false
 // if none remain.
 func (e *Engine) Step() bool {
-	if len(e.heap) == 0 {
+	if !e.ensureBurst() {
 		return false
 	}
-	ev := e.heap[0]
-	n := len(e.heap) - 1
-	e.heap[0] = e.heap[n]
-	e.heap[n] = eventRec{} // release payload references
-	e.heap = e.heap[:n]
-	if n > 1 {
-		e.siftDown()
-	}
-	e.now = ev.at
-	e.steps++
-	if ev.h != nil {
-		ev.h.OnEvent(ev.kind, ev.arg, ev.x)
-	} else {
-		ev.arg.(func())()
-	}
+	i := e.batch[e.batchPos]
+	e.batchPos++
+	e.dispatch(i)
+	e.endBurstIfDone()
 	return true
 }
 
-// RunUntil processes events until the queue is empty or the next event is
-// later than deadline. The clock ends at min(deadline, last event time);
-// events after deadline stay queued.
+// DrainBatch pops the next burst — every pending event of the earliest
+// occupied bucket window, which always includes all equal-timestamp
+// events at the head of the queue — into the engine's reusable batch
+// buffer and dispatches it in exact (at, seq) order, stopping at events
+// later than horizon (they stay queued, and the paused burst resumes on
+// the next call). Returns the number of events dispatched; 0 means no
+// pending event is due at or before horizon.
+func (e *Engine) DrainBatch(horizon Time) int {
+	if !e.ensureBurst() {
+		return 0
+	}
+	n := 0
+	// endBurstIfDone flips draining off when the burst ends; a handler
+	// that forces a seq renumber mid-burst rebuilds the burst state
+	// wholesale, and the loop condition re-reads it every iteration.
+	for e.draining {
+		i := e.batch[e.batchPos]
+		if e.slab[i].at > horizon {
+			break
+		}
+		e.batchPos++
+		e.dispatch(i)
+		e.endBurstIfDone()
+		n++
+	}
+	return n
+}
+
+// RunUntil processes events in burst mode until the queue is empty or
+// the next event is later than deadline. The clock ends at
+// max(deadline, last event time); events after deadline stay queued.
 func (e *Engine) RunUntil(deadline Time) {
-	for len(e.heap) > 0 && e.heap[0].at <= deadline {
-		e.Step()
+	for e.DrainBatch(deadline) > 0 {
 	}
 	if e.now < deadline {
 		e.now = deadline
@@ -228,7 +639,7 @@ func (e *Engine) RunUntil(deadline Time) {
 
 // Run processes all events to exhaustion.
 func (e *Engine) Run() {
-	for e.Step() {
+	for e.DrainBatch(math.MaxInt64) > 0 {
 	}
 }
 

@@ -300,6 +300,7 @@ func (r *refEngine) step() (refEvent, bool) {
 // scriptHandler records typed-event firings for the equivalence test.
 type scriptHandler struct {
 	e     *Engine
+	hid   int32
 	fires *[]refFire
 	// pending holds ids of follow-up events each fired event schedules.
 	follow map[int][]scriptOp
@@ -313,7 +314,7 @@ type scriptOp struct {
 func (h *scriptHandler) OnEvent(kind uint8, arg any, x int64) {
 	*h.fires = append(*h.fires, refFire{at: h.e.Now(), id: int(x)})
 	for _, op := range h.follow[int(x)] {
-		h.e.ScheduleAfter(op.delay, h, 0, nil, int64(op.id))
+		h.e.ScheduleAfter(op.delay, h.hid, 0, nil, int64(op.id))
 	}
 }
 
@@ -388,8 +389,9 @@ func TestEngineTypedVsClosureEquivalence(t *testing.T) {
 		te := NewEngine()
 		var typedFires []refFire
 		h := &scriptHandler{e: te, fires: &typedFires, follow: follow}
+		h.hid = te.Register(h)
 		for _, op := range initial {
-			te.Schedule(op.delay, h, 0, nil, int64(op.id))
+			te.Schedule(op.delay, h.hid, 0, nil, int64(op.id))
 		}
 		te.Run()
 
@@ -427,10 +429,10 @@ func (nopHandler) OnEvent(uint8, any, int64) {}
 // grows once, then is reused).
 func BenchmarkEngineTypedScheduleAndRun(b *testing.B) {
 	e := NewEngine()
-	var h nopHandler
+	hid := e.Register(nopHandler{})
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		e.Schedule(Time(i), h, 0, nil, int64(i))
+		e.Schedule(Time(i), hid, 0, nil, int64(i))
 	}
 	e.Run()
 }
@@ -440,12 +442,12 @@ func BenchmarkEngineTypedScheduleAndRun(b *testing.B) {
 // heap and zero allocations.
 func BenchmarkEngineTypedSteadyState(b *testing.B) {
 	e := NewEngine()
-	var h nopHandler
 	const batch = 1024
 	b.ReportAllocs()
 	for i := 0; i < b.N; i += batch {
+		hid := e.Register(nopHandler{}) // Reset drops registrations
 		for j := 0; j < batch; j++ {
-			e.Schedule(Time(j), h, 0, nil, int64(j))
+			e.Schedule(Time(j), hid, 0, nil, int64(j))
 		}
 		e.Run()
 		e.Reset()

@@ -5,20 +5,28 @@
 # samplers, per-figure experiment benchmarks), then meters the full
 # experiment suite through netclone-bench -benchjson and writes the next
 # BENCH_<n>.json in the repository root. Committing that file is how the
-# perf trajectory is recorded; diff consecutive snapshots (or feed the
-# `go test -bench` output to benchstat) to catch regressions.
+# perf trajectory is recorded — and `compare` is how it is enforced: a
+# fresh throwaway snapshot is diffed against the latest committed
+# BENCH_<n>.json, failing on >5% hot-path events/sec loss or any
+# hot-path allocs/op growth (warnings only when the snapshots come from
+# different hosts).
 #
 # Usage:
 #   scripts/bench.sh               # micro-benchmarks + BENCH_<n>.json
 #   scripts/bench.sh micro         # micro-benchmarks only
 #   scripts/bench.sh snapshot      # BENCH_<n>.json only
+#   scripts/bench.sh compare       # regression gate vs latest BENCH_<n>.json
 #
 # Environment knobs:
 #   BENCH=<regex>      micro-benchmark filter        (default: the hot-path set)
 #   BENCHTIME=<t>      go test -benchtime            (default: 1s)
-#   EXPERIMENTS=<ids>  netclone-bench -run argument  (default: all)
+#   EXPERIMENTS=<ids>  netclone-bench -run argument  (default: all;
+#                      compare defaults to fig7a — the gate is the
+#                      hot-path probe, experiments are context)
 #   PARALLEL=<n>       snapshot parallelism; 1 gives attributable
 #                      per-point allocation counts   (default: 1)
+#   REPORT_ONLY=1      compare: print regressions but exit 0 (CI uses
+#                      this on pull requests, enforcing on main)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -31,6 +39,13 @@ bench_re="${BENCH:-Engine|SwitchPipeline|ClusterSteadyState|SwitchProcess|Simula
 benchtime="${BENCHTIME:-1s}"
 experiments="${EXPERIMENTS:-all}"
 parallel="${PARALLEL:-1}"
+
+# latest_snapshot prints the highest-numbered committed BENCH_<n>.json.
+latest_snapshot() {
+    n=1
+    while [ -e "BENCH_$((n + 1)).json" ]; do n=$((n + 1)); done
+    [ -e "BENCH_${n}.json" ] && echo "BENCH_${n}.json"
+}
 
 if [ "$mode" = "all" ] || [ "$mode" = "micro" ]; then
     echo "== micro-benchmarks (-bench '$bench_re' -benchtime $benchtime)" >&2
@@ -45,4 +60,25 @@ if [ "$mode" = "all" ] || [ "$mode" = "snapshot" ]; then
     go run ./cmd/netclone-bench -run "$experiments" -quick -parallel "$parallel" \
         -benchjson "$out" >/dev/null
     echo "wrote $out" >&2
+fi
+
+if [ "$mode" = "compare" ]; then
+    baseline="$(latest_snapshot)"
+    if [ -z "$baseline" ]; then
+        echo "bench.sh compare: no committed BENCH_<n>.json baseline" >&2
+        exit 1
+    fi
+    # The gate is the sequential hot-path probe; a single quick
+    # experiment keeps the fresh snapshot cheap enough for CI while
+    # still exercising the metered pipeline end to end.
+    cmp_experiments="${EXPERIMENTS:-fig7a}"
+    fresh="$(mktemp -t netclone-bench-XXXXXX.json)"
+    trap 'rm -f "$fresh"' EXIT
+    echo "== fresh snapshot -> $fresh (-run $cmp_experiments -quick -parallel 1)" >&2
+    go run ./cmd/netclone-bench -run "$cmp_experiments" -quick -parallel 1 \
+        -benchjson "$fresh" >/dev/null
+    report_flag=""
+    [ "${REPORT_ONLY:-0}" = "1" ] && report_flag="-report-only"
+    echo "== compare vs $baseline" >&2
+    go run ./cmd/netclone-bench -compare "$fresh" -baseline "$baseline" $report_flag
 fi
