@@ -24,6 +24,13 @@ var burstDelays = [...]int64{
 	1<<bucketShift - 1, 1 << bucketShift, 1<<bucketShift + 1,
 	burstSpanBuckets<<bucketShift - 1, burstSpanBuckets << bucketShift,
 	numBuckets << bucketShift, 3, 0, 5,
+	// Straddle the ring horizon from both sides: a follow-up one bucket
+	// inside it lands in the far ring while a sibling one-plus-buckets
+	// past it lands in overflow at a *lower* bucket than a later far-ring
+	// schedule — the geometry where the cursor advance must be bounded by
+	// the overflow head (TestOverflowPullBehindCursorRegression).
+	(numBuckets - 1) << bucketShift, (numBuckets + 1) << bucketShift,
+	(numBuckets + burstSpanBuckets) << bucketShift,
 }
 
 // burstScript is a deterministic schedule derived from a byte string:
@@ -153,6 +160,36 @@ func TestBurstDrainRenumberMidBurst(t *testing.T) {
 		total := uint64(len(script)) * 3 // initial + up to 2 follow-ups each
 		for headroom := uint64(1); headroom <= total; headroom += 3 {
 			checkBurstScript(t, script, headroom)
+		}
+	}
+}
+
+// TestOverflowPullBehindCursorRegression pins the geometry where the
+// cursor advance used to jump past an overflow event: after the t=384
+// dispatch schedules t=131328 (bucket 1026, just inside the horizon
+// from burstB=3), the nearest-occupied advance lands curB at 1026 —
+// past the overflow event at t=131200 (bucket 1025), which the pull
+// loop then chainPushed *behind* the cursor, where its bucket aliased
+// modulo numBuckets and it fired after t=131328 (virtual time going
+// backwards). The advance is now bounded by the overflow head's bucket.
+func TestOverflowPullBehindCursorRegression(t *testing.T) {
+	e := NewEngine()
+	var got []Time
+	rec := func() { got = append(got, e.Now()) }
+	e.At(0, rec)
+	e.At(384, func() {
+		rec()
+		e.At(131328, rec) // bucket 1026: ring, at the far horizon
+	})
+	e.At(131200, rec) // beyond the t=0 horizon: overflow
+	e.Run()
+	want := []Time{0, 384, 131200, 131328}
+	if len(got) != len(want) {
+		t.Fatalf("fired %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("fired %v, want %v", got, want)
 		}
 	}
 }

@@ -170,13 +170,17 @@ func (e *Engine) initStorage() {
 // is empty. Slab growth moves records (append copy), but every
 // reference into the slab is an index, so nothing dangles.
 func (e *Engine) alloc() int32 {
+	if e.slab == nil {
+		// Zero-value engine: freeHead (0) and head[] (0) are not yet the
+		// nilIdx sentinels, so storage must be initialized before the
+		// free-list check — alloc runs before any container access on
+		// every schedule path, making this the single lazy-init point.
+		e.initStorage()
+	}
 	if e.freeHead != nilIdx {
 		i := e.freeHead
 		e.freeHead = e.slab[i].nxt
 		return i
-	}
-	if e.slab == nil {
-		e.initStorage()
 	}
 	e.slab = append(e.slab, eventRec{})
 	return int32(len(e.slab) - 1)
@@ -452,7 +456,20 @@ func (e *Engine) ensureBurst() bool {
 		return false
 	}
 	if e.ringCount > 0 {
-		e.curB += e.nextOccupiedDist()
+		adv := e.curB + e.nextOccupiedDist()
+		// Bound the advance by the overflow head's bucket: the ring's
+		// nearest occupied bucket can be up to numBuckets-1 ahead, far
+		// enough that an overflow event sorts before it. Advancing past
+		// that event would make the pull below chainPush it behind the
+		// cursor, where its bucket aliases modulo numBuckets and it
+		// dispatches out of order. Clamped, the pulled event's bucket
+		// becomes the collection start instead.
+		if len(e.overflow) > 0 {
+			if ob := e.slab[e.overflow[0]].at >> bucketShift; ob < adv {
+				adv = ob
+			}
+		}
+		e.curB = adv
 	} else {
 		// Ring empty: jump straight to the overflow head's bucket.
 		e.curB = e.slab[e.overflow[0]].at >> bucketShift

@@ -418,6 +418,32 @@ func BenchmarkEngineScheduleAndRun(b *testing.B) {
 	e.Run()
 }
 
+// TestZeroValueEngine pins the documented contract that the zero value
+// is ready to use at time 0: alloc lazily initializes storage before
+// touching the free list, so scheduling on a `var e Engine` (whose
+// freeHead and head[] zero values are 0, not nilIdx) must not index a
+// nil slab or misread an empty chain.
+func TestZeroValueEngine(t *testing.T) {
+	var e Engine
+	var got []Time
+	rec := func() { got = append(got, e.Now()) }
+	e.At(30, rec)
+	e.At(10, func() {
+		rec()
+		e.After(5, rec)
+	})
+	e.Run()
+	want := []Time{10, 15, 30}
+	if len(got) != len(want) {
+		t.Fatalf("fired %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("fired %v, want %v", got, want)
+		}
+	}
+}
+
 // nopHandler is a typed-event sink for benchmarks.
 type nopHandler struct{}
 

@@ -40,11 +40,12 @@ benchtime="${BENCHTIME:-1s}"
 experiments="${EXPERIMENTS:-all}"
 parallel="${PARALLEL:-1}"
 
-# latest_snapshot prints the highest-numbered committed BENCH_<n>.json.
+# latest_snapshot prints the highest-numbered committed BENCH_<n>.json,
+# or nothing when none exist. Numeric sort handles gaps and multi-digit
+# n; the trailing || true keeps `set -euo pipefail` from aborting the
+# caller when the glob matches nothing (compare prints its own error).
 latest_snapshot() {
-    n=1
-    while [ -e "BENCH_$((n + 1)).json" ]; do n=$((n + 1)); done
-    [ -e "BENCH_${n}.json" ] && echo "BENCH_${n}.json"
+    ls BENCH_*.json 2>/dev/null | sort -t_ -k2 -n | tail -n 1 || true
 }
 
 if [ "$mode" = "all" ] || [ "$mode" = "micro" ]; then
