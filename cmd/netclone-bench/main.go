@@ -19,10 +19,15 @@
 //
 // -run accepts a single ID, the keyword "all", or a glob pattern
 // ("chaos-*", "scale-*", "fig1?a") matched against the experiment
-// inventory in paper order. -timeline FILE additionally dumps every timeline-shaped
-// report (fig16 and the chaos-* recovery curves — any report whose
-// x-axis is time) as one CSV of recovery curves:
-// experiment,series,time_s,throughput_mrps.
+// inventory in paper order. -timeline FILE additionally dumps every
+// report that declares itself time-binned (Report.Kind ==
+// ReportTimeline: fig16, the chaos-* recovery curves, cong-timeline)
+// as one CSV of recovery curves:
+// experiment,series,time_s,throughput_mrps,queue_depth,drops.
+// The queue_depth and drops columns come from the congestion aux
+// series some timelines carry (TimelineDepthLabel/TimelineDropsLabel);
+// they are folded into the throughput rows bin by bin and left empty
+// for uncongested timelines.
 //
 // Each experiment declares its grid of scenario points, which execute on
 // a bounded worker pool: -parallel bounds the pool size (default 0 = one
@@ -271,7 +276,7 @@ func main() {
 			}
 			fatal(fmt.Errorf("%s: %w", id, err))
 		}
-		if *timeline != "" && report.XLabel == "Time (s)" {
+		if *timeline != "" && report.Kind == netclone.ReportTimeline {
 			curves = append(curves, report)
 		}
 		switch *format {
@@ -350,21 +355,50 @@ func expandRunIDs(pattern string) ([]string, error) {
 	return ids, nil
 }
 
+// auxSeries returns true for the congestion aux series some timeline
+// reports carry: folded into the queue_depth/drops columns rather than
+// emitted as recovery-curve rows of their own.
+func auxSeries(label string) bool {
+	return label == netclone.TimelineDepthLabel || label == netclone.TimelineDropsLabel
+}
+
 // writeTimelineCSV dumps every timeline-shaped report as one flat CSV
-// of recovery curves, one row per (experiment, series, bin).
+// of recovery curves, one row per (experiment, series, bin). Congestion
+// aux series fold into the queue_depth/drops columns bin by bin (the
+// bins share the report's timeline grid); reports without them leave
+// the columns empty.
 func writeTimelineCSV(file string, curves []netclone.Report) error {
 	f, err := os.Create(file)
 	if err != nil {
 		return err
 	}
 	defer f.Close()
-	if _, err := fmt.Fprintln(f, "experiment,series,time_s,throughput_mrps"); err != nil {
+	if _, err := fmt.Fprintln(f, "experiment,series,time_s,throughput_mrps,queue_depth,drops"); err != nil {
 		return err
 	}
 	for _, r := range curves {
+		var depth, drops []netclone.ReportPoint
 		for _, s := range r.Series {
-			for _, p := range s.Points {
-				if _, err := fmt.Fprintf(f, "%s,%s,%v,%v\n", r.ID, s.Label, p.X, p.Y); err != nil {
+			switch s.Label {
+			case netclone.TimelineDepthLabel:
+				depth = s.Points
+			case netclone.TimelineDropsLabel:
+				drops = s.Points
+			}
+		}
+		cell := func(pts []netclone.ReportPoint, i int) string {
+			if i >= len(pts) {
+				return ""
+			}
+			return fmt.Sprintf("%v", pts[i].Y)
+		}
+		for _, s := range r.Series {
+			if auxSeries(s.Label) {
+				continue
+			}
+			for i, p := range s.Points {
+				if _, err := fmt.Fprintf(f, "%s,%s,%v,%v,%s,%s\n",
+					r.ID, s.Label, p.X, p.Y, cell(depth, i), cell(drops, i)); err != nil {
 					return err
 				}
 			}
@@ -376,7 +410,11 @@ func writeTimelineCSV(file string, curves []netclone.Report) error {
 func countSeries(curves []netclone.Report) int {
 	n := 0
 	for _, r := range curves {
-		n += len(r.Series)
+		for _, s := range r.Series {
+			if !auxSeries(s.Label) {
+				n++
+			}
+		}
 	}
 	return n
 }

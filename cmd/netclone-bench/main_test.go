@@ -81,8 +81,9 @@ func TestExpandRunIDs(t *testing.T) {
 
 func TestWriteTimelineCSV(t *testing.T) {
 	file := t.TempDir() + "/curves.csv"
+	// An uncongested timeline leaves the aux columns empty.
 	curves := []netclone.Report{{
-		ID: "chaos-demo", XLabel: "Time (s)",
+		ID: "chaos-demo", Kind: netclone.ReportTimeline,
 		Series: []netclone.ReportSeries{{
 			Label:  "NetClone",
 			Points: []netclone.ReportPoint{{X: 0, Y: 1.5}, {X: 0.5, Y: 0.2}},
@@ -95,8 +96,41 @@ func TestWriteTimelineCSV(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want := "experiment,series,time_s,throughput_mrps\nchaos-demo,NetClone,0,1.5\nchaos-demo,NetClone,0.5,0.2\n"
+	want := "experiment,series,time_s,throughput_mrps,queue_depth,drops\n" +
+		"chaos-demo,NetClone,0,1.5,,\nchaos-demo,NetClone,0.5,0.2,,\n"
 	if string(got) != want {
 		t.Errorf("timeline CSV = %q, want %q", got, want)
+	}
+	if n := countSeries(curves); n != 1 {
+		t.Errorf("countSeries = %d, want 1", n)
+	}
+}
+
+func TestWriteTimelineCSVFoldsCongestionColumns(t *testing.T) {
+	file := t.TempDir() + "/curves.csv"
+	curves := []netclone.Report{{
+		ID: "cong-demo", Kind: netclone.ReportTimeline,
+		Series: []netclone.ReportSeries{
+			{Label: "NetClone", Points: []netclone.ReportPoint{{X: 0, Y: 1.5}, {X: 0.5, Y: 0.2}}},
+			{Label: netclone.TimelineDepthLabel, Points: []netclone.ReportPoint{{X: 0, Y: 3.25}, {X: 0.5, Y: 48}}},
+			// Drops trail off a bin early: the missing cell stays empty.
+			{Label: netclone.TimelineDropsLabel, Points: []netclone.ReportPoint{{X: 0, Y: 7}}},
+		},
+	}}
+	if err := writeTimelineCSV(file, curves); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(file)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "experiment,series,time_s,throughput_mrps,queue_depth,drops\n" +
+		"cong-demo,NetClone,0,1.5,3.25,7\ncong-demo,NetClone,0.5,0.2,48,\n"
+	if string(got) != want {
+		t.Errorf("timeline CSV = %q, want %q", got, want)
+	}
+	// The aux series are columns, not recovery curves.
+	if n := countSeries(curves); n != 1 {
+		t.Errorf("countSeries = %d, want 1", n)
 	}
 }

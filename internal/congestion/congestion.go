@@ -1,0 +1,190 @@
+// Package congestion is the declarative congestion-model description
+// layer of the scenario API: a Spec describes finite FIFO queues with
+// configurable service rates (link bandwidth) at every ToR and spine
+// egress port, an ECN-style marking threshold, and tail-drop on
+// overflow. It is a pure description layer, the bandwidth analogue of
+// internal/faults and internal/topology: it knows queue capacities,
+// link rates, and contradiction rules, but nothing about the cluster
+// that executes them. internal/simcluster compiles a validated Spec
+// into per-port queues served by typed engine events; internal/scenario
+// exposes it as scenario.WithCongestion / scenario.WithLinkRate.
+//
+// A nil *Spec means no congestion model: links have latency but
+// infinite capacity, exactly the pre-subsystem behavior (the
+// golden-pinned surface). Spec values are immutable after construction
+// — the With* methods derive copies — so one spec can safely fan out
+// across concurrently running scenario variants.
+//
+// The model: every egress port is a single-server FIFO. A packet
+// arriving at a port with QueueCap packets already in the system is
+// tail-dropped; otherwise it joins the queue, is marked (one bit in
+// the wire header, echoed back to the client in the response) when the
+// post-arrival occupancy exceeds MarkThreshold, waits its turn, and
+// occupies the link for one serialization time — PacketBytes at the
+// port's rate — before paying the hop's normal propagation delay.
+// Totals therefore decompose as legacy latency + serialization +
+// queueing, and the queue occupancy process at a port is exactly the
+// single-server finite-buffer queue of textbook M/M/1/K analysis
+// (internal/queueing cross-validates the executor against the closed
+// forms).
+package congestion
+
+import "fmt"
+
+// Defaults applied by New and by WithCongestion when a knob is left at
+// its zero value.
+const (
+	// DefaultQueueCap is the per-port system capacity in packets
+	// (queued + in service).
+	DefaultQueueCap = 64
+
+	// DefaultMarkThreshold is the ECN-style marking threshold: a packet
+	// is marked when the post-arrival occupancy exceeds it.
+	DefaultMarkThreshold = 16
+
+	// DefaultEdgeGbps is the edge-port (ToR<->host) line rate.
+	DefaultEdgeGbps = 10.0
+
+	// DefaultSpineGbps is the fabric-port (ToR uplink and spine egress)
+	// line rate.
+	DefaultSpineGbps = 40.0
+
+	// DefaultPacketBytes is the nominal on-wire packet size used to
+	// turn a line rate into a per-packet serialization time.
+	DefaultPacketBytes = 1500
+)
+
+// Spec is a declarative, immutable congestion model. Build it with New
+// and derive variants with the With* methods; the zero knobs mean the
+// documented defaults. A nil *Spec disables the model entirely.
+type Spec struct {
+	queueCap  int
+	markAt    int
+	edgeGbps  float64
+	spineGbps float64
+	pktBytes  int
+}
+
+// New returns the default congestion model: 64-packet port queues,
+// marking above 16, 10 Gbps edge ports, 40 Gbps fabric ports, 1500 B
+// packets.
+func New() *Spec {
+	return &Spec{
+		queueCap:  DefaultQueueCap,
+		markAt:    DefaultMarkThreshold,
+		edgeGbps:  DefaultEdgeGbps,
+		spineGbps: DefaultSpineGbps,
+		pktBytes:  DefaultPacketBytes,
+	}
+}
+
+// clone derives a mutable copy, starting from the defaults when the
+// receiver is nil so every With* method is nil-safe.
+func (s *Spec) clone() *Spec {
+	if s == nil {
+		return New()
+	}
+	c := *s
+	return &c
+}
+
+// WithQueueCap returns a copy with the per-port system capacity set to
+// k packets (queued + in service).
+func (s *Spec) WithQueueCap(k int) *Spec {
+	c := s.clone()
+	c.queueCap = k
+	return c
+}
+
+// WithMarkThreshold returns a copy with the ECN-style marking
+// threshold set to n: packets are marked when the post-arrival port
+// occupancy exceeds n. 0 disables marking.
+func (s *Spec) WithMarkThreshold(n int) *Spec {
+	c := s.clone()
+	c.markAt = n
+	return c
+}
+
+// WithLinkRate returns a copy with the edge-port (ToR<->host) line
+// rate set to gbps.
+func (s *Spec) WithLinkRate(gbps float64) *Spec {
+	c := s.clone()
+	c.edgeGbps = gbps
+	return c
+}
+
+// WithSpineRate returns a copy with the fabric-port (ToR uplink and
+// spine egress) line rate set to gbps — lowering it below the edge
+// rate models an oversubscribed spine.
+func (s *Spec) WithSpineRate(gbps float64) *Spec {
+	c := s.clone()
+	c.spineGbps = gbps
+	return c
+}
+
+// WithPacketBytes returns a copy with the nominal on-wire packet size
+// set to b bytes.
+func (s *Spec) WithPacketBytes(b int) *Spec {
+	c := s.clone()
+	c.pktBytes = b
+	return c
+}
+
+// QueueCap returns the per-port system capacity in packets.
+func (s *Spec) QueueCap() int { return s.queueCap }
+
+// MarkThreshold returns the marking threshold (0 = marking disabled).
+func (s *Spec) MarkThreshold() int { return s.markAt }
+
+// EdgeGbps returns the edge-port line rate.
+func (s *Spec) EdgeGbps() float64 { return s.edgeGbps }
+
+// SpineGbps returns the fabric-port line rate.
+func (s *Spec) SpineGbps() float64 { return s.spineGbps }
+
+// PacketBytes returns the nominal on-wire packet size.
+func (s *Spec) PacketBytes() int { return s.pktBytes }
+
+// serviceNS converts a line rate into the per-packet serialization
+// time in nanoseconds (a Gbps is a bit per nanosecond).
+func (s *Spec) serviceNS(gbps float64) int64 {
+	return int64(float64(s.pktBytes*8)/gbps + 0.5)
+}
+
+// EdgeServiceNS returns the per-packet serialization time of an edge
+// port (1500 B at 10 Gbps = 1200 ns).
+func (s *Spec) EdgeServiceNS() int64 { return s.serviceNS(s.edgeGbps) }
+
+// SpineServiceNS returns the per-packet serialization time of a fabric
+// port.
+func (s *Spec) SpineServiceNS() int64 { return s.serviceNS(s.spineGbps) }
+
+// Validate checks the spec for contradictions and returns the first
+// problem as an actionable error naming the method that sets the bad
+// knob. A nil spec is valid (the model is off).
+func (s *Spec) Validate() error {
+	if s == nil {
+		return nil
+	}
+	if s.queueCap < 1 {
+		return fmt.Errorf("congestion: queue capacity %d, need >= 1 packet (WithQueueCap)", s.queueCap)
+	}
+	if s.markAt < 0 || s.markAt >= s.queueCap {
+		return fmt.Errorf("congestion: mark threshold %d outside [0, %d); marking must trigger before the %d-packet queue overflows (WithMarkThreshold/WithQueueCap)",
+			s.markAt, s.queueCap, s.queueCap)
+	}
+	if s.edgeGbps <= 0 {
+		return fmt.Errorf("congestion: edge link rate %g Gbps, need > 0 (WithLinkRate)", s.edgeGbps)
+	}
+	if s.spineGbps <= 0 {
+		return fmt.Errorf("congestion: spine link rate %g Gbps, need > 0 (WithSpineRate)", s.spineGbps)
+	}
+	if s.pktBytes < 1 {
+		return fmt.Errorf("congestion: packet size %d bytes, need >= 1 (WithPacketBytes)", s.pktBytes)
+	}
+	if s.EdgeServiceNS() < 1 || s.SpineServiceNS() < 1 {
+		return fmt.Errorf("congestion: packet size %d bytes serializes in under a nanosecond at %g/%g Gbps; raise WithPacketBytes or lower the rates",
+			s.pktBytes, s.edgeGbps, s.spineGbps)
+	}
+	return nil
+}

@@ -1,0 +1,90 @@
+package congestion
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDefaults(t *testing.T) {
+	s := New()
+	if s.QueueCap() != DefaultQueueCap || s.MarkThreshold() != DefaultMarkThreshold {
+		t.Errorf("default caps: got (%d, %d)", s.QueueCap(), s.MarkThreshold())
+	}
+	if s.EdgeGbps() != DefaultEdgeGbps || s.SpineGbps() != DefaultSpineGbps {
+		t.Errorf("default rates: got (%g, %g)", s.EdgeGbps(), s.SpineGbps())
+	}
+	// 1500 B = 12000 bits: 1200 ns at 10 Gbps, 300 ns at 40 Gbps.
+	if got := s.EdgeServiceNS(); got != 1200 {
+		t.Errorf("EdgeServiceNS = %d, want 1200", got)
+	}
+	if got := s.SpineServiceNS(); got != 300 {
+		t.Errorf("SpineServiceNS = %d, want 300", got)
+	}
+	if err := s.Validate(); err != nil {
+		t.Errorf("default spec invalid: %v", err)
+	}
+}
+
+func TestNilSpec(t *testing.T) {
+	var s *Spec
+	if err := s.Validate(); err != nil {
+		t.Errorf("nil spec must validate (model off): %v", err)
+	}
+	// With* on a nil receiver starts from the defaults.
+	d := s.WithQueueCap(8)
+	if d.QueueCap() != 8 || d.EdgeGbps() != DefaultEdgeGbps {
+		t.Errorf("nil-derived spec: cap %d rate %g", d.QueueCap(), d.EdgeGbps())
+	}
+}
+
+func TestWithMethodsDeriveCopies(t *testing.T) {
+	base := New()
+	mod := base.WithQueueCap(8).
+		WithMarkThreshold(2).
+		WithLinkRate(1).
+		WithSpineRate(4).
+		WithPacketBytes(500)
+	if base.QueueCap() != DefaultQueueCap || base.MarkThreshold() != DefaultMarkThreshold ||
+		base.EdgeGbps() != DefaultEdgeGbps || base.SpineGbps() != DefaultSpineGbps ||
+		base.PacketBytes() != DefaultPacketBytes {
+		t.Error("With* methods mutated the base spec")
+	}
+	if mod.QueueCap() != 8 || mod.MarkThreshold() != 2 || mod.EdgeGbps() != 1 ||
+		mod.SpineGbps() != 4 || mod.PacketBytes() != 500 {
+		t.Errorf("derived spec lost a knob: %+v", *mod)
+	}
+	// 500 B = 4000 bits at 1 Gbps = 4000 ns.
+	if got := mod.EdgeServiceNS(); got != 4000 {
+		t.Errorf("derived EdgeServiceNS = %d, want 4000", got)
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	cases := []struct {
+		name string
+		spec *Spec
+		want string // substring naming the offending setter
+	}{
+		{"zero cap", New().WithQueueCap(0), "WithQueueCap"},
+		{"negative mark", New().WithMarkThreshold(-1), "WithMarkThreshold"},
+		{"mark at cap", New().WithQueueCap(4).WithMarkThreshold(4), "WithMarkThreshold"},
+		{"zero edge rate", New().WithLinkRate(0), "WithLinkRate"},
+		{"negative spine rate", New().WithSpineRate(-1), "WithSpineRate"},
+		{"zero packet", New().WithPacketBytes(0), "WithPacketBytes"},
+		{"sub-ns service", New().WithPacketBytes(1).WithSpineRate(1000), "WithPacketBytes"},
+	}
+	for _, tc := range cases {
+		err := tc.spec.Validate()
+		if err == nil {
+			t.Errorf("%s: accepted", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not name %s", tc.name, err, tc.want)
+		}
+	}
+	// Mark threshold 0 is not a contradiction: it disables marking.
+	if err := New().WithMarkThreshold(0).Validate(); err != nil {
+		t.Errorf("mark threshold 0 rejected: %v", err)
+	}
+}

@@ -203,6 +203,7 @@ func registerChaosLossBurst() {
 			}
 			report := Report{
 				ID: "chaos-lossburst", Title: "Throughput under a decaying loss burst (60% -> 5% per-link)",
+				Kind:   ReportTimeline,
 				XLabel: "Time (s)", YLabel: "Throughput (MRPS)",
 				Notes: []string{
 					"Per-link loss ramps linearly from 60% down to 5% across the burst window",
@@ -263,6 +264,7 @@ func registerChaosRollingCrash() {
 			}
 			report := Report{
 				ID: "chaos-rollingcrash", Title: "Throughput under rolling server crashes (3 of 6 servers, one at a time)",
+				Kind:   ReportTimeline,
 				XLabel: "Time (s)", YLabel: "Throughput (MRPS)",
 				Notes: []string{
 					"Servers 0, 1, 2 crash in sequence (bins 6..20 of 30, scaled by options);",

@@ -492,6 +492,7 @@ func registerFig16() {
 			}
 			return Report{
 				ID: "fig16", Title: "Throughput under a switch stop/reactivate cycle",
+				Kind:   ReportTimeline,
 				XLabel: "Time (s)", YLabel: "Throughput (MRPS)",
 				Series: []Series{s},
 				Notes: []string{

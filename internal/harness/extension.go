@@ -15,12 +15,13 @@ import (
 func init() {
 	registerExtMultiRack()
 	registerExtLoss()
-	// The chaos and scale families register here — this init runs
-	// after experiments.go's (file order), so chaos-* and then scale-*
-	// append after every paper artifact, ablation, and extension,
-	// keeping the golden file append-only.
+	// The chaos, scale, and congestion families register here — this
+	// init runs after experiments.go's (file order), so chaos-*, then
+	// scale-*, then cong-* append after every paper artifact, ablation,
+	// and extension, keeping the golden file append-only.
 	registerChaos()
 	registerScale()
+	registerCongestion()
 }
 
 // ext-multirack: the §3.7 multi-rack deployment. The client-side ToR

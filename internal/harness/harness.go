@@ -28,12 +28,28 @@ type Series struct {
 	Points []Point
 }
 
+// ReportKind classifies a report's shape so consumers can dispatch on
+// structure instead of string-matching axis labels (the netclone-bench
+// -timeline flag used to sniff `XLabel == "Time (s)"`, which broke the
+// moment a label was reworded).
+type ReportKind int
+
+const (
+	// ReportFigure is the default: load sweeps, bar figures, tables.
+	ReportFigure ReportKind = iota
+	// ReportTimeline marks time-series reports: every series' X values
+	// are seconds from run start (fig16, chaos-*, cong-timeline).
+	ReportTimeline
+)
+
 // Report is the output of one experiment: figures fill Series, tables
 // fill Table (first row is the header). Notes carry caveats and
-// calibration remarks that belong next to the numbers.
+// calibration remarks that belong next to the numbers. Kind declares
+// the report's shape for structural consumers; it does not render.
 type Report struct {
 	ID     string
 	Title  string
+	Kind   ReportKind
 	XLabel string
 	YLabel string
 	Series []Series

@@ -21,6 +21,7 @@ var expectedIDs = []string{
 	"ext-multirack", "ext-loss",
 	"chaos-straggler", "chaos-lossburst", "chaos-rollingcrash",
 	"scale-racks", "scale-xrack", "scale-skew",
+	"cong-incast", "cong-spine", "cong-crossover", "cong-timeline",
 }
 
 func TestRegistryComplete(t *testing.T) {
@@ -302,5 +303,73 @@ func TestAllExperimentsRunQuick(t *testing.T) {
 				t.Fatal(err)
 			}
 		})
+	}
+}
+
+// TestCongCrossoverSuppressionWins pins the congestion family's
+// headline: with the client down-ports driven into incast overload,
+// near-source clone suppression beats fixed cloning — the clones fixed
+// NetClone keeps sending amplify the very queueing it suffers from.
+func TestCongCrossoverSuppressionWins(t *testing.T) {
+	opts := Options{
+		DurationNS: 20e6, WarmupNS: 5e6, Seed: 3,
+		LoadFracs: []float64{0.85}, Repeats: 1,
+	}
+	rep, err := registry["cong-crossover"].Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p99 := map[string]float64{}
+	for _, s := range rep.Series {
+		if len(s.Points) != 1 {
+			t.Fatalf("series %q has %d points, want 1", s.Label, len(s.Points))
+		}
+		p99[s.Label] = s.Points[0].Y
+	}
+	fixed, ok := p99["NetClone"]
+	if !ok {
+		t.Fatalf("no NetClone series: %v", rep.Series)
+	}
+	supp, ok := p99["NetClone+Suppress"]
+	if !ok {
+		t.Fatalf("no NetClone+Suppress series: %v", rep.Series)
+	}
+	if supp >= fixed {
+		t.Errorf("under incast overload suppression p99 = %.1f us, fixed cloning p99 = %.1f us; want suppression to win", supp, fixed)
+	}
+}
+
+// TestCongTimelineShape checks the timeline report's structural
+// contract: the typed kind plus the throughput series and the two aux
+// series netclone-bench folds into CSV columns.
+func TestCongTimelineShape(t *testing.T) {
+	rep, err := registry["cong-timeline"].Run(Options{
+		DurationNS: 2e6, WarmupNS: NoWarmup, Seed: 1,
+		LoadFracs: []float64{0.3}, Repeats: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Kind != ReportTimeline {
+		t.Errorf("Kind = %d, want ReportTimeline", rep.Kind)
+	}
+	labels := make([]string, len(rep.Series))
+	for i, s := range rep.Series {
+		labels[i] = s.Label
+		if len(s.Points) == 0 {
+			t.Errorf("series %q is empty", s.Label)
+		}
+	}
+	if len(labels) != 3 || labels[1] != TimelineDepthLabel || labels[2] != TimelineDropsLabel {
+		t.Fatalf("series labels = %v, want [NetClone, %s, %s]", labels, TimelineDepthLabel, TimelineDropsLabel)
+	}
+	var peak float64
+	for _, p := range rep.Series[1].Points {
+		if p.Y > peak {
+			peak = p.Y
+		}
+	}
+	if peak == 0 {
+		t.Error("queue-depth series never left zero on an oversubscribed edge")
 	}
 }

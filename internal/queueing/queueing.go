@@ -81,6 +81,60 @@ func MMcWaitQuantile(c int, lambda, mu, q float64) (float64, error) {
 	return -math.Log((1-q)/pw) / rate, nil
 }
 
+// MM1KBlockingProb returns the stationary probability that an arriving
+// customer finds an M/M/1/K system full and is lost — the drop rate of
+// a finite FIFO link queue holding at most K packets (queued plus in
+// service) under Poisson arrivals at rate lambda and exponential
+// service at rate mu:
+//
+//	P_K = (1-rho) rho^K / (1 - rho^(K+1)),  rho = lambda/mu != 1
+//	P_K = 1 / (K+1),                        rho = 1
+//
+// Unlike the infinite-buffer formulas there is no stability
+// requirement: rho >= 1 simply pushes more of the mass into the drop
+// probability. The congestion executor's tail-drop ports are exactly
+// this system, and simcluster cross-validates them against it.
+func MM1KBlockingProb(k int, lambda, mu float64) (float64, error) {
+	rho, err := mm1kUtilization(k, lambda, mu)
+	if err != nil {
+		return 0, err
+	}
+	if nearOne(rho) {
+		return 1 / float64(k+1), nil
+	}
+	rhoK := math.Pow(rho, float64(k))
+	return (1 - rho) * rhoK / (1 - rhoK*rho), nil
+}
+
+// MM1KMeanQueue returns the time-average number of customers in an
+// M/M/1/K system (queued plus in service):
+//
+//	L = rho/(1-rho) - (K+1) rho^(K+1) / (1 - rho^(K+1)),  rho != 1
+//	L = K/2,                                              rho = 1
+func MM1KMeanQueue(k int, lambda, mu float64) (float64, error) {
+	rho, err := mm1kUtilization(k, lambda, mu)
+	if err != nil {
+		return 0, err
+	}
+	if nearOne(rho) {
+		return float64(k) / 2, nil
+	}
+	rhoK1 := math.Pow(rho, float64(k+1))
+	return rho/(1-rho) - float64(k+1)*rhoK1/(1-rhoK1), nil
+}
+
+// mm1kUtilization validates the M/M/1/K parameters and returns rho.
+func mm1kUtilization(k int, lambda, mu float64) (float64, error) {
+	if k < 1 || lambda <= 0 || mu <= 0 {
+		return 0, errors.New("queueing: k, lambda, mu must be positive")
+	}
+	return lambda / mu, nil
+}
+
+// nearOne guards the rho == 1 removable singularity of the M/M/1/K
+// closed forms: within floating-point noise of 1, use the limits.
+func nearOne(rho float64) bool { return math.Abs(rho-1) < 1e-12 }
+
 // ExpQuantile returns the q-quantile of an exponential distribution with
 // the given mean.
 func ExpQuantile(mean, q float64) float64 {

@@ -142,3 +142,72 @@ func TestStabilityBounds(t *testing.T) {
 	almost(t, "baseline capacity", base, 3.84e6, 1)
 	almost(t, "cclone capacity", cc, 1.92e6, 1)
 }
+
+func TestMM1KKnownValues(t *testing.T) {
+	// K=1 is pure loss (Erlang B with one server): P_1 = rho/(1+rho).
+	p, err := MM1KBlockingProb(1, 0.5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	almost(t, "M/M/1/1 P_K", p, 0.5/1.5, 1e-12)
+
+	// rho=1: uniform stationary distribution over 0..K.
+	p, err = MM1KBlockingProb(4, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	almost(t, "M/M/1/4 rho=1 P_K", p, 1.0/5.0, 1e-12)
+	l, err := MM1KMeanQueue(4, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	almost(t, "M/M/1/4 rho=1 L", l, 2.0, 1e-12)
+
+	// Direct sum check at rho=0.8, K=5: pi_n proportional to rho^n.
+	const k, rho = 5, 0.8
+	var norm, mean float64
+	for n := 0; n <= k; n++ {
+		pn := math.Pow(rho, float64(n))
+		norm += pn
+		mean += float64(n) * pn
+	}
+	p, err = MM1KBlockingProb(k, rho, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	almost(t, "M/M/1/5 P_K", p, math.Pow(rho, k)/norm, 1e-12)
+	l, err = MM1KMeanQueue(k, rho, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	almost(t, "M/M/1/5 L", l, mean/norm, 1e-12)
+}
+
+func TestMM1KLimits(t *testing.T) {
+	// As K grows at rho<1, the closed forms converge to plain M/M/1:
+	// P_K -> 0 and L -> rho/(1-rho).
+	l, err := MM1KMeanQueue(1000, 0.5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	almost(t, "M/M/1/1000 L", l, 1.0, 1e-9)
+	p, err := MM1KBlockingProb(1000, 0.5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	almost(t, "M/M/1/1000 P_K", p, 0, 1e-9)
+
+	// Overload rho>1: almost every arrival is dropped; L pins near K.
+	p, err = MM1KBlockingProb(10, 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	almost(t, "overloaded P_K", p, 0.9, 1e-6)
+
+	if _, err := MM1KBlockingProb(0, 1, 1); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := MM1KMeanQueue(5, -1, 1); err == nil {
+		t.Error("negative lambda accepted")
+	}
+}

@@ -214,6 +214,10 @@ func (b *emuBackend) checkSupported(cfg simcluster.Config) error {
 	switch {
 	case cfg.Scheme == simcluster.LAEDGE:
 		return fmt.Errorf("emu backend: the LAEDGE scheme needs a coordinator process the emulation does not provide (%w); use Sim(), or Baseline/CClone/NetClone* schemes here", ErrSimOnly)
+	case cfg.Scheme == simcluster.NetCloneSuppress || cfg.Scheme == simcluster.NetCloneAdaptive:
+		return fmt.Errorf("emu backend: scheme %s reacts to the simulated congestion signal (%w); use Sim(), or plain NetClone here", cfg.Scheme, ErrSimOnly)
+	case cfg.Congestion != nil:
+		return reject("the congestion model (WithCongestion/WithLinkRate)")
 	case cfg.MultiRack:
 		return reject("multi-rack deployment (WithMultiRack)")
 	case cfg.Topology.NumRacks() > 1:

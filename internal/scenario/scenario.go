@@ -13,6 +13,7 @@ import (
 	"slices"
 	"time"
 
+	"netclone/internal/congestion"
 	"netclone/internal/faults"
 	"netclone/internal/kvstore"
 	"netclone/internal/simcluster"
@@ -291,6 +292,28 @@ func WithSwitchFailure(failAt, recoverAt time.Duration) Option {
 }
 
 // ---------------------------------------------------------------------
+// Congestion
+
+// WithCongestion sets the scenario's declarative congestion model
+// (internal/congestion): finite FIFO queues with configurable service
+// rates at every ToR and spine egress port, ECN-style marking, and
+// tail-drop on overflow, executed by the simulator through its typed
+// event engine. nil — the default — means infinite-capacity links,
+// byte-identical to the pre-congestion simulator. Sim only.
+func WithCongestion(spec *congestion.Spec) Option {
+	return func(s *Scenario) { s.cfg.Congestion = spec }
+}
+
+// WithLinkRate sets the edge-port (ToR<->host) line rate in Gbps,
+// enabling the congestion model with defaults for every other knob if
+// no WithCongestion spec is set — shorthand for the common "how slow
+// can the edge get" sweep. Composes with an earlier or later
+// WithCongestion by deriving from whatever spec is current. Sim only.
+func WithLinkRate(gbps float64) Option {
+	return func(s *Scenario) { s.cfg.Congestion = s.cfg.Congestion.WithLinkRate(gbps) }
+}
+
+// ---------------------------------------------------------------------
 // Ablation knobs
 
 // WithoutCloneDropGuard removes the server-side stale-state guard
@@ -349,8 +372,11 @@ func (s *Scenario) Validate() error {
 	if cfg.NumClients < 0 {
 		return fmt.Errorf("scenario: %d clients, need >= 0 (WithClients; 0 means the default 2)", cfg.NumClients)
 	}
-	if cfg.Scheme < simcluster.Baseline || cfg.Scheme > simcluster.NetCloneNoFilter {
+	if cfg.Scheme < simcluster.Baseline || cfg.Scheme > simcluster.NetCloneAdaptive {
 		return fmt.Errorf("scenario: unknown scheme %d (WithScheme; see the Scheme constants)", int(cfg.Scheme))
+	}
+	if err := cfg.Congestion.Validate(); err != nil {
+		return fmt.Errorf("scenario: invalid congestion model (WithCongestion/WithLinkRate): %w", err)
 	}
 	if cfg.FilterTables < 0 || cfg.FilterTables > 256 {
 		return fmt.Errorf("scenario: %d filter tables, need 1..256 — the IDX header field is 8 bits (WithFilter)", cfg.FilterTables)

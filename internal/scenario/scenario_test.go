@@ -1,10 +1,12 @@
 package scenario
 
 import (
+	"errors"
 	"strings"
 	"testing"
 	"time"
 
+	"netclone/internal/congestion"
 	"netclone/internal/faults"
 	"netclone/internal/kvstore"
 	"netclone/internal/simcluster"
@@ -186,6 +188,21 @@ func TestValidateRejections(t *testing.T) {
 			sc:   New(validBase()...).With(WithScheme(simcluster.LAEDGE), WithCoordinators(-1)),
 			want: "coordinators",
 		},
+		{
+			name: "congestion zero queue cap",
+			sc:   New(validBase()...).With(WithCongestion(congestion.New().WithQueueCap(0))),
+			want: "WithQueueCap",
+		},
+		{
+			name: "congestion mark threshold at cap",
+			sc:   New(validBase()...).With(WithCongestion(congestion.New().WithQueueCap(8).WithMarkThreshold(8))),
+			want: "WithMarkThreshold",
+		},
+		{
+			name: "congestion zero link rate",
+			sc:   New(validBase()...).With(WithLinkRate(0)),
+			want: "WithLinkRate",
+		},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -264,6 +281,21 @@ func TestOptionMapping(t *testing.T) {
 	if !New(WithSwitchFailure(0, 0)).Config().Faults.Empty() {
 		t.Fatal("WithSwitchFailure(0, 0) produced a plan entry")
 	}
+	// WithCongestion sets the spec; WithLinkRate derives from whatever
+	// spec is current (defaults when none), in either option order.
+	spec := congestion.New().WithQueueCap(32)
+	cong := New(WithCongestion(spec), WithLinkRate(2.5)).Config()
+	if cong.Congestion.QueueCap() != 32 || cong.Congestion.EdgeGbps() != 2.5 {
+		t.Fatalf("congestion option mapping wrong: %+v", cong.Congestion)
+	}
+	if spec.EdgeGbps() != congestion.DefaultEdgeGbps {
+		t.Fatal("WithLinkRate mutated the caller's spec")
+	}
+	if solo := New(WithLinkRate(1)).Config(); solo.Congestion == nil ||
+		solo.Congestion.EdgeGbps() != 1 ||
+		solo.Congestion.QueueCap() != congestion.DefaultQueueCap {
+		t.Fatalf("WithLinkRate without a spec mapping wrong: %+v", solo.Congestion)
+	}
 	// WithFaults replaces, WithFaultInjections composes.
 	plan := faults.New(faults.ServerCrash(0, time.Millisecond, 2*time.Millisecond))
 	composed := New(WithLoss(0.5), WithFaults(plan), WithFaultInjections(faults.Jitter(0, time.Second, time.Microsecond))).Config()
@@ -304,5 +336,43 @@ func TestFromConfigRoundTrip(t *testing.T) {
 	got := FromConfig(cfg).Config()
 	if got.Scheme != cfg.Scheme || got.OfferedRPS != cfg.OfferedRPS || got.Seed != cfg.Seed {
 		t.Fatalf("FromConfig altered the config: %+v", got)
+	}
+}
+
+// TestEmuRejectsCongestion: the loopback emulation has no link-queue
+// model, so congested scenarios — and the schemes that react to the
+// congestion signal — are sim-only.
+func TestEmuRejectsCongestion(t *testing.T) {
+	base := New(
+		WithScheme(simcluster.NetClone),
+		WithServers(2, 2),
+		WithWorkload(workload.Exp(25)),
+		WithOfferedLoad(100),
+		WithWindow(0, 10*time.Millisecond),
+	)
+	cases := []struct {
+		name string
+		sc   *Scenario
+		want string
+	}{
+		{"congestion model", base.With(WithCongestion(congestion.New())), "WithCongestion"},
+		{"link-rate shorthand", base.With(WithLinkRate(1)), "WithCongestion/WithLinkRate"},
+		{"suppress scheme", base.With(WithScheme(simcluster.NetCloneSuppress)), "congestion signal"},
+		{"adaptive scheme", base.With(WithScheme(simcluster.NetCloneAdaptive)), "congestion signal"},
+	}
+	be := Emu()
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := be.Run(tc.sc)
+			if err == nil {
+				t.Fatal("congested scenario accepted by the Emu backend")
+			}
+			if !errors.Is(err, ErrSimOnly) {
+				t.Errorf("error %v does not wrap ErrSimOnly", err)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not mention %q", err, tc.want)
+			}
+		})
 	}
 }

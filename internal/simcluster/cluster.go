@@ -120,6 +120,11 @@ type cluster struct {
 	degHist    *stats.Histogram
 	faultDrops int64
 
+	// cong executes the congestion model (finite egress-port queues,
+	// ECN marking, tail-drop; congestion.go). Nil — the default — means
+	// infinite link capacity, the exact pre-subsystem event sequence.
+	cong *congCtl
+
 	breakdown *breakdownAgg
 }
 
@@ -254,6 +259,9 @@ func build(cfg Config) (*cluster, error) {
 		// LossProb knob's build-time activation, generalized.
 		c.faults.activateImmediate()
 	}
+	if cfg.Congestion != nil {
+		c.cong = newCongCtl(c)
+	}
 	c.primePackets()
 	return c, nil
 }
@@ -310,7 +318,9 @@ func (c *cluster) buildSwitches() error {
 		FilterSlots:  c.cfg.FilterSlots,
 	}
 	switch c.cfg.Scheme {
-	case NetClone:
+	case NetClone, NetCloneSuppress, NetCloneAdaptive:
+		// The congestion-reactive variants run the full NetClone data
+		// plane; their clone gate sits in front of it (congestion.go).
 		dcfg.EnableCloning, dcfg.EnableFiltering = true, true
 	case NetCloneRackSched:
 		dcfg.EnableCloning, dcfg.EnableFiltering, dcfg.RackSched = true, true, true
@@ -429,6 +439,9 @@ func (c *cluster) result() Result {
 	if c.faults != nil {
 		res.Faults = c.faults.summary(c.degHist, c.faultDrops)
 	}
+	if c.cong != nil {
+		res.Congestion = c.cong.summary(c.eng.Now())
+	}
 	if c.topo.Racks > 1 {
 		// Two-rack compatibility view: RemoteSwitch is the single
 		// non-client ToR, as the original MultiRack code reported.
@@ -537,7 +550,15 @@ func (s *switchNode) fromClient(p *packet) {
 			return
 		}
 		if tor := c.servers[sid1].tor; tor != s {
+			if c.cong != nil {
+				c.congTransitReq(s.rack, tor.rack, int(sid1), p)
+				return
+			}
 			c.eng.ScheduleAfter(c.dSwTrans[tor.rack], tor.hid, evSwTransitRequest, p, int64(sid1))
+			return
+		}
+		if c.cong != nil {
+			c.congToServer(int(sid1), p, c.dSwLink)
 			return
 		}
 		c.eng.ScheduleAfter(c.dSwLink, c.servers[sid1].hid, evSrvOnRequest, p, 0)
@@ -548,6 +569,12 @@ func (s *switchNode) fromClient(p *packet) {
 	case dataplane.ActForwardServer:
 		s.toServer(p, int(res.DstSID))
 	case dataplane.ActCloneAndForward:
+		// Congestion-reactive schemes may veto the clone (congestion.go);
+		// the original still forwards as a plain request.
+		if !s.cloneAdmitted(p, int(res.DstSID)) {
+			s.toServer(p, int(res.DstSID))
+			return
+		}
 		// Capture the clone's fields before toServer: on a lossy link
 		// toServer may free p, and the freelist may hand the same struct
 		// back as the clone.
@@ -575,7 +602,15 @@ func (s *switchNode) toServer(p *packet, dst int) {
 		return
 	}
 	if tor := c.servers[dst].tor; tor != s {
+		if c.cong != nil {
+			c.congTransitReq(s.rack, tor.rack, dst, p)
+			return
+		}
 		c.eng.ScheduleAfter(c.dSwTrans[tor.rack], tor.hid, evSwTransitRequest, p, int64(dst))
+		return
+	}
+	if c.cong != nil {
+		c.congToServer(dst, p, c.dSwLink+c.jitterExtra())
 		return
 	}
 	c.eng.ScheduleAfter(c.dSwLink+c.jitterExtra(), c.servers[dst].hid, evSrvOnRequest, p, 0)
@@ -608,6 +643,10 @@ func (s *switchNode) transitRequest(p *packet, dst int) {
 			}
 		}
 	}
+	if c.cong != nil {
+		c.congToServer(dst, p, c.dSwLink)
+		return
+	}
 	c.eng.ScheduleAfter(c.dSwLink, c.servers[dst].hid, evSrvOnRequest, p, 0)
 }
 
@@ -632,6 +671,10 @@ func (s *switchNode) transitResponse(p *packet) {
 			return
 		}
 	}
+	if c.cong != nil {
+		c.congTransitResp(s.rack, p)
+		return
+	}
 	c.eng.ScheduleAfter(c.dSwTrans[s.rack], c.sw.hid, evSwFromServer, p, 0)
 }
 
@@ -640,6 +683,10 @@ func (s *switchNode) toClient(p *packet, dst int) {
 	c := s.cl
 	if c.maybeLose() {
 		c.freePacket(p)
+		return
+	}
+	if c.cong != nil {
+		c.congToClient(dst, p, c.dSwLink+c.jitterExtra())
 		return
 	}
 	c.eng.ScheduleAfter(c.dSwLink+c.jitterExtra(), c.clients[dst].hid, evCliOnResponse, p, 0)
@@ -699,6 +746,10 @@ func (s *switchNode) coordToServer(p *packet, dst int) {
 		s.cl.freePacket(p)
 		return
 	}
+	if s.cl.cong != nil {
+		s.cl.congToServer(dst, p, s.cl.dSwLink)
+		return
+	}
 	s.cl.eng.ScheduleAfter(s.cl.dSwLink, s.cl.servers[dst].hid, evSrvOnRequest, p, 0)
 }
 
@@ -708,6 +759,10 @@ func (s *switchNode) coordToClient(p *packet, dst int) {
 	if s.down {
 		s.cl.faultDrops++
 		s.cl.freePacket(p)
+		return
+	}
+	if s.cl.cong != nil {
+		s.cl.congToClient(dst, p, s.cl.dSwLink)
 		return
 	}
 	s.cl.eng.ScheduleAfter(s.cl.dSwLink, s.cl.clients[dst].hid, evCliOnResponse, p, 0)
@@ -1101,6 +1156,9 @@ func (c *client) sendPacket(p *packet, now int64) {
 // the client-side overhead that response filtering exists to remove
 // (§3.5, Fig 15).
 func (c *client) onResponse(p *packet) {
+	if c.cl.cong != nil && p.hdr.ECN != 0 {
+		c.cl.cong.markedAtClients++
+	}
 	c.rxQueue.push(p)
 	if !c.rxBusy {
 		c.rxBusy = true

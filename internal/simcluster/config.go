@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"slices"
 
+	"netclone/internal/congestion"
 	"netclone/internal/dataplane"
 	"netclone/internal/faults"
 	"netclone/internal/kvstore"
@@ -42,6 +43,19 @@ const (
 	// NetCloneNoFilter is NetClone with response filtering disabled (the
 	// Fig 15 ablation).
 	NetCloneNoFilter
+	// NetCloneSuppress is NetClone with near-source clone suppression:
+	// the switch skips the clone when the egress port it would leave
+	// through — or the requester's return port — sits past the
+	// congestion model's marking threshold (SFC-style in-network
+	// suppression). Identical to NetClone when no congestion model is
+	// configured.
+	NetCloneSuppress
+	// NetCloneAdaptive is NetClone with an adaptive clone budget: a
+	// deterministic token bucket refilled at the offered rate scaled by
+	// the observed egress-port headroom (Kimad-style bandwidth-aware
+	// redundancy), so cloning throttles itself as queues fill. Identical
+	// to NetClone when no congestion model is configured.
+	NetCloneAdaptive
 )
 
 // String returns the scheme label used in experiment output.
@@ -59,6 +73,10 @@ func (s Scheme) String() string {
 		return "NetClone+RackSched"
 	case NetCloneNoFilter:
 		return "NetClone-w/o-Filtering"
+	case NetCloneSuppress:
+		return "NetClone+Suppress"
+	case NetCloneAdaptive:
+		return "NetClone+Adaptive"
 	default:
 		return fmt.Sprintf("Scheme(%d)", int(s))
 	}
@@ -222,6 +240,16 @@ type Config struct {
 	// layer between MultiRack's two ToRs (default 2000 ns).
 	AggDelayNS int64
 
+	// Congestion, when non-nil, is the declarative congestion model
+	// (internal/congestion): finite FIFO queues with configurable
+	// service rates at every ToR and spine egress port, ECN-style
+	// marking past a threshold, and tail-drop on overflow. Marks ride
+	// the wire header back to clients; the NetCloneSuppress and
+	// NetCloneAdaptive schemes react to them. Nil — the default — means
+	// infinite link capacity: the exact pre-subsystem event sequence,
+	// byte-identical results.
+	Congestion *congestion.Spec
+
 	// SampleEvery enables the latency breakdown: every N-th generated
 	// request is traced through queueing, service, and path phases
 	// (Result.Breakdown). 0 disables sampling.
@@ -301,6 +329,13 @@ type Result struct {
 	// legacy fault knob) was active, so fault-free Results stay
 	// byte-identical to the pre-subsystem output.
 	Faults *FaultSummary
+
+	// Congestion summarizes the congestion model's execution: per-port
+	// occupancy/drop/mark statistics, per-rack rollups (alongside
+	// Racks), and the clone-gate counters of the reactive schemes. Nil
+	// unless Config.Congestion was set, so congestion-free Results stay
+	// byte-identical to the pre-subsystem output.
+	Congestion *CongestionSummary
 }
 
 // RackStats is one rack's rolled-up counter view in multi-rack runs.
@@ -317,6 +352,75 @@ type RackStats struct {
 	// CloneDropsAtServer sums the §3.4 stale-clone guard drops across
 	// this rack's servers.
 	CloneDropsAtServer int64
+}
+
+// CongestionSummary is the Result view of an executed congestion
+// model (Config.Congestion).
+type CongestionSummary struct {
+	// Drops counts packets tail-dropped at full egress ports, and
+	// Marks counts packets ECN-marked past the threshold, both summed
+	// across every port.
+	Drops int64
+	Marks int64
+
+	// MaxDepth is the deepest any port's queue ever got (packets,
+	// including the one in service).
+	MaxDepth int
+
+	// MarkedAtClients counts responses that arrived at a client NIC
+	// carrying the ECN mark — the end-to-end visibility of the signal.
+	MarkedAtClients int64
+
+	// SuppressedClones counts clones NetCloneSuppress skipped because
+	// the egress or return port was past the marking threshold.
+	SuppressedClones int64
+
+	// BudgetSkips counts clones NetCloneAdaptive skipped because the
+	// headroom-scaled token bucket was empty.
+	BudgetSkips int64
+
+	// Ports lists every egress port that saw at least one arrival, in
+	// port-index order (servers, clients, uplinks, spine).
+	Ports []PortCongStats
+
+	// Racks rolls the port statistics up per rack, topology order —
+	// the congestion companion of Result.Racks.
+	Racks []RackCongStats
+
+	// DepthBins and DropBins, non-nil only when Config.TimelineBinNS >
+	// 0, hold the time-weighted mean total queue occupancy (packets,
+	// summed over all ports) and the tail-drop count per timeline bin —
+	// the queue-buildup curves behind the cong-* timeline experiments.
+	DepthBins []float64
+	DropBins  []int64
+}
+
+// PortCongStats is one egress port's congestion statistics.
+type PortCongStats struct {
+	// Rack is the port's home rack (destination rack for spine ports).
+	Rack int
+	// Class is "server", "client", "uplink", or "spine".
+	Class string
+	// Index identifies the port within its class: the server or client
+	// ID, or the rack for uplink/spine ports.
+	Index int
+	// MaxDepth and MeanDepth describe the occupancy process (packets
+	// in system; MeanDepth is time-weighted over the whole run).
+	MaxDepth  int
+	MeanDepth float64
+	// Arrivals, Drops, and Marks count packets offered to, tail-dropped
+	// at, and ECN-marked at this port.
+	Arrivals int64
+	Drops    int64
+	Marks    int64
+}
+
+// RackCongStats is one rack's congestion rollup.
+type RackCongStats struct {
+	Rack     int
+	MaxDepth int
+	Drops    int64
+	Marks    int64
 }
 
 // FaultWindow is one injection's activity interval as executed — the
@@ -470,6 +574,9 @@ func (cfg Config) withDefaults() (Config, error) {
 		Coordinators: cfg.CoordinatorTier(),
 	}); err != nil {
 		return cfg, fmt.Errorf("simcluster: invalid fault plan: %w", err)
+	}
+	if err := cfg.Congestion.Validate(); err != nil {
+		return cfg, fmt.Errorf("simcluster: invalid congestion model: %w", err)
 	}
 	if cfg.NumClients <= 0 {
 		cfg.NumClients = 2

@@ -38,4 +38,9 @@ const (
 	// transitions are cold (a handful per run) but still typed so plan
 	// execution allocates nothing.
 	evFaultTrans // apply fault transition x
+
+	// congCtl events. arg = nil; x = egress-port index. One kind covers
+	// the whole congestion model: a port's head-of-line packet finished
+	// serializing onto the link and departs (congestion.go).
+	evPortDepart // serve completion at egress port x
 )

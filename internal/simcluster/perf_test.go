@@ -31,6 +31,10 @@ func perfTestConfigs() map[string]Config {
 		}
 		return c
 	}
+	congested := func(c *Config) {
+		c.MultiRack = true
+		c.Congestion = congTestSpec()
+	}
 	return map[string]Config{
 		"netclone":  withScheme(NetClone, nil),
 		"cclone":    withScheme(CClone, nil),
@@ -39,6 +43,9 @@ func perfTestConfigs() map[string]Config {
 		"lossy":     withScheme(NetClone, func(c *Config) { c.LossProb = 0.01 }),
 		"multirack": withScheme(NetClone, func(c *Config) { c.MultiRack = true }),
 		"sampled":   withScheme(NetClone, func(c *Config) { c.SampleEvery = 10 }),
+		"congested": withScheme(NetClone, congested),
+		"suppress":  withScheme(NetCloneSuppress, congested),
+		"adaptive":  withScheme(NetCloneAdaptive, congested),
 	}
 }
 
@@ -216,13 +223,12 @@ func BenchmarkClusterSteadyState(b *testing.B) {
 	}
 }
 
-// benchBuildFabric assembles a warm NetClone cluster on a three-rack
-// leaf–spine fabric (clients share rack 0 with two servers, the rest
-// are behind heterogeneous uplinks) for the N-rack steady-path
-// benchmarks.
-func benchBuildFabric(tb testing.TB) *cluster {
-	tb.Helper()
-	cfg := Config{
+// benchFabricConfig is the three-rack leaf–spine fabric (clients share
+// rack 0 with two servers, the rest are behind heterogeneous uplinks)
+// used by the N-rack steady-path benchmarks — and, with a congestion
+// spec added, by the congested variants in congestion_test.go.
+func benchFabricConfig() Config {
+	return Config{
 		Scheme: NetClone,
 		Topology: topology.New(
 			topology.Rack{Servers: []int{16, 16}},
@@ -234,7 +240,13 @@ func benchBuildFabric(tb testing.TB) *cluster {
 		DurationNS: 1e9, // window far beyond the benchmark's virtual time
 		Seed:       1,
 	}
-	cfg, err := cfg.withDefaults()
+}
+
+// benchBuildFabric assembles a warm NetClone cluster on the three-rack
+// fabric for the N-rack steady-path benchmarks.
+func benchBuildFabric(tb testing.TB) *cluster {
+	tb.Helper()
+	cfg, err := benchFabricConfig().withDefaults()
 	if err != nil {
 		tb.Fatal(err)
 	}

@@ -88,6 +88,7 @@ func poison(p *packet) {
 		PktSeq:     0xAA,
 		PktTotal:   0xAA,
 		PayloadLen: 0xAAAA,
+		ECN:        0xAA,
 	}
 	p.op = 0xAA
 	p.sentAt = dead

@@ -41,7 +41,8 @@ const Port = 9000
 //	24 pktSeq  uint8   packet index within a multi-packet message (§3.7)
 //	25 pktTotal uint8  total packets in the message (1 for single-packet)
 //	26 payloadLen uint16
-const HeaderLen = 28
+//	28 ecn     uint8   congestion-experienced mark (0 = unmarked)
+const HeaderLen = 29
 
 // Magic identifies NetClone headers on the wire.
 const Magic = 0x4E43
@@ -116,6 +117,14 @@ type Header struct {
 	PktSeq     uint8
 	PktTotal   uint8
 	PayloadLen uint16
+
+	// ECN is the congestion-experienced mark: a switch egress port sets
+	// it when the packet is enqueued past the marking threshold of the
+	// congestion model (internal/congestion). Servers echo the request
+	// header into the response unchanged, so a mark picked up on either
+	// direction reaches the client — the near-source signal the
+	// congestion-reactive schemes act on. 0 means unmarked.
+	ECN uint8
 }
 
 // Decoding errors.
@@ -149,6 +158,7 @@ func (h *Header) MarshalTo(buf []byte) (int, error) {
 	buf[24] = h.PktSeq
 	buf[25] = h.PktTotal
 	binary.BigEndian.PutUint16(buf[26:28], h.PayloadLen)
+	buf[28] = h.ECN
 	return HeaderLen, nil
 }
 
@@ -194,6 +204,7 @@ func (h *Header) Unmarshal(buf []byte) (int, error) {
 	h.PktSeq = buf[24]
 	h.PktTotal = buf[25]
 	h.PayloadLen = binary.BigEndian.Uint16(buf[26:28])
+	h.ECN = buf[28]
 	return HeaderLen, nil
 }
 

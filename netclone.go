@@ -69,6 +69,7 @@ import (
 	"io"
 	"time"
 
+	"netclone/internal/congestion"
 	"netclone/internal/faults"
 	"netclone/internal/harness"
 	"netclone/internal/kvstore"
@@ -94,6 +95,16 @@ const (
 	NetCloneRackSched = simcluster.NetCloneRackSched
 	// NetCloneNoFilter disables response filtering (Fig 15 ablation).
 	NetCloneNoFilter = simcluster.NetCloneNoFilter
+	// NetCloneSuppress is NetClone with near-source clone suppression:
+	// no clone is created while the port it would leave through (or the
+	// requester's return port) sits past the ECN marking threshold.
+	// Needs WithCongestion; degrades to exact NetClone without it.
+	NetCloneSuppress = simcluster.NetCloneSuppress
+	// NetCloneAdaptive is NetClone with an adaptive clone budget: a
+	// token bucket refilled at a rate scaled by the watched port's
+	// queue headroom. Needs WithCongestion; degrades to exact NetClone
+	// without it.
+	NetCloneAdaptive = simcluster.NetCloneAdaptive
 )
 
 // Scheme selects the request-dispatching scheme of a run.
@@ -224,6 +235,45 @@ func WithLoss(p float64) ScenarioOption { return scenario.WithLoss(p) }
 func WithSwitchFailure(failAt, recoverAt time.Duration) ScenarioOption {
 	return scenario.WithSwitchFailure(failAt, recoverAt)
 }
+
+// ---------------------------------------------------------------------
+// Congestion model
+
+// CongestionSpec is a declarative, immutable congestion model: finite
+// FIFO queues with configurable service rates (link bandwidth) at
+// every ToR and spine egress port, an ECN-style marking threshold, and
+// tail-drop on overflow. Build one with NewCongestion and its With*
+// methods, attach it with WithCongestion, and read the executed
+// model's drops, marks, and queue depths back from Result.Congestion.
+// A nil spec means infinite-capacity links — byte-identical to the
+// pre-congestion simulator. Sim only.
+type CongestionSpec = congestion.Spec
+
+// NewCongestion returns the default congestion model: 64-packet port
+// queues, marking above 16, 10 Gbps edge ports, 40 Gbps fabric ports,
+// 1500 B packets.
+func NewCongestion() *CongestionSpec { return congestion.New() }
+
+// WithCongestion sets the scenario's congestion model. Sim only.
+func WithCongestion(spec *CongestionSpec) ScenarioOption { return scenario.WithCongestion(spec) }
+
+// WithLinkRate sets the edge-port (ToR<->host) line rate in Gbps,
+// enabling the congestion model with defaults for the other knobs if
+// no spec is set. Sim only.
+func WithLinkRate(gbps float64) ScenarioOption { return scenario.WithLinkRate(gbps) }
+
+// CongestionSummary is the Result view of an executed congestion model
+// (Result.Congestion): cluster-wide drops, marks, and maximum queue
+// depth; per-port occupancy statistics; per-rack rollups; and, for
+// reactive schemes, the suppressed-clone and budget-skip counters.
+type CongestionSummary = simcluster.CongestionSummary
+
+// PortCongStats is one egress port's occupancy statistics in a
+// CongestionSummary.
+type PortCongStats = simcluster.PortCongStats
+
+// RackCongStats is one rack's congestion rollup in a CongestionSummary.
+type RackCongStats = simcluster.RackCongStats
 
 // ---------------------------------------------------------------------
 // Fault plans (chaos experiments)
@@ -450,6 +500,27 @@ const NoWarmup = harness.NoWarmup
 
 // Report is a rendered-ready experiment result.
 type Report = harness.Report
+
+// ReportKind declares a report's structural shape (figure vs timeline)
+// so consumers like netclone-bench -timeline can select reports without
+// sniffing axis labels.
+type ReportKind = harness.ReportKind
+
+const (
+	// ReportFigure marks the default shape: series over an experiment
+	// variable (load, rate, factor).
+	ReportFigure = harness.ReportFigure
+	// ReportTimeline marks time-binned reports (fig16, chaos-*,
+	// cong-timeline): every series' X axis is seconds.
+	ReportTimeline = harness.ReportTimeline
+)
+
+// Aux-series labels carried by timeline reports alongside throughput;
+// netclone-bench -timeline folds them into dedicated CSV columns.
+const (
+	TimelineDepthLabel = harness.TimelineDepthLabel
+	TimelineDropsLabel = harness.TimelineDropsLabel
+)
 
 // ReportSeries is one labelled curve of a figure report.
 type ReportSeries = harness.Series

@@ -32,9 +32,11 @@ cd "$(dirname "$0")/.."
 
 mode="${1:-all}"
 # ClusterSteadyState also matches ClusterSteadyStateFaulted (the
-# fault-path micro-benchmark, 0 allocs/op with active fault windows)
-# and ClusterSteadyStateMultiRack (the N-rack fabric path, 0 allocs/op
-# across three racks of heterogeneous uplinks).
+# fault-path micro-benchmark, 0 allocs/op with active fault windows),
+# ClusterSteadyStateMultiRack (the N-rack fabric path, 0 allocs/op
+# across three racks of heterogeneous uplinks), and
+# ClusterSteadyStateCongested (the finite-queue path, 0 allocs/op with
+# a congested three-rack fabric).
 bench_re="${BENCH:-Engine|SwitchPipeline|ClusterSteadyState|SwitchProcess|SimulatedMillisecond|ZipfRank|KVMixNext|PoissonGap|SummarizeFrozen}"
 benchtime="${BENCHTIME:-1s}"
 experiments="${EXPERIMENTS:-all}"
