@@ -8,6 +8,7 @@
 //	netclone-bench -run fig7a
 //	netclone-bench -run all -quick
 //	netclone-bench -run 'scale-*' -quick
+//	netclone-bench -run scale-racks-xl -quick -shards 8
 //	netclone-bench -run 'chaos-*' -parallel 8 -timeline recovery.csv
 //	netclone-bench -run fig11a -format csv -o fig11a.csv
 //	netclone-bench -run fig7a -format json
@@ -32,9 +33,15 @@
 // Each experiment declares its grid of scenario points, which execute on
 // a bounded worker pool: -parallel bounds the pool size (default 0 = one
 // worker per CPU, 1 = sequential). On the default sim backend results
-// are byte-identical at every parallelism level. -backend emu replays
-// the same scenarios over real UDP sockets (rate-capped; counters are
-// comparable, latencies include kernel noise).
+// are byte-identical at every parallelism level. -shards additionally
+// parallelizes INSIDE each point: the simulated cluster is partitioned
+// by rack across that many parallel-in-time engines (DESIGN.md §10;
+// default 1 = the sequential engine, 0 = one shard per CPU, capped at
+// the scenario's rack count). Like -parallel the knob is
+// result-invariant — single-rack and otherwise non-shardable points
+// fall back to the sequential engine automatically. -backend emu
+// replays the same scenarios over real UDP sockets (rate-capped;
+// counters are comparable, latencies include kernel noise).
 //
 // -benchjson FILE meters every experiment (wall time, simulation
 // events/sec, allocations per point) plus a sequential engine hot-path
@@ -100,6 +107,7 @@ func main() {
 		loads    = flag.String("loads", "", "comma-separated load fractions, e.g. 0.1,0.5,0.9")
 		repeats  = flag.Int("repeats", 0, "runs per point for averaged experiments")
 		parallel = flag.Int("parallel", 0, "max concurrent simulation points (0 = one per CPU, 1 = sequential)")
+		shards   = flag.Int("shards", 1, "parallel-in-time shards inside each simulation point (1 = sequential engine, 0 = auto: one per CPU; capped at the scenario's rack count, results identical at every count)")
 		progress = flag.Bool("progress", false, "print per-point progress to stderr")
 
 		benchJSON  = flag.String("benchjson", "", "meter the run and write a BENCH_<n>.json benchmark snapshot to this path")
@@ -159,6 +167,14 @@ func main() {
 		opts.Repeats = *repeats
 	}
 	opts.Parallelism = *parallel
+	switch {
+	case *shards == 0:
+		opts.Shards = runtime.GOMAXPROCS(0)
+	case *shards > 0:
+		opts.Shards = *shards
+	default:
+		fatal(fmt.Errorf("-shards %d is negative (0 = auto, 1 = sequential)", *shards))
+	}
 	switch *backend {
 	case "sim", "":
 		// Options.Backend nil selects the simulator.
@@ -221,7 +237,7 @@ func main() {
 		meter = newMeteredBackend(inner)
 		opts.Backend = meter
 		bench = benchFile{
-			Schema:     2,
+			Schema:     3,
 			CreatedUTC: time.Now().UTC().Format(time.RFC3339),
 			GoVersion:  runtime.Version(),
 			GOMAXPROCS: runtime.GOMAXPROCS(0),
@@ -242,6 +258,11 @@ func main() {
 			fatal(err)
 		}
 		bench.HotPath = hp
+		hps, err := meterHotPathSharded(2 * time.Second)
+		if err != nil {
+			fatal(err)
+		}
+		bench.HotSharded = hps
 	}
 
 	var curves []netclone.Report // timeline-shaped reports for -timeline

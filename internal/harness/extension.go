@@ -22,6 +22,10 @@ func init() {
 	registerChaos()
 	registerScale()
 	registerCongestion()
+	// scale-racks-xl arrived with the parallel-in-time core, after the
+	// cong-* family shipped, so it registers — and its golden rows
+	// append — dead last.
+	registerScaleXL()
 }
 
 // ext-multirack: the §3.7 multi-rack deployment. The client-side ToR

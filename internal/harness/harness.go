@@ -84,6 +84,15 @@ type Options struct {
 	// execution. Reports are byte-identical at every parallelism level:
 	// the knob only changes wall time.
 	Parallelism int
+	// Shards requests parallel-in-time sharded simulation inside every
+	// point (scenario.WithShards): the cluster is partitioned by rack
+	// across up to Shards event engines synchronized by conservative
+	// time windows. Like Parallelism, the knob is result-invariant —
+	// reports are byte-identical at every shard count, and points whose
+	// configuration needs one global event order (loss, jitter,
+	// congestion, single-rack, ...) fall back to the sequential engine
+	// automatically. Zero or one runs everything sequentially.
+	Shards int
 	// Progress, when non-nil, is called after each simulation point of
 	// the running batch completes, with the number of finished points
 	// and the batch's point total. Every built-in experiment executes

@@ -22,6 +22,7 @@ var expectedIDs = []string{
 	"chaos-straggler", "chaos-lossburst", "chaos-rollingcrash",
 	"scale-racks", "scale-xrack", "scale-skew",
 	"cong-incast", "cong-spine", "cong-crossover", "cong-timeline",
+	"scale-racks-xl", // registered last (post-cong addition, golden append order)
 }
 
 func TestRegistryComplete(t *testing.T) {

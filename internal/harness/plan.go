@@ -110,7 +110,14 @@ func runSpecs(specs []RunSpec, opts Options) ([]scenario.Result, error) {
 		Parallelism: opts.Parallelism,
 		OnProgress:  opts.Progress,
 	}, func(s RunSpec) (scenario.Result, error) {
-		return be.Run(s.Scenario)
+		sc := s.Scenario
+		if opts.Shards > 1 {
+			// Result-invariant: sharding changes wall time, never rows.
+			// With applies to a copy, so the spec's scenario — possibly
+			// shared across repeats — is untouched.
+			sc = sc.With(scenario.WithShards(opts.Shards))
+		}
+		return be.Run(sc)
 	})
 	if err != nil {
 		return nil, labelPointErrors(specs, err)

@@ -58,6 +58,42 @@ func TestParallelDeterminism(t *testing.T) {
 	}
 }
 
+// TestShardedDeterminism asserts the parallel-in-time counterpart of
+// TestParallelDeterminism: every experiment's Report is byte-identical
+// between the sequential engine (Shards: 0) and sharded execution
+// (Shards: 8) at the same seed. Multi-rack experiments actually shard;
+// the rest exercise the automatic sequential fallback, so the sweep
+// also pins that the fallback envelope never changes a row.
+func TestShardedDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full determinism sweep skipped in -short mode")
+	}
+	base := Options{
+		DurationNS: 4e6,
+		WarmupNS:   1e6,
+		Seed:       5,
+		LoadFracs:  []float64{0.3, 0.8},
+		Repeats:    2,
+	}
+	for _, e := range All() {
+		t.Run(e.ID, func(t *testing.T) {
+			seq, err := e.Run(base)
+			if err != nil {
+				t.Fatalf("sequential run failed: %v", err)
+			}
+			shOpts := base
+			shOpts.Shards = 8
+			sh, err := e.Run(shOpts)
+			if err != nil {
+				t.Fatalf("sharded run failed: %v", err)
+			}
+			if !bytes.Equal(renderBytes(t, seq), renderBytes(t, sh)) {
+				t.Errorf("%s report differs between Shards 0 and 8", e.ID)
+			}
+		})
+	}
+}
+
 // TestSweepPlanShape checks the plan layer's bookkeeping: specs land in
 // the declared series, in load order, with distinct per-point seeds.
 func TestSweepPlanShape(t *testing.T) {

@@ -313,6 +313,17 @@ func WithLinkRate(gbps float64) Option {
 	return func(s *Scenario) { s.cfg.Congestion = s.cfg.Congestion.WithLinkRate(gbps) }
 }
 
+// WithShards requests parallel-in-time execution: the simulated cluster
+// is partitioned by rack across n event engines advancing under
+// conservative time windows. 0 or 1 — the default — runs the sequential
+// engine. The count is clamped to the rack count, and configurations
+// that need one global event order (congestion, loss or jitter,
+// breakdown sampling, LÆDGE, fewer than two racks) silently fall back
+// to sequential; the result is the same either way. Sim only.
+func WithShards(n int) Option {
+	return func(s *Scenario) { s.cfg.Shards = n }
+}
+
 // ---------------------------------------------------------------------
 // Ablation knobs
 
@@ -398,6 +409,9 @@ func (s *Scenario) Validate() error {
 	}
 	if cfg.SampleEvery < 0 {
 		return fmt.Errorf("scenario: breakdown sampling every %d requests, need >= 0 (WithBreakdownSampling)", cfg.SampleEvery)
+	}
+	if cfg.Shards < 0 {
+		return fmt.Errorf("scenario: %d shards, need >= 0 (WithShards; 0 means sequential)", cfg.Shards)
 	}
 	if cfg.MultiRack && cfg.Topology != nil {
 		if cfg.Topology.NumRacks() == 0 {

@@ -63,11 +63,18 @@ func (q *pktFIFO) pop() *packet {
 	return p
 }
 
-// cluster wires the simulated nodes together.
+// cluster wires the simulated nodes together. In a sharded run
+// (shard.go) one cluster value exists per shard — each with its own
+// engine, packet pool, RNG-free aggregates, and the subset of entities
+// it owns — while the entity slices and ToRs are shared snapshots of
+// the same build.
 type cluster struct {
 	cfg  Config
 	topo *topology.Compiled // the fabric routing table (1 rack when no fabric was declared)
 	eng  *simnet.Engine
+
+	shard int             // this cluster's shard index (0 in sequential runs)
+	sc    *shardedCluster // nil for sequential runs
 
 	sw      *switchNode    // clients' ToR: all NetClone processing happens here
 	tors    []*switchNode  // one ToR per rack, topology order (tors[topo.ClientRack] == sw)
@@ -167,6 +174,13 @@ func Run(cfg Config) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
+	if n := effectiveShards(cfg); n > 1 {
+		res, ok, err := runSharded(cfg, n)
+		if ok || err != nil {
+			return res, err
+		}
+		// A compiled zero-lookahead edge: sequential fallback below.
+	}
 	c, err := build(cfg)
 	if err != nil {
 		return Result{}, err
@@ -208,9 +222,21 @@ func build(cfg Config) (*cluster, error) {
 	if spec == nil {
 		spec = topology.SingleRack(cfg.Workers)
 	}
+	c := newClusterShell(cfg, spec.Compile())
+	if err := c.populate(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// newClusterShell allocates a cluster's engine, aggregates, and hoisted
+// delay constants over an already-compiled topology, without building
+// any entities. Sharded runs make one shell per shard; populate (called
+// on exactly one of them) fills in the shared entity graph.
+func newClusterShell(cfg Config, topo *topology.Compiled) *cluster {
 	c := &cluster{
 		cfg:        cfg,
-		topo:       spec.Compile(),
+		topo:       topo,
 		eng:        getEngine(),
 		hist:       stats.NewHistogram(),
 		endGen:     cfg.WarmupNS + cfg.DurationNS,
@@ -231,9 +257,16 @@ func build(cfg Config) (*cluster, error) {
 	if cfg.SampleEvery > 0 {
 		c.breakdown = &breakdownAgg{}
 	}
+	return c
+}
 
+// populate builds the entity graph onto this cluster (and, in a sharded
+// run, onto its sibling shards: each entity registers with its owner
+// shard's engine and the finished slices are shared by every shard).
+func (c *cluster) populate() error {
+	cfg := c.cfg
 	if err := c.buildSwitches(); err != nil {
-		return nil, err
+		return err
 	}
 	c.buildServers()
 	if cfg.Scheme == LAEDGE {
@@ -246,24 +279,49 @@ func build(cfg Config) (*cluster, error) {
 		}
 	}
 	c.buildClients()
-	if inj := canonicalFaults(cfg); len(inj) > 0 {
-		c.faults = newFaultCtl(c, inj)
-		c.degHist = stats.NewHistogram()
-		for _, in := range inj {
-			if in.Kind == faults.KindJitter {
-				c.jitterRNG = simnet.NewRNG(cfg.Seed, 401)
-				break
-			}
+	if c.sc != nil {
+		// Share the entity graph before the fault controllers are built:
+		// transition ownership checks index the shared server slice.
+		for _, cl := range c.sc.shards[1:] {
+			cl.sw, cl.tors, cl.servers, cl.clients = c.sw, c.tors, c.servers, c.clients
+			cl.dSwTrans = c.dSwTrans
 		}
-		// Faults active from t <= 0 flip their state now — the legacy
-		// LossProb knob's build-time activation, generalized.
-		c.faults.activateImmediate()
+	}
+	if inj := canonicalFaults(cfg); len(inj) > 0 {
+		if c.sc != nil {
+			// One controller per shard: each schedules, applies, and
+			// counts only the transitions whose target entity it owns
+			// (loss/jitter plans never reach the sharded path).
+			for _, cl := range c.sc.shards {
+				cl.faults = newFaultCtl(cl, inj)
+				cl.degHist = stats.NewHistogram()
+				cl.faults.activateImmediate()
+			}
+		} else {
+			c.faults = newFaultCtl(c, inj)
+			c.degHist = stats.NewHistogram()
+			for _, in := range inj {
+				if in.Kind == faults.KindJitter {
+					c.jitterRNG = simnet.NewRNG(cfg.Seed, 401)
+					break
+				}
+			}
+			// Faults active from t <= 0 flip their state now — the legacy
+			// LossProb knob's build-time activation, generalized.
+			c.faults.activateImmediate()
+		}
 	}
 	if cfg.Congestion != nil {
 		c.cong = newCongCtl(c)
 	}
-	c.primePackets()
-	return c, nil
+	if c.sc != nil {
+		for _, cl := range c.sc.shards {
+			cl.primePackets()
+		}
+	} else {
+		c.primePackets()
+	}
+	return nil
 }
 
 // primePackets seeds the freelist with one slab's worth of packets so
@@ -342,8 +400,9 @@ func (c *cluster) buildSwitches() error {
 				return err
 			}
 		}
-		c.tors[r] = &switchNode{cl: c, dp: dp, rack: r}
-		c.tors[r].hid = c.eng.Register(c.tors[r])
+		owner := c.ownerForRack(r)
+		c.tors[r] = &switchNode{cl: owner, dp: dp, rack: r}
+		c.tors[r].hid = owner.eng.Register(c.tors[r])
 		c.dSwTrans[r] = c.cfg.Cal.SwitchDelayNS + c.topo.InterDelayNS[c.topo.ClientRack][r]
 	}
 	c.sw = c.tors[c.topo.ClientRack]
@@ -353,14 +412,15 @@ func (c *cluster) buildSwitches() error {
 func (c *cluster) buildServers() {
 	c.servers = make([]*server, len(c.cfg.Workers))
 	for sid, w := range c.cfg.Workers {
+		owner := c.ownerForRack(c.topo.ServerRack[sid])
 		c.servers[sid] = &server{
-			cl:      c,
+			cl:      owner,
 			sid:     uint16(sid),
 			workers: w,
 			tor:     c.tors[c.topo.ServerRack[sid]],
 			rng:     simnet.NewRNG(c.cfg.Seed, 200+uint64(sid)),
 		}
-		c.servers[sid].hid = c.eng.Register(c.servers[sid])
+		c.servers[sid].hid = owner.eng.Register(c.servers[sid])
 	}
 }
 
@@ -373,8 +433,9 @@ func (c *cluster) buildClients() {
 	numGroups := maxInt(c.sw.dp.NumGroups(), 1)
 	nServers := len(c.servers)
 	for i := range c.clients {
+		owner := c.ownerForClient(i)
 		c.clients[i] = &client{
-			cl:           c,
+			cl:           owner,
 			id:           uint16(i),
 			rng:          simnet.NewRNG(c.cfg.Seed, 100+uint64(i)),
 			arrival:      workload.Poisson{RatePerSec: perClient},
@@ -383,7 +444,7 @@ func (c *cluster) buildClients() {
 			filterTables: c.cfg.FilterTables,
 			numCoords:    len(c.coords),
 		}
-		c.clients[i].hid = c.eng.Register(c.clients[i])
+		c.clients[i].hid = owner.eng.Register(c.clients[i])
 	}
 }
 
@@ -554,7 +615,7 @@ func (s *switchNode) fromClient(p *packet) {
 				c.congTransitReq(s.rack, tor.rack, int(sid1), p)
 				return
 			}
-			c.eng.ScheduleAfter(c.dSwTrans[tor.rack], tor.hid, evSwTransitRequest, p, int64(sid1))
+			c.xScheduleAfter(tor.cl, c.dSwTrans[tor.rack], tor.hid, evSwTransitRequest, p, int64(sid1))
 			return
 		}
 		if c.cong != nil {
@@ -606,7 +667,7 @@ func (s *switchNode) toServer(p *packet, dst int) {
 			c.congTransitReq(s.rack, tor.rack, dst, p)
 			return
 		}
-		c.eng.ScheduleAfter(c.dSwTrans[tor.rack], tor.hid, evSwTransitRequest, p, int64(dst))
+		c.xScheduleAfter(tor.cl, c.dSwTrans[tor.rack], tor.hid, evSwTransitRequest, p, int64(dst))
 		return
 	}
 	if c.cong != nil {
@@ -647,7 +708,9 @@ func (s *switchNode) transitRequest(p *packet, dst int) {
 		c.congToServer(dst, p, c.dSwLink)
 		return
 	}
-	c.eng.ScheduleAfter(c.dSwLink, c.servers[dst].hid, evSrvOnRequest, p, 0)
+	// dst is normally homed on this ToR's rack, but the ownership-rule
+	// failure path above can redirect anywhere — route by owner.
+	c.xScheduleAfter(c.servers[dst].cl, c.dSwLink, c.servers[dst].hid, evSrvOnRequest, p, 0)
 }
 
 // transitResponse is the server-side ToR's handling of a response headed
@@ -675,7 +738,7 @@ func (s *switchNode) transitResponse(p *packet) {
 		c.congTransitResp(s.rack, p)
 		return
 	}
-	c.eng.ScheduleAfter(c.dSwTrans[s.rack], c.sw.hid, evSwFromServer, p, 0)
+	c.xScheduleAfter(c.sw.cl, c.dSwTrans[s.rack], c.sw.hid, evSwFromServer, p, 0)
 }
 
 // toClient delivers a response over the switch->client link.
@@ -689,7 +752,7 @@ func (s *switchNode) toClient(p *packet, dst int) {
 		c.congToClient(dst, p, c.dSwLink+c.jitterExtra())
 		return
 	}
-	c.eng.ScheduleAfter(c.dSwLink+c.jitterExtra(), c.clients[dst].hid, evCliOnResponse, p, 0)
+	c.xScheduleAfter(c.clients[dst].cl, c.dSwLink+c.jitterExtra(), c.clients[dst].hid, evCliOnResponse, p, 0)
 }
 
 // recirculate re-injects a clone into the ingress pipeline.
@@ -1146,7 +1209,7 @@ func (c *client) sendPacket(p *packet, now int64) {
 	}
 	done := start + c.cl.dCliPkt
 	c.txBusyUntil = done
-	c.cl.eng.Schedule(done+c.cl.dLink+c.cl.jitterExtra(), c.cl.sw.hid, evSwFromClient, p, 0)
+	c.cl.xSchedule(c.cl.sw.cl, done+c.cl.dLink+c.cl.jitterExtra(), c.cl.sw.hid, evSwFromClient, p, 0)
 }
 
 // onResponse handles a response arriving at the client NIC: it joins the

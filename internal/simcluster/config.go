@@ -254,6 +254,19 @@ type Config struct {
 	// request is traced through queueing, service, and path phases
 	// (Result.Breakdown). 0 disables sampling.
 	SampleEvery int
+
+	// Shards requests parallel-in-time execution: the cluster is
+	// partitioned by rack across this many event engines advancing under
+	// conservative time windows (shard.go). 0 or 1 runs the sequential
+	// engine. The count is clamped to the rack count, and configurations
+	// whose semantics need one global event order — congestion, loss or
+	// jitter (including LossProb), breakdown sampling, LÆDGE, fewer than
+	// two racks — silently fall back to sequential. For any fixed shard
+	// count the run is bit-reproducible, and every shard count produces
+	// the same result as the sequential engine up to independent
+	// same-nanosecond coincidences between unrelated events (see
+	// DESIGN.md §10 for the exact contract).
+	Shards int
 }
 
 // Result is the outcome of one experiment point.
@@ -545,6 +558,9 @@ func (cfg Config) withDefaults() (Config, error) {
 	}
 	if cfg.DurationNS <= 0 {
 		return cfg, ErrBadWindow
+	}
+	if cfg.Shards < 0 {
+		return cfg, fmt.Errorf("simcluster: Shards %d is negative; 0 means sequential", cfg.Shards)
 	}
 	// Fault-knob contradictions used to pass silently: an out-of-range
 	// LossProb behaved as an always/never coin flip and an inverted

@@ -1,0 +1,236 @@
+package simcluster
+
+import (
+	"reflect"
+	"runtime"
+	"testing"
+	"time"
+
+	"netclone/internal/congestion"
+	"netclone/internal/faults"
+	"netclone/internal/topology"
+	"netclone/internal/workload"
+)
+
+// shardTestConfig builds a four-rack fabric with servers spread across
+// every rack — enough cross-shard traffic that a window-ordering bug
+// cannot hide — plus clients on the client rack.
+func shardTestConfig(scheme Scheme) Config {
+	return Config{
+		Scheme: scheme,
+		Topology: topology.New(
+			topology.Rack{Servers: []int{4, 4}},
+			topology.Rack{Servers: []int{4, 4}, Uplink: time.Microsecond},
+			topology.Rack{Servers: []int{4}, Uplink: 2 * time.Microsecond},
+			topology.Rack{Servers: []int{4, 4}, Uplink: 500 * time.Nanosecond},
+		),
+		Service:    workload.WithJitter(workload.Exp(25), 0.01),
+		OfferedRPS: 2e5,
+		NumClients: 6,
+		WarmupNS:   2e6,
+		DurationNS: 8e6,
+		Seed:       11,
+	}
+}
+
+// TestShardedMatchesSequential is the core determinism contract: for a
+// multi-rack experiment, every shard count produces the same Result the
+// sequential engine does — latencies, counters, per-rack rollups, and
+// even the total event count. The cross-shard stamps carry the
+// sequential ordering key, so window shape and shard count are
+// invisible.
+func TestShardedMatchesSequential(t *testing.T) {
+	for _, scheme := range []Scheme{Baseline, CClone, NetClone, NetCloneRackSched, NetCloneNoFilter} {
+		t.Run(scheme.String(), func(t *testing.T) {
+			cfg := shardTestConfig(scheme)
+			want := mustRun(t, cfg)
+			for _, n := range []int{2, 3, 4, 8} {
+				scfg := cfg
+				scfg.Shards = n
+				got := mustRun(t, scfg)
+				if !reflect.DeepEqual(want, got) {
+					t.Errorf("shards=%d diverged from sequential:\nseq:     %+v\nsharded: %+v",
+						n, want.Latency, got.Latency)
+				}
+			}
+		})
+	}
+}
+
+// TestShardedMatchesSequentialWithFaults covers the shardable fault
+// kinds: server crashes and slowdowns on remote racks (applied by the
+// owning shard) and a switch outage (applied by shard 0), with the
+// global transition counters recovered by static replay at merge time.
+func TestShardedMatchesSequentialWithFaults(t *testing.T) {
+	cfg := shardTestConfig(NetClone)
+	cfg.Faults = faults.New(
+		faults.ServerCrash(2, 3*time.Millisecond, 6*time.Millisecond),
+		faults.ServerSlowdown(6, 2*time.Millisecond, 9*time.Millisecond, 3.0, 0),
+		faults.SwitchOutage(4*time.Millisecond, 5*time.Millisecond),
+	)
+	want := mustRun(t, cfg)
+	if want.Faults == nil || want.Faults.Transitions != 6 {
+		t.Fatalf("fault plan did not execute as expected: %+v", want.Faults)
+	}
+	for _, n := range []int{2, 4} {
+		scfg := cfg
+		scfg.Shards = n
+		got := mustRun(t, scfg)
+		if !reflect.DeepEqual(want, got) {
+			t.Errorf("shards=%d with faults diverged from sequential:\nseq:     %+v\nsharded: %+v",
+				n, want.Faults, got.Faults)
+		}
+	}
+}
+
+// TestShardedRunIsPure: a sharded run is a pure function of the config —
+// two executions (with whatever thread interleavings the runtime picks)
+// are deeply equal.
+func TestShardedRunIsPure(t *testing.T) {
+	cfg := shardTestConfig(NetClone)
+	cfg.Shards = 4
+	a := mustRun(t, cfg)
+	b := mustRun(t, cfg)
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("sharded run not pure:\nfirst:  %+v\nsecond: %+v", a.Latency, b.Latency)
+	}
+}
+
+// TestEffectiveShardsFallbacks pins the sequential-fallback envelope:
+// every configuration whose semantics need one global event order must
+// resolve to a single shard.
+func TestEffectiveShardsFallbacks(t *testing.T) {
+	base := func() Config { return shardTestConfig(NetClone) }
+	norm := func(t *testing.T, cfg Config) Config {
+		t.Helper()
+		n, err := cfg.withDefaults()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return n
+	}
+
+	cfg := base()
+	cfg.Shards = 4
+	if got := effectiveShards(norm(t, cfg)); got != 4 {
+		t.Fatalf("shardable config resolved to %d shards, want 4", got)
+	}
+	cfg.Shards = 64 // clamped to the rack count
+	if got := effectiveShards(norm(t, cfg)); got != 4 {
+		t.Errorf("shards beyond rack count resolved to %d, want 4", got)
+	}
+
+	seq := func(name string, mutate func(*Config)) {
+		cfg := base()
+		cfg.Shards = 4
+		mutate(&cfg)
+		if got := effectiveShards(norm(t, cfg)); got != 1 {
+			t.Errorf("%s: resolved to %d shards, want sequential fallback", name, got)
+		}
+	}
+	seq("no shard request", func(c *Config) { c.Shards = 0 })
+	seq("single rack", func(c *Config) { c.Topology = nil; c.Workers = []int{8, 8} })
+	seq("loss knob", func(c *Config) { c.LossProb = 0.01 })
+	seq("loss window", func(c *Config) {
+		c.Faults = faults.New(faults.Loss(time.Millisecond, 2*time.Millisecond, 0.05))
+	})
+	seq("jitter window", func(c *Config) {
+		c.Faults = faults.New(faults.Jitter(time.Millisecond, 2*time.Millisecond, 500*time.Nanosecond))
+	})
+	seq("congestion", func(c *Config) { c.Congestion = congestion.New().WithLinkRate(10) })
+	seq("breakdown sampling", func(c *Config) { c.SampleEvery = 100 })
+}
+
+// TestShardedFallbackStillRuns: a config in the fallback envelope with
+// Shards set must produce exactly the sequential result (the flag is a
+// request, not a command).
+func TestShardedFallbackStillRuns(t *testing.T) {
+	cfg := shardTestConfig(NetClone)
+	cfg.LossProb = 0.005
+	want := mustRun(t, cfg)
+	cfg.Shards = 4
+	got := mustRun(t, cfg)
+	if !reflect.DeepEqual(want, got) {
+		t.Error("fallback run with Shards set diverged from sequential")
+	}
+}
+
+// TestShardedParallelDriverMatches forces the goroutine-per-shard
+// driver (GOMAXPROCS > 1) and requires the same result as the
+// sequential engine: thread interleavings only change window shapes,
+// never the stamped dispatch order. Under -race (CI shard-smoke) this
+// also exercises the mailbox and clock happens-before edges.
+func TestShardedParallelDriverMatches(t *testing.T) {
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+	cfg := shardTestConfig(NetClone)
+	want := mustRun(t, cfg)
+	for _, n := range []int{2, 4} {
+		scfg := cfg
+		scfg.Shards = n
+		got := mustRun(t, scfg)
+		if !reflect.DeepEqual(want, got) {
+			t.Errorf("parallel driver, shards=%d diverged from sequential", n)
+		}
+	}
+}
+
+// buildShardedForTest assembles a warm 4-shard cluster ready to drive.
+func buildShardedForTest(tb testing.TB, durationNS int64) *shardedCluster {
+	tb.Helper()
+	cfg := shardTestConfig(NetClone)
+	cfg.WarmupNS = 0
+	cfg.DurationNS = durationNS
+	cfg.Shards = 4
+	cfg.OfferedRPS = 4e5
+	ncfg, err := cfg.withDefaults()
+	if err != nil {
+		tb.Fatal(err)
+	}
+	sc, err := buildSharded(ncfg, effectiveShards(ncfg))
+	if err != nil {
+		tb.Fatal(err)
+	}
+	if sc == nil {
+		tb.Fatal("sharded build fell back to sequential")
+	}
+	for _, cl := range sc.shards[0].clients {
+		cl.start()
+	}
+	return sc
+}
+
+// TestShardSteadyPathZeroAllocs guards the sharded runtime's perf
+// contract (CI bench-smoke): once pools, slabs, and mailboxes reach
+// their high-water marks, a window round — clock reads, mailbox
+// drains, cross-shard pushes, and the per-shard event loops — allocates
+// nothing. Driven serially so AllocsPerRun (which only observes the
+// calling goroutine) sees every shard's work.
+func TestShardSteadyPathZeroAllocs(t *testing.T) {
+	sc := buildShardedForTest(t, 1e9)
+	sc.deadline = 20e6
+	sc.runSerial()
+	allocs := testing.AllocsPerRun(50, func() {
+		sc.deadline += 100_000 // 100us of virtual time per round
+		sc.runSerial()
+	})
+	if allocs > 1 {
+		t.Errorf("sharded steady path allocates %.1f allocs per 100us round, want ~0", allocs)
+	}
+}
+
+// BenchmarkClusterSteadyStateSharded is the sharded counterpart of
+// BenchmarkClusterSteadyStateMultiRack (scripts/bench.sh, CI
+// bench-smoke): the 4-shard window driver in steady state, serially
+// driven so the number is comparable across host core counts.
+func BenchmarkClusterSteadyStateSharded(b *testing.B) {
+	sc := buildShardedForTest(b, 1e12)
+	sc.deadline = 5e6
+	sc.runSerial()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sc.deadline += 1000
+		sc.runSerial()
+	}
+}

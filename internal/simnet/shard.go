@@ -1,0 +1,132 @@
+// Sharded-run primitives: the SPSC mailbox that carries cross-shard
+// events between engines and the padded atomic clock each shard
+// publishes its progress through. The conservative-time-window driver
+// that uses them lives with the cluster model (which knows the
+// topology's lookahead bounds); these types only provide the
+// race-correct transport.
+//
+// Determinism contract (DESIGN.md §10): a mailbox message carries the
+// event's full ordering key — arrival time, three-level ancestry stamp,
+// and the sender-minted sequence number — so the receiving engine's
+// dispatch position is a pure function of the message itself, never of
+// when the message happened to be drained. Window boundaries, thread
+// interleavings, and drain batching are therefore invisible to the
+// simulation's event order.
+package simnet
+
+import (
+	"runtime"
+	"sync/atomic"
+)
+
+// Xmsg is one cross-engine event in flight: the typed-event payload
+// plus the stamped ordering key minted by the sender (MintStamp). Hid
+// addresses a handler registered on the *receiving* engine.
+type Xmsg struct {
+	At         Time
+	S1, S2, S3 int64
+	Seq        uint64
+	X          int64
+	Arg        any
+	Hid        int32
+	Kind       uint8
+}
+
+// Mailbox is a bounded single-producer single-consumer ring. Push and
+// Pop synchronize through the head/tail atomics (release on publish,
+// acquire on observe), which also carries the happens-before edge that
+// transfers ownership of the Arg payload — a packet crossing shards is
+// touched by exactly one goroutine at a time. A full ring backpressures
+// the producer with a Gosched spin: the consumer drains at every sync
+// window and never blocks on the producer, so the spin cannot deadlock.
+type Mailbox struct {
+	buf       []Xmsg
+	mask      uint64
+	unbounded bool
+	_         [40]byte // keep the producer- and consumer-owned lines apart
+	tail      atomic.Uint64
+	_         [56]byte
+	head      atomic.Uint64
+}
+
+// NewMailbox returns a mailbox holding up to capacity messages,
+// rounded up to a power of two (minimum 64).
+func NewMailbox(capacity int) *Mailbox {
+	n := 64
+	for n < capacity {
+		n <<= 1
+	}
+	return &Mailbox{buf: make([]Xmsg, n), mask: uint64(n - 1)}
+}
+
+// SetUnbounded switches a full ring from backpressure to growth. Only
+// valid when producer and consumer share one goroutine (the serial
+// round-robin driver): that driver cannot drain its own backpressure,
+// so a spin would deadlock — and single-threaded use is also what makes
+// rewriting the ring in place safe.
+func (m *Mailbox) SetUnbounded(v bool) { m.unbounded = v }
+
+// Push appends one message, spinning (with Gosched, so single-CPU hosts
+// make progress) while the ring is full — or doubling the ring instead
+// when unbounded. Producer-side only.
+func (m *Mailbox) Push(msg Xmsg) {
+	t := m.tail.Load()
+	for t-m.head.Load() == uint64(len(m.buf)) {
+		if m.unbounded {
+			m.grow()
+			t = m.tail.Load()
+			break
+		}
+		runtime.Gosched()
+	}
+	m.buf[t&m.mask] = msg
+	m.tail.Store(t + 1)
+}
+
+// grow doubles the ring, compacting live messages to the front. Caller
+// guarantees single-threaded access (see SetUnbounded).
+func (m *Mailbox) grow() {
+	old := m.buf
+	h, t := m.head.Load(), m.tail.Load()
+	nb := make([]Xmsg, len(old)*2)
+	n := uint64(0)
+	for i := h; i != t; i++ {
+		nb[n] = old[i&m.mask]
+		n++
+	}
+	m.buf, m.mask = nb, uint64(len(nb)-1)
+	m.head.Store(0)
+	m.tail.Store(n)
+}
+
+// Pop removes the oldest message, or returns false when the ring is
+// empty at the instant of the check. Consumer-side only. The slot's
+// payload reference is cleared so a drained packet isn't pinned until
+// the ring wraps.
+func (m *Mailbox) Pop() (Xmsg, bool) {
+	h := m.head.Load()
+	if h == m.tail.Load() {
+		return Xmsg{}, false
+	}
+	msg := m.buf[h&m.mask]
+	m.buf[h&m.mask].Arg = nil
+	m.head.Store(h + 1)
+	return msg, true
+}
+
+// Clock is a shard's published simulation clock, padded to its own
+// cache line so the per-window load/store traffic of neighboring shards
+// doesn't false-share.
+type Clock struct {
+	_ [64]byte
+	v atomic.Int64
+	_ [56]byte
+}
+
+// Load returns the published time (acquire: everything the publishing
+// shard pushed before Store is visible after this Load).
+func (c *Clock) Load() Time { return c.v.Load() }
+
+// Store publishes t (release). Publish only after every mailbox push of
+// the window that ends at t.
+func (c *Clock) Store(t Time) { c.v.Store(t) }

@@ -364,6 +364,11 @@ func WithTimeline(bin time.Duration) ScenarioOption { return scenario.WithTimeli
 // service, and path phases (Result.Breakdown). Sim only.
 func WithBreakdownSampling(every int) ScenarioOption { return scenario.WithBreakdownSampling(every) }
 
+// WithShards requests parallel-in-time execution across n per-rack
+// event engines with conservative time-window sync; 0 or 1 runs the
+// sequential engine, and the result is the same either way. Sim only.
+func WithShards(n int) ScenarioOption { return scenario.WithShards(n) }
+
 // WithoutCloneDropGuard removes the server-side stale-state guard
 // (§3.4 ablation). Sim only.
 func WithoutCloneDropGuard() ScenarioOption { return scenario.WithoutCloneDropGuard() }

@@ -7,9 +7,11 @@
 # BENCH_<n>.json in the repository root. Committing that file is how the
 # perf trajectory is recorded — and `compare` is how it is enforced: a
 # fresh throwaway snapshot is diffed against the latest committed
-# BENCH_<n>.json, failing on >5% hot-path events/sec loss or any
-# hot-path allocs/op growth (warnings only when the snapshots come from
-# different hosts).
+# BENCH_<n>.json, failing on >5% hot-path events/sec loss (sequential
+# probe and 8-shard parallel-in-time probe alike), any hot-path
+# allocs/op growth, or — on hosts with >= 8 CPUs — a sharded speedup
+# below 3x (warnings only when the snapshots come from different
+# hosts).
 #
 # Usage:
 #   scripts/bench.sh               # micro-benchmarks + BENCH_<n>.json
@@ -34,9 +36,11 @@ mode="${1:-all}"
 # ClusterSteadyState also matches ClusterSteadyStateFaulted (the
 # fault-path micro-benchmark, 0 allocs/op with active fault windows),
 # ClusterSteadyStateMultiRack (the N-rack fabric path, 0 allocs/op
-# across three racks of heterogeneous uplinks), and
+# across three racks of heterogeneous uplinks),
 # ClusterSteadyStateCongested (the finite-queue path, 0 allocs/op with
-# a congested three-rack fabric).
+# a congested three-rack fabric), and ClusterSteadyStateSharded (the
+# parallel-in-time window driver over a 4-shard fabric, 0 allocs/op in
+# steady state, driven serially so the figure is core-count-portable).
 bench_re="${BENCH:-Engine|SwitchPipeline|ClusterSteadyState|SwitchProcess|SimulatedMillisecond|ZipfRank|KVMixNext|PoissonGap|SummarizeFrozen}"
 benchtime="${BENCHTIME:-1s}"
 experiments="${EXPERIMENTS:-all}"
