@@ -17,6 +17,7 @@
 //	netclone-bench -run all -quick -benchjson BENCH_2.json
 //	netclone-bench -compare /tmp/fresh.json -baseline BENCH_2.json
 //	netclone-bench -run fig7a -quick -cpuprofile cpu.out -memprofile mem.out
+//	netclone-bench -run cong-incast -quick -trace incast.json -trace-rate 1
 //
 // -run accepts a single ID, the keyword "all", or a glob pattern
 // ("chaos-*", "scale-*", "fig1?a") matched against the experiment
@@ -42,6 +43,16 @@
 // fall back to the sequential engine automatically. -backend emu
 // replays the same scenarios over real UDP sockets (rate-capped;
 // counters are comparable, latencies include kernel noise).
+//
+// -trace FILE arms the simulator's flight recorder on every point and
+// writes the busiest point's capture as Chrome trace-event JSON —
+// loadable at ui.perfetto.dev — or as flat CSV when FILE ends in .csv.
+// -trace-rate N records every Nth request per client (default 64 when
+// -trace is set; 1 records everything). Recording is observational:
+// reports are byte-identical with tracing on or off. With -shards > 1
+// the per-experiment stderr summary reports engine events, the
+// effective shard count and span speedup, and every point that fell
+// back to the sequential engine logs its specific reason.
 //
 // -benchjson FILE meters every experiment (wall time, simulation
 // events/sec, allocations per point) plus a sequential engine hot-path
@@ -109,6 +120,10 @@ func main() {
 		parallel = flag.Int("parallel", 0, "max concurrent simulation points (0 = one per CPU, 1 = sequential)")
 		shards   = flag.Int("shards", 1, "parallel-in-time shards inside each simulation point (1 = sequential engine, 0 = auto: one per CPU; capped at the scenario's rack count, results identical at every count)")
 		progress = flag.Bool("progress", false, "print per-point progress to stderr")
+
+		traceFile = flag.String("trace", "", "write the busiest point's flight-recorder capture to this path as Chrome trace-event JSON (ui.perfetto.dev), or CSV when the path ends in .csv")
+		traceRate = flag.Int("trace-rate", 0, "flight-recorder sampling: record every Nth request per client (0 = off, or 64 when -trace is set; sim backend only)")
+		traceCap  = flag.Int("trace-cap", 0, "flight-recorder ring capacity per shard (0 = default 65536; oldest records are overwritten)")
 
 		benchJSON  = flag.String("benchjson", "", "meter the run and write a BENCH_<n>.json benchmark snapshot to this path")
 		compare    = flag.String("compare", "", "diff this fresh snapshot against -baseline and exit (the regression ratchet)")
@@ -197,6 +212,17 @@ func main() {
 		}
 		opts.LoadFracs = fracs
 	}
+	if *traceRate < 0 {
+		fatal(fmt.Errorf("-trace-rate %d is negative (0 = off, 1 = every request)", *traceRate))
+	}
+	if *traceFile != "" && *traceRate == 0 {
+		*traceRate = 64
+	}
+	if *traceRate > 0 && *backend == "emu" {
+		fatal(errors.New("-trace/-trace-rate need the simulator's flight recorder; drop -backend emu"))
+	}
+	opts.TraceRate = *traceRate
+	opts.TraceCap = *traceCap
 
 	w := io.Writer(os.Stdout)
 	if *out != "" {
@@ -266,6 +292,7 @@ func main() {
 	}
 
 	var curves []netclone.Report // timeline-shaped reports for -timeline
+	var bestTrace *capturedTrace // busiest flight-recorder capture for -trace
 	for _, id := range ids {
 		if *progress {
 			opts.Progress = func(done, total int) {
@@ -275,6 +302,8 @@ func main() {
 				}
 			}
 		}
+		obs := &runObserver{experiment: id}
+		opts.Observe = obs.observe
 		start := time.Now()
 		var report netclone.Report
 		var err error
@@ -309,10 +338,22 @@ func main() {
 			err = renderPlot(w, report)
 		case "text":
 			err = netclone.RenderText(w, report)
-			fmt.Fprintf(os.Stderr, "%s finished in %v\n", id, time.Since(start).Round(time.Millisecond))
+			line := fmt.Sprintf("%s finished in %v", id, time.Since(start).Round(time.Millisecond))
+			if s := obs.summary(); s != "" {
+				line += " (" + s + ")"
+			}
+			fmt.Fprintln(os.Stderr, line)
 		}
 		if err != nil {
 			fatal(err)
+		}
+		// -shards asked for parallel-in-time execution; any point that
+		// silently ran sequentially names its reason here.
+		if *shards > 1 {
+			obs.logFallbacks(os.Stderr)
+		}
+		if t := obs.bestTrace(); t != nil && (bestTrace == nil || t.richer(bestTrace)) {
+			bestTrace = t
 		}
 	}
 
@@ -323,6 +364,17 @@ func main() {
 			fatal(err)
 		} else {
 			fmt.Fprintf(os.Stderr, "netclone-bench: wrote %d recovery curve(s) to %s\n", countSeries(curves), *timeline)
+		}
+	}
+
+	if *traceFile != "" {
+		if bestTrace == nil {
+			fmt.Fprintf(os.Stderr, "netclone-bench: -trace: no flight-recorder data captured\n")
+		} else if err := writeTraceFile(*traceFile, bestTrace.data); err != nil {
+			fatal(err)
+		} else {
+			fmt.Fprintf(os.Stderr, "netclone-bench: wrote %d trace events (%s, %s) to %s\n",
+				len(bestTrace.data.Events), bestTrace.experiment, bestTrace.label, *traceFile)
 		}
 	}
 

@@ -1,0 +1,116 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"strings"
+	"testing"
+
+	"netclone"
+)
+
+// obsResult builds a minimal observed point.
+func obsResult(events int64, info netclone.ShardInfo, trace *netclone.TraceData) netclone.ScenarioResult {
+	var res netclone.ScenarioResult
+	res.EngineEvents = events
+	res.ShardInfo = info
+	res.Trace = trace
+	return res
+}
+
+func TestRunObserverSummarySharded(t *testing.T) {
+	o := &runObserver{experiment: "demo"}
+	o.observe("p1", obsResult(2_000_000, netclone.ShardInfo{
+		Requested: 4, Effective: 4, ShardEvents: []int64{500, 500, 500, 500},
+	}, nil))
+	o.observe("p2", obsResult(1_500_000, netclone.ShardInfo{
+		Requested: 4, Effective: 1, Fallback: "the topology has fewer than two racks",
+		ShardEvents: []int64{2000},
+	}, nil))
+	s := o.summary()
+	for _, want := range []string{"3.5M engine events", "4 shards", "4.00x span speedup", "1/2 points sequential"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("summary %q missing %q", s, want)
+		}
+	}
+	var buf bytes.Buffer
+	o.logFallbacks(&buf)
+	want := "netclone-bench: demo: 1 point(s) ran on the sequential engine: the topology has fewer than two racks\n"
+	if buf.String() != want {
+		t.Errorf("fallback log = %q, want %q", buf.String(), want)
+	}
+}
+
+func TestRunObserverSummaryUnsharded(t *testing.T) {
+	o := &runObserver{experiment: "demo"}
+	o.observe("p1", obsResult(900, netclone.ShardInfo{Requested: 1, Effective: 1, ShardEvents: []int64{900}}, nil))
+	if s := o.summary(); s != "900 engine events" {
+		t.Errorf("summary = %q; an unsharded run reports only events", s)
+	}
+	var buf bytes.Buffer
+	o.logFallbacks(&buf)
+	if buf.String() != "" {
+		t.Errorf("unsharded run logged fallbacks: %q", buf.String())
+	}
+	if o.bestTrace() != nil {
+		t.Error("untraced run captured a trace")
+	}
+}
+
+func TestRunObserverKeepsRichestTrace(t *testing.T) {
+	mk := func(n int) *netclone.TraceData {
+		return &netclone.TraceData{Events: make([]netclone.TraceEvent, n)}
+	}
+	o := &runObserver{experiment: "demo"}
+	o.observe("small", obsResult(1, netclone.ShardInfo{}, mk(3)))
+	o.observe("big", obsResult(1, netclone.ShardInfo{}, mk(9)))
+	o.observe("tie-later", obsResult(1, netclone.ShardInfo{}, mk(9)))
+	best := o.bestTrace()
+	if best == nil || best.label != "big" || len(best.data.Events) != 9 {
+		t.Fatalf("best trace = %+v, want the first 9-event capture", best)
+	}
+	// Ties break toward the lexicographically first label.
+	o.observe("aaa", obsResult(1, netclone.ShardInfo{}, mk(9)))
+	if got := o.bestTrace().label; got != "aaa" {
+		t.Errorf("tie-break picked %q, want lexicographic order", got)
+	}
+}
+
+func TestFmtEvents(t *testing.T) {
+	cases := map[int64]string{
+		7:             "7",
+		1_234:         "1.2k",
+		3_300_000:     "3.3M",
+		2_500_000_000: "2.5B",
+	}
+	for n, want := range cases {
+		if got := fmtEvents(n); got != want {
+			t.Errorf("fmtEvents(%d) = %q, want %q", n, got, want)
+		}
+	}
+}
+
+func TestWriteTraceFileFormats(t *testing.T) {
+	d := &netclone.TraceData{Rate: 1, Events: []netclone.TraceEvent{
+		{At: 5, Client: 1, Seq: 2, Value: -1, Port: -1, Kind: 1},
+	}}
+	dir := t.TempDir()
+
+	jsonPath := dir + "/t.json"
+	if err := writeTraceFile(jsonPath, d); err != nil {
+		t.Fatal(err)
+	}
+	j, _ := os.ReadFile(jsonPath)
+	if !bytes.Contains(j, []byte("traceEvents")) {
+		t.Errorf("json export missing traceEvents: %q", j)
+	}
+
+	csvPath := dir + "/t.csv"
+	if err := writeTraceFile(csvPath, d); err != nil {
+		t.Fatal(err)
+	}
+	c, _ := os.ReadFile(csvPath)
+	if !bytes.HasPrefix(c, []byte("at_ns,kind,")) {
+		t.Errorf("csv export missing header: %q", c)
+	}
+}

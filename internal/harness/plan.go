@@ -117,7 +117,16 @@ func runSpecs(specs []RunSpec, opts Options) ([]scenario.Result, error) {
 			// shared across repeats — is untouched.
 			sc = sc.With(scenario.WithShards(opts.Shards))
 		}
-		return be.Run(sc)
+		if opts.TraceRate > 0 {
+			// Result-invariant too: recording is observational, and the
+			// trace payload rides outside the reduced report.
+			sc = sc.With(scenario.WithTrace(opts.TraceRate, opts.TraceCap))
+		}
+		res, err := be.Run(sc)
+		if err == nil && opts.Observe != nil {
+			opts.Observe(s.Label, res)
+		}
+		return res, err
 	})
 	if err != nil {
 		return nil, labelPointErrors(specs, err)

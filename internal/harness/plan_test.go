@@ -3,10 +3,13 @@ package harness
 import (
 	"bytes"
 	"strings"
+	"sync"
 	"testing"
+	"time"
 
 	"netclone/internal/scenario"
 	"netclone/internal/simcluster"
+	"netclone/internal/topology"
 )
 
 // renderBytes canonicalizes a report for byte-level comparison.
@@ -63,7 +66,13 @@ func TestParallelDeterminism(t *testing.T) {
 // between the sequential engine (Shards: 0) and sharded execution
 // (Shards: 8) at the same seed. Multi-rack experiments actually shard;
 // the rest exercise the automatic sequential fallback, so the sweep
-// also pins that the fallback envelope never changes a row.
+// also pins that the fallback envelope never changes a row. The sharded
+// leg additionally arms the flight recorder, pinning the tentpole's
+// other invariance at the same time: tracing on + sharding on must
+// still reproduce the untraced sequential report byte for byte, while
+// the trace payload flows out through Observe instead of the report.
+// table1/table2 are static reports — no scenario runs, so nothing to
+// observe or trace.
 func TestShardedDeterminism(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full determinism sweep skipped in -short mode")
@@ -81,16 +90,97 @@ func TestShardedDeterminism(t *testing.T) {
 			if err != nil {
 				t.Fatalf("sequential run failed: %v", err)
 			}
+			var mu sync.Mutex
+			var observed, traced int
 			shOpts := base
 			shOpts.Shards = 8
+			shOpts.TraceRate = 16
+			shOpts.TraceCap = 1 << 12
+			shOpts.Observe = func(label string, res scenario.Result) {
+				mu.Lock()
+				defer mu.Unlock()
+				observed++
+				if res.Trace != nil && len(res.Trace.Events) > 0 {
+					traced++
+				}
+			}
 			sh, err := e.Run(shOpts)
 			if err != nil {
-				t.Fatalf("sharded run failed: %v", err)
+				t.Fatalf("sharded traced run failed: %v", err)
 			}
 			if !bytes.Equal(renderBytes(t, seq), renderBytes(t, sh)) {
-				t.Errorf("%s report differs between Shards 0 and 8", e.ID)
+				t.Errorf("%s report differs between {Shards 0, untraced} and {Shards 8, traced}", e.ID)
+			}
+			if e.ID == "table1" || e.ID == "table2" {
+				if observed != 0 {
+					t.Errorf("static experiment %s called Observe %d time(s)", e.ID, observed)
+				}
+				return
+			}
+			if observed == 0 {
+				t.Error("Observe was never called")
+			}
+			if traced == 0 {
+				t.Error("no observed point carried flight-recorder data")
 			}
 		})
+	}
+}
+
+// TestRunSpecsObserveAndTrace pins the harness observability plumbing
+// on two bare specs: Options.TraceRate arms WithTrace on every point,
+// Observe receives each point's label and full result — trace payload
+// and ShardInfo included — and the spec's own scenario object stays
+// untouched (With must copy).
+func TestRunSpecsObserveAndTrace(t *testing.T) {
+	base := fabricScenario(
+		topology.Rack{Servers: []int{4, 4}},
+		topology.Rack{Servers: []int{4, 4}, Uplink: time.Microsecond},
+	).With(
+		scenario.WithScheme(simcluster.NetClone),
+		scenario.WithOfferedLoad(2e5),
+		scenario.WithWindow(time.Millisecond, 2*time.Millisecond),
+		scenario.WithSeed(3),
+	)
+	specs := []RunSpec{
+		{Label: "traced point", Scenario: base},
+		{Label: "second point", Scenario: base.With(scenario.WithSeed(4))},
+	}
+	var mu sync.Mutex
+	got := map[string]scenario.Result{}
+	opts := Options{
+		Parallelism: 2,
+		Shards:      2,
+		TraceRate:   4,
+		Observe: func(label string, res scenario.Result) {
+			mu.Lock()
+			defer mu.Unlock()
+			got[label] = res
+		},
+	}
+	results, err := runSpecs(specs, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 || len(got) != 2 {
+		t.Fatalf("%d results, %d observed; want 2/2", len(results), len(got))
+	}
+	for label, res := range got {
+		if res.Trace == nil || len(res.Trace.Events) == 0 {
+			t.Errorf("%s: no flight-recorder data despite TraceRate", label)
+		}
+		if res.Telemetry == nil {
+			t.Errorf("%s: no telemetry despite TraceRate", label)
+		}
+		if res.ShardInfo.Requested != 2 {
+			t.Errorf("%s: ShardInfo.Requested = %d, want the Options.Shards request", label, res.ShardInfo.Requested)
+		}
+		if res.ShardInfo.Effective == 1 && res.ShardInfo.Fallback == "" {
+			t.Errorf("%s: silent sequential fallback with no reason", label)
+		}
+	}
+	if cfg := base.Config(); cfg.TraceRate != 0 || cfg.Shards != 0 {
+		t.Error("runSpecs mutated the spec's scenario")
 	}
 }
 

@@ -84,6 +84,59 @@ func TestRenderManySeriesCycleGlyphs(t *testing.T) {
 	}
 }
 
+func TestRenderAxisTicksAndRange(t *testing.T) {
+	var buf bytes.Buffer
+	s := []Series{{Label: "lin", X: []float64{0, 10}, Y: []float64{0, 100}}}
+	if err := Render(&buf, s, Options{Width: 40, Height: 9}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	// Linear axis: the top row ticks the max, the bottom the min, and
+	// the x-axis prints both extents.
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if !strings.Contains(lines[1], "100") {
+		t.Errorf("top row misses the y max: %q", lines[1])
+	}
+	if !strings.Contains(lines[9], "0 ") {
+		t.Errorf("bottom row misses the y min: %q", lines[9])
+	}
+	xaxis := lines[len(lines)-1]
+	if !strings.HasPrefix(strings.TrimSpace(xaxis), "0") || !strings.HasSuffix(strings.TrimSpace(xaxis), "10") {
+		t.Errorf("x-axis extents wrong: %q", xaxis)
+	}
+	// The two data points land in opposite grid corners: min-x/min-y
+	// bottom-left, max-x/max-y top-right. The grid starts after the
+	// 10-char tick gutter and its "|" border.
+	const gutter = 11
+	if rowOf(t, lines[1], '*') != gutter+40-1 {
+		t.Errorf("max point not in the top-right corner: %q", lines[1])
+	}
+	if rowOf(t, lines[9], '*') != gutter {
+		t.Errorf("min point not in the bottom-left corner: %q", lines[9])
+	}
+}
+
+// rowOf returns the column index of the glyph in a chart row.
+func rowOf(t *testing.T, line string, glyph byte) int {
+	t.Helper()
+	i := strings.IndexByte(line, glyph)
+	if i < 0 {
+		t.Fatalf("glyph %q not in row %q", glyph, line)
+	}
+	return i
+}
+
+func TestRenderLegendOrderMatchesSeries(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Render(&buf, twoSeries(), Options{}); err != nil {
+		t.Fatal(err)
+	}
+	legend := strings.SplitN(buf.String(), "\n", 2)[0]
+	if legend != "*=Baseline  o=NetClone" {
+		t.Errorf("legend = %q, want declaration order with cycling glyphs", legend)
+	}
+}
+
 func TestBounds(t *testing.T) {
 	xmin, xmax, ymin, ymax, any := bounds(twoSeries())
 	if !any {

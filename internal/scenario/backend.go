@@ -25,6 +25,12 @@ type Result struct {
 	// Processed counter, on Sim the switch's response count (every
 	// server response traverses the ToR exactly once).
 	ServerProcessed int64
+
+	// ShardInfo reports how a WithShards request was resolved: the
+	// effective shard count, the reason behind a silent sequential
+	// fallback, and the per-shard engine-event split. Zero-valued on
+	// the Emu backend (no shard concept there).
+	ShardInfo simcluster.ShardInfo
 }
 
 // Backend executes Scenarios. Implementations must be safe for
@@ -54,7 +60,7 @@ func (simBackend) Run(sc *Scenario) (Result, error) {
 	if err := sc.Validate(); err != nil {
 		return Result{}, err
 	}
-	res, err := simcluster.Run(sc.Config())
+	res, info, err := simcluster.RunInfo(sc.Config())
 	if err != nil {
 		return Result{}, err
 	}
@@ -62,5 +68,6 @@ func (simBackend) Run(sc *Scenario) (Result, error) {
 		Result:          res,
 		Backend:         "sim",
 		ServerProcessed: res.Switch.Responses,
+		ShardInfo:       info,
 	}, nil
 }

@@ -105,6 +105,7 @@ func TestEmuRejectsSimOnlyFeatures(t *testing.T) {
 			faults.ServerCrash(0, time.Millisecond, 2*time.Millisecond)))), "server-crash"},
 		{"timeline", base.With(WithTimeline(time.Millisecond)), "timeline"},
 		{"sampling", base.With(WithBreakdownSampling(5)), "sampling"},
+		{"tracing", base.With(WithTrace(1, 0)), "tracing"},
 		{"no clone guard", base.With(WithoutCloneDropGuard()), "guard"},
 		{"single ordering", base.With(WithSingleOrderingGroups()), "ordering"},
 	}

@@ -242,6 +242,8 @@ func (b *emuBackend) checkSupported(cfg simcluster.Config) error {
 		return reject("timeline recording (WithTimeline)")
 	case cfg.SampleEvery > 0:
 		return reject("latency breakdown sampling (WithBreakdownSampling)")
+	case cfg.TraceRate > 0:
+		return reject("flight-recorder tracing (WithTrace)")
 	case cfg.DisableServerCloneDrop:
 		return reject("disabling the server clone-drop guard (WithoutCloneDropGuard)")
 	case cfg.SingleOrderingGroups:

@@ -324,6 +324,23 @@ func WithShards(n int) Option {
 	return func(s *Scenario) { s.cfg.Shards = n }
 }
 
+// WithTrace enables the flight recorder: every rate-th request per
+// client (rate 1 traces everything) has its full lifecycle — issue,
+// dispatch, clone fan-out, port enqueue/mark/drop, service, filter
+// decision, completion — recorded into Result.Trace, and engine/shard
+// telemetry is snapshotted into Result.Telemetry. ringCap bounds the
+// per-shard record ring (0 means the trace.DefaultCap, 64Ki records);
+// on overflow the oldest records are overwritten and counted. Sampling
+// is a pure function of the client sequence number, so the simulated
+// event order is bit-identical with tracing on or off. Export with
+// netclone.WriteChromeTrace / WriteTraceCSV. Sim only.
+func WithTrace(rate, ringCap int) Option {
+	return func(s *Scenario) {
+		s.cfg.TraceRate = rate
+		s.cfg.TraceCap = ringCap
+	}
+}
+
 // ---------------------------------------------------------------------
 // Ablation knobs
 
@@ -412,6 +429,15 @@ func (s *Scenario) Validate() error {
 	}
 	if cfg.Shards < 0 {
 		return fmt.Errorf("scenario: %d shards, need >= 0 (WithShards; 0 means sequential)", cfg.Shards)
+	}
+	if cfg.TraceRate < 0 {
+		return fmt.Errorf("scenario: trace rate %d, need >= 0 (WithTrace; 0 disables, 1 traces every request)", cfg.TraceRate)
+	}
+	if cfg.TraceCap < 0 {
+		return fmt.Errorf("scenario: trace ring capacity %d, need >= 0 (WithTrace; 0 means the default)", cfg.TraceCap)
+	}
+	if cfg.TraceCap > 0 && cfg.TraceRate == 0 {
+		return fmt.Errorf("scenario: trace ring capacity set without a sampling rate; pass WithTrace(rate, cap) with rate >= 1")
 	}
 	if cfg.MultiRack && cfg.Topology != nil {
 		if cfg.Topology.NumRacks() == 0 {

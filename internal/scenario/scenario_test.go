@@ -203,6 +203,21 @@ func TestValidateRejections(t *testing.T) {
 			sc:   New(validBase()...).With(WithLinkRate(0)),
 			want: "WithLinkRate",
 		},
+		{
+			name: "negative trace rate",
+			sc:   New(validBase()...).With(WithTrace(-1, 0)),
+			want: "trace rate",
+		},
+		{
+			name: "negative trace capacity",
+			sc:   New(validBase()...).With(WithTrace(1, -8)),
+			want: "ring capacity",
+		},
+		{
+			name: "trace capacity without rate",
+			sc:   New(validBase()...).With(WithTrace(0, 1024)),
+			want: "without a sampling rate",
+		},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -240,6 +255,7 @@ func TestOptionMapping(t *testing.T) {
 		WithLoss(0.01),
 		WithTimeline(time.Millisecond),
 		WithBreakdownSampling(10),
+		WithTrace(64, 4096),
 		WithoutCloneDropGuard(),
 		WithSingleOrderingGroups(),
 	)
@@ -255,6 +271,7 @@ func TestOptionMapping(t *testing.T) {
 		cfg.FilterTables != 4 || cfg.FilterSlots != 1<<9 ||
 		cfg.TimelineBinNS != 1e6 ||
 		cfg.SampleEvery != 10 ||
+		cfg.TraceRate != 64 || cfg.TraceCap != 4096 ||
 		!cfg.DisableServerCloneDrop || !cfg.SingleOrderingGroups {
 		t.Fatalf("option mapping wrong: %+v", cfg)
 	}

@@ -1,6 +1,7 @@
 package simcluster
 
 import (
+	"math"
 	"math/rand/v2"
 
 	"netclone/internal/dataplane"
@@ -8,6 +9,7 @@ import (
 	"netclone/internal/simnet"
 	"netclone/internal/stats"
 	"netclone/internal/topology"
+	"netclone/internal/trace"
 	"netclone/internal/wire"
 	"netclone/internal/workload"
 )
@@ -22,6 +24,7 @@ type packet struct {
 	op       workload.OpKind
 	sentAt   int64  // request creation time at the client
 	direct   bool   // bypass NetClone processing (write requests, §5.5)
+	traced   bool   // sampled by the flight recorder (trace.go discipline)
 	coordID  int    // owning LÆDGE coordinator (multi-coordinator scale-out)
 	srvEpoch uint32 // owning server's crash epoch at admission (fault model)
 	trace    *reqTrace
@@ -132,7 +135,57 @@ type cluster struct {
 	// infinite link capacity, the exact pre-subsystem event sequence.
 	cong *congCtl
 
+	// rec is the flight recorder (internal/trace). Nil — the default —
+	// means tracing is off: every recording site reduces to one
+	// predictable branch on a packet flag, and the event order is
+	// identical either way because recording is strictly observational.
+	rec *trace.Recorder
+	// tel is the engine telemetry probe; non-nil exactly when rec is.
+	tel *simnet.Telemetry
+	// Conservative-window driver counters (sharded runs only; see
+	// shard.go drive): rounds that advanced the clock, rounds that
+	// could not, and the cross-shard mailbox's drain high-water mark.
+	winRounds int64
+	winStalls int64
+	mboxPeak  int
+
 	breakdown *breakdownAgg
+}
+
+// pktFlags derives the flight-recorder flag bits from a packet's header:
+// FlagClone for switch-cloned copies (hdr.Clo survives the in-place
+// response rewrite), FlagECN once the congestion model marked it.
+func pktFlags(p *packet) uint8 {
+	var f uint8
+	if p.hdr.Clo == wire.CloClone {
+		f |= trace.FlagClone
+	}
+	if p.hdr.ECN != 0 {
+		f |= trace.FlagECN
+	}
+	return f
+}
+
+// record appends one flight-recorder event at the engine's current
+// virtual time. Callers guard with p.traced (set only when a recorder
+// exists), so the disabled path never reaches here.
+func (c *cluster) record(k trace.Kind, p *packet, rack int, value, port int32) {
+	c.recordFlags(k, p, rack, value, port, pktFlags(p))
+}
+
+// recordFlags is record with caller-supplied flag bits (the clone
+// fan-out site stamps FlagClone onto the original's record).
+func (c *cluster) recordFlags(k trace.Kind, p *packet, rack int, value, port int32, flags uint8) {
+	c.rec.Record(trace.Event{
+		At:     c.eng.Now(),
+		Seq:    p.hdr.ClientSeq,
+		Value:  value,
+		Port:   port,
+		Client: p.hdr.ClientID,
+		Rack:   uint16(rack),
+		Kind:   k,
+		Flags:  flags,
+	})
 }
 
 // maybeLose returns true (and counts) when a link traversal drops the
@@ -170,16 +223,51 @@ func (c *cluster) jitterExtra() int64 {
 // and each one is a pure function of cfg (internal/runner relies on
 // both properties).
 func Run(cfg Config) (Result, error) {
+	return runWithInfo(cfg, nil)
+}
+
+// RunInfo executes one experiment point exactly like Run and
+// additionally reports how the Shards request was resolved: the
+// effective shard count, the specific condition behind a silent
+// sequential fallback, and the per-shard engine-event split. The
+// diagnostics live outside Result on purpose — Results must stay
+// deeply equal across execution modes.
+func RunInfo(cfg Config) (Result, ShardInfo, error) {
+	info := ShardInfo{}
+	res, err := runWithInfo(cfg, &info)
+	return res, info, err
+}
+
+// runWithInfo is the shared Run/RunInfo body. A nil info skips the
+// diagnostics entirely — Run must stay allocation-identical to the
+// pre-ShardInfo entry point (the hot-path probe meters its per-run
+// allocations).
+func runWithInfo(cfg Config, info *ShardInfo) (Result, error) {
 	cfg, err := cfg.withDefaults()
 	if err != nil {
 		return Result{}, err
 	}
-	if n := effectiveShards(cfg); n > 1 {
-		res, ok, err := runSharded(cfg, n)
-		if ok || err != nil {
-			return res, err
+	if info != nil {
+		*info = ShardInfo{Requested: cfg.Shards, Effective: 1}
+	}
+	n, reason := shardPlan(cfg)
+	if n > 1 {
+		res, ok, err := runSharded(cfg, n, info)
+		if err != nil {
+			return Result{}, err
+		}
+		if ok {
+			if info != nil {
+				info.Effective = n
+			}
+			return res, nil
 		}
 		// A compiled zero-lookahead edge: sequential fallback below.
+		if info != nil {
+			info.Fallback = "a compiled inter-rack delay leaves no lookahead"
+		}
+	} else if info != nil {
+		info.Fallback = reason
 	}
 	c, err := build(cfg)
 	if err != nil {
@@ -202,6 +290,9 @@ func Run(cfg Config) (Result, error) {
 	c.eng.RunUntil(c.endGen + cfg.DurationNS)
 
 	res := c.result()
+	if info != nil {
+		info.ShardEvents = []int64{int64(c.eng.Steps())}
+	}
 	// The cluster is dead once the result is extracted; hand the
 	// switches' large register backings and the packet slab back for
 	// the next build.
@@ -256,6 +347,17 @@ func newClusterShell(cfg Config, topo *topology.Compiled) *cluster {
 	}
 	if cfg.SampleEvery > 0 {
 		c.breakdown = &breakdownAgg{}
+	}
+	if cfg.TraceRate > 0 {
+		c.rec = trace.NewRecorder(cfg.TraceRate, cfg.TraceCap)
+		// Gauge bins: ~256 samples across the whole run (including the
+		// drain slack), capacity-bounded so sampling never allocates.
+		bin := (cfg.WarmupNS + 2*cfg.DurationNS) / 256
+		if bin < 1 {
+			bin = 1
+		}
+		c.tel = simnet.NewTelemetry(bin, 512)
+		c.eng.SetTelemetry(c.tel)
 	}
 	return c
 }
@@ -313,6 +415,12 @@ func (c *cluster) populate() error {
 	}
 	if cfg.Congestion != nil {
 		c.cong = newCongCtl(c)
+		if c.tel != nil {
+			// Congestion runs sequentially only, so wiring the shard-0
+			// probe covers every configuration that can reach here.
+			ctl := c.cong
+			c.tel.Aux = func() int32 { return int32(ctl.totDepth) }
+		}
 	}
 	if c.sc != nil {
 		for _, cl := range c.sc.shards {
@@ -526,7 +634,42 @@ func (c *cluster) result() Result {
 		b := c.breakdown.summarize()
 		res.Breakdown = &b
 	}
+	if c.rec != nil {
+		res.Trace = c.rec.Snapshot()
+		res.Telemetry = &trace.Telemetry{
+			Shards: []trace.ShardStats{c.shardStats()},
+			Engine: c.engineSamples(),
+			BinNS:  c.tel.BinNS,
+		}
+	}
 	return res
+}
+
+// shardStats folds this shard's driver and engine counters into the
+// exported telemetry form. Only called with tracing enabled.
+func (c *cluster) shardStats() trace.ShardStats {
+	return trace.ShardStats{
+		Shard:        c.shard,
+		Events:       int64(c.eng.Steps()),
+		Bursts:       c.tel.Bursts,
+		MaxBurst:     c.tel.MaxBurst,
+		WindowRounds: c.winRounds,
+		Stalls:       c.winStalls,
+		MailboxPeak:  c.mboxPeak,
+		SampleDrops:  c.tel.SampleDrops,
+	}
+}
+
+// engineSamples exports this shard's time-binned occupancy gauges.
+func (c *cluster) engineSamples() []trace.EngineSample {
+	out := make([]trace.EngineSample, 0, len(c.tel.Samples))
+	for _, s := range c.tel.Samples {
+		out = append(out, trace.EngineSample{
+			At: s.At, Pending: s.Pending, Overflow: s.Overflow,
+			PortDepth: s.Aux, Shard: c.shard,
+		})
+	}
+	return out
 }
 
 func maxInt(a, b int) int {
@@ -610,6 +753,9 @@ func (s *switchNode) fromClient(p *packet) {
 			c.freePacket(p)
 			return
 		}
+		if p.traced {
+			c.record(trace.KindDispatch, p, s.rack, int32(sid1), -1)
+		}
 		if tor := c.servers[sid1].tor; tor != s {
 			if c.cong != nil {
 				c.congTransitReq(s.rack, tor.rack, int(sid1), p)
@@ -628,21 +774,33 @@ func (s *switchNode) fromClient(p *packet) {
 	res := s.dp.Process(&p.hdr)
 	switch res.Act {
 	case dataplane.ActForwardServer:
+		if p.traced {
+			c.record(trace.KindDispatch, p, s.rack, int32(res.DstSID), -1)
+		}
 		s.toServer(p, int(res.DstSID))
 	case dataplane.ActCloneAndForward:
 		// Congestion-reactive schemes may veto the clone (congestion.go);
 		// the original still forwards as a plain request.
 		if !s.cloneAdmitted(p, int(res.DstSID)) {
+			if p.traced {
+				c.record(trace.KindDispatch, p, s.rack, int32(res.DstSID), -1)
+			}
 			s.toServer(p, int(res.DstSID))
 			return
+		}
+		if p.traced {
+			c.record(trace.KindDispatch, p, s.rack, int32(res.DstSID), -1)
+			c.recordFlags(trace.KindClone, p, s.rack, -1, -1, pktFlags(p)|trace.FlagClone)
 		}
 		// Capture the clone's fields before toServer: on a lossy link
 		// toServer may free p, and the freelist may hand the same struct
 		// back as the clone.
 		op, sentAt, traced := p.op, p.sentAt, p.trace != nil
+		recTraced := p.traced
 		s.toServer(p, int(res.DstSID))
 		clone := c.newPacket()
 		clone.hdr, clone.op, clone.sentAt = res.Clone, op, sentAt
+		clone.traced = recTraced
 		if traced {
 			clone.trace = &reqTrace{isClone: true}
 		}
@@ -767,6 +925,9 @@ func (s *switchNode) recirculate(p *packet) {
 		s.cl.freePacket(p)
 		return
 	}
+	if p.traced {
+		s.cl.record(trace.KindDispatch, p, s.rack, int32(res.DstSID), -1)
+	}
 	s.toServer(p, int(res.DstSID))
 }
 
@@ -794,9 +955,15 @@ func (s *switchNode) fromServer(p *packet) {
 	res := s.dp.Process(&p.hdr)
 	switch res.Act {
 	case dataplane.ActForwardClient:
+		if p.traced {
+			c.record(trace.KindWin, p, s.rack, int32(p.hdr.SID), -1)
+		}
 		s.toClient(p, int(p.hdr.ClientID))
 	default:
 		// Filtered redundant response (ActDrop) or malformed.
+		if p.traced {
+			c.record(trace.KindFilterDrop, p, s.rack, int32(p.hdr.SID), -1)
+		}
 		c.freePacket(p)
 	}
 }
@@ -808,6 +975,9 @@ func (s *switchNode) coordToServer(p *packet, dst int) {
 		s.cl.faultDrops++
 		s.cl.freePacket(p)
 		return
+	}
+	if p.traced {
+		s.cl.record(trace.KindDispatch, p, s.rack, int32(dst), -1)
 	}
 	if s.cl.cong != nil {
 		s.cl.congToServer(dst, p, s.cl.dSwLink)
@@ -823,6 +993,9 @@ func (s *switchNode) coordToClient(p *packet, dst int) {
 		s.cl.faultDrops++
 		s.cl.freePacket(p)
 		return
+	}
+	if p.traced {
+		s.cl.record(trace.KindWin, p, s.rack, int32(p.hdr.SID), -1)
 	}
 	if s.cl.cong != nil {
 		s.cl.congToClient(dst, p, s.cl.dSwLink)
@@ -903,6 +1076,9 @@ func (s *server) onRequest(p *packet) {
 	// queue is dropped — the tracked "idle" state was stale.
 	if p.hdr.Clo == wire.CloClone && s.queue.len() > 0 && !s.cl.cfg.DisableServerCloneDrop {
 		s.cloneDrops++
+		if p.traced {
+			s.cl.record(trace.KindCloneDrop, p, s.tor.rack, int32(s.sid), -1)
+		}
 		s.cl.freePacket(p)
 		return
 	}
@@ -948,6 +1124,9 @@ func (s *server) startService(p *packet) {
 		p.trace.serviceStart = s.cl.eng.Now()
 		p.trace.serviceEnd = s.cl.eng.Now() + svc
 	}
+	if p.traced {
+		s.cl.record(trace.KindServerStart, p, s.tor.rack, int32(s.sid), -1)
+	}
 	s.cl.eng.ScheduleAfter(svc, s.hid, evSrvFinish, p, 0)
 }
 
@@ -975,6 +1154,9 @@ func (s *server) finish(p *packet) {
 	s.respTotal++
 	if qlen == 0 {
 		s.respEmptyQ++
+	}
+	if p.traced {
+		s.cl.record(trace.KindServerFinish, p, s.tor.rack, int32(s.sid), -1)
 	}
 
 	// Build the response: the server fills SID and piggybacks its queue
@@ -1122,6 +1304,9 @@ func (c *client) generate() {
 
 	sampled := c.cl.breakdown != nil && c.cl.cfg.SampleEvery > 0 &&
 		c.cl.generated%int64(c.cl.cfg.SampleEvery) == 0
+	// Flight-recorder sampling is a pure function of the sequence
+	// number — no RNG draw — so the decision cannot shift any stream.
+	traced := c.cl.rec != nil && c.cl.rec.Traced(seq)
 
 	switch c.cl.cfg.Scheme {
 	case CClone:
@@ -1138,6 +1323,11 @@ func (c *client) generate() {
 			p1.trace = &reqTrace{}
 			p2.trace = &reqTrace{isClone: true}
 		}
+		if traced {
+			p1.traced, p2.traced = true, true
+			c.cl.record(trace.KindIssue, p1, c.cl.topo.ClientRack, -1, -1)
+			c.cl.recordFlags(trace.KindClone, p2, c.cl.topo.ClientRack, -1, -1, trace.FlagClone)
+		}
 		c.sendPacket(p1, now)
 		c.sendPacket(p2, now)
 	default:
@@ -1146,6 +1336,10 @@ func (c *client) generate() {
 		p := c.makeRequest(seq, op, grp, direct)
 		if sampled {
 			p.trace = &reqTrace{}
+		}
+		if traced {
+			p.traced = true
+			c.cl.record(trace.KindIssue, p, c.cl.topo.ClientRack, -1, -1)
 		}
 		if c.numCoords > 0 {
 			p.coordID = c.rng.IntN(c.numCoords)
@@ -1257,6 +1451,13 @@ func (c *client) rxFinishHit(p *packet, sentAt int64) {
 	if c.cl.breakdown != nil && p.trace != nil {
 		c.cl.breakdown.record(p.trace, now-sentAt)
 	}
+	if p.traced {
+		lat := now - sentAt
+		if lat > math.MaxInt32 {
+			lat = math.MaxInt32
+		}
+		c.cl.record(trace.KindComplete, p, c.cl.topo.ClientRack, int32(lat), -1)
+	}
 	c.cl.freePacket(p)
 	c.rxServeNext()
 }
@@ -1264,6 +1465,9 @@ func (c *client) rxFinishHit(p *packet, sentAt int64) {
 // rxFinishMiss discards a response whose request already completed.
 func (c *client) rxFinishMiss(p *packet) {
 	c.redundant++
+	if p.traced {
+		c.cl.record(trace.KindRedundant, p, c.cl.topo.ClientRack, int32(p.hdr.SID), -1)
+	}
 	c.cl.freePacket(p)
 	c.rxServeNext()
 }

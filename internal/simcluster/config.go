@@ -17,6 +17,7 @@ import (
 	"netclone/internal/kvstore"
 	"netclone/internal/stats"
 	"netclone/internal/topology"
+	"netclone/internal/trace"
 	"netclone/internal/workload"
 )
 
@@ -267,6 +268,23 @@ type Config struct {
 	// same-nanosecond coincidences between unrelated events (see
 	// DESIGN.md §10 for the exact contract).
 	Shards int
+
+	// TraceRate enables the flight recorder (internal/trace): every
+	// TraceRate-th request per client (by client sequence number — a
+	// deterministic decision, no RNG draw) has its full lifecycle
+	// recorded into Result.Trace, and engine/shard telemetry is
+	// snapshotted into Result.Telemetry. 1 traces everything; 0 — the
+	// default — disables tracing entirely: the recorder pointer stays
+	// nil, the hot path pays one predictable branch per site, and the
+	// event order is bit-identical either way (tracing is strictly
+	// observational; see DESIGN.md §11).
+	TraceRate int
+
+	// TraceCap is the flight recorder's per-shard ring capacity in
+	// records; when the ring fills, the oldest records are overwritten
+	// (head-drop) and Trace.Dropped counts the losses. 0 means
+	// trace.DefaultCap. Only meaningful with TraceRate > 0.
+	TraceCap int
 }
 
 // Result is the outcome of one experiment point.
@@ -349,6 +367,36 @@ type Result struct {
 	// unless Config.Congestion was set, so congestion-free Results stay
 	// byte-identical to the pre-subsystem output.
 	Congestion *CongestionSummary
+
+	// Trace is the flight recorder's merged output: sampled request
+	// lifecycle events in virtual-time order across all shards. Nil
+	// unless Config.TraceRate > 0, so untraced Results are unchanged.
+	Trace *trace.Data
+
+	// Telemetry is the engine-and-shard counter snapshot (burst sizes,
+	// window rounds, occupancy gauges). Nil unless Config.TraceRate > 0.
+	Telemetry *trace.Telemetry
+}
+
+// ShardInfo reports how a run's parallel-in-time request was resolved —
+// the diagnostic companion of Config.Shards, surfaced by RunInfo so
+// callers can see a silent fallback to the sequential engine and the
+// per-shard work split. It is intentionally not part of Result: it
+// describes the execution mode, not the experiment outcome, and Results
+// must stay deeply equal across shard counts.
+type ShardInfo struct {
+	// Requested is Config.Shards as given.
+	Requested int
+	// Effective is the shard count the run actually used (1 means the
+	// sequential engine).
+	Effective int
+	// Fallback names the condition that forced a sequential run when
+	// Requested >= 2 but Effective == 1; empty otherwise.
+	Fallback string
+	// ShardEvents is the number of engine events each shard executed,
+	// in shard order (one entry for sequential runs). The ratio of its
+	// sum to its max bounds the speedup the window drivers can reach.
+	ShardEvents []int64
 }
 
 // RackStats is one rack's rolled-up counter view in multi-rack runs.
@@ -561,6 +609,18 @@ func (cfg Config) withDefaults() (Config, error) {
 	}
 	if cfg.Shards < 0 {
 		return cfg, fmt.Errorf("simcluster: Shards %d is negative; 0 means sequential", cfg.Shards)
+	}
+	if cfg.TraceRate < 0 {
+		return cfg, fmt.Errorf("simcluster: TraceRate %d is negative; 0 disables tracing, 1 traces every request", cfg.TraceRate)
+	}
+	if cfg.TraceCap < 0 {
+		return cfg, fmt.Errorf("simcluster: TraceCap %d is negative; 0 means the default ring capacity", cfg.TraceCap)
+	}
+	if cfg.TraceCap > 0 && cfg.TraceRate == 0 {
+		return cfg, errors.New("simcluster: TraceCap set without TraceRate; set TraceRate >= 1 to enable the flight recorder")
+	}
+	if cfg.TraceRate > 0 && cfg.TraceCap == 0 {
+		cfg.TraceCap = trace.DefaultCap
 	}
 	// Fault-knob contradictions used to pass silently: an out-of-range
 	// LossProb behaved as an always/never coin flip and an inverted

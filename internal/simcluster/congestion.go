@@ -2,6 +2,7 @@ package simcluster
 
 import (
 	"netclone/internal/simnet"
+	"netclone/internal/trace"
 )
 
 // Congestion executor: compiles a validated congestion.Spec into
@@ -116,6 +117,9 @@ type congCtl struct {
 	eng  *simnet.Engine
 	free func(*packet)
 	hid  int32
+	// rec mirrors the owning cluster's flight recorder; nil when
+	// tracing is off (the usual case — one branch per port event).
+	rec *trace.Recorder
 
 	cap      int
 	markAt   int
@@ -160,6 +164,7 @@ func newCongCtl(c *cluster) *congCtl {
 	ctl := &congCtl{
 		eng:       c.eng,
 		free:      c.freePacket,
+		rec:       c.rec,
 		cap:       spec.QueueCap(),
 		markAt:    spec.MarkThreshold(),
 		svcEdge:   spec.EdgeServiceNS(),
@@ -222,6 +227,22 @@ func (ctl *congCtl) tick(now int64, delta int) {
 	ctl.totDepth += delta
 }
 
+// record appends one flight-recorder port event (Value = the port's
+// current occupancy). Callers guard with the packet's traced flag.
+func (ctl *congCtl) record(k trace.Kind, p *packet, qi int) {
+	q := &ctl.ports[qi]
+	ctl.rec.Record(trace.Event{
+		At:     ctl.eng.Now(),
+		Seq:    p.hdr.ClientSeq,
+		Value:  int32(q.depth),
+		Port:   int32(qi),
+		Client: p.hdr.ClientID,
+		Rack:   uint16(q.rack),
+		Kind:   k,
+		Flags:  pktFlags(p),
+	})
+}
+
 // enqueue admits e to port qi: tail-drop on overflow, ECN mark past
 // the threshold, and a departure event when the link was idle.
 func (ctl *congCtl) enqueue(qi int, e portEntry) {
@@ -236,6 +257,9 @@ func (ctl *congCtl) enqueue(qi int, e portEntry) {
 				ctl.dropBins[b]++
 			}
 		}
+		if e.p != nil && e.p.traced {
+			ctl.record(trace.KindPortDrop, e.p, qi)
+		}
 		ctl.free(e.p)
 		return
 	}
@@ -244,9 +268,16 @@ func (ctl *congCtl) enqueue(qi int, e portEntry) {
 	if q.depth > q.maxDepth {
 		q.maxDepth = q.depth
 	}
+	// e.p is nil when a test drives a bare port (the M/M/1/K seam).
+	if e.p != nil && e.p.traced {
+		ctl.record(trace.KindPortEnqueue, e.p, qi)
+	}
 	if ctl.markAt > 0 && q.depth > ctl.markAt && e.p.hdr.ECN == 0 {
 		e.p.hdr.ECN = 1
 		q.marks++
+		if e.p.traced {
+			ctl.record(trace.KindMark, e.p, qi)
+		}
 	}
 	if !q.busy {
 		q.busy = true
@@ -437,6 +468,13 @@ func (s *switchNode) cloneAdmitted(p *packet, origDst int) bool {
 	if c.cfg.Scheme == NetCloneSuppress {
 		if ctl.congested(ePort) || ctl.congested(retPort) {
 			ctl.suppressed++
+			if p.traced {
+				port := ePort
+				if !ctl.congested(ePort) {
+					port = retPort
+				}
+				ctl.record(trace.KindSuppress, p, port)
+			}
 			return false
 		}
 		return true
@@ -445,5 +483,9 @@ func (s *switchNode) cloneAdmitted(p *packet, origDst int) bool {
 	if ctl.ports[retPort].depth > ctl.ports[ePort].depth {
 		watch = retPort
 	}
-	return ctl.allowClone(c.eng.Now(), watch)
+	admitted := ctl.allowClone(c.eng.Now(), watch)
+	if !admitted && p.traced {
+		ctl.record(trace.KindBudgetSkip, p, watch)
+	}
+	return admitted
 }

@@ -298,6 +298,32 @@ func BenchmarkClusterSteadyStateMultiRack(b *testing.B) {
 	}
 }
 
+// BenchmarkClusterSteadyStateTraced is the multi-rack steady-state
+// benchmark with the flight recorder sampling every 64th request — the
+// tracked cost of *enabled* tracing (scripts/bench.sh, CI bench-smoke).
+// Record writes into the preallocated ring, so allocs/op must stay at
+// the untraced baseline's ~0.
+func BenchmarkClusterSteadyStateTraced(b *testing.B) {
+	cfg := benchFabricConfig()
+	cfg.TraceRate = 64
+	ncfg, err := cfg.withDefaults()
+	if err != nil {
+		b.Fatal(err)
+	}
+	c, err := build(ncfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, cl := range c.clients {
+		cl.start()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.eng.RunUntil(int64(i+1) * 1000)
+	}
+}
+
 // TestPktFIFOCompaction pins the bounded-capacity property: a queue
 // that never fully drains must not grow its backing array without
 // bound (one slot per push for the whole run).

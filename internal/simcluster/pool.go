@@ -93,6 +93,7 @@ func poison(p *packet) {
 	p.op = 0xAA
 	p.sentAt = dead
 	p.direct = true
+	p.traced = false // a poisoned true would record garbage, not crash
 	p.coordID = -0x55AA55AA
 	p.srvEpoch = 0xAAAAAAAA
 	p.trace = nil

@@ -3,11 +3,13 @@ package simcluster
 import (
 	"math"
 	"runtime"
+	"sort"
 	"sync"
 
 	"netclone/internal/faults"
 	"netclone/internal/simnet"
 	"netclone/internal/topology"
+	"netclone/internal/trace"
 )
 
 // Parallel-in-time sharded execution (DESIGN.md §10). The cluster is
@@ -91,17 +93,27 @@ type shardedCluster struct {
 //   - LÆDGE (coordinators centralize all traffic anyway),
 //   - fewer than two racks (nothing to partition).
 func effectiveShards(cfg Config) int {
+	n, _ := shardPlan(cfg)
+	return n
+}
+
+// shardPlan is effectiveShards with its reasoning attached: when a
+// Shards >= 2 request resolves to a sequential run, the second return
+// names the specific condition (ShardInfo.Fallback, surfaced by
+// RunInfo so the silent fallback is diagnosable). Empty when sharding
+// was not requested or actually happens.
+func shardPlan(cfg Config) (int, string) {
 	n := cfg.Shards
 	if n < 2 {
-		return 1
+		return 1, ""
 	}
 	spec := cfg.CanonicalTopology()
 	if spec == nil {
-		return 1
+		return 1, "no multi-rack topology is configured"
 	}
 	racks := spec.NumRacks()
 	if racks < 2 {
-		return 1
+		return 1, "the topology has fewer than two racks"
 	}
 	if n > racks {
 		n = racks
@@ -109,13 +121,23 @@ func effectiveShards(cfg Config) int {
 	if n > 1<<6 { // the engine's stamp-ID space (stampIDBits)
 		n = 1 << 6
 	}
-	if cfg.Scheme == LAEDGE || cfg.Congestion != nil || cfg.SampleEvery > 0 {
-		return 1
+	if cfg.Scheme == LAEDGE {
+		return 1, "LÆDGE centralizes all traffic at its coordinators"
+	}
+	if cfg.Congestion != nil {
+		return 1, "the congestion model needs one global event order"
+	}
+	if cfg.SampleEvery > 0 {
+		return 1, "breakdown sampling counts globally generated requests"
 	}
 	for _, in := range canonicalFaults(cfg) {
 		switch in.Kind {
-		case faults.KindLoss, faults.KindJitter, faults.KindCoordinatorCrash:
-			return 1
+		case faults.KindLoss:
+			return 1, "loss windows draw one global RNG stream"
+		case faults.KindJitter:
+			return 1, "jitter windows draw one global RNG stream"
+		case faults.KindCoordinatorCrash:
+			return 1, "coordinator-crash faults imply centralized traffic"
 		}
 	}
 	// The client-edge lookaheads must be positive or the window protocol
@@ -123,9 +145,9 @@ func effectiveShards(cfg Config) int {
 	// the compiled fabric in buildSharded.
 	if cfg.Cal.ClientPktCostNS+cfg.Cal.LinkDelayNS <= 0 ||
 		cfg.Cal.SwitchDelayNS+cfg.Cal.LinkDelayNS <= 0 {
-		return 1
+		return 1, "a client-edge delay is non-positive (no lookahead)"
 	}
-	return n
+	return n, ""
 }
 
 // buildSharded assembles n shard clusters over one compiled topology.
@@ -156,6 +178,9 @@ func buildSharded(cfg Config, n int) (*shardedCluster, error) {
 	for s := range sc.shards {
 		cl := newClusterShell(cfg, topo)
 		cl.shard, cl.sc = s, sc
+		if cl.rec != nil {
+			cl.rec.SetShard(uint8(s))
+		}
 		cl.eng.EnableStamp(uint64(s))
 		sc.shards[s] = cl
 	}
@@ -257,6 +282,7 @@ func (sc *shardedCluster) drive(s int) (progressed, done bool) {
 		// arrive, so the shard may run out its queue to the deadline.
 		bound = sc.deadline
 	}
+	drained := 0
 	for i := range sc.inTo[s] {
 		e := &sc.inTo[s][i]
 		for {
@@ -264,6 +290,7 @@ func (sc *shardedCluster) drive(s int) (progressed, done bool) {
 			if !ok {
 				break
 			}
+			drained++
 			if msg.Hid == xmsgFreePacket {
 				c.pktPool = append(c.pktPool, msg.Arg.(*packet))
 				continue
@@ -271,8 +298,12 @@ func (sc *shardedCluster) drive(s int) (progressed, done bool) {
 			c.eng.ScheduleStamped(msg.At, msg.S1, msg.S2, msg.S3, msg.Seq, msg.Hid, msg.Kind, msg.Arg, msg.X)
 		}
 	}
+	if drained > c.mboxPeak {
+		c.mboxPeak = drained
+	}
 	cur := sc.clocks[s].Load()
 	if bound > cur {
+		c.winRounds++
 		c.eng.RunUntil(bound)
 		if s != 0 && len(c.pktPool) > poolReturnWater {
 			// Pool rebalance (see xmsgFreePacket). Before the clock
@@ -290,6 +321,8 @@ func (sc *shardedCluster) drive(s int) (progressed, done bool) {
 		sc.clocks[s].Store(bound)
 		cur = bound
 		progressed = true
+	} else if cur < sc.deadline {
+		c.winStalls++ // lookahead exhausted: waiting on a peer's clock
 	}
 	return progressed, cur >= sc.deadline && minPeer >= sc.deadline
 }
@@ -379,13 +412,45 @@ func (sc *shardedCluster) result() Result {
 	for _, c := range sc.shards[1:] {
 		res.EngineEvents += int64(c.eng.Steps())
 	}
+	if p.rec != nil {
+		// p.result() snapshotted shard 0 only; replace with the merged
+		// all-shard view.
+		res.Trace = sc.mergedTrace()
+		res.Telemetry = sc.mergedTelemetry()
+	}
 	return res
+}
+
+// mergedTrace concatenates the per-shard flight-recorder rings in shard
+// order and stable-sorts by virtual time, so same-instant records keep
+// shard order and the merge is deterministic.
+func (sc *shardedCluster) mergedTrace() *trace.Data {
+	d := &trace.Data{Rate: sc.shards[0].rec.Rate()}
+	for _, c := range sc.shards {
+		s := c.rec.Snapshot()
+		d.Events = append(d.Events, s.Events...)
+		d.Dropped += s.Dropped
+	}
+	sort.SliceStable(d.Events, func(i, j int) bool { return d.Events[i].At < d.Events[j].At })
+	return d
+}
+
+// mergedTelemetry gathers every shard's counters and gauge samples.
+func (sc *shardedCluster) mergedTelemetry() *trace.Telemetry {
+	t := &trace.Telemetry{BinNS: sc.shards[0].tel.BinNS}
+	for _, c := range sc.shards {
+		t.Shards = append(t.Shards, c.shardStats())
+		t.Engine = append(t.Engine, c.engineSamples()...)
+	}
+	sort.SliceStable(t.Engine, func(i, j int) bool { return t.Engine[i].At < t.Engine[j].At })
+	return t
 }
 
 // runSharded executes one experiment point across n shards. ok reports
 // whether the sharded path ran at all — false (with no error) means a
 // compiled zero-lookahead edge forced the caller's sequential fallback.
-func runSharded(cfg Config, n int) (res Result, ok bool, err error) {
+// A non-nil info receives the per-shard engine-event split.
+func runSharded(cfg Config, n int, info *ShardInfo) (res Result, ok bool, err error) {
 	sc, err := buildSharded(cfg, n)
 	if err != nil {
 		return Result{}, false, err
@@ -406,6 +471,12 @@ func runSharded(cfg Config, n int) (res Result, ok bool, err error) {
 	}
 	sc.run()
 	res = sc.result()
+	if info != nil {
+		info.ShardEvents = make([]int64, len(sc.shards))
+		for s, c := range sc.shards {
+			info.ShardEvents[s] = int64(c.eng.Steps())
+		}
+	}
 	for _, t := range sc.shards[0].tors {
 		t.dp.Recycle()
 	}

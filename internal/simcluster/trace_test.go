@@ -1,0 +1,489 @@
+package simcluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"netclone/internal/trace"
+)
+
+// stripTrace removes the flight-recorder outputs from a Result so the
+// remainder can be compared against an untraced run.
+func stripTrace(r *Result) {
+	r.Trace = nil
+	r.Telemetry = nil
+}
+
+// traceEquivalenceConfigs is the on/off equivalence matrix: every
+// scheme on the shared-fabric base, plus the perf-test variants
+// (congested, multi-rack, lossy, sampled, LÆDGE-coordinated) and a
+// switch-failure fault window.
+func traceEquivalenceConfigs() map[string]Config {
+	cfgs := perfTestConfigs()
+	schemes := map[string]Scheme{
+		"baseline":  Baseline,
+		"racksched": NetCloneRackSched,
+	}
+	for name, s := range schemes {
+		c := cfgs["netclone"]
+		c.Scheme = s
+		cfgs[name] = c
+	}
+	failed := cfgs["netclone"]
+	failed.SwitchFailAtNS = 1.5e6
+	failed.SwitchRecoverAtNS = 2e6
+	cfgs["switchfail"] = failed
+	return cfgs
+}
+
+// TestTraceRecorderOnOffEquivalence pins the flight recorder's core
+// contract: enabling tracing must not perturb the simulation. For every
+// scheme and model variant, the traced run's Result — minus the trace
+// payload itself — is deeply equal to the untraced run's.
+func TestTraceRecorderOnOffEquivalence(t *testing.T) {
+	for name, cfg := range traceEquivalenceConfigs() {
+		t.Run(name, func(t *testing.T) {
+			base, err := Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if base.Trace != nil || base.Telemetry != nil {
+				t.Fatal("untraced run carries trace data")
+			}
+			for _, rate := range []int{1, 7} {
+				tcfg := cfg
+				tcfg.TraceRate = rate
+				traced, err := Run(tcfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if traced.Trace == nil || traced.Telemetry == nil {
+					t.Fatalf("rate %d: traced run missing Trace/Telemetry", rate)
+				}
+				if len(traced.Trace.Events) == 0 {
+					t.Fatalf("rate %d: recorder captured no events", rate)
+				}
+				stripTrace(&traced)
+				if !reflect.DeepEqual(base, traced) {
+					t.Errorf("rate %d: tracing perturbed the result\nbase:   %+v\ntraced: %+v", rate, base, traced)
+				}
+			}
+		})
+	}
+}
+
+// TestTraceShardedOnOffEquivalence is the on/off pin for the sharded
+// engine: per-shard recorders and window-driver counters must not
+// change the merged Result either.
+func TestTraceShardedOnOffEquivalence(t *testing.T) {
+	cfg := shardTestConfig(NetClone)
+	cfg.Shards = 4
+	base, info, err := RunInfo(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Effective != 4 {
+		t.Fatalf("untraced run used %d shards (fallback %q), want 4", info.Effective, info.Fallback)
+	}
+	cfg.TraceRate = 1
+	traced, tinfo, err := RunInfo(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tinfo.Effective != 4 {
+		t.Fatalf("tracing forced a fallback: %d shards (%q)", tinfo.Effective, tinfo.Fallback)
+	}
+	if !reflect.DeepEqual(info.ShardEvents, tinfo.ShardEvents) {
+		t.Errorf("tracing shifted the per-shard event split: %v vs %v", info.ShardEvents, tinfo.ShardEvents)
+	}
+	stripTrace(&traced)
+	if !reflect.DeepEqual(base, traced) {
+		t.Errorf("tracing perturbed the sharded result\nbase:   %+v\ntraced: %+v", base, traced)
+	}
+}
+
+// TestTraceShardedMerge checks the sharded recorder plumbing: one ring
+// per shard stamped with its shard index, merged in nondecreasing
+// virtual-time order, with telemetry entries for every shard and
+// window-driver counters that actually moved.
+func TestTraceShardedMerge(t *testing.T) {
+	cfg := shardTestConfig(NetClone)
+	cfg.Shards = 4
+	cfg.TraceRate = 1
+	res, info, err := RunInfo(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Effective != 4 {
+		t.Fatalf("run used %d shards (%q), want 4", info.Effective, info.Fallback)
+	}
+	if len(info.ShardEvents) != 4 {
+		t.Fatalf("ShardEvents has %d entries, want 4", len(info.ShardEvents))
+	}
+	if res.Trace == nil || res.Telemetry == nil {
+		t.Fatal("sharded traced run missing Trace/Telemetry")
+	}
+	seen := map[uint8]bool{}
+	last := int64(-1 << 62)
+	for _, e := range res.Trace.Events {
+		if e.At < last {
+			t.Fatalf("merged trace out of time order: %d after %d", e.At, last)
+		}
+		last = e.At
+		seen[e.Shard] = true
+	}
+	if len(seen) < 2 {
+		t.Errorf("merged trace covers %d shard(s), want >= 2 (clients are round-robin across shards)", len(seen))
+	}
+	if got := len(res.Telemetry.Shards); got != 4 {
+		t.Fatalf("Telemetry.Shards has %d entries, want 4", got)
+	}
+	for i, s := range res.Telemetry.Shards {
+		if s.Shard != i {
+			t.Errorf("Telemetry.Shards[%d].Shard = %d, want shard order", i, s.Shard)
+		}
+		if s.Events != info.ShardEvents[i] {
+			t.Errorf("shard %d: telemetry counts %d events, ShardInfo says %d", i, s.Events, info.ShardEvents[i])
+		}
+		if s.WindowRounds == 0 {
+			t.Errorf("shard %d: no window rounds counted", i)
+		}
+		if s.Bursts == 0 {
+			t.Errorf("shard %d: no engine bursts counted", i)
+		}
+	}
+}
+
+// chromeTraceFile mirrors the trace-event JSON shape for decoding.
+type chromeTraceFile struct {
+	TraceEvents []struct {
+		Name string         `json:"name"`
+		Ph   string         `json:"ph"`
+		Cat  string         `json:"cat"`
+		Ts   float64        `json:"ts"`
+		Dur  float64        `json:"dur"`
+		Pid  int            `json:"pid"`
+		Tid  int            `json:"tid"`
+		Args map[string]any `json:"args"`
+	} `json:"traceEvents"`
+}
+
+// TestTraceChromeExportIncast runs the congested multi-rack NetClone
+// point at rate 1 and checks the Chrome export end to end: the JSON
+// parses, per-shard/per-rack tracks are declared, service spans nest
+// inside their flight spans, and at least one cloned request's group
+// carries an ECN-marked hop (the congestion story the recorder exists
+// to tell).
+func TestTraceChromeExportIncast(t *testing.T) {
+	cfg := perfTestConfigs()["congested"]
+	cfg.TraceRate = 1
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := res.Trace
+	if d == nil || len(d.Events) == 0 {
+		t.Fatal("no trace recorded")
+	}
+
+	// Raw-event checks first: some request was cloned AND marked.
+	type key struct {
+		cli uint16
+		seq uint32
+	}
+	cloned := map[key]bool{}
+	marked := map[key]bool{}
+	kinds := map[trace.Kind]int{}
+	for _, e := range d.Events {
+		kinds[e.Kind]++
+		k := key{e.Client, e.Seq}
+		switch e.Kind {
+		case trace.KindClone:
+			cloned[k] = true
+		case trace.KindMark:
+			marked[k] = true
+		}
+	}
+	for _, want := range []trace.Kind{
+		trace.KindIssue, trace.KindDispatch, trace.KindClone,
+		trace.KindPortEnqueue, trace.KindMark, trace.KindPortDrop,
+		trace.KindServerStart, trace.KindServerFinish, trace.KindComplete,
+	} {
+		if kinds[want] == 0 {
+			t.Errorf("no %s events recorded under congested incast", want)
+		}
+	}
+	both := 0
+	for k := range cloned {
+		if marked[k] {
+			both++
+		}
+	}
+	if both == 0 {
+		t.Error("no cloned request carries an ECN-marked hop")
+	}
+
+	var buf bytes.Buffer
+	if err := trace.WriteChrome(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	var f chromeTraceFile
+	if err := json.Unmarshal(buf.Bytes(), &f); err != nil {
+		t.Fatalf("Chrome export is not valid JSON: %v", err)
+	}
+
+	procs := map[int]bool{}
+	tracks := map[[2]int]bool{}
+	type span struct {
+		ts, end  float64
+		pid, tid int
+	}
+	flights := map[string]span{}
+	services, clones, instants := 0, 0, 0
+	for _, e := range f.TraceEvents {
+		switch {
+		case e.Ph == "M" && e.Name == "process_name":
+			procs[e.Pid] = true
+		case e.Ph == "M" && e.Name == "thread_name":
+			tracks[[2]int{e.Pid, e.Tid}] = true
+		case e.Ph == "X" && e.Cat == "flight":
+			flights[e.Name] = span{e.Ts, e.Ts + e.Dur, e.Pid, e.Tid}
+			if c, _ := e.Args["clone"].(bool); c {
+				clones++
+			}
+		case e.Ph == "X" && e.Cat == "service":
+			services++
+		case e.Ph == "i":
+			instants++
+		}
+	}
+	if len(procs) == 0 {
+		t.Error("no process_name metadata (per-shard tracks)")
+	}
+	if len(tracks) < 2 {
+		t.Errorf("%d rack tracks declared, want >= 2 on the multi-rack fabric", len(tracks))
+	}
+	if len(flights) == 0 || services == 0 {
+		t.Fatalf("no spans: %d flights, %d services", len(flights), services)
+	}
+	if clones == 0 {
+		t.Error("no clone-flight span survived to the export")
+	}
+	if instants == 0 {
+		t.Error("no instant events (marks/drops/decisions)")
+	}
+	// Nesting: every service span sits inside the flight span of the
+	// same copy on the same track. Service names are "service <copy>",
+	// flights "flight <copy>" or "clone flight <copy>".
+	nested := 0
+	for _, e := range f.TraceEvents {
+		if e.Ph != "X" || e.Cat != "service" {
+			continue
+		}
+		copyName := e.Name[len("service "):]
+		fl, ok := flights["flight "+copyName]
+		if !ok {
+			fl, ok = flights["clone flight "+copyName]
+		}
+		if !ok {
+			t.Errorf("service span %q has no flight span", e.Name)
+			continue
+		}
+		if fl.pid != e.Pid || fl.tid != e.Tid {
+			t.Errorf("service span %q on track (%d,%d), flight on (%d,%d)", e.Name, e.Pid, e.Tid, fl.pid, fl.tid)
+		}
+		if e.Ts < fl.ts || e.Ts+e.Dur > fl.end+1e-9 {
+			t.Errorf("service span %q [%.3f, %.3f] escapes flight [%.3f, %.3f]",
+				e.Name, e.Ts, e.Ts+e.Dur, fl.ts, fl.end)
+		}
+		nested++
+	}
+	if nested == 0 {
+		t.Error("no service span verified nested")
+	}
+}
+
+// TestTraceCSVExport smoke-checks the CSV writer on real run data.
+func TestTraceCSVExport(t *testing.T) {
+	cfg := perfTestConfigs()["netclone"]
+	cfg.TraceRate = 1
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := trace.WriteCSV(&buf, res.Trace); err != nil {
+		t.Fatal(err)
+	}
+	lines := bytes.Split(bytes.TrimSpace(buf.Bytes()), []byte("\n"))
+	if len(lines) != len(res.Trace.Events)+1 {
+		t.Fatalf("CSV has %d lines for %d events + header", len(lines), len(res.Trace.Events))
+	}
+	if !bytes.HasPrefix(lines[0], []byte("at_ns,kind,client,seq")) {
+		t.Fatalf("unexpected CSV header %q", lines[0])
+	}
+}
+
+// TestTraceRingHeadDrop pins the flight-recorder overflow policy at the
+// cluster level: a tiny ring keeps only the newest records and counts
+// what it overwrote.
+func TestTraceRingHeadDrop(t *testing.T) {
+	cfg := perfTestConfigs()["netclone"]
+	cfg.TraceRate = 1
+	cfg.TraceCap = 64
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(res.Trace.Events); got != 64 {
+		t.Fatalf("ring of 64 holds %d events", got)
+	}
+	if res.Trace.Dropped == 0 {
+		t.Fatal("full ring counted no overwrites")
+	}
+	// The survivors are the newest window of the run.
+	full := cfg
+	full.TraceCap = trace.DefaultCap
+	fres, err := Run(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tail := fres.Trace.Events[len(fres.Trace.Events)-64:]
+	if !reflect.DeepEqual(res.Trace.Events, tail) {
+		t.Error("head-drop ring does not hold the newest 64 records")
+	}
+}
+
+// TestTraceDisabledZeroAllocs guards the tentpole's zero-cost claim
+// (CI bench-smoke alloc-guard): with TraceRate 0 every recording site
+// is a nil recorder and an unset packet flag, so the congested steady
+// path — the configuration with the most recording sites compiled in —
+// still allocates nothing per event.
+func TestTraceDisabledZeroAllocs(t *testing.T) {
+	c := benchBuildCongested(t)
+	if c.rec != nil || c.tel != nil {
+		t.Fatal("recorder present with TraceRate 0")
+	}
+	for _, cl := range c.clients {
+		cl.start()
+	}
+	deadline := int64(20e6)
+	c.eng.RunUntil(deadline)
+	allocs := testing.AllocsPerRun(50, func() {
+		deadline += 100_000 // 100us of virtual time per round
+		c.eng.RunUntil(deadline)
+	})
+	if allocs > 1 {
+		t.Errorf("untraced steady path allocates %.1f allocs per 100us round, want ~0", allocs)
+	}
+}
+
+// TestTraceEnabledSteadyPathZeroAllocs extends the discipline to the
+// enabled recorder: Record writes into the preallocated ring (head-drop
+// on overflow), so even rate-1 tracing adds no steady-state
+// allocations — the flight recorder is storage-bounded by design.
+func TestTraceEnabledSteadyPathZeroAllocs(t *testing.T) {
+	cfg := benchFabricConfig()
+	cfg.TraceRate = 1
+	cfg.TraceCap = 1 << 12
+	ncfg, err := cfg.withDefaults()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := build(ncfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cl := range c.clients {
+		cl.start()
+	}
+	deadline := int64(20e6)
+	c.eng.RunUntil(deadline)
+	if c.rec.Dropped() == 0 {
+		t.Fatal("warmup did not wrap the ring: the guard is not exercising head-drop")
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		deadline += 100_000
+		c.eng.RunUntil(deadline)
+	})
+	if allocs > 1 {
+		t.Errorf("traced steady path allocates %.1f allocs per 100us round, want ~0", allocs)
+	}
+}
+
+// TestTraceConfigValidation covers the withDefaults surface.
+func TestTraceConfigValidation(t *testing.T) {
+	cfg := perfTestConfigs()["netclone"]
+	cfg.TraceRate = -1
+	if _, err := Run(cfg); err == nil {
+		t.Error("negative TraceRate accepted")
+	}
+	cfg.TraceRate = 0
+	cfg.TraceCap = -1
+	if _, err := Run(cfg); err == nil {
+		t.Error("negative TraceCap accepted")
+	}
+	cfg.TraceCap = 128
+	if _, err := Run(cfg); err == nil {
+		t.Error("TraceCap without TraceRate accepted")
+	}
+}
+
+// TestShardFallbackReasons checks that every silent sequential fallback
+// names its condition through RunInfo.
+func TestShardFallbackReasons(t *testing.T) {
+	base := shardTestConfig(NetClone)
+	base.Shards = 4
+
+	congested := base
+	congested.Congestion = congTestSpec()
+	sampled := base
+	sampled.SampleEvery = 10
+	lossy := base
+	lossy.LossProb = 0.01
+	single := perfTestConfigs()["netclone"]
+	single.Shards = 4
+
+	cases := []struct {
+		name string
+		cfg  Config
+		want string
+	}{
+		{"congestion", congested, "congestion model"},
+		{"sampling", sampled, "breakdown sampling"},
+		{"loss", lossy, "loss windows"},
+		{"single-rack", single, "multi-rack topology"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, info, err := RunInfo(tc.cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if info.Requested != 4 || info.Effective != 1 {
+				t.Fatalf("requested %d effective %d, want a 4->1 fallback", info.Requested, info.Effective)
+			}
+			if !contains(info.Fallback, tc.want) {
+				t.Errorf("fallback reason %q does not mention %q", info.Fallback, tc.want)
+			}
+			if len(info.ShardEvents) != 1 {
+				t.Errorf("sequential fallback reports %d shard-event entries, want 1", len(info.ShardEvents))
+			}
+		})
+	}
+
+	// And the happy path reports no reason.
+	_, info, err := RunInfo(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Effective != 4 || info.Fallback != "" {
+		t.Errorf("sharded run reports effective %d fallback %q", info.Effective, info.Fallback)
+	}
+}
+
+func contains(s, sub string) bool {
+	return bytes.Contains([]byte(s), []byte(sub))
+}

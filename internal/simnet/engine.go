@@ -180,6 +180,12 @@ type Engine struct {
 	stampID          uint64
 	stamps           []stampRec
 	cur1, cur2, cur3 int64
+
+	// tel, when non-nil, is the observational telemetry probe
+	// (telemetry.go): burst counters and occupancy gauges, written only
+	// from the new-burst path behind this nil check. Never consulted on
+	// the per-event dispatch path.
+	tel *Telemetry
 }
 
 // stampIDBits is how many low bits of a stamped sequence number hold
@@ -302,6 +308,7 @@ func (e *Engine) Reset() {
 	e.stamped, e.stampID = false, 0
 	e.cur1, e.cur2, e.cur3 = 0, 0, 0
 	e.stamps = e.stamps[:0] // capacity kept for the next stamped run
+	e.tel = nil             // pooled engines must not carry a probe forward
 }
 
 // before orders slab indices by the records' (at, seq) — or, in
@@ -686,6 +693,9 @@ func (e *Engine) ensureBurst() bool {
 	e.curB = last
 	e.burstB = last
 	e.draining = true
+	if e.tel != nil {
+		e.observeBurst()
+	}
 	return true
 }
 

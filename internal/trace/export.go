@@ -1,0 +1,271 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Exporters for the flight-recorder data: the Chrome trace-event JSON
+// format (loadable at ui.perfetto.dev or chrome://tracing) and a flat
+// CSV dump. Export runs after the simulation, so unlike Record it may
+// allocate freely.
+
+// chromeEvent is one entry of the Chrome trace-event JSON array.
+// Timestamps and durations are in microseconds (the format's unit);
+// pid/tid carry the shard and rack so Perfetto renders one process per
+// shard with one track per rack.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Cat  string         `json:"cat,omitempty"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// chromeFile is the top-level JSON object.
+type chromeFile struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// us converts virtual nanoseconds to the format's microseconds.
+func us(ns int64) float64 { return float64(ns) / 1e3 }
+
+// groupKey identifies a logical request across all of its copies.
+func groupKey(e Event) uint64 { return uint64(e.Client)<<32 | uint64(e.Seq) }
+
+// WriteChrome renders d as Chrome trace-event JSON. Layout: one
+// process per shard, one thread track per rack. Each traced request
+// gets an outer request-lifetime span on the issuing client's track;
+// each copy (the original and any clone fan-out) gets an in-flight
+// span on its destination server's track with the service span nested
+// inside it, so a cloned request reads as two parallel nested span
+// pairs. Marks, drops, suppressions, and filter decisions appear as
+// instant events at their hop.
+func WriteChrome(w io.Writer, d *Data) error {
+	var out []chromeEvent
+
+	// Track metadata: name every (shard, rack) pair that appears.
+	seenShard := map[int]bool{}
+	seenTrack := map[[2]int]bool{}
+	for _, e := range d.Events {
+		pid, tid := int(e.Shard), int(e.Rack)
+		if !seenShard[pid] {
+			seenShard[pid] = true
+			out = append(out, chromeEvent{
+				Name: "process_name", Ph: "M", Pid: pid,
+				Args: map[string]any{"name": fmt.Sprintf("shard %d", pid)},
+			})
+		}
+		if k := [2]int{pid, tid}; !seenTrack[k] {
+			seenTrack[k] = true
+			out = append(out, chromeEvent{
+				Name: "thread_name", Ph: "M", Pid: pid, Tid: tid,
+				Args: map[string]any{"name": fmt.Sprintf("rack %d", tid)},
+			})
+		}
+	}
+
+	// Group events by logical request, preserving first-appearance
+	// order so the output is deterministic.
+	groups := map[uint64][]Event{}
+	var order []uint64
+	for _, e := range d.Events {
+		k := groupKey(e)
+		if _, ok := groups[k]; !ok {
+			order = append(order, k)
+		}
+		groups[k] = append(groups[k], e)
+	}
+
+	for _, k := range order {
+		evs := groups[k]
+		out = append(out, chromeRequest(evs)...)
+	}
+
+	enc := json.NewEncoder(w)
+	return enc.Encode(chromeFile{TraceEvents: out, DisplayTimeUnit: "ns"})
+}
+
+// chromeRequest renders one logical request's event group.
+func chromeRequest(evs []Event) []chromeEvent {
+	var out []chromeEvent
+	var issue, complete *Event
+	cloned, suppressed, budgetSkip := false, false, false
+	var winner int32 = -1
+	for i := range evs {
+		e := &evs[i]
+		switch e.Kind {
+		case KindIssue:
+			if issue == nil {
+				issue = e
+			}
+		case KindComplete:
+			if complete == nil {
+				complete = e
+			}
+		case KindClone:
+			cloned = true
+		case KindSuppress:
+			suppressed = true
+		case KindBudgetSkip:
+			budgetSkip = true
+		case KindWin:
+			if winner < 0 {
+				winner = e.Value // first response past the filter wins
+			}
+		}
+	}
+	name := ""
+	if len(evs) > 0 {
+		name = fmt.Sprintf("req c%d#%d", evs[0].Client, evs[0].Seq)
+	}
+
+	// Outer request-lifetime span on the issuing client's track.
+	if issue != nil && complete != nil && complete.At >= issue.At {
+		args := map[string]any{
+			"cloned":     cloned,
+			"latency_ns": complete.Value,
+		}
+		if suppressed {
+			args["suppressed"] = true
+		}
+		if budgetSkip {
+			args["budget_skip"] = true
+		}
+		if winner >= 0 {
+			args["winner"] = winner
+		}
+		if complete.Flags&FlagECN != 0 {
+			args["ecn"] = true
+		}
+		out = append(out, chromeEvent{
+			Name: name, Ph: "X", Cat: "request",
+			Ts: us(issue.At), Dur: us(complete.At - issue.At),
+			Pid: int(issue.Shard), Tid: int(issue.Rack), Args: args,
+		})
+	}
+
+	// Per-copy nested spans on the destination server's track: the
+	// in-flight span (dispatch -> finish) containing the service span
+	// (start -> finish). Copies are matched by destination server ID —
+	// distinct for the original and its clone (the group's two
+	// candidates are different servers by construction).
+	perServer := map[int32]*[3]*Event{} // dispatch, start, finish
+	for i := range evs {
+		e := &evs[i]
+		var slot int
+		switch e.Kind {
+		case KindDispatch:
+			slot = 0
+		case KindServerStart:
+			slot = 1
+		case KindServerFinish:
+			slot = 2
+		default:
+			continue
+		}
+		trio := perServer[e.Value]
+		if trio == nil {
+			trio = &[3]*Event{}
+			perServer[e.Value] = trio
+		}
+		if trio[slot] == nil {
+			trio[slot] = e
+		}
+	}
+	// Deterministic copy order: walk the events again instead of the map.
+	emitted := map[int32]bool{}
+	for i := range evs {
+		e := &evs[i]
+		if e.Kind != KindDispatch || emitted[e.Value] {
+			continue
+		}
+		emitted[e.Value] = true
+		trio := perServer[e.Value]
+		disp, start, fin := trio[0], trio[1], trio[2]
+		if fin == nil {
+			continue // dropped en route or in queue: no span to close
+		}
+		copyName := fmt.Sprintf("%s s%d", name, e.Value)
+		flight := "flight"
+		if e.Flags&FlagClone != 0 {
+			flight = "clone flight"
+		}
+		// Anchor both spans on the server's track so they nest.
+		pid, tid := int(fin.Shard), int(fin.Rack)
+		out = append(out, chromeEvent{
+			Name: flight + " " + copyName, Ph: "X", Cat: "flight",
+			Ts: us(disp.At), Dur: us(fin.At - disp.At),
+			Pid: pid, Tid: tid,
+			Args: map[string]any{"server": e.Value, "clone": e.Flags&FlagClone != 0},
+		})
+		if start != nil {
+			out = append(out, chromeEvent{
+				Name: "service " + copyName, Ph: "X", Cat: "service",
+				Ts: us(start.At), Dur: us(fin.At - start.At),
+				Pid: pid, Tid: tid,
+				Args: map[string]any{"server": e.Value, "clone": e.Flags&FlagClone != 0},
+			})
+		}
+	}
+
+	// Everything else is an instant at its hop.
+	for i := range evs {
+		e := &evs[i]
+		switch e.Kind {
+		case KindIssue, KindComplete, KindDispatch, KindServerStart,
+			KindServerFinish, KindPortEnqueue:
+			continue
+		}
+		args := map[string]any{"req": name}
+		if e.Value >= 0 {
+			args["value"] = e.Value
+		}
+		if e.Port >= 0 {
+			args["port"] = e.Port
+		}
+		if e.Flags&FlagECN != 0 {
+			args["ecn"] = true
+		}
+		if e.Flags&FlagClone != 0 {
+			args["clone"] = true
+		}
+		out = append(out, chromeEvent{
+			Name: e.Kind.String(), Ph: "i", Cat: "hop", S: "t",
+			Ts: us(e.At), Pid: int(e.Shard), Tid: int(e.Rack), Args: args,
+		})
+	}
+	return out
+}
+
+// WriteCSV dumps every record as one CSV row:
+// at_ns,kind,client,seq,rack,shard,flags,value,port.
+func WriteCSV(w io.Writer, d *Data) error {
+	if _, err := io.WriteString(w, "at_ns,kind,client,seq,rack,shard,flags,value,port\n"); err != nil {
+		return err
+	}
+	for i := range d.Events {
+		e := &d.Events[i]
+		flags := ""
+		if e.Flags&FlagClone != 0 {
+			flags = "clone"
+		}
+		if e.Flags&FlagECN != 0 {
+			if flags != "" {
+				flags += "|"
+			}
+			flags += "ecn"
+		}
+		if _, err := fmt.Fprintf(w, "%d,%s,%d,%d,%d,%d,%s,%d,%d\n",
+			e.At, e.Kind, e.Client, e.Seq, e.Rack, e.Shard, flags, e.Value, e.Port); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -77,6 +77,7 @@ import (
 	"netclone/internal/scenario"
 	"netclone/internal/simcluster"
 	"netclone/internal/topology"
+	"netclone/internal/trace"
 	"netclone/internal/workload"
 )
 
@@ -368,6 +369,44 @@ func WithBreakdownSampling(every int) ScenarioOption { return scenario.WithBreak
 // event engines with conservative time-window sync; 0 or 1 runs the
 // sequential engine, and the result is the same either way. Sim only.
 func WithShards(n int) ScenarioOption { return scenario.WithShards(n) }
+
+// WithTrace enables the flight recorder: every rate-th request per
+// client (rate 1 traces everything) has its full lifecycle recorded
+// into Result.Trace, and engine/shard telemetry is snapshotted into
+// Result.Telemetry. ringCap bounds the per-shard record ring (0 means
+// the default, 64Ki records); on overflow the oldest records are
+// overwritten. Tracing never perturbs the simulation — the event order
+// is bit-identical with it on or off — and rate 0 (the default)
+// disables it at zero cost. Export with WriteChromeTrace (Perfetto /
+// chrome://tracing) or WriteTraceCSV. Sim only.
+func WithTrace(rate, ringCap int) ScenarioOption { return scenario.WithTrace(rate, ringCap) }
+
+// TraceData is a run's flight-recorder output (Result.Trace): sampled
+// request-lifecycle events in virtual-time order.
+type TraceData = trace.Data
+
+// TraceEvent is one fixed-size flight-recorder record.
+type TraceEvent = trace.Event
+
+// Telemetry is a run's engine-and-shard counter snapshot
+// (Result.Telemetry): per-shard driver statistics plus time-binned
+// engine occupancy gauges.
+type Telemetry = trace.Telemetry
+
+// ShardInfo reports how a WithShards request was resolved — effective
+// shard count, fallback reason, per-shard event split
+// (Result.ShardInfo on the Sim backend).
+type ShardInfo = simcluster.ShardInfo
+
+// WriteChromeTrace renders flight-recorder data as Chrome trace-event
+// JSON, loadable at ui.perfetto.dev or chrome://tracing: one process
+// per shard, one track per rack, request/flight/service spans nested,
+// with marks, drops, and clone decisions as instants.
+func WriteChromeTrace(w io.Writer, d *TraceData) error { return trace.WriteChrome(w, d) }
+
+// WriteTraceCSV dumps flight-recorder data as a flat CSV
+// (at_ns,kind,client,seq,rack,shard,flags,value,port).
+func WriteTraceCSV(w io.Writer, d *TraceData) error { return trace.WriteCSV(w, d) }
 
 // WithoutCloneDropGuard removes the server-side stale-state guard
 // (§3.4 ablation). Sim only.

@@ -38,9 +38,12 @@ mode="${1:-all}"
 # ClusterSteadyStateMultiRack (the N-rack fabric path, 0 allocs/op
 # across three racks of heterogeneous uplinks),
 # ClusterSteadyStateCongested (the finite-queue path, 0 allocs/op with
-# a congested three-rack fabric), and ClusterSteadyStateSharded (the
+# a congested three-rack fabric), ClusterSteadyStateSharded (the
 # parallel-in-time window driver over a 4-shard fabric, 0 allocs/op in
-# steady state, driven serially so the figure is core-count-portable).
+# steady state, driven serially so the figure is core-count-portable),
+# and ClusterSteadyStateTraced (the flight recorder sampling every 64th
+# request on the fabric path — Record writes into a preallocated ring,
+# so it must hold the same 0 allocs/op).
 bench_re="${BENCH:-Engine|SwitchPipeline|ClusterSteadyState|SwitchProcess|SimulatedMillisecond|ZipfRank|KVMixNext|PoissonGap|SummarizeFrozen}"
 benchtime="${BENCHTIME:-1s}"
 experiments="${EXPERIMENTS:-all}"
