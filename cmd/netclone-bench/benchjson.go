@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"netclone"
+	"netclone/internal/udpemu"
 )
 
 // The tracked benchmark pipeline: -benchjson FILE meters every
@@ -34,17 +35,24 @@ import (
 //	   files upgrade on load exactly as before — a nil hot_path_sharded
 //	   means "probe predates this snapshot" and compare warn-skips the
 //	   sharded gate, mirroring how a missing hot_path is handled.
+//	4: adds the emu_loopback probe (the UDP emulation's end-to-end
+//	   sustained request rate, portable single-syscall path vs the
+//	   recvmmsg/sendmmsg ring path, DESIGN.md §12). A nil emu_loopback
+//	   means the snapshot predates the probe and compare warn-skips the
+//	   emu gate; a nil batched sub-entry means the host has no batch
+//	   path compiled in, which skips only the sustained-rate floor.
 type benchFile struct {
-	Schema     int                  `json:"schema"`
-	CreatedUTC string               `json:"created_utc"`
-	GoVersion  string               `json:"go_version"`
-	GOMAXPROCS int                  `json:"gomaxprocs"`
-	Parallel   int                  `json:"parallelism"`
-	Backend    string               `json:"backend"`
-	Host       *benchHost           `json:"host,omitempty"`
-	HotPath    *benchHotPath        `json:"hot_path,omitempty"`
-	HotSharded *benchHotPathSharded `json:"hot_path_sharded,omitempty"`
-	Runs       []benchExperiment    `json:"experiments"`
+	Schema      int                  `json:"schema"`
+	CreatedUTC  string               `json:"created_utc"`
+	GoVersion   string               `json:"go_version"`
+	GOMAXPROCS  int                  `json:"gomaxprocs"`
+	Parallel    int                  `json:"parallelism"`
+	Backend     string               `json:"backend"`
+	Host        *benchHost           `json:"host,omitempty"`
+	HotPath     *benchHotPath        `json:"hot_path,omitempty"`
+	HotSharded  *benchHotPathSharded `json:"hot_path_sharded,omitempty"`
+	EmuLoopback *benchEmuLoopback    `json:"emu_loopback,omitempty"`
+	Runs        []benchExperiment    `json:"experiments"`
 }
 
 // benchHost identifies the hardware a snapshot was taken on. Snapshots
@@ -122,6 +130,31 @@ type benchShardPoint struct {
 type benchHotPathSharded struct {
 	Points  []benchShardPoint `json:"points"`
 	Speedup float64           `json:"speedup"`
+}
+
+// benchEmuLoopback is the emu I/O probe: the loopback cluster's
+// sustained end-to-end request rate on the portable per-packet syscall
+// path (the pre-batching reference, the A/B baseline) and on the
+// recvmmsg/sendmmsg ring path. Speedup is batched over portable — on
+// hosts with cheap syscalls the two converge and the enforced signal
+// is the absolute sustained-rate floor instead (see compare.go).
+type benchEmuLoopback struct {
+	Portable *benchEmuRate `json:"portable"`
+	Batched  *benchEmuRate `json:"batched,omitempty"`
+	Speedup  float64       `json:"speedup,omitempty"`
+}
+
+// benchEmuRate is one I/O mode's rate-ladder outcome.
+type benchEmuRate struct {
+	SustainedRPS float64        `json:"sustained_rps"`
+	Rungs        []benchEmuRung `json:"rungs"`
+}
+
+// benchEmuRung is one offered-rate step of the ladder.
+type benchEmuRung struct {
+	OfferedRPS    float64 `json:"offered_rps"`
+	AchievedRPS   float64 `json:"achieved_rps"`
+	CompletedFrac float64 `json:"completed_frac"`
 }
 
 // benchExperiment meters one harness experiment end to end. Gated
@@ -259,6 +292,43 @@ func meterHotPathSharded(minWall time.Duration) (*benchHotPathSharded, error) {
 		}
 	}
 	return out, nil
+}
+
+// meterEmuLoopback probes the UDP emulation's I/O paths: the loopback
+// rate ladder (udpemu.LoopbackRateProbe) once on the portable
+// single-syscall path and, where the platform compiles the rings in,
+// once on the batched path. Both runs share the host, cluster shape,
+// and ladder, so the pair is a clean A/B.
+func meterEmuLoopback() (*benchEmuLoopback, error) {
+	p, err := udpemu.LoopbackRateProbe(udpemu.IOPortable)
+	if err != nil {
+		return nil, err
+	}
+	out := &benchEmuLoopback{Portable: benchEmuRateOf(p)}
+	if !udpemu.BatchSupported() {
+		return out, nil
+	}
+	b, err := udpemu.LoopbackRateProbe(udpemu.IOBatch)
+	if err != nil {
+		return nil, err
+	}
+	out.Batched = benchEmuRateOf(b)
+	if p.SustainedRPS > 0 {
+		out.Speedup = b.SustainedRPS / p.SustainedRPS
+	}
+	return out, nil
+}
+
+func benchEmuRateOf(r *udpemu.RateProbeResult) *benchEmuRate {
+	out := &benchEmuRate{SustainedRPS: r.SustainedRPS}
+	for _, rung := range r.Rungs {
+		out.Rungs = append(out.Rungs, benchEmuRung{
+			OfferedRPS:    rung.OfferedRPS,
+			AchievedRPS:   rung.AchievedRPS,
+			CompletedFrac: rung.CompletedFrac,
+		})
+	}
+	return out
 }
 
 // readBenchJSON loads a snapshot, upgrading older schemas in memory:

@@ -28,6 +28,24 @@ const allocSlack = 0.5
 // events/sec deltas.
 const expWarnLoss = 0.05
 
+// minEmuSustainedRPS is the absolute floor on the emu loopback probe's
+// batched sustained request rate: ten times the 4000 req/s the
+// single-syscall emu backend operated at (the pre-batching EmuMaxRate
+// default — the rate the per-packet path was capped to because it
+// could not be trusted faster). Enforced only where the batch path is
+// compiled in; the portable figure is the committed A/B baseline, not
+// a gate.
+const minEmuSustainedRPS = 40_000
+
+// maxEmuRateLoss is the ratchet tolerance for the batched sustained
+// rate. The probe's ladder quantizes its answer in 2x rungs (a healthy
+// host settles on one rung or the next across runs), so the events/sec
+// tolerance would flake on every rung boundary; instead the ratchet
+// fails only when the candidate lands more than one full rung below
+// the baseline (>55% loss — a 50% one-rung step plus achieved-rate
+// wiggle). Finer regressions are the absolute floor's job.
+const maxEmuRateLoss = 0.55
+
 // minShardSpeedup is the absolute floor on the sharded probe's
 // best-over-sequential speedup — the parallel-in-time core must buy at
 // least this much on hardware that can show it. Enforced only when the
@@ -128,6 +146,44 @@ func compareBench(base, cand benchFile) compareReport {
 		}
 	}
 
+	// Emu loopback probe: the ratchet on the batched path's sustained
+	// request rate plus the absolute 10x-over-pre-batching floor. A
+	// schema-3 baseline predates the probe, so the gate warn-skips; a
+	// candidate without the batch path compiled in (non-Linux) skips
+	// only the floor and ratchet, keeping the portable figure visible.
+	switch {
+	case base.EmuLoopback == nil:
+		r.warnf("baseline has no emu_loopback probe (schema < 4): emu I/O gate skipped")
+	case cand.EmuLoopback == nil:
+		r.gatef(crossHost, "candidate has no emu_loopback probe (baseline does): emu I/O gate cannot run")
+	default:
+		b, c := base.EmuLoopback, cand.EmuLoopback
+		r.linef("emu_loopback portable sustained: %.3gk -> %.3gk rps",
+			emuSustained(b.Portable)/1e3, emuSustained(c.Portable)/1e3)
+		switch {
+		case c.Batched == nil:
+			r.linef("emu_loopback batched path not compiled in on the candidate host: sustained-rate floor (%.0fk rps) not enforced",
+				minEmuSustainedRPS/1e3)
+		default:
+			if b.Batched != nil {
+				d := delta(b.Batched.SustainedRPS, c.Batched.SustainedRPS)
+				r.linef("emu_loopback batched sustained: %.3gk -> %.3gk rps (%+.1f%%), speedup over portable %.2fx -> %.2fx",
+					b.Batched.SustainedRPS/1e3, c.Batched.SustainedRPS/1e3, 100*d, b.Speedup, c.Speedup)
+				if d < -maxEmuRateLoss {
+					r.gatef(crossHost, "emu_loopback batched sustained rate regressed %.1f%% (%.3gk -> %.3gk rps, more than one ladder rung; tolerance %.0f%%)",
+						-100*d, b.Batched.SustainedRPS/1e3, c.Batched.SustainedRPS/1e3, 100*maxEmuRateLoss)
+				}
+			} else {
+				r.linef("emu_loopback batched sustained: %.3gk rps (no batched baseline, ratchet skipped)",
+					c.Batched.SustainedRPS/1e3)
+			}
+			if c.Batched.SustainedRPS < minEmuSustainedRPS {
+				r.gatef(crossHost, "emu_loopback batched sustained rate %.3gk rps is below the %.0fk floor (10x the pre-batching 4k default)",
+					c.Batched.SustainedRPS/1e3, minEmuSustainedRPS/1e3)
+			}
+		}
+	}
+
 	// Per-experiment deltas: context, not gate. Only entries gated in
 	// BOTH snapshots compare; everything else is named so it cannot
 	// silently fall out of the report.
@@ -172,6 +228,15 @@ func bestShardPoint(hp *benchHotPathSharded) benchShardPoint {
 		}
 	}
 	return best
+}
+
+// emuSustained tolerates a snapshot whose portable entry is missing
+// (hand-edited or truncated files) rather than panicking mid-report.
+func emuSustained(r *benchEmuRate) float64 {
+	if r == nil {
+		return 0
+	}
+	return r.SustainedRPS
 }
 
 func hostCPUs(h *benchHost) int {

@@ -14,7 +14,7 @@ import (
 
 func goodSnapshot() benchFile {
 	return benchFile{
-		Schema:  3,
+		Schema:  4,
 		Backend: "sim",
 		Host:    &benchHost{GOOS: "linux", GOARCH: "amd64", NumCPU: 8, CPUModel: "testcpu"},
 		HotPath: &benchHotPath{Runs: 100, EventsPerSec: 10e6, NSPerOp: 1e6, AllocsPerOp: 104.2},
@@ -26,6 +26,17 @@ func goodSnapshot() benchFile {
 				{Shards: 8, Runs: 20, EventsPerSec: 34e6},
 			},
 			Speedup: 34.0 / 9.0,
+		},
+		EmuLoopback: &benchEmuLoopback{
+			Portable: &benchEmuRate{SustainedRPS: 60e3, Rungs: []benchEmuRung{
+				{OfferedRPS: 4e3, AchievedRPS: 4e3, CompletedFrac: 0.999},
+				{OfferedRPS: 64e3, AchievedRPS: 60e3, CompletedFrac: 0.98},
+			}},
+			Batched: &benchEmuRate{SustainedRPS: 72e3, Rungs: []benchEmuRung{
+				{OfferedRPS: 4e3, AchievedRPS: 4e3, CompletedFrac: 0.999},
+				{OfferedRPS: 64e3, AchievedRPS: 72e3, CompletedFrac: 0.99},
+			}},
+			Speedup: 1.2,
 		},
 		Runs: []benchExperiment{
 			{ID: "fig7a", Gated: true, Points: 9, Events: 6e6, EventsPerSec: 6e6},
@@ -171,6 +182,76 @@ func TestCompareSchema2BaselineSkipsShardedGate(t *testing.T) {
 	}
 	if !strings.Contains(strings.Join(r.warnings, "\n"), "no hot_path_sharded probe") {
 		t.Fatalf("skipped sharded gate not warned: %v", r.warnings)
+	}
+}
+
+// The emu-loopback gate: the batched sustained request rate ratchets
+// like the hot path, the absolute 10x-over-pre-batching floor binds
+// wherever the batch path is compiled in, and older baselines or
+// portable-only hosts degrade to warnings and skipped floors.
+
+func TestCompareEmuBatchedRegressionFails(t *testing.T) {
+	base, cand := goodSnapshot(), goodSnapshot()
+	base.EmuLoopback.Batched.SustainedRPS = 150e3
+	cand.EmuLoopback.Batched.SustainedRPS = 60e3 // -60%: past a full 2x ladder rung, still above the floor
+	r := compareBench(base, cand)
+	if len(r.failures) != 1 || !strings.Contains(r.failures[0], "emu_loopback batched sustained rate regressed") {
+		t.Fatalf("emu batched regression not gated: %v", r.failures)
+	}
+}
+
+func TestCompareEmuOneRungDropPasses(t *testing.T) {
+	// The probe's ladder quantizes sustained rate in 2x rungs, so a
+	// healthy host oscillates between adjacent rungs across runs; a
+	// one-rung drop is noise, not a regression, as long as the floor
+	// holds.
+	base, cand := goodSnapshot(), goodSnapshot()
+	base.EmuLoopback.Batched.SustainedRPS = 120e3
+	cand.EmuLoopback.Batched.SustainedRPS = 60e3 // one rung down, above the floor
+	r := compareBench(base, cand)
+	if len(r.failures) != 0 {
+		t.Fatalf("one-rung drop gated: %v", r.failures)
+	}
+}
+
+func TestCompareEmuSustainedFloorFails(t *testing.T) {
+	base, cand := goodSnapshot(), goodSnapshot()
+	// Both snapshots sustain only 39k: the ratchet passes, the absolute
+	// floor — 10x the pre-batching 4k operating rate — does not.
+	base.EmuLoopback.Batched.SustainedRPS = 39e3
+	cand.EmuLoopback.Batched.SustainedRPS = 39e3
+	r := compareBench(base, cand)
+	if len(r.failures) != 1 || !strings.Contains(r.failures[0], "below the 40k floor") {
+		t.Fatalf("sustained-rate floor not gated: %v", r.failures)
+	}
+}
+
+func TestCompareEmuPortableOnlyHostSkipsFloor(t *testing.T) {
+	base, cand := goodSnapshot(), goodSnapshot()
+	for _, bf := range []*benchFile{&base, &cand} {
+		bf.EmuLoopback.Batched = nil // non-Linux build: no rings compiled in
+		bf.EmuLoopback.Speedup = 0
+		bf.EmuLoopback.Portable.SustainedRPS = 20e3 // under the floor, but not gated
+	}
+	r := compareBench(base, cand)
+	if len(r.failures) != 0 || len(r.warnings) != 0 {
+		t.Fatalf("portable-only host gated: failures %v warnings %v", r.failures, r.warnings)
+	}
+	if !strings.Contains(strings.Join(r.lines, "\n"), "floor (40k rps) not enforced") {
+		t.Fatalf("unenforced floor not reported: %v", r.lines)
+	}
+}
+
+func TestCompareSchema3BaselineSkipsEmuGate(t *testing.T) {
+	base := goodSnapshot()
+	base.Schema = 3
+	base.EmuLoopback = nil // predates the probe
+	r := compareBench(base, goodSnapshot())
+	if len(r.failures) != 0 {
+		t.Fatalf("schema-3 baseline failed the emu gate: %v", r.failures)
+	}
+	if !strings.Contains(strings.Join(r.warnings, "\n"), "no emu_loopback probe") {
+		t.Fatalf("skipped emu gate not warned: %v", r.warnings)
 	}
 }
 

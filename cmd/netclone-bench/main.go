@@ -218,8 +218,22 @@ func main() {
 	if *traceFile != "" && *traceRate == 0 {
 		*traceRate = 64
 	}
-	if *traceRate > 0 && *backend == "emu" {
-		fatal(errors.New("-trace/-trace-rate need the simulator's flight recorder; drop -backend emu"))
+	// The emu backend runs on wall-clock sockets: the flight recorder
+	// and the parallel-in-time shards instrument the simulator's
+	// engine, so those requests fall back with one logged reason per
+	// flag — the same discipline as the per-point shard-fallback log —
+	// instead of failing the run or being ignored silently.
+	if *backend == "emu" {
+		if opts.Shards > 1 {
+			fmt.Fprintf(os.Stderr, "netclone-bench: -shards %d ignored on the emu backend: parallel-in-time sharding partitions the simulator's virtual clock, and emu runs on wall-clock sockets\n", *shards)
+			opts.Shards = 1
+			*shards = 1
+		}
+		if *traceRate > 0 {
+			fmt.Fprintf(os.Stderr, "netclone-bench: -trace/-trace-rate ignored on the emu backend: the flight recorder instruments the simulator's engine, and emu has no recorder\n")
+			*traceRate = 0
+			*traceFile = ""
+		}
 	}
 	opts.TraceRate = *traceRate
 	opts.TraceCap = *traceCap
@@ -263,7 +277,7 @@ func main() {
 		meter = newMeteredBackend(inner)
 		opts.Backend = meter
 		bench = benchFile{
-			Schema:     3,
+			Schema:     4,
 			CreatedUTC: time.Now().UTC().Format(time.RFC3339),
 			GoVersion:  runtime.Version(),
 			GOMAXPROCS: runtime.GOMAXPROCS(0),
@@ -289,6 +303,17 @@ func main() {
 			fatal(err)
 		}
 		bench.HotSharded = hps
+	}
+	// The emu loopback probe is backend-independent (it builds its own
+	// cluster) and also runs before the experiments: the rate a host
+	// sustains must not depend on the heap the experiment sweep leaves
+	// behind.
+	if meter != nil {
+		el, err := meterEmuLoopback()
+		if err != nil {
+			fatal(err)
+		}
+		bench.EmuLoopback = el
 	}
 
 	var curves []netclone.Report // timeline-shaped reports for -timeline

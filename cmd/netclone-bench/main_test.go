@@ -59,8 +59,9 @@ func TestExpandRunIDs(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(ids) != 3 || ids[0] != "chaos-straggler" || ids[1] != "chaos-lossburst" || ids[2] != "chaos-rollingcrash" {
-		t.Fatalf("chaos-* expanded to %v, want the chaos family in paper order", ids)
+	if len(ids) != 4 || ids[0] != "chaos-straggler" || ids[1] != "chaos-lossburst" ||
+		ids[2] != "chaos-rollingcrash" || ids[3] != "chaos-2rack" {
+		t.Fatalf("chaos-* expanded to %v, want the chaos family in registration order", ids)
 	}
 	if ids, err = expandRunIDs("fig7?"); err != nil || len(ids) != 4 {
 		t.Fatalf("fig7? expanded to %v (%v), want the four fig7 panels", ids, err)

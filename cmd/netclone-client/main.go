@@ -40,12 +40,17 @@ func main() {
 		timeout = flag.Duration("timeout", 2*time.Second, "per-request timeout")
 		rate    = flag.Float64("rate", 0, "open-loop target rate in req/s (0 = closed loop)")
 		dup     = flag.Bool("duplicate", false, "send every request twice (client-side static cloning, the C-Clone baseline; open loop only)")
+		ioFlag  = flag.String("io", "auto", "syscall discipline: auto (recvmmsg/sendmmsg bursts where supported), portable (one syscall per packet), batch (require the burst path)")
 	)
 	flag.Parse()
 	if *dup && *rate <= 0 {
 		fatal(fmt.Errorf("-duplicate needs the open loop; add -rate"))
 	}
 
+	ioMode, err := udpemu.ParseIOMode(*ioFlag)
+	if err != nil {
+		fatal(err)
+	}
 	sw, err := net.ResolveUDPAddr("udp", *swAddr)
 	if err != nil {
 		fatal(err)
@@ -55,6 +60,7 @@ func main() {
 		FilterTables: *tables,
 		Timeout:      *timeout,
 		Seed:         *seed,
+		IO:           ioMode,
 	})
 	if err != nil {
 		fatal(err)

@@ -31,9 +31,14 @@ func main() {
 		workers = flag.Int("workers", 8, "worker goroutines (paper: 8-16 threads)")
 		objects = flag.Int("objects", kvstore.DefaultObjects, "key-value store size")
 		extra   = flag.Duration("extra-service", 0, "added busy time per request")
+		ioFlag  = flag.String("io", "auto", "syscall discipline: auto (recvmmsg/sendmmsg bursts where supported), portable (one syscall per packet), batch (require the burst path)")
 	)
 	flag.Parse()
 
+	ioMode, err := udpemu.ParseIOMode(*ioFlag)
+	if err != nil {
+		fatal(err)
+	}
 	sw, err := net.ResolveUDPAddr("udp", *swAddr)
 	if err != nil {
 		fatal(err)
@@ -43,12 +48,13 @@ func main() {
 		Workers:          *workers,
 		Store:            kvstore.NewStore(*objects),
 		ExtraServiceTime: *extra,
+		IO:               ioMode,
 	})
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("netclone-server sid=%d on %s -> switch %s (%d workers, %d objects)\n",
-		*sid, srv.Addr(), sw, *workers, *objects)
+	fmt.Printf("netclone-server sid=%d on %s -> switch %s (%d workers, %d objects, io=%s)\n",
+		*sid, srv.Addr(), sw, *workers, *objects, ioMode)
 
 	done := make(chan error, 1)
 	go func() { done <- srv.Serve() }()

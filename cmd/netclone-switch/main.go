@@ -58,6 +58,7 @@ func main() {
 		noCloning    = flag.Bool("no-cloning", false, "disable request cloning (plain forwarding)")
 		noFiltering  = flag.Bool("no-filtering", false, "disable response filtering (Fig 15 ablation)")
 		racksched    = flag.Bool("racksched", false, "enable the RackSched JSQ fallback (§3.7)")
+		ioFlag       = flag.String("io", "auto", "syscall discipline: auto (recvmmsg/sendmmsg bursts where supported), portable (one syscall per packet), batch (require the burst path)")
 	)
 	servers := serverFlags{}
 	flag.Var(servers, "server", "worker registration sid=host:port (repeatable)")
@@ -86,7 +87,11 @@ func main() {
 		}
 	}
 	cfg.SwitchID = uint16(*switchID)
-	sw, err := udpemu.NewSwitch(*listen, cfg)
+	ioMode, err := udpemu.ParseIOMode(*ioFlag)
+	if err != nil {
+		fatal(err)
+	}
+	sw, err := udpemu.NewSwitch(*listen, cfg, ioMode)
 	if err != nil {
 		fatal(err)
 	}
@@ -100,8 +105,8 @@ func main() {
 		}
 	}
 
-	fmt.Printf("netclone-switch listening on %s (%d servers, %d groups, cloning=%v filtering=%v racksched=%v)\n",
-		sw.Addr(), len(servers), sw.NumGroups(), cfg.EnableCloning, cfg.EnableFiltering, cfg.RackSched)
+	fmt.Printf("netclone-switch listening on %s (%d servers, %d groups, cloning=%v filtering=%v racksched=%v, io=%s batched=%v)\n",
+		sw.Addr(), len(servers), sw.NumGroups(), cfg.EnableCloning, cfg.EnableFiltering, cfg.RackSched, ioMode, sw.Batched())
 
 	done := make(chan error, 1)
 	go func() { done <- sw.Serve() }()

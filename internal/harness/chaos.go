@@ -7,6 +7,7 @@ import (
 	"netclone/internal/faults"
 	"netclone/internal/scenario"
 	"netclone/internal/simcluster"
+	"netclone/internal/topology"
 	"netclone/internal/workload"
 )
 
@@ -283,6 +284,89 @@ func registerChaosRollingCrash() {
 				}
 			}
 			return report, nil
+		},
+	})
+}
+
+// ---------------------------------------------------------------------
+// chaos-2rack — backend-portable two-rack chaos
+
+// registerChaosTwoRack registers chaos-2rack. Called dead last from the
+// package init (after registerScaleXL), so its golden rows append after
+// every earlier family.
+func registerChaosTwoRack() {
+	register(&Experiment{
+		ID:    "chaos-2rack",
+		Title: "Two-rack chaos: completed fraction under crash + loss",
+		Paper: "extension (emu fault parity, DESIGN.md §12)",
+		Run: func(opts Options) (Report, error) {
+			opts = opts.withDefaults()
+			// Deliberately no requireSim: the definition uses only
+			// capabilities both backends express — a two-rack fabric
+			// behind delay relays and the socket-expressible fault kinds
+			// — so Options.Backend = scenario.Emu() runs it unchanged on
+			// real sockets (the CI emu chaos smoke does exactly that).
+			dist := workload.WithJitter(workload.Exp(25), highVariability)
+			base := scenario.New(
+				scenario.WithRacks(
+					topology.HomRack(2, synthThreads, 0),
+					topology.HomRack(2, synthThreads, 2*time.Microsecond),
+				),
+				scenario.WithWorkload(dist),
+			)
+			cap := capacityOf(base)
+			// Server 0 crashes across the middle half of the window and a
+			// 15% loss window covers the second half's start — both scale
+			// with the per-point duration, so Quick() shrinks the whole
+			// schedule proportionally.
+			crashFrom := time.Duration(opts.WarmupNS + opts.DurationNS/4)
+			crashUntil := time.Duration(opts.WarmupNS + (3*opts.DurationNS)/4)
+			lossFrom := time.Duration(opts.WarmupNS + opts.DurationNS/2)
+			lossUntil := time.Duration(opts.WarmupNS + (7*opts.DurationNS)/8)
+			chaos := faults.New(
+				faults.ServerCrash(0, crashFrom, crashUntil),
+				faults.Loss(lossFrom, lossUntil, 0.15),
+			)
+			loads := []float64{0.3, 0.6}
+			schemes := []simcluster.Scheme{simcluster.Baseline, simcluster.NetClone}
+			plan := &Plan{}
+			for _, scheme := range schemes {
+				sid := plan.series(scheme.String())
+				for li, load := range loads {
+					sc := base.With(
+						scenario.WithScheme(scheme),
+						scenario.WithOfferedLoad(load*cap),
+						windowOf(opts),
+						// Seeds pair per load point so the scheme delta
+						// isolates how each absorbs the same chaos.
+						scenario.WithSeed(opts.Seed+uint64(li)),
+						scenario.WithFaults(chaos),
+					)
+					load := load
+					plan.point(sid, fmt.Sprintf("%s at %d%%", scheme, int(load*100)), sc,
+						func(res scenario.Result) Point {
+							var frac float64
+							if res.Generated > 0 {
+								frac = float64(res.Completed) / float64(res.Generated)
+							}
+							return Point{X: load, Y: frac}
+						})
+				}
+			}
+			series, err := plan.run(opts)
+			if err != nil {
+				return Report{}, err
+			}
+			return Report{
+				ID: "chaos-2rack", Title: "Completed fraction under a server crash + loss window, two racks",
+				XLabel: "Offered load (fraction of capacity)", YLabel: "Completed fraction",
+				Series: series,
+				Notes: []string{
+					"Server 0 (rack 0) is down across the middle half of the window and a 15%",
+					"per-link loss window covers [1/2, 7/8); requests lost to either count",
+					"against the completed fraction. Runs on both the sim and emu backends.",
+				},
+			}, nil
 		},
 	})
 }

@@ -24,8 +24,12 @@ func init() {
 	registerCongestion()
 	// scale-racks-xl arrived with the parallel-in-time core, after the
 	// cong-* family shipped, so it registers — and its golden rows
-	// append — dead last.
+	// append — after everything before it.
 	registerScaleXL()
+	// chaos-2rack arrived with the batched-syscall emu backend, after
+	// scale-racks-xl, so it registers — and its golden rows append —
+	// dead last. It is the one experiment that runs on both backends.
+	registerChaosTwoRack()
 }
 
 // ext-multirack: the §3.7 multi-rack deployment. The client-side ToR

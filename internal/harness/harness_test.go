@@ -22,7 +22,8 @@ var expectedIDs = []string{
 	"chaos-straggler", "chaos-lossburst", "chaos-rollingcrash",
 	"scale-racks", "scale-xrack", "scale-skew",
 	"cong-incast", "cong-spine", "cong-crossover", "cong-timeline",
-	"scale-racks-xl", // registered last (post-cong addition, golden append order)
+	"scale-racks-xl", // post-cong addition (golden append order)
+	"chaos-2rack",    // registered last (emu-parity addition, golden append order)
 }
 
 func TestRegistryComplete(t *testing.T) {

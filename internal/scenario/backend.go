@@ -31,6 +31,13 @@ type Result struct {
 	// fallback, and the per-shard engine-event split. Zero-valued on
 	// the Emu backend (no shard concept there).
 	ShardInfo simcluster.ShardInfo
+
+	// SendErrors counts failed socket transmissions across the emu
+	// cluster's components (switch, servers, rack relays, clients).
+	// Always 0 on Sim, whose links cannot fail to transmit; a non-zero
+	// value on Emu flags host-level socket trouble rather than modelled
+	// behavior.
+	SendErrors int64
 }
 
 // Backend executes Scenarios. Implementations must be safe for

@@ -1,6 +1,7 @@
 package scenario
 
 import (
+	"errors"
 	"reflect"
 	"strings"
 	"testing"
@@ -82,9 +83,13 @@ func TestSwitchConfigMapping(t *testing.T) {
 	}
 }
 
-// TestEmuRejectsSimOnlyFeatures checks every sim-only feature fails fast
-// with an actionable message, before any socket is opened.
-func TestEmuRejectsSimOnlyFeatures(t *testing.T) {
+// TestEmuCapabilityMatrix is the sim-vs-emu capability table as a
+// test: every still-rejected feature fails fast (before any socket is
+// opened) with an error that wraps ErrSimOnly, names the setter that
+// enabled it, and suggests Sim(); every newly emu-supported feature —
+// multi-rack fabrics, loss windows, link jitter, server crash/recover —
+// runs end to end.
+func TestEmuCapabilityMatrix(t *testing.T) {
 	base := New(
 		WithScheme(simcluster.NetClone),
 		WithServers(2, 2),
@@ -92,32 +97,60 @@ func TestEmuRejectsSimOnlyFeatures(t *testing.T) {
 		WithOfferedLoad(100),
 		WithWindow(0, 10*time.Millisecond),
 	)
-	cases := []struct {
+	rejected := []struct {
 		name string
 		sc   *Scenario
-		want string
+		// want names the feature; setter is the constructor or option
+		// the message must point at so the fix is obvious.
+		want, setter string
 	}{
-		{"LAEDGE", base.With(WithScheme(simcluster.LAEDGE)), "coordinator"},
-		{"multirack", base.With(WithMultiRack(time.Microsecond)), "multi-rack"},
-		{"loss", base.With(WithLoss(0.01)), "loss"},
-		{"switch failure", base.With(WithSwitchFailure(time.Millisecond, 2*time.Millisecond)), "switch-outage"},
-		{"fault plan", base.With(WithFaults(faults.New(
-			faults.ServerCrash(0, time.Millisecond, 2*time.Millisecond)))), "server-crash"},
-		{"timeline", base.With(WithTimeline(time.Millisecond)), "timeline"},
-		{"sampling", base.With(WithBreakdownSampling(5)), "sampling"},
-		{"tracing", base.With(WithTrace(1, 0)), "tracing"},
-		{"no clone guard", base.With(WithoutCloneDropGuard()), "guard"},
-		{"single ordering", base.With(WithSingleOrderingGroups()), "ordering"},
+		{"LAEDGE", base.With(WithScheme(simcluster.LAEDGE)), "coordinator", "Sim()"},
+		{"switch failure", base.With(WithSwitchFailure(time.Millisecond, 2*time.Millisecond)),
+			"switch-outage", "faults.SwitchOutage"},
+		{"server slowdown", base.With(WithFaultInjections(
+			faults.ServerSlowdown(0, time.Millisecond, 2*time.Millisecond, 4, 0))),
+			"server-slowdown", "faults.ServerSlowdown"},
+		{"timeline", base.With(WithTimeline(time.Millisecond)), "timeline", "WithTimeline"},
+		{"sampling", base.With(WithBreakdownSampling(5)), "sampling", "WithBreakdownSampling"},
+		{"tracing", base.With(WithTrace(1, 0)), "tracing", "WithTrace"},
+		{"no clone guard", base.With(WithoutCloneDropGuard()), "guard", "WithoutCloneDropGuard"},
+		{"single ordering", base.With(WithSingleOrderingGroups()), "ordering", "WithSingleOrderingGroups"},
 	}
 	be := Emu()
-	for _, tc := range cases {
-		t.Run(tc.name, func(t *testing.T) {
+	for _, tc := range rejected {
+		t.Run("reject/"+tc.name, func(t *testing.T) {
 			_, err := be.Run(tc.sc)
 			if err == nil {
 				t.Fatal("sim-only feature accepted by Emu backend")
 			}
-			if !strings.Contains(err.Error(), tc.want) {
-				t.Errorf("error %q does not mention %q", err, tc.want)
+			if !errors.Is(err, ErrSimOnly) {
+				t.Errorf("error %v does not wrap ErrSimOnly", err)
+			}
+			for _, want := range []string{tc.want, tc.setter, "Sim()"} {
+				if !strings.Contains(err.Error(), want) {
+					t.Errorf("error %q does not mention %q", err, want)
+				}
+			}
+		})
+	}
+
+	accepted := []struct {
+		name string
+		sc   *Scenario
+	}{
+		{"loss window", base.With(WithLoss(0.01))},
+		{"loss ramp", base.With(WithFaultInjections(
+			faults.LossRamp(0, 5*time.Millisecond, 0.05, 0)))},
+		{"jitter", base.With(WithFaultInjections(
+			faults.Jitter(0, faults.Forever, 100*time.Microsecond)))},
+		{"server crash", base.With(WithFaults(faults.New(
+			faults.ServerCrash(0, time.Millisecond, 2*time.Millisecond))))},
+		{"legacy multirack", base.With(WithMultiRack(time.Microsecond))},
+	}
+	for _, tc := range accepted {
+		t.Run("accept/"+tc.name, func(t *testing.T) {
+			if _, err := be.Run(tc.sc); err != nil {
+				t.Fatalf("emu-expressible feature rejected: %v", err)
 			}
 		})
 	}

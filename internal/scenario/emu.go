@@ -3,17 +3,17 @@ package scenario
 import (
 	"errors"
 	"fmt"
-	"strings"
 	"time"
 
 	"netclone/internal/dataplane"
+	"netclone/internal/faults"
 	"netclone/internal/simcluster"
 	"netclone/internal/udpemu"
 )
 
 // ErrSimOnly marks scenarios (or experiments) that need a capability
-// only the simulator models — LAEDGE's coordinator tier, fault
-// injection, timelines, breakdown sampling, multi-rack fabrics and
+// only the simulator models — LAEDGE's coordinator tier, the
+// congestion model, switch outages, timelines, breakdown sampling,
 // client placement, ablation knobs. Callers sweeping many experiments
 // over a non-sim backend can errors.Is against it to skip instead of
 // abort.
@@ -42,11 +42,21 @@ func EmuStoreObjects(n int) EmuOption {
 	return func(b *emuBackend) { b.storeObjects = n }
 }
 
+// EmuIO pins the cluster's syscall discipline (DESIGN.md §12). The
+// default udpemu.IOAuto batches with recvmmsg/sendmmsg where the
+// platform supports it and falls back to per-packet I/O elsewhere;
+// udpemu.IOPortable forces the per-packet reference path, e.g. for an
+// A/B equivalence run.
+func EmuIO(mode udpemu.IOMode) EmuOption {
+	return func(b *emuBackend) { b.io = mode }
+}
+
 // emuBackend runs scenarios on the real-UDP loopback emulation.
 type emuBackend struct {
 	maxRate      float64
 	timeout      time.Duration
 	storeObjects int
+	io           udpemu.IOMode
 }
 
 // Emu returns the UDP-emulation backend: the scenario's topology is
@@ -67,10 +77,16 @@ type emuBackend struct {
 //
 // Supported schemes: Baseline, CClone (client-side duplicate sends),
 // NetClone, NetCloneNoFilter, and NetCloneRackSched. LAEDGE needs a
-// coordinator process the emulation does not provide. Sim-only scenario
-// features (loss injection, switch failure windows, timelines,
-// breakdown sampling, multi-rack, ablation knobs) are rejected with an
-// actionable error rather than silently ignored.
+// coordinator process the emulation does not provide. Multi-rack
+// fabrics (WithRacks/WithMultiRack) run here: each remote rack's
+// servers sit behind a relay socket injecting the compiled one-way
+// inter-ToR delay. The socket-expressible fault kinds — loss windows
+// (WithLoss/faults.Loss), link jitter (faults.Jitter), and server
+// crash/recover (faults.ServerCrash) — run here too, as wall-clock
+// windows on the emu processes. Everything else that only the
+// simulator models (congestion, switch outages, timelines, breakdown
+// sampling, explicit client placement, ablation knobs) is rejected
+// with an actionable error rather than silently ignored.
 func Emu(opts ...EmuOption) Backend {
 	b := &emuBackend{
 		maxRate:      4000,
@@ -125,11 +141,14 @@ func (b *emuBackend) Run(sc *Scenario) (Result, error) {
 	cluster, err := udpemu.StartCluster(udpemu.ClusterConfig{
 		Dataplane:        dcfg,
 		Workers:          cfg.Workers,
+		Racks:            emuRacks(cfg),
 		Clients:          cfg.NumClients,
 		StoreObjects:     b.storeObjects,
 		ExtraServiceTime: extraService,
 		Timeout:          b.timeout,
 		Seed:             cfg.Seed,
+		IO:               b.io,
+		Faults:           emuFaults(cfg),
 	})
 	if err != nil {
 		return Result{}, fmt.Errorf("emu backend: %w", err)
@@ -174,7 +193,65 @@ func (b *emuBackend) Run(sc *Scenario) (Result, error) {
 	res.Completed = completed
 	res.CloneDropsAtServer = counters.CloneDrops
 	res.RedundantAtClient = counters.Redundant
+	res.SendErrors = counters.SendErrors
 	return res, nil
+}
+
+// emuRacks lays the scenario's canonical fabric out as emu rack specs:
+// every non-client rack's servers run behind a relay injecting the
+// compiled one-way inter-ToR delay. Single-rack fabrics return nil and
+// attach every server straight to the switch socket.
+func emuRacks(cfg simcluster.Config) []udpemu.RackSpec {
+	spec := cfg.CanonicalTopology()
+	if spec.NumRacks() <= 1 {
+		return nil
+	}
+	comp := spec.Compile()
+	racks := make([]udpemu.RackSpec, comp.Racks)
+	for r := range racks {
+		racks[r] = udpemu.RackSpec{
+			Workers: comp.Workers[comp.RackFirstSID[r]:comp.RackFirstSID[r+1]],
+			Delay:   time.Duration(comp.InterDelayNS[comp.ClientRack][r]),
+		}
+	}
+	return racks
+}
+
+// emuFaults translates the scenario's fault plan — plus the legacy
+// WithLoss knob, folded in exactly as the simulator does — into the
+// emu cluster's wall-clock schedule. Window offsets map 1:1 from
+// virtual time: the open loop sends rate x duration requests, so its
+// send window spans the scenario duration. checkSupported has already
+// rejected every kind the schedule cannot express.
+func emuFaults(cfg simcluster.Config) *udpemu.FaultSchedule {
+	inj := cfg.Faults.Injections()
+	if cfg.LossProb > 0 {
+		inj = append(inj, faults.Loss(0, faults.Forever, cfg.LossProb))
+	}
+	if len(inj) == 0 {
+		return nil
+	}
+	fs := &udpemu.FaultSchedule{}
+	for _, in := range inj {
+		from, until := time.Duration(in.FromNS), time.Duration(in.UntilNS)
+		switch in.Kind {
+		case faults.KindLoss:
+			fs.Loss = append(fs.Loss, udpemu.LossWindow{
+				From: from, Until: until,
+				StartProb: in.StartProb, EndProb: in.EndProb,
+			})
+		case faults.KindJitter:
+			fs.Jitter = append(fs.Jitter, udpemu.JitterWindow{
+				From: from, Until: until,
+				MaxExtra: time.Duration(in.MaxExtraNS),
+			})
+		case faults.KindServerCrash:
+			fs.Crashes = append(fs.Crashes, udpemu.CrashWindow{
+				Target: in.Target, From: from, Until: until,
+			})
+		}
+	}
+	return fs
 }
 
 // SwitchConfig maps a scheme onto the emulated switch's data-plane
@@ -207,6 +284,10 @@ func SwitchConfig(scheme simcluster.Scheme, filterTables, filterSlots, maxServer
 }
 
 // checkSupported rejects scenario features only the simulator models.
+// Multi-rack fabrics and the socket-expressible fault kinds (loss
+// windows, link jitter, server crash/recover) run on the emu cluster;
+// everything else is rejected by name, with the setter that enabled it
+// and the Sim() escape hatch.
 func (b *emuBackend) checkSupported(cfg simcluster.Config) error {
 	reject := func(feature string) error {
 		return fmt.Errorf("emu backend: %s is modelled only by the Sim backend (%w); run this scenario with Sim()", feature, ErrSimOnly)
@@ -218,24 +299,11 @@ func (b *emuBackend) checkSupported(cfg simcluster.Config) error {
 		return fmt.Errorf("emu backend: scheme %s reacts to the simulated congestion signal (%w); use Sim(), or plain NetClone here", cfg.Scheme, ErrSimOnly)
 	case cfg.Congestion != nil:
 		return reject("the congestion model (WithCongestion/WithLinkRate)")
-	case cfg.MultiRack:
-		return reject("multi-rack deployment (WithMultiRack)")
-	case cfg.Topology.NumRacks() > 1:
-		return reject(fmt.Sprintf("the %d-rack fabric topology (WithRacks)", cfg.Topology.NumRacks()))
 	case cfg.Topology.PlacementExplicit():
-		// The loopback cluster has no racks to place clients on; an
-		// explicitly placed scenario would otherwise run single-rack
-		// silently.
+		// The emu fabric always homes the clients on the default rack;
+		// an explicitly placed scenario would otherwise run with the
+		// wrong delays silently.
 		return reject("explicit client placement (WithPlacement)")
-	case !cfg.Faults.Empty():
-		kinds := make([]string, 0, cfg.Faults.Len())
-		for _, in := range cfg.Faults.Injections() {
-			kinds = append(kinds, in.Kind.String())
-		}
-		return reject(fmt.Sprintf("fault injection (%s; WithFaults/WithLoss/WithSwitchFailure)",
-			strings.Join(kinds, ", ")))
-	case cfg.LossProb > 0:
-		return reject("loss injection (WithLoss)")
 	case cfg.SwitchFailAtNS > 0:
 		return reject("the switch failure window (WithSwitchFailure)")
 	case cfg.TimelineBinNS > 0:
@@ -248,6 +316,21 @@ func (b *emuBackend) checkSupported(cfg simcluster.Config) error {
 		return reject("disabling the server clone-drop guard (WithoutCloneDropGuard)")
 	case cfg.SingleOrderingGroups:
 		return reject("single-ordering groups (WithSingleOrderingGroups)")
+	}
+	for _, in := range cfg.Faults.Injections() {
+		switch in.Kind {
+		case faults.KindLoss, faults.KindJitter, faults.KindServerCrash:
+			// Socket-expressible: emuFaults schedules these on the emu
+			// processes.
+		case faults.KindServerSlowdown:
+			return reject("the server-slowdown fault (faults.ServerSlowdown)")
+		case faults.KindCoordinatorCrash:
+			return reject("the coordinator-crash fault (faults.CoordinatorCrash)")
+		case faults.KindSwitchOutage:
+			return reject("the switch-outage fault (faults.SwitchOutage)")
+		default:
+			return reject(fmt.Sprintf("the %s fault", in.Kind))
+		}
 	}
 	return nil
 }

@@ -4,8 +4,10 @@ import (
 	"testing"
 	"time"
 
+	"netclone/internal/faults"
 	"netclone/internal/kvstore"
 	"netclone/internal/simcluster"
+	"netclone/internal/topology"
 	"netclone/internal/workload"
 )
 
@@ -89,6 +91,57 @@ func TestEmuRateCap(t *testing.T) {
 	}
 	if res.OfferedRPS != 1000 {
 		t.Errorf("offered RPS = %g, want capped 1000", res.OfferedRPS)
+	}
+}
+
+// chaosTwoRackScenario is the shared chaos definition both backends
+// must accept: a two-rack fabric with a mid-run server crash/recover
+// and a loss window. The emu backend renders the fabric as rack relays
+// and the faults as wall-clock windows; the simulator executes the
+// same plan on virtual time.
+func chaosTwoRackScenario() *Scenario {
+	return New(
+		WithScheme(simcluster.NetClone),
+		WithRacks(
+			topology.Rack{Servers: []int{2, 2}},
+			topology.Rack{Servers: []int{2, 2}, Uplink: 200 * time.Microsecond},
+		),
+		WithClients(1),
+		WithWorkload(workload.Exp(25)),
+		WithOfferedLoad(2000),
+		WithWindow(0, 300*time.Millisecond),
+		WithSeed(13),
+		WithFaultInjections(
+			faults.ServerCrash(0, 50*time.Millisecond, 150*time.Millisecond),
+			faults.Loss(100*time.Millisecond, 200*time.Millisecond, 0.2),
+		),
+	)
+}
+
+// TestChaosScenarioRunsOnBothBackends pins the fault-parity contract:
+// the one chaos definition above runs on Sim and Emu alike, and on
+// both the chaos costs some completions without collapsing the run.
+func TestChaosScenarioRunsOnBothBackends(t *testing.T) {
+	for _, be := range []Backend{Sim(), Emu()} {
+		t.Run(be.Name(), func(t *testing.T) {
+			res, err := be.Run(chaosTwoRackScenario())
+			if err != nil {
+				t.Fatalf("chaos scenario rejected: %v", err)
+			}
+			if res.Backend != be.Name() {
+				t.Errorf("result backend = %q, want %q", res.Backend, be.Name())
+			}
+			if res.Generated == 0 {
+				t.Fatal("chaos run generated nothing")
+			}
+			if res.Completed < res.Generated/2 {
+				t.Errorf("chaos collapsed the run: completed %d of %d",
+					res.Completed, res.Generated)
+			}
+			if res.Completed > res.Generated {
+				t.Errorf("completed %d exceeds generated %d", res.Completed, res.Generated)
+			}
+		})
 	}
 }
 

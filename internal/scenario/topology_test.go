@@ -200,45 +200,48 @@ func TestLaedgeFabricMessageUniform(t *testing.T) {
 	}
 }
 
-// TestEmuRejectsFabricTopology: the emulation has no fabric model; a
-// multi-rack or explicitly placed scenario gets an actionable sim-only
-// error instead of silently running single-rack.
-func TestEmuRejectsFabricTopology(t *testing.T) {
+// TestEmuFabricTopology: multi-rack fabrics run on the emulation —
+// every remote rack behind a delay-injecting relay — while explicit
+// client placement (which would re-home the relays' delays) stays
+// sim-only with an actionable error.
+func TestEmuFabricTopology(t *testing.T) {
 	base := New(
 		WithScheme(simcluster.NetClone),
 		WithWorkload(workload.Exp(25)),
 		WithOfferedLoad(100),
 		WithWindow(0, 10*time.Millisecond),
 	)
-	cases := []struct {
+	be := Emu()
+
+	_, err := be.Run(base.With(
+		WithRacks(topology.Rack{Servers: []int{2, 2}}), WithPlacement(0)))
+	if err == nil {
+		t.Fatal("explicitly placed scenario accepted by the Emu backend")
+	}
+	if !errors.Is(err, ErrSimOnly) {
+		t.Errorf("error %v does not wrap ErrSimOnly", err)
+	}
+	if !strings.Contains(err.Error(), "explicit client placement (WithPlacement)") {
+		t.Errorf("error %q does not name WithPlacement", err)
+	}
+
+	// A one-rack WithRacks fabric with default placement is the plain
+	// single-rack shape; a two-rack fabric runs through rack relays.
+	for _, tc := range []struct {
 		name string
 		sc   *Scenario
-		want string
 	}{
-		{"multi-rack fabric", base.With(twoRacks()), "2-rack fabric topology (WithRacks)"},
-		{"explicit placement", base.With(
-			WithRacks(topology.Rack{Servers: []int{2, 2}}), WithPlacement(0)),
-			"explicit client placement (WithPlacement)"},
-	}
-	be := Emu()
-	for _, tc := range cases {
+		{"one-rack fabric", base.With(WithRacks(topology.Rack{Servers: []int{2, 2}}))},
+		{"two-rack fabric", base.With(twoRacks())},
+	} {
 		t.Run(tc.name, func(t *testing.T) {
-			_, err := be.Run(tc.sc)
-			if err == nil {
-				t.Fatal("fabric scenario accepted by the Emu backend")
+			res, err := be.Run(tc.sc)
+			if err != nil {
+				t.Fatalf("fabric rejected by the Emu backend: %v", err)
 			}
-			if !errors.Is(err, ErrSimOnly) {
-				t.Errorf("error %v does not wrap ErrSimOnly", err)
-			}
-			if !strings.Contains(err.Error(), tc.want) {
-				t.Errorf("error %q does not mention %q", err, tc.want)
+			if res.Completed == 0 {
+				t.Error("fabric run completed nothing")
 			}
 		})
-	}
-	// A one-rack WithRacks fabric with default placement is the plain
-	// single-rack shape: the emulation runs it.
-	ok := base.With(WithRacks(topology.Rack{Servers: []int{2, 2}}))
-	if _, err := be.Run(ok); err != nil {
-		t.Errorf("one-rack fabric rejected by the Emu backend: %v", err)
 	}
 }

@@ -1,0 +1,13 @@
+//go:build linux && amd64
+
+package udpemu
+
+import "syscall"
+
+// Syscall numbers for the batch path. The stdlib syscall tables on
+// linux/amd64 were frozen before sendmmsg landed (Linux 3.0), so its
+// number — stable kernel ABI — is spelled out here.
+const (
+	sysRECVMMSG = syscall.SYS_RECVMMSG
+	sysSENDMMSG = 307
+)

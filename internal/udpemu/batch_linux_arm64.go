@@ -1,0 +1,12 @@
+//go:build linux && arm64
+
+package udpemu
+
+import "syscall"
+
+// Syscall numbers for the batch path; linux/arm64's stdlib tables are
+// recent enough to carry both.
+const (
+	sysRECVMMSG = syscall.SYS_RECVMMSG
+	sysSENDMMSG = syscall.SYS_SENDMMSG
+)

@@ -24,6 +24,9 @@ type ClientConfig struct {
 	Timeout time.Duration
 	// Seed drives group and IDX randomization.
 	Seed uint64
+	// IO selects the syscall discipline (default IOAuto; DESIGN.md
+	// §12).
+	IO IOMode
 }
 
 // Client issues NetClone requests through a switch and records response
@@ -32,7 +35,9 @@ type ClientConfig struct {
 type Client struct {
 	cfg    ClientConfig
 	conn   *net.UDPConn
+	bc     *batchConn // nil on the portable path
 	swAddr *net.UDPAddr
+	swPA   pktAddr
 	rng    *rand.Rand
 
 	mu          sync.Mutex
@@ -45,6 +50,7 @@ type Client struct {
 	nextSeq   uint32
 	redundant int64
 	openDone  atomic.Int64
+	sendErrs  atomic.Int64
 
 	hist      *stats.Histogram
 	closed    chan struct{}
@@ -65,54 +71,97 @@ func NewClient(swAddr *net.UDPAddr, cfg ClientConfig) (*Client, error) {
 	if cfg.Timeout <= 0 {
 		cfg.Timeout = 2 * time.Second
 	}
+	bc, err := resolveIO(cfg.IO, conn)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
 	c := &Client{
 		cfg:         cfg,
 		conn:        conn,
+		bc:          bc,
 		swAddr:      swAddr,
-		rng:         rand.New(rand.NewPCG(cfg.Seed, 0xC11E47)),
 		pending:     make(map[uint32]chan []byte),
 		openPending: make(map[uint32]time.Time),
 		abandoned:   make(map[uint32]struct{}),
 		hist:        stats.NewHistogram(),
 		closed:      make(chan struct{}),
 	}
+	c.rng = rand.New(rand.NewPCG(cfg.Seed, 0xC11E47))
+	var paOK bool
+	c.swPA, paOK = makePktAddr(swAddr)
+	if !paOK {
+		c.bc = nil // batch needs a batch-addressable switch
+	}
 	c.wg.Add(1)
 	go c.receiver()
 	return c, nil
 }
 
+// Batched reports whether this client runs the recvmmsg/sendmmsg path.
+func (c *Client) Batched() bool { return c.bc != nil }
+
+// SendErrors returns the number of failed request transmissions on the
+// batched open-loop path (the portable path surfaces them as errors).
+func (c *Client) SendErrors() int64 { return c.sendErrs.Load() }
+
 // receiver drains responses, settling pending requests and counting
 // redundant (unfiltered duplicate) responses.
 func (c *Client) receiver() {
 	defer c.wg.Done()
+	if c.bc != nil {
+		c.receiverBatch()
+		return
+	}
 	buf := make([]byte, maxDatagram)
 	for {
 		n, _, err := c.conn.ReadFromUDP(buf)
 		if err != nil {
 			return
 		}
-		var h wire.Header
-		if _, err := h.Unmarshal(buf[:n]); err != nil || h.Type != wire.TypeResp {
-			continue
-		}
-		payload := make([]byte, n-wire.HeaderLen)
-		copy(payload, buf[wire.HeaderLen:n])
+		c.settle(buf[:n])
+	}
+}
 
-		c.mu.Lock()
-		ch, ok := c.pending[h.ClientSeq]
-		switch {
-		case ok:
-			delete(c.pending, h.ClientSeq)
-		case c.settleOpenLoop(h.ClientSeq):
-		case c.forget(h.ClientSeq):
-			// Straggler of an abandoned request, not a duplicate.
-		default:
-			c.redundant++
+// receiverBatch drains recvmmsg bursts. Open-loop settling touches
+// only the histogram and counters, so the steady path stays
+// allocation-free; only a closed-loop response copies its payload out
+// of the ring.
+func (c *Client) receiverBatch() {
+	for {
+		n, err := c.bc.recv()
+		if err != nil {
+			return
 		}
-		c.mu.Unlock()
-		if ok {
-			ch <- payload
+		for i := 0; i < n; i++ {
+			c.settle(c.bc.pkt(i))
 		}
+	}
+}
+
+// settle routes one received datagram to its waiting request.
+func (c *Client) settle(pkt []byte) {
+	var h wire.Header
+	if _, err := h.Unmarshal(pkt); err != nil || h.Type != wire.TypeResp {
+		return
+	}
+	c.mu.Lock()
+	ch, ok := c.pending[h.ClientSeq]
+	var payload []byte
+	switch {
+	case ok:
+		delete(c.pending, h.ClientSeq)
+		payload = make([]byte, len(pkt)-wire.HeaderLen)
+		copy(payload, pkt[wire.HeaderLen:])
+	case c.settleOpenLoop(h.ClientSeq):
+	case c.forget(h.ClientSeq):
+		// Straggler of an abandoned request, not a duplicate.
+	default:
+		c.redundant++
+	}
+	c.mu.Unlock()
+	if ok {
+		ch <- payload
 	}
 }
 
@@ -124,12 +173,14 @@ func (c *Client) Do(numGroups int, op workload.OpKind, rank uint64, span uint16,
 	c.nextSeq++
 	ch := make(chan []byte, 1)
 	c.pending[seq] = ch
+	group := uint16(c.rng.IntN(maxIntU(numGroups, 1)))
+	idx := uint8(c.rng.IntN(c.cfg.FilterTables))
 	c.mu.Unlock()
 
 	h := wire.Header{
 		Type:      wire.TypeReq,
-		Group:     uint16(c.rng.IntN(maxIntU(numGroups, 1))),
-		Idx:       uint8(c.rng.IntN(c.cfg.FilterTables)),
+		Group:     group,
+		Idx:       idx,
 		ClientID:  c.cfg.ClientID,
 		ClientSeq: seq,
 		PktTotal:  1,

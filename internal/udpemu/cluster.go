@@ -11,6 +11,17 @@ import (
 	"netclone/internal/stats"
 )
 
+// RackSpec describes one rack of an emulated multi-rack fabric: its
+// servers' worker counts and the one-way fabric delay between its ToR
+// and the client rack's ToR (the sum of both uplinks in the topology
+// model). The rack with zero delay is the client rack — its servers
+// attach directly to the Switch; every other rack gets a Relay
+// injecting the delay on both directions.
+type RackSpec struct {
+	Workers []int
+	Delay   time.Duration
+}
+
 // ClusterConfig describes an in-process loopback cluster: one switch
 // emulator, one kvstore-backed worker server per Workers entry, and
 // Clients measuring clients — the same lifecycle the three standalone
@@ -20,8 +31,13 @@ type ClusterConfig struct {
 	// fit Workers if it is too small.
 	Dataplane dataplane.Config
 	// Workers holds the worker-goroutine count of each server; its
-	// length is the number of servers.
+	// length is the number of servers. Ignored when Racks is set.
 	Workers []int
+	// Racks, when non-empty, lays the servers out across emulated
+	// racks: server IDs run rack by rack in order, matching the
+	// topology layer's FlatWorkers numbering. Racks with a positive
+	// Delay run behind a Relay.
+	Racks []RackSpec
 	// Clients is the number of measuring clients (default 1).
 	Clients int
 	// StoreObjects sizes the shared key-value store (default 1<<16).
@@ -34,6 +50,13 @@ type ClusterConfig struct {
 	Timeout time.Duration
 	// Seed derives per-client randomization seeds.
 	Seed uint64
+	// IO selects the syscall discipline for every component (default
+	// IOAuto; DESIGN.md §12).
+	IO IOMode
+	// Faults schedules the socket-expressible fault kinds — loss
+	// windows, link jitter, server crash/recover — relative to the
+	// open-loop start (RunOpenLoop arms the clock).
+	Faults *FaultSchedule
 }
 
 // Cluster is a running in-process loopback cluster. Create it with
@@ -41,8 +64,13 @@ type ClusterConfig struct {
 type Cluster struct {
 	Switch  *Switch
 	Servers []*Server
+	Relays  []*Relay
 	Clients []*Client
 	store   *kvstore.Store
+
+	faults   *faultState
+	faultsWG sync.WaitGroup
+	stopCh   chan struct{}
 
 	closeOnce sync.Once
 	closeErr  error
@@ -60,12 +88,32 @@ type ClusterCounters struct {
 	CloneDrops int64
 	// Redundant sums the duplicate responses that reached the clients.
 	Redundant int64
+	// SendErrors sums failed socket transmissions across the switch,
+	// servers, relays, and clients — previously discarded silently.
+	SendErrors int64
+	// LossDrops counts packets dropped by active loss windows at the
+	// switch.
+	LossDrops int64
+	// CrashDrops counts packets and queued jobs discarded by servers
+	// inside crash windows.
+	CrashDrops int64
 }
 
 // StartCluster binds and starts the whole cluster on loopback. On error
 // every partially started component is shut down.
 func StartCluster(cfg ClusterConfig) (*Cluster, error) {
-	if len(cfg.Workers) < 2 {
+	workers := cfg.Workers
+	serverRack := []int(nil)
+	if len(cfg.Racks) > 0 {
+		workers = workers[:0:0]
+		for ri, r := range cfg.Racks {
+			workers = append(workers, r.Workers...)
+			for range r.Workers {
+				serverRack = append(serverRack, ri)
+			}
+		}
+	}
+	if len(workers) < 2 {
 		return nil, errors.New("udpemu: cluster needs at least two servers")
 	}
 	if cfg.Clients <= 0 {
@@ -78,23 +126,56 @@ func StartCluster(cfg ClusterConfig) (*Cluster, error) {
 		cfg.Timeout = 2 * time.Second
 	}
 	dcfg := cfg.Dataplane
-	if dcfg.MaxServers < len(cfg.Workers) {
-		dcfg.MaxServers = len(cfg.Workers)
+	if dcfg.MaxServers < len(workers) {
+		dcfg.MaxServers = len(workers)
 	}
 
-	sw, err := NewSwitch("127.0.0.1:0", dcfg)
+	sw, err := NewSwitch("127.0.0.1:0", dcfg, cfg.IO)
 	if err != nil {
 		return nil, err
 	}
-	c := &Cluster{Switch: sw, store: kvstore.NewStore(cfg.StoreObjects)}
+	c := &Cluster{
+		Switch: sw,
+		store:  kvstore.NewStore(cfg.StoreObjects),
+		stopCh: make(chan struct{}),
+	}
+	if !cfg.Faults.Empty() {
+		c.faults = newFaultState(*cfg.Faults)
+		sw.setFaultState(c.faults)
+	}
 	go sw.Serve() //nolint:errcheck // terminated by Close
 
-	for sid, threads := range cfg.Workers {
-		srv, err := NewServer("127.0.0.1:0", sw.Addr(), ServerConfig{
+	// One relay per delayed rack; the client rack (zero delay) attaches
+	// its servers straight to the switch socket.
+	relays := map[int]*Relay{}
+	for ri, r := range cfg.Racks {
+		if r.Delay <= 0 {
+			continue
+		}
+		rel, err := NewRelay(sw.Addr(), r.Delay)
+		if err != nil {
+			c.Close()
+			return nil, fmt.Errorf("udpemu: relay for rack %d: %w", ri, err)
+		}
+		relays[ri] = rel
+		c.Relays = append(c.Relays, rel)
+	}
+
+	for sid, threads := range workers {
+		var rel *Relay
+		if serverRack != nil {
+			rel = relays[serverRack[sid]]
+		}
+		swAddr := sw.Addr()
+		if rel != nil {
+			swAddr = rel.UpAddr()
+		}
+		srv, err := NewServer("127.0.0.1:0", swAddr, ServerConfig{
 			SID:              uint16(sid),
 			Workers:          threads,
 			Store:            c.store,
 			ExtraServiceTime: cfg.ExtraServiceTime,
+			IO:               cfg.IO,
 		})
 		if err != nil {
 			c.Close()
@@ -102,10 +183,19 @@ func StartCluster(cfg ClusterConfig) (*Cluster, error) {
 		}
 		c.Servers = append(c.Servers, srv)
 		go srv.Serve() //nolint:errcheck
-		if err := sw.AddServer(uint16(sid), srv.Addr()); err != nil {
+		if rel != nil {
+			rel.AddServer(uint16(sid), srv.Addr())
+			err = sw.AddServerVia(uint16(sid), srv.Addr(), rel.DownAddr())
+		} else {
+			err = sw.AddServer(uint16(sid), srv.Addr())
+		}
+		if err != nil {
 			c.Close()
 			return nil, fmt.Errorf("udpemu: register server %d: %w", sid, err)
 		}
+	}
+	for _, rel := range c.Relays {
+		rel.Serve()
 	}
 
 	for i := 0; i < cfg.Clients; i++ {
@@ -114,6 +204,7 @@ func StartCluster(cfg ClusterConfig) (*Cluster, error) {
 			FilterTables: dcfg.FilterTables,
 			Timeout:      cfg.Timeout,
 			Seed:         cfg.Seed + uint64(i)*7919,
+			IO:           cfg.IO,
 		})
 		if err != nil {
 			c.Close()
@@ -127,16 +218,28 @@ func StartCluster(cfg ClusterConfig) (*Cluster, error) {
 // Store returns the shared key-value store backing every server.
 func (c *Cluster) Store() *kvstore.Store { return c.store }
 
+// Batched reports whether the cluster's switch runs the batched
+// syscall path (servers and clients follow the same resolution).
+func (c *Cluster) Batched() bool { return c.Switch.Batched() }
+
 // Counters snapshots the cluster-wide counters. Take it after traffic
 // has drained for a consistent view.
 func (c *Cluster) Counters() ClusterCounters {
 	out := ClusterCounters{Switch: c.Switch.Stats()}
+	out.SendErrors = c.Switch.SendErrors()
+	out.LossDrops = c.Switch.LossDrops()
 	for _, s := range c.Servers {
 		out.Processed += s.Processed()
 		out.CloneDrops += s.CloneDrops()
+		out.CrashDrops += s.CrashDrops()
+		out.SendErrors += s.SendErrors()
+	}
+	for _, r := range c.Relays {
+		out.SendErrors += r.SendErrors()
 	}
 	for _, cl := range c.Clients {
 		out.Redundant += cl.Redundant()
+		out.SendErrors += cl.SendErrors()
 	}
 	return out
 }
@@ -152,7 +255,7 @@ func (c *Cluster) MergedLatency() *stats.Histogram {
 
 // RunOpenLoop drives every client concurrently, splitting the target
 // rate and request count evenly, and returns the per-client results in
-// client order.
+// client order. Starting the loop arms the fault schedule's clock.
 func (c *Cluster) RunOpenLoop(cfg OpenLoopConfig) ([]OpenLoopResult, error) {
 	n := len(c.Clients)
 	if n == 0 {
@@ -165,6 +268,8 @@ func (c *Cluster) RunOpenLoop(cfg OpenLoopConfig) ([]OpenLoopResult, error) {
 	if per.Requests == 0 {
 		per.Requests = 1
 	}
+
+	c.armFaults(time.Now())
 
 	results := make([]OpenLoopResult, n)
 	errs := make([]error, n)
@@ -180,10 +285,47 @@ func (c *Cluster) RunOpenLoop(cfg OpenLoopConfig) ([]OpenLoopResult, error) {
 	return results, errors.Join(errs...)
 }
 
-// Close shuts down clients, servers, and switch, in that order. It is
-// idempotent and safe on partially constructed clusters.
+// armFaults pins the fault schedule's wall-clock zero and starts the
+// crash executor — the goroutine that flips server down-flags at the
+// schedule's transitions, emulating faults.ServerCrash on real
+// processes.
+func (c *Cluster) armFaults(start time.Time) {
+	if c.faults == nil {
+		return
+	}
+	c.faults.arm(start)
+	ts := c.faults.sched.crashTransitions()
+	if len(ts) == 0 {
+		return
+	}
+	c.faultsWG.Add(1)
+	go func() {
+		defer c.faultsWG.Done()
+		for _, t := range ts {
+			due := start.Add(t.at)
+			if d := time.Until(due); d > 0 {
+				select {
+				case <-time.After(d):
+				case <-c.stopCh:
+					return
+				}
+			}
+			if t.target < 0 {
+				for _, s := range c.Servers {
+					s.SetDown(t.down)
+				}
+			} else if t.target < len(c.Servers) {
+				c.Servers[t.target].SetDown(t.down)
+			}
+		}
+	}()
+}
+
+// Close shuts down clients, servers, relays, and switch, in that
+// order. It is idempotent and safe on partially constructed clusters.
 func (c *Cluster) Close() error {
 	c.closeOnce.Do(func() {
+		close(c.stopCh)
 		var errs []error
 		for _, cl := range c.Clients {
 			errs = append(errs, cl.Close())
@@ -191,9 +333,13 @@ func (c *Cluster) Close() error {
 		for _, s := range c.Servers {
 			errs = append(errs, s.Close())
 		}
+		for _, r := range c.Relays {
+			errs = append(errs, r.Close())
+		}
 		if c.Switch != nil {
 			errs = append(errs, c.Switch.Close())
 		}
+		c.faultsWG.Wait()
 		c.closeErr = errors.Join(errs...)
 	})
 	return c.closeErr

@@ -1,0 +1,106 @@
+package udpemu
+
+import (
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// delayLine injects one-way link latency into a forwarding path: the
+// caller stamps each packet with its due time, a sender goroutine
+// sleeps until then and transmits. Buffers come from a preallocated
+// freelist, so steady-state forwarding does not allocate. Packets are
+// FIFO per line — correct for a constant delay, and jitter windows
+// only ever add delay at enqueue time, never reorder within the line.
+type delayLine struct {
+	send func(b []byte, to *net.UDPAddr) error
+
+	ch   chan delayedPkt
+	free chan *delayBuf
+
+	sendErrs  atomic.Int64
+	overflows atomic.Int64
+	delayed   atomic.Int64
+
+	wg        sync.WaitGroup
+	closeOnce sync.Once
+}
+
+type delayBuf struct {
+	b [maxDatagram + 4]byte
+}
+
+type delayedPkt struct {
+	due time.Time
+	to  *net.UDPAddr
+	buf *delayBuf
+	n   int
+}
+
+// delayLineDepth bounds in-flight delayed packets per line. At the emu
+// rate cap a line holds delay x rate packets; 4096 covers multi-ms
+// delays with headroom. Overflow drops (counted) stand in for a full
+// link queue.
+const delayLineDepth = 4096
+
+// newDelayLine starts the sender goroutine over the given transmit
+// function (typically a closure over one socket's WriteToUDP).
+func newDelayLine(send func(b []byte, to *net.UDPAddr) error) *delayLine {
+	dl := &delayLine{
+		send: send,
+		ch:   make(chan delayedPkt, delayLineDepth),
+		free: make(chan *delayBuf, delayLineDepth),
+	}
+	for i := 0; i < delayLineDepth; i++ {
+		dl.free <- &delayBuf{}
+	}
+	dl.wg.Add(1)
+	go dl.run()
+	return dl
+}
+
+// enqueue schedules pkt for transmission to to at due. It copies pkt
+// into a freelist buffer; a full line drops the packet (counted in
+// overflows).
+func (dl *delayLine) enqueue(pkt []byte, to *net.UDPAddr, due time.Time) {
+	var buf *delayBuf
+	select {
+	case buf = <-dl.free:
+	default:
+		dl.overflows.Add(1)
+		return
+	}
+	n := copy(buf.b[:], pkt)
+	select {
+	case dl.ch <- delayedPkt{due: due, to: to, buf: buf, n: n}:
+		dl.delayed.Add(1)
+	default:
+		// Freelist and channel have equal depth, so this branch is
+		// unreachable; keep it non-blocking for safety.
+		dl.free <- buf
+		dl.overflows.Add(1)
+	}
+}
+
+// run drains the line in order, sleeping until each packet's due time.
+func (dl *delayLine) run() {
+	defer dl.wg.Done()
+	for p := range dl.ch {
+		if d := time.Until(p.due); d > 0 {
+			time.Sleep(d)
+		}
+		if err := dl.send(dl.buf(p), p.to); err != nil {
+			dl.sendErrs.Add(1)
+		}
+		dl.free <- p.buf
+	}
+}
+
+func (dl *delayLine) buf(p delayedPkt) []byte { return p.buf.b[:p.n] }
+
+// close stops the sender after the queue drains.
+func (dl *delayLine) close() {
+	dl.closeOnce.Do(func() { close(dl.ch) })
+	dl.wg.Wait()
+}

@@ -69,9 +69,15 @@ func (c *Client) RunOpenLoop(cfg OpenLoopConfig) (OpenLoopResult, error) {
 	next := start
 	for i := 0; i < cfg.Requests; i++ {
 		// Pace against absolute target times so scheduling jitter does
-		// not accumulate into rate drift.
+		// not accumulate into rate drift. In batch mode, going ahead of
+		// schedule is the flush point: the ring drains before the
+		// sender sleeps, so pacing latency is unaffected while
+		// saturated runs amortize one sendmmsg over up to 32 requests.
 		next = next.Add(time.Duration(arrival.NextGap(rng)))
 		if d := time.Until(next); d > 0 {
+			if c.bc != nil {
+				c.flushOpenLoop()
+			}
 			time.Sleep(d)
 		}
 
@@ -106,6 +112,16 @@ func (c *Client) RunOpenLoop(cfg OpenLoopConfig) (OpenLoopResult, error) {
 				ClientSeq: seq,
 				PktTotal:  1,
 			}
+			if c.bc != nil {
+				slot := c.bc.wslot()
+				slot = h.AppendTo(slot)
+				slot = wire.AppendOp(slot, uint8(op), rank, span, nil)
+				dropped, _ := c.bc.commit(len(slot), c.swPA)
+				if dropped > 0 {
+					c.sendErrs.Add(int64(dropped))
+				}
+				continue
+			}
 			buf = buf[:0]
 			buf = h.AppendTo(buf)
 			buf = wire.AppendOp(buf, uint8(op), rank, span, nil)
@@ -113,6 +129,9 @@ func (c *Client) RunOpenLoop(cfg OpenLoopConfig) (OpenLoopResult, error) {
 				return OpenLoopResult{}, err
 			}
 		}
+	}
+	if c.bc != nil {
+		c.flushOpenLoop()
 	}
 	elapsed := time.Since(start)
 	inWindow := c.openDone.Load()
@@ -139,6 +158,15 @@ func (c *Client) RunOpenLoop(cfg OpenLoopConfig) (OpenLoopResult, error) {
 		Elapsed:           elapsed,
 		AchievedRPS:       float64(inWindow) / elapsed.Seconds(),
 	}, nil
+}
+
+// flushOpenLoop drains the batch write ring; failed sends are counted,
+// not fatal — matching how genuinely lost packets behave on this path.
+func (c *Client) flushOpenLoop() {
+	dropped, _ := c.bc.flush()
+	if dropped > 0 {
+		c.sendErrs.Add(int64(dropped))
+	}
 }
 
 // settleOpenLoop is called by the receiver for responses that do not

@@ -1,0 +1,98 @@
+package udpemu
+
+import (
+	"os"
+	"testing"
+)
+
+// testProbeRates trims the ladder for tests: one modest rung keeps the
+// probe's plumbing covered without a multi-second saturation climb.
+func testProbeRates(t *testing.T, rates []float64) {
+	t.Helper()
+	old := probeRates
+	probeRates = rates
+	t.Cleanup(func() { probeRates = old })
+}
+
+// TestLoopbackRateProbe runs a single gentle rung per mode: the ladder
+// mechanics, the Batched flag, and the sustained verdict all surface,
+// while saturation behaviour is left to the bench pipeline.
+func TestLoopbackRateProbe(t *testing.T) {
+	testProbeRates(t, []float64{2000})
+	modes := []IOMode{IOPortable}
+	if BatchSupported() {
+		modes = append(modes, IOBatch)
+	}
+	for _, mode := range modes {
+		res, err := LoopbackRateProbe(mode)
+		if err != nil {
+			t.Fatalf("%v: %v", mode, err)
+		}
+		if res.Mode != mode {
+			t.Errorf("result mode = %v, want %v", res.Mode, mode)
+		}
+		if wantBatched := mode == IOBatch; res.Batched != wantBatched {
+			t.Errorf("%v: Batched = %v, want %v", mode, res.Batched, wantBatched)
+		}
+		if len(res.Rungs) != 1 {
+			t.Fatalf("%v: %d rungs, want 1", mode, len(res.Rungs))
+		}
+		r := res.Rungs[0]
+		if r.OfferedRPS != 2000 || r.CompletedFrac < probeSustainFrac {
+			t.Errorf("%v: gentle rung not sustained: %+v", mode, r)
+		}
+		if res.SustainedRPS <= 0 {
+			t.Errorf("%v: no sustained rate from a passing rung", mode)
+		}
+	}
+}
+
+// TestLoopbackRateProbeOverload pins the ladder's stop rule: a rung
+// that cannot complete its requests in the window ends the climb and
+// contributes nothing to the sustained figure.
+func TestLoopbackRateProbeOverload(t *testing.T) {
+	if testing.Short() {
+		t.Skip("saturation rung skipped in -short mode")
+	}
+	// 2M req/s is beyond any loopback cluster; the rung must overload.
+	testProbeRates(t, []float64{2000, 2_000_000, 4_000_000})
+	res, err := LoopbackRateProbe(IOAuto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rungs) != 2 {
+		t.Fatalf("climb did not stop at the overloaded rung: %d rungs", len(res.Rungs))
+	}
+	last := res.Rungs[1]
+	if last.CompletedFrac >= probeSustainFrac {
+		t.Fatalf("2M-rps rung unexpectedly sustained: %+v", last)
+	}
+	if res.SustainedRPS >= last.OfferedRPS {
+		t.Errorf("sustained %f includes the overloaded rung", res.SustainedRPS)
+	}
+	if res.SustainedRPS <= 0 {
+		t.Error("gentle first rung did not set the sustained rate")
+	}
+}
+
+// TestLoopbackRateProbeMeasure prints the full-ladder A/B; run with
+// PROBE_MEASURE=1 to see what this host sustains on each path.
+func TestLoopbackRateProbeMeasure(t *testing.T) {
+	if os.Getenv("PROBE_MEASURE") == "" {
+		t.Skip("set PROBE_MEASURE=1 for the manual A/B measurement")
+	}
+	p, err := LoopbackRateProbe(IOPortable)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("portable sustained: %.0f rps, rungs %+v", p.SustainedRPS, p.Rungs)
+	if !BatchSupported() {
+		return
+	}
+	b, err := LoopbackRateProbe(IOBatch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("batched sustained:  %.0f rps (%.1fx portable), rungs %+v",
+		b.SustainedRPS, b.SustainedRPS/p.SustainedRPS, b.Rungs)
+}

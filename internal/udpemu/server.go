@@ -26,32 +26,72 @@ type ServerConfig struct {
 	// ExtraServiceTime, when positive, adds busy time per request to
 	// emulate heavier application work in examples.
 	ExtraServiceTime time.Duration
+	// IO selects the syscall discipline (default IOAuto; DESIGN.md
+	// §12).
+	IO IOMode
 }
+
+// inlinePayload covers every internal request payload (an op header
+// plus at most one kvstore value) so steady-state dispatch copies into
+// the job value instead of allocating. Larger payloads — possible only
+// from external senders — take a rare allocating path.
+const inlinePayload = wire.OpHeaderLen + kvstore.ValueSize + 16
 
 // Server is a UDP worker server: a dispatcher goroutine feeding a FCFS
 // queue drained by worker goroutines, with NetClone state piggybacking
-// and the cloned-request drop guard (§3.4, §4.2).
+// and the cloned-request drop guard (§3.4, §4.2). In batch mode the
+// dispatcher drains recvmmsg bursts and workers hand responses to an
+// egress goroutine that flushes them with sendmmsg.
 type Server struct {
 	cfg    ServerConfig
 	conn   *net.UDPConn
+	bc     *batchConn // nil on the portable path
 	swAddr *net.UDPAddr
+	swPA   pktAddr
+	swPAOK bool
 	store  *kvstore.Store
 
-	queue     chan serverJob
-	wg        sync.WaitGroup
+	queue    chan serverJob
+	egress   chan *respBuf
+	respFree chan *respBuf
+
+	workersWG sync.WaitGroup
+	egressWG  sync.WaitGroup
 	closed    chan struct{}
 	closeOnce sync.Once
 
+	// down marks a crash window (FaultSchedule): arriving packets are
+	// dropped and queued work is discarded until recovery.
+	down atomic.Bool
+
 	processed  atomic.Int64
 	cloneDrops atomic.Int64
+	crashDrops atomic.Int64
+	sendErrs   atomic.Int64
 }
 
 type serverJob struct {
-	hdr     wire.Header
-	payload []byte
+	hdr wire.Header
+	n   int
+	buf [inlinePayload]byte
+	big []byte // overflow payload; nil on the steady path
 }
 
-// NewServer binds a worker server to addr and targets the given switch.
+func (j *serverJob) payload() []byte {
+	if j.big != nil {
+		return j.big
+	}
+	return j.buf[:j.n]
+}
+
+// respBuf is one prepared response awaiting the egress flush.
+type respBuf struct {
+	n int
+	b [maxDatagram]byte
+}
+
+// NewServer binds a worker server to addr and targets the given switch
+// (or, on a remote rack, the rack relay's uplink).
 func NewServer(addr string, swAddr *net.UDPAddr, cfg ServerConfig) (*Server, error) {
 	udpAddr, err := net.ResolveUDPAddr("udp", addr)
 	if err != nil {
@@ -67,22 +107,46 @@ func NewServer(addr string, swAddr *net.UDPAddr, cfg ServerConfig) (*Server, err
 	if cfg.QueueCap <= 0 {
 		cfg.QueueCap = 1024
 	}
+	bc, err := resolveIO(cfg.IO, conn)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
 	store := cfg.Store
 	if store == nil {
 		store = kvstore.NewStore(1024)
 	}
-	return &Server{
+	s := &Server{
 		cfg:    cfg,
 		conn:   conn,
+		bc:     bc,
 		swAddr: swAddr,
 		store:  store,
 		queue:  make(chan serverJob, cfg.QueueCap),
 		closed: make(chan struct{}),
-	}, nil
+	}
+	s.swPA, s.swPAOK = makePktAddr(swAddr)
+	if bc != nil && s.swPAOK {
+		// The egress freelist bounds prepared-response memory; workers
+		// block on it, so its depth only needs to cover the flusher's
+		// in-flight window.
+		depth := cfg.Workers + 2*ioBurst
+		s.egress = make(chan *respBuf, depth)
+		s.respFree = make(chan *respBuf, depth)
+		for i := 0; i < depth; i++ {
+			s.respFree <- &respBuf{}
+		}
+	} else {
+		s.bc = nil // batch needs a batch-addressable switch too
+	}
+	return s, nil
 }
 
 // Addr returns the server's bound address for switch registration.
 func (s *Server) Addr() *net.UDPAddr { return s.conn.LocalAddr().(*net.UDPAddr) }
+
+// Batched reports whether this server runs the recvmmsg/sendmmsg path.
+func (s *Server) Batched() bool { return s.bc != nil }
 
 // Processed returns the number of requests served.
 func (s *Server) Processed() int64 { return s.processed.Load() }
@@ -91,35 +155,84 @@ func (s *Server) Processed() int64 { return s.processed.Load() }
 // stale-state guard.
 func (s *Server) CloneDrops() int64 { return s.cloneDrops.Load() }
 
+// CrashDrops returns the number of packets and queued jobs discarded
+// while a crash window held the server down.
+func (s *Server) CrashDrops() int64 { return s.crashDrops.Load() }
+
+// SendErrors returns the number of failed response transmissions.
+func (s *Server) SendErrors() int64 { return s.sendErrs.Load() }
+
+// SetDown flips the crash-window state (the cluster's fault executor
+// drives it). Going down discards what is already queued — the crash
+// loses in-flight work; recovery starts empty.
+func (s *Server) SetDown(down bool) { s.down.Store(down) }
+
 // Serve starts the workers and the dispatcher loop; it returns after
 // Close.
 func (s *Server) Serve() error {
 	for i := 0; i < s.cfg.Workers; i++ {
-		s.wg.Add(1)
+		s.workersWG.Add(1)
 		go s.worker()
 	}
+	if s.bc != nil {
+		s.egressWG.Add(1)
+		go s.egressLoop()
+		return s.serveBatch()
+	}
+	return s.servePortable()
+}
+
+// servePortable is the per-packet reference ingress loop.
+func (s *Server) servePortable() error {
 	buf := make([]byte, maxDatagram)
 	for {
 		n, _, err := s.conn.ReadFromUDP(buf)
 		if err != nil {
-			close(s.queue)
-			s.wg.Wait()
-			select {
-			case <-s.closed:
-				return nil
-			default:
-				return err
-			}
+			return s.shutdown(err)
 		}
 		s.dispatch(buf[:n])
 	}
 }
 
-// dispatch is the dispatcher thread: validate, apply the clone guard,
-// enqueue.
+// serveBatch drains recvmmsg bursts into the dispatcher.
+func (s *Server) serveBatch() error {
+	for {
+		n, err := s.bc.recv()
+		if err != nil {
+			return s.shutdown(err)
+		}
+		for i := 0; i < n; i++ {
+			s.dispatch(s.bc.pkt(i))
+		}
+	}
+}
+
+// shutdown drains the worker and egress pipelines after the ingress
+// loop ends.
+func (s *Server) shutdown(readErr error) error {
+	close(s.queue)
+	s.workersWG.Wait()
+	if s.egress != nil {
+		close(s.egress)
+	}
+	s.egressWG.Wait()
+	select {
+	case <-s.closed:
+		return nil
+	default:
+		return readErr
+	}
+}
+
+// dispatch is the dispatcher thread: validate, apply the crash window
+// and the clone guard, enqueue.
 func (s *Server) dispatch(pkt []byte) {
 	var h wire.Header
 	if _, err := h.Unmarshal(pkt); err != nil || h.Type != wire.TypeReq {
+		return
+	}
+	if s.down.Load() {
+		s.crashDrops.Add(1)
 		return
 	}
 	// §3.4: drop cloned requests when the queue is non-empty — the
@@ -128,10 +241,15 @@ func (s *Server) dispatch(pkt []byte) {
 		s.cloneDrops.Add(1)
 		return
 	}
-	payload := make([]byte, len(pkt)-wire.HeaderLen)
-	copy(payload, pkt[wire.HeaderLen:])
+	job := serverJob{hdr: h}
+	payload := pkt[wire.HeaderLen:]
+	if len(payload) <= inlinePayload {
+		job.n = copy(job.buf[:], payload)
+	} else {
+		job.big = append([]byte(nil), payload...)
+	}
 	select {
-	case s.queue <- serverJob{hdr: h, payload: payload}:
+	case s.queue <- job:
 	default:
 		// Queue overflow: drop, as a real server NIC queue would.
 	}
@@ -140,12 +258,18 @@ func (s *Server) dispatch(pkt []byte) {
 // worker drains the queue, executes operations against the store, and
 // responds through the switch with piggybacked queue state.
 func (s *Server) worker() {
-	defer s.wg.Done()
+	defer s.workersWG.Done()
 	out := make([]byte, 0, maxDatagram)
 	var value [kvstore.ValueSize]byte
 	for job := range s.queue {
+		if s.down.Load() {
+			// The crash loses queued work; nothing is executed or
+			// answered.
+			s.crashDrops.Add(1)
+			continue
+		}
 		var respPayload []byte
-		op, rank, span, val, err := wire.DecodeOp(job.payload)
+		op, rank, span, val, err := wire.DecodeOp(job.payload())
 		if err == nil {
 			switch workload.OpKind(op) {
 			case workload.OpGet:
@@ -176,13 +300,65 @@ func (s *Server) worker() {
 		h.State = uint16(qlen)
 		h.PayloadLen = uint16(len(respPayload))
 
+		if s.egress != nil {
+			rb := <-s.respFree
+			b := h.AppendTo(rb.b[:0])
+			b = append(b, respPayload...)
+			rb.n = len(b)
+			s.egress <- rb
+			continue
+		}
 		out = out[:0]
 		out = h.AppendTo(out)
 		out = append(out, respPayload...)
 		if _, err := s.conn.WriteToUDP(out, s.swAddr); err == nil {
 			s.processed.Add(1)
+		} else {
+			s.sendErrs.Add(1)
 		}
 	}
+}
+
+// egressLoop aggregates prepared responses and flushes them with
+// sendmmsg: one blocking take, then everything already waiting, up to
+// the ring size per flush.
+func (s *Server) egressLoop() {
+	defer s.egressWG.Done()
+	for rb := range s.egress {
+		batched := 1
+		s.commitResp(rb)
+	fill:
+		for batched < ioBurst {
+			select {
+			case more, ok := <-s.egress:
+				if !ok {
+					break fill
+				}
+				s.commitResp(more)
+				batched++
+			default:
+				break fill
+			}
+		}
+		dropped, _ := s.bc.flush()
+		if dropped > 0 {
+			s.sendErrs.Add(int64(dropped))
+		}
+		s.processed.Add(int64(batched - dropped))
+	}
+}
+
+// commitResp moves one prepared response into the write ring and
+// returns its buffer to the freelist.
+func (s *Server) commitResp(rb *respBuf) {
+	slot := s.bc.wslot()
+	slot = append(slot, rb.b[:rb.n]...)
+	dropped, _ := s.bc.commit(len(slot), s.swPA)
+	if dropped > 0 {
+		s.sendErrs.Add(int64(dropped))
+		s.processed.Add(int64(-dropped)) // flushed mid-fill: keep the count honest
+	}
+	s.respFree <- rb
 }
 
 // Close stops the server and waits for workers to drain. It is

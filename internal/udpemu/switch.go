@@ -8,13 +8,23 @@
 // It is an emulator, not a performance testbed: localhost RTT jitter is
 // far larger than the microsecond effects the paper measures, so all
 // latency figures come from the simulator (see DESIGN.md §1).
+//
+// I/O runs in one of two modes (DESIGN.md §12): the portable per-packet
+// net.UDPConn path, and — on Linux amd64/arm64 — a batched path that
+// drains and flushes bursts of up to 32 packets per recvmmsg/sendmmsg
+// syscall through preallocated rings, allocation-free in steady state.
+// IOAuto picks the batched path when available; IOPortable pins the
+// reference path the equivalence tests compare against.
 package udpemu
 
 import (
 	"errors"
 	"fmt"
+	"math/rand/v2"
 	"net"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"netclone/internal/dataplane"
 	"netclone/internal/wire"
@@ -24,15 +34,48 @@ import (
 // packets (§3.7).
 const maxDatagram = 2048
 
-// Switch is a UDP NetClone switch emulator. Clients and servers exchange
-// all traffic through its single socket, as through a ToR.
+// sendTarget is one forwarding-table entry: the portable address, the
+// batch path's precomputed form, and — for servers behind a rack relay
+// — the encapsulation the downlink hop needs.
+type sendTarget struct {
+	addr *net.UDPAddr
+	pa   pktAddr
+	paOK bool
+	// encap servers live behind a relay: addr is the relay downlink and
+	// each packet is prefixed with encapSID so the relay can route it
+	// (see relayPreambleLen).
+	encap    bool
+	encapSID uint16
+}
+
+// newSendTarget precomputes both address forms.
+func newSendTarget(addr *net.UDPAddr) *sendTarget {
+	t := &sendTarget{addr: addr}
+	t.pa, t.paOK = makePktAddr(addr)
+	return t
+}
+
+// Switch is a UDP NetClone switch emulator — the client rack's ToR.
+// Clients and servers exchange all traffic through its single socket;
+// servers on remote racks are reached through their rack's Relay.
 type Switch struct {
 	conn *net.UDPConn
+	bc   *batchConn // nil on the portable path
 
 	mu      sync.Mutex
 	dp      *dataplane.Switch
-	servers map[uint16]*net.UDPAddr
-	clients map[uint16]*net.UDPAddr
+	servers map[uint16]*sendTarget
+	clients map[uint16]*sendTarget
+
+	faults *faultState // nil without a fault schedule
+	dl     *delayLine  // jitter egress; nil until a schedule needs it
+
+	// scratch marshals delayed (jittered) packets; owned by the serve
+	// goroutine.
+	scratch [maxDatagram + relayPreambleLen]byte
+
+	sendErrs  atomic.Int64
+	lossDrops atomic.Int64
 
 	wg        sync.WaitGroup
 	closed    chan struct{}
@@ -40,14 +83,24 @@ type Switch struct {
 }
 
 // NewSwitch binds a switch emulator to addr (e.g. "127.0.0.1:0") with the
-// given data-plane configuration.
-func NewSwitch(addr string, cfg dataplane.Config) (*Switch, error) {
+// given data-plane configuration. The optional mode pins the I/O path;
+// the default is IOAuto.
+func NewSwitch(addr string, cfg dataplane.Config, mode ...IOMode) (*Switch, error) {
 	udpAddr, err := net.ResolveUDPAddr("udp", addr)
 	if err != nil {
 		return nil, err
 	}
 	conn, err := net.ListenUDP("udp", udpAddr)
 	if err != nil {
+		return nil, err
+	}
+	io := IOAuto
+	if len(mode) > 0 {
+		io = mode[0]
+	}
+	bc, err := resolveIO(io, conn)
+	if err != nil {
+		conn.Close()
 		return nil, err
 	}
 	dp, err := dataplane.New(cfg)
@@ -57,15 +110,19 @@ func NewSwitch(addr string, cfg dataplane.Config) (*Switch, error) {
 	}
 	return &Switch{
 		conn:    conn,
+		bc:      bc,
 		dp:      dp,
-		servers: make(map[uint16]*net.UDPAddr),
-		clients: make(map[uint16]*net.UDPAddr),
+		servers: make(map[uint16]*sendTarget),
+		clients: make(map[uint16]*sendTarget),
 		closed:  make(chan struct{}),
 	}, nil
 }
 
 // Addr returns the switch socket address clients and servers dial.
 func (s *Switch) Addr() *net.UDPAddr { return s.conn.LocalAddr().(*net.UDPAddr) }
+
+// Batched reports whether this switch runs the recvmmsg/sendmmsg path.
+func (s *Switch) Batched() bool { return s.bc != nil }
 
 // AddServer registers a worker server with the control plane. The
 // address-table entry is the server's UDP port.
@@ -75,7 +132,24 @@ func (s *Switch) AddServer(sid uint16, addr *net.UDPAddr) error {
 	if err := s.dp.AddServer(sid, uint32(addr.Port)); err != nil {
 		return err
 	}
-	s.servers[sid] = addr
+	s.servers[sid] = newSendTarget(addr)
+	return nil
+}
+
+// AddServerVia registers a remote-rack server reached through its rack
+// relay: the data plane learns the server's real port, while the
+// forwarding table points at the relay downlink with the server's ID
+// as the encapsulation preamble.
+func (s *Switch) AddServerVia(sid uint16, serverAddr, relayDown *net.UDPAddr) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.dp.AddServer(sid, uint32(serverAddr.Port)); err != nil {
+		return err
+	}
+	t := newSendTarget(relayDown)
+	t.encap = true
+	t.encapSID = sid
+	s.servers[sid] = t
 	return nil
 }
 
@@ -101,11 +175,47 @@ func (s *Switch) Stats() dataplane.Stats {
 	return s.dp.Stats()
 }
 
+// SendErrors counts failed transmissions (satellite of DESIGN.md §12:
+// previously discarded silently).
+func (s *Switch) SendErrors() int64 {
+	n := s.sendErrs.Load()
+	if s.dl != nil {
+		n += s.dl.sendErrs.Load() + s.dl.overflows.Load()
+	}
+	return n
+}
+
+// LossDrops counts packets dropped by an active loss window.
+func (s *Switch) LossDrops() int64 { return s.lossDrops.Load() }
+
+// setFaultState arms the socket-expressible fault gates. Call before
+// Serve.
+func (s *Switch) setFaultState(f *faultState) {
+	s.faults = f
+	if f != nil && len(f.sched.Jitter) > 0 {
+		s.dl = newDelayLine(func(b []byte, to *net.UDPAddr) error {
+			_, err := s.conn.WriteToUDP(b, to)
+			return err
+		})
+	}
+}
+
 // Serve processes packets until Close. It is typically run in a
 // goroutine; it returns after Close.
 func (s *Switch) Serve() error {
+	if s.bc != nil {
+		return s.serveBatch()
+	}
+	return s.servePortable()
+}
+
+// servePortable is the per-packet reference loop: one ReadFromUDP and
+// one WriteToUDP syscall per datagram, exactly the pre-batching I/O
+// discipline.
+func (s *Switch) servePortable() error {
 	s.wg.Add(1)
 	defer s.wg.Done()
+	rng := s.newServeRNG()
 	buf := make([]byte, maxDatagram)
 	for {
 		n, from, err := s.conn.ReadFromUDP(buf)
@@ -117,12 +227,60 @@ func (s *Switch) Serve() error {
 				return err
 			}
 		}
-		s.handlePacket(buf[:n], from)
+		now := time.Now()
+		if p := s.faults.lossP(now); p > 0 && rng.Float64() < p {
+			s.lossDrops.Add(1)
+			continue
+		}
+		s.handlePacket(buf[:n], from, now, rng)
 	}
 }
 
-// handlePacket decodes, runs the pipeline, and forwards.
-func (s *Switch) handlePacket(pkt []byte, from *net.UDPAddr) {
+// serveBatch drains bursts of up to ioBurst datagrams per recvmmsg,
+// runs the pipeline under one lock acquisition per burst, and flushes
+// the accumulated sends with sendmmsg. No allocation in steady state.
+func (s *Switch) serveBatch() error {
+	s.wg.Add(1)
+	defer s.wg.Done()
+	rng := s.newServeRNG()
+	for {
+		n, err := s.bc.recv()
+		if err != nil {
+			select {
+			case <-s.closed:
+				return nil
+			default:
+				return err
+			}
+		}
+		now := time.Now()
+		lossP := s.faults.lossP(now)
+		s.mu.Lock()
+		for i := 0; i < n; i++ {
+			if lossP > 0 && rng.Float64() < lossP {
+				s.lossDrops.Add(1)
+				continue
+			}
+			s.handleBatch(i, now, rng)
+		}
+		s.mu.Unlock()
+		dropped, _ := s.bc.flush()
+		if dropped > 0 {
+			s.sendErrs.Add(int64(dropped))
+		}
+	}
+}
+
+// newServeRNG seeds the serve goroutine's private RNG (loss draws,
+// jitter draws) from the bound port, keeping the hot path free of
+// shared state.
+func (s *Switch) newServeRNG() *rand.Rand {
+	return rand.New(rand.NewPCG(0xD0A7E11, uint64(s.Addr().Port)))
+}
+
+// handlePacket decodes, runs the pipeline, and forwards — the portable
+// path.
+func (s *Switch) handlePacket(pkt []byte, from *net.UDPAddr, now time.Time, rng *rand.Rand) {
 	if !wire.IsNetClone(pkt) {
 		return // non-NetClone traffic would take the plain L2/L3 path
 	}
@@ -136,8 +294,8 @@ func (s *Switch) handlePacket(pkt []byte, from *net.UDPAddr) {
 	// Learn the client's address from its requests so responses can be
 	// routed back (the emulator's stand-in for L3 routing state).
 	if h.Type == wire.TypeReq && h.Clo == wire.CloNone {
-		if known, ok := s.clients[h.ClientID]; !ok || !udpAddrEqual(known, from) {
-			s.clients[h.ClientID] = cloneUDPAddr(from)
+		if known := s.clients[h.ClientID]; known == nil || !udpAddrEqual(known.addr, from) {
+			s.clients[h.ClientID] = newSendTarget(cloneUDPAddr(from))
 		}
 	}
 	res := s.dp.Process(&h)
@@ -160,25 +318,126 @@ func (s *Switch) handlePacket(pkt []byte, from *net.UDPAddr) {
 	switch res.Act {
 	case dataplane.ActForwardServer, dataplane.ActCloneAndForward:
 		if dstServer != nil {
-			s.send(&h, payload, dstServer)
+			s.send(&h, payload, dstServer, now, rng)
 		}
 		if hasClone && cloneServer != nil {
-			s.send(&cloneHdr, payload, cloneServer)
+			s.send(&cloneHdr, payload, cloneServer, now, rng)
 		}
 	case dataplane.ActForwardClient:
 		if dstClient != nil {
-			s.send(&h, payload, dstClient)
+			s.send(&h, payload, dstClient, now, rng)
 		}
 	case dataplane.ActDrop, dataplane.ActPassL3:
 	}
 }
 
-// send re-encodes the (possibly rewritten) header and transmits.
-func (s *Switch) send(h *wire.Header, payload []byte, to *net.UDPAddr) {
-	out := make([]byte, 0, wire.HeaderLen+len(payload))
+// handleBatch runs the pipeline for receive-ring slot i and queues the
+// resulting sends into the write ring. Caller holds s.mu.
+func (s *Switch) handleBatch(i int, now time.Time, rng *rand.Rand) {
+	pkt := s.bc.pkt(i)
+	if !wire.IsNetClone(pkt) {
+		return
+	}
+	var h wire.Header
+	if _, err := h.Unmarshal(pkt); err != nil {
+		return
+	}
+	payload := pkt[wire.HeaderLen:]
+
+	if h.Type == wire.TypeReq && h.Clo == wire.CloNone {
+		if src, ok := s.bc.src(i); ok {
+			if known := s.clients[h.ClientID]; known == nil || !known.paOK || known.pa != src {
+				s.clients[h.ClientID] = &sendTarget{addr: src.udpAddr(), pa: src, paOK: true}
+			}
+		}
+	}
+	res := s.dp.Process(&h)
+	var cloneRes dataplane.Result
+	var cloneHdr wire.Header
+	hasClone := false
+	if res.Act == dataplane.ActCloneAndForward {
+		cloneHdr = res.Clone
+		cloneRes = s.dp.Process(&cloneHdr)
+		hasClone = cloneRes.Act == dataplane.ActForwardServer
+	}
+
+	switch res.Act {
+	case dataplane.ActForwardServer, dataplane.ActCloneAndForward:
+		if t := s.servers[res.DstSID]; t != nil {
+			s.emitBatch(&h, payload, t, now, rng)
+		}
+		if hasClone {
+			if t := s.servers[cloneRes.DstSID]; t != nil {
+				s.emitBatch(&cloneHdr, payload, t, now, rng)
+			}
+		}
+	case dataplane.ActForwardClient:
+		if t := s.clients[h.ClientID]; t != nil {
+			s.emitBatch(&h, payload, t, now, rng)
+		}
+	case dataplane.ActDrop, dataplane.ActPassL3:
+	}
+}
+
+// emitBatch queues one packet into the write ring (flushing when it
+// fills), or detours through the jitter delay line when a window is
+// active.
+func (s *Switch) emitBatch(h *wire.Header, payload []byte, t *sendTarget, now time.Time, rng *rand.Rand) {
+	if extra := s.faults.jitter(now, rng); extra > 0 && s.dl != nil {
+		s.emitDelayed(h, payload, t, now.Add(extra))
+		return
+	}
+	if !t.paOK {
+		s.sendPortable(h, payload, t)
+		return
+	}
+	out := s.bc.wslot()
+	if t.encap {
+		out = append(out, byte(t.encapSID), byte(t.encapSID>>8))
+	}
 	out = h.AppendTo(out)
 	out = append(out, payload...)
-	_, _ = s.conn.WriteToUDP(out, to)
+	dropped, _ := s.bc.commit(len(out), t.pa)
+	if dropped > 0 {
+		s.sendErrs.Add(int64(dropped))
+	}
+}
+
+// send transmits one packet on the portable path, with the jitter
+// detour shared with the batch path.
+func (s *Switch) send(h *wire.Header, payload []byte, t *sendTarget, now time.Time, rng *rand.Rand) {
+	if extra := s.faults.jitter(now, rng); extra > 0 && s.dl != nil {
+		s.emitDelayed(h, payload, t, now.Add(extra))
+		return
+	}
+	s.sendPortable(h, payload, t)
+}
+
+// sendPortable re-encodes the (possibly rewritten) header and
+// transmits with one WriteToUDP — the reference send. Failures are
+// counted, not discarded.
+func (s *Switch) sendPortable(h *wire.Header, payload []byte, t *sendTarget) {
+	out := make([]byte, 0, relayPreambleLen+wire.HeaderLen+len(payload))
+	if t.encap {
+		out = append(out, byte(t.encapSID), byte(t.encapSID>>8))
+	}
+	out = h.AppendTo(out)
+	out = append(out, payload...)
+	if _, err := s.conn.WriteToUDP(out, t.addr); err != nil {
+		s.sendErrs.Add(1)
+	}
+}
+
+// emitDelayed marshals into the serve goroutine's scratch buffer and
+// hands the packet to the jitter delay line.
+func (s *Switch) emitDelayed(h *wire.Header, payload []byte, t *sendTarget, due time.Time) {
+	out := s.scratch[:0]
+	if t.encap {
+		out = append(out, byte(t.encapSID), byte(t.encapSID>>8))
+	}
+	out = h.AppendTo(out)
+	out = append(out, payload...)
+	s.dl.enqueue(out, t.addr, due)
 }
 
 // Close shuts the switch down and waits for Serve to return. It is
@@ -188,6 +447,10 @@ func (s *Switch) Close() error {
 	s.closeOnce.Do(func() {
 		close(s.closed)
 		err = s.conn.Close()
+		s.wg.Wait()
+		if s.dl != nil {
+			s.dl.close()
+		}
 	})
 	s.wg.Wait()
 	return err

@@ -13,6 +13,16 @@
 # below 3x (warnings only when the snapshots come from different
 # hosts).
 #
+# Every snapshot also carries the emu loopback rate probe: the
+# sustained request rate a real 2-server loopback NetClone cluster
+# holds under an open-loop rate ladder, measured on the portable
+# one-syscall-per-packet path and (where compiled in) the batched
+# recvmmsg/sendmmsg path. compare holds the batched rate above the
+# 40k req/s floor — ten times the 4k req/s the single-syscall backend
+# operated at — and fails a regression of more than one of the
+# ladder's 2x rungs (the probe quantizes in rungs, so a tighter
+# ratchet would flake on every rung boundary).
+#
 # Usage:
 #   scripts/bench.sh               # micro-benchmarks + BENCH_<n>.json
 #   scripts/bench.sh micro         # micro-benchmarks only
